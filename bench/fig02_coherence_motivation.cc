@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Reproduces paper Fig. 2: slowdown of a coarse-lock-protected stack
+ * when the lock is a coherence-based TTAS lock (mesi-lock) over an ideal
+ * zero-cost lock (ideal-lock), (a) scaling the cores inside one NDP
+ * unit from 15 to 60 and (b) spreading 60 cores over 1-4 NDP units.
+ *
+ * This is the motivation experiment: a hypothetical MESI directory
+ * protocol is layered over the NDP fabric (src/coherence). The stack's
+ * data accesses are identical coherent accesses in both runs; only the
+ * lock differs.
+ *
+ * Expected shape: ~2x slowdown at 60 cores in one unit, growing to
+ * ~2.7x at 4 units (non-uniform lock-line transfers).
+ */
+
+#include <deque>
+#include <iostream>
+
+#include "coherence/mesi.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "mem/allocator.hh"
+
+using namespace syncron;
+using coherence::MesiSystem;
+using harness::fmt;
+
+namespace {
+
+/** Zero-cost lock: host FIFO of parked coroutines (the ideal-lock). */
+struct IdealLock
+{
+    bool held = false;
+    std::deque<sim::Gate *> waiters;
+};
+
+struct StackState
+{
+    Addr top;
+    Addr nodes;
+    std::uint64_t sp = 0; ///< host shadow of the stack pointer
+};
+
+sim::Process
+stackWorker(MesiSystem &mesi, StackState &stack, unsigned core,
+            unsigned ops, bool useMesiLock, Addr lockAddr,
+            IdealLock &ideal, std::uint64_t *pushes)
+{
+    sim::EventQueue &eq = mesi.machineEq();
+    for (unsigned i = 0; i < ops; ++i) {
+        // -- Acquire
+        if (useMesiLock) {
+            Tick backoff = kCoreClock.cycles(32);
+            for (;;) {
+                Tick t = mesi.read(core, lockAddr, eq.now());
+                co_await sim::Delay{eq, t - eq.now()};
+                if (mesi.value(lockAddr) == 0) {
+                    auto [done, old] =
+                        mesi.rmwSwap(core, lockAddr, 1, eq.now());
+                    co_await sim::Delay{eq, done - eq.now()};
+                    if (old == 0)
+                        break;
+                }
+                co_await sim::Delay{eq, backoff};
+                backoff = std::min(backoff * 2, kCoreClock.cycles(2048));
+            }
+        } else {
+            if (ideal.held) {
+                sim::Gate gate(eq);
+                ideal.waiters.push_back(&gate);
+                co_await gate;
+            }
+            ideal.held = true;
+        }
+
+        // -- Critical section: push (same coherent accesses both ways)
+        Tick t = mesi.read(core, stack.top, eq.now());
+        co_await sim::Delay{eq, t - eq.now()};
+        const Addr node = stack.nodes + (stack.sp % 4096) * 16;
+        ++stack.sp;
+        t = mesi.write(core, node, eq.now());
+        co_await sim::Delay{eq, t - eq.now()};
+        t = mesi.write(core, stack.top, eq.now());
+        co_await sim::Delay{eq, t - eq.now()};
+        ++*pushes;
+
+        // -- Release
+        if (useMesiLock) {
+            const Tick rel =
+                mesi.rmwSwap(core, lockAddr, 0, eq.now()).first;
+            co_await sim::Delay{eq, rel - eq.now()};
+        } else {
+            ideal.held = false;
+            if (!ideal.waiters.empty()) {
+                sim::Gate *next = ideal.waiters.front();
+                ideal.waiters.pop_front();
+                ideal.held = true;
+                next->open(0, 0);
+            }
+        }
+        co_await sim::Delay{eq, kCoreClock.cycles(40)};
+    }
+}
+
+/** One configuration's runtime with the chosen lock. */
+Tick
+runStack(unsigned numUnits, unsigned coresPerUnit, unsigned totalCores,
+         unsigned ops, bool useMesiLock)
+{
+    SystemConfig cfg;
+    cfg.scheme = Scheme::Ideal;
+    cfg.numUnits = numUnits;
+    cfg.coresPerUnit = coresPerUnit; // up to 60 in-unit cores (Fig. 2a)
+    cfg.clientCoresPerUnit = coresPerUnit;
+    cfg.validate();
+    Machine machine(cfg);
+    MesiSystem mesi(machine, totalCores);
+
+    StackState stack;
+    stack.top = machine.addrSpace().allocIn(0, 64, 64);
+    stack.nodes = machine.addrSpace().allocIn(0, 4096 * 16, 64);
+    Addr lockAddr = machine.addrSpace().allocIn(0, 64, 64);
+    IdealLock ideal;
+    std::uint64_t pushes = 0;
+
+    std::vector<sim::Process> procs;
+    for (unsigned c = 0; c < totalCores; ++c) {
+        procs.push_back(stackWorker(mesi, stack, c, ops, useMesiLock,
+                                    lockAddr, ideal, &pushes));
+        procs.back().start(machine.eq());
+    }
+    machine.eq().run();
+    for (const auto &p : procs) {
+        if (!p.done())
+            SYNCRON_FATAL("fig02: worker deadlocked");
+    }
+    return machine.eq().now();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = harness::BenchOptions::parse(argc, argv);
+    const unsigned ops =
+        static_cast<unsigned>(12 * opts.effectiveScale());
+
+    harness::TablePrinter a(
+        "Fig. 2a: stack slowdown, mesi-lock vs ideal-lock, one NDP unit",
+        {"cores", "ideal-lock", "mesi-lock slowdown"});
+    for (unsigned cores : {15u, 30u, 45u, 60u}) {
+        const Tick ideal = runStack(1, cores, cores, ops, false);
+        const Tick mesi = runStack(1, cores, cores, ops, true);
+        a.addRow({std::to_string(cores), fmt(1.0, 2),
+                  fmt(static_cast<double>(mesi)
+                          / static_cast<double>(ideal),
+                      2)});
+    }
+    a.addNote("paper: 2.03x slowdown at 60 cores");
+    a.print(std::cout);
+
+    harness::TablePrinter b(
+        "Fig. 2b: stack slowdown at 60 cores, varying NDP units",
+        {"units", "ideal-lock", "mesi-lock slowdown"});
+    for (unsigned units : {1u, 2u, 3u, 4u}) {
+        const unsigned perUnit = 60 / units;
+        const Tick ideal = runStack(units, perUnit, 60, ops, false);
+        const Tick mesi = runStack(units, perUnit, 60, ops, true);
+        b.addRow({std::to_string(units), fmt(1.0, 2),
+                  fmt(static_cast<double>(mesi)
+                          / static_cast<double>(ideal),
+                      2)});
+    }
+    b.addNote("paper: slowdown grows to 2.66x at 4 units");
+    b.print(std::cout);
+    return 0;
+}

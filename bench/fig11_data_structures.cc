@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces paper Fig. 11: throughput (operations per millisecond of
+ * simulated time) of the nine lock-based data structures, varying the
+ * core count in steps of 15 by adding NDP units (15/30/45/60), for
+ * Central / Hier / SynCron / Ideal.
+ *
+ * Expected shape: high-contention structures (stack, queue, array map,
+ * priority queue) favor the hierarchical schemes, with SynCron above
+ * Hier; BST_Drachsler is insensitive to the scheme.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace syncron;
+using harness::fmt;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = harness::BenchOptions::parse(argc, argv);
+    const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
+                              Scheme::SynCron, Scheme::Ideal};
+
+    for (harness::DsKind kind : harness::kAllDsKinds) {
+        const harness::DsParams params =
+            harness::dsDefaults(kind, opts.effectiveScale());
+        harness::TablePrinter table(
+            std::string("Fig. 11 (") + harness::dsName(kind)
+                + "): throughput [ops/ms], size "
+                + std::to_string(params.initialSize),
+            {"cores", "Central", "Hier", "SynCron", "Ideal"});
+
+        for (unsigned units = 1; units <= 4; ++units) {
+            std::vector<std::string> row{
+                std::to_string(units * 15)};
+            for (Scheme scheme : schemes) {
+                SystemConfig cfg = SystemConfig::make(scheme, units, 15);
+                auto out = harness::runDataStructure(
+                    cfg, kind, params.initialSize, params.opsPerCore);
+                row.push_back(fmt(out.opsPerMs(), 1));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces paper Fig. 16: throughput of the stack and the priority
+ * queue (high contention) as the inter-unit link transfer latency grows
+ * from 0.04 us to 9 us.
+ *
+ * Expected shape: Central collapses as the links slow down; SynCron and
+ * Hier track Ideal (local messages dominate), with SynCron slightly
+ * ahead of Hier (paper: 1.06x / 1.04x).
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace syncron;
+using harness::fmt;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = harness::BenchOptions::parse(argc, argv);
+    const double latenciesUs[] = {0.04, 0.1, 0.2, 0.5, 1, 2, 4.5, 9};
+    const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
+                              Scheme::SynCron, Scheme::Ideal};
+
+    for (harness::DsKind kind :
+         {harness::DsKind::Stack, harness::DsKind::PriorityQueue}) {
+        const harness::DsParams params =
+            harness::dsDefaults(kind, opts.effectiveScale());
+        harness::TablePrinter table(
+            std::string("Fig. 16 (") + harness::dsName(kind)
+                + "): throughput [ops/ms] vs link transfer latency",
+            {"latency[us]", "Central", "Hier", "SynCron", "Ideal"});
+
+        for (double us : latenciesUs) {
+            std::vector<std::string> row{fmt(us, 2)};
+            for (Scheme scheme : schemes) {
+                SystemConfig cfg = SystemConfig::make(scheme, 4, 15);
+                cfg.link.flightTicks =
+                    static_cast<Tick>(us * kTicksPerUs);
+                auto out = harness::runDataStructure(
+                    cfg, kind, params.initialSize, params.opsPerCore);
+                row.push_back(fmt(out.opsPerMs(), 1));
+            }
+            table.addRow(std::move(row));
+        }
+        table.addNote("paper: SynCron best hides slow links; Central "
+                      "collapses");
+        table.print(std::cout);
+    }
+    return 0;
+}

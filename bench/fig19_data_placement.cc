@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Fig. 19: effect of better data placement (the METIS
+ * 4-way partitioning, here a greedy min-edge-cut partitioner) on
+ * pagerank over the four graph inputs. All values are normalized to
+ * Central without partitioning; the second table reports SynCron's
+ * maximum ST occupancy, which drops with better placement because
+ * fewer variables need both a local-SE and a Master-SE entry.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace syncron;
+using harness::fmtPct;
+using harness::fmtX;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = harness::BenchOptions::parse(argc, argv);
+    const double scale = 0.35 * opts.effectiveScale();
+    const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
+                              Scheme::SynCron, Scheme::Ideal};
+
+    harness::TablePrinter speed(
+        "Fig. 19: pr speedup vs Central/no-partitioning",
+        {"input", "partition", "Central", "Hier", "SynCron", "Ideal"});
+    harness::TablePrinter occ(
+        "Fig. 19 (bottom): SynCron max ST occupancy",
+        {"input", "no partition", "partitioned"});
+
+    for (const char *input : {"wk", "sl", "sx", "co"}) {
+        double base = 0;
+        double occNo = 0, occYes = 0;
+        for (bool metis : {false, true}) {
+            double time[4];
+            for (int s = 0; s < 4; ++s) {
+                SystemConfig cfg = SystemConfig::make(schemes[s], 4, 15);
+                auto out = harness::runGraph(
+                    cfg, input, workloads::GraphApp::Pr, scale, metis);
+                time[s] = static_cast<double>(out.time);
+                if (schemes[s] == Scheme::SynCron) {
+                    (metis ? occYes : occNo) = out.stMaxFrac;
+                }
+            }
+            if (!metis)
+                base = time[0];
+            speed.addRow({input, metis ? "greedy(min-cut)" : "range",
+                          fmtX(base / time[0]), fmtX(base / time[1]),
+                          fmtX(base / time[2]), fmtX(base / time[3])});
+        }
+        occ.addRow({input, fmtPct(occNo), fmtPct(occYes)});
+    }
+    speed.addNote("paper: with METIS all schemes improve ~1.47x; "
+                  "SynCron stays best");
+    speed.print(std::cout);
+    occ.addNote("paper: max ST occupancy drops (e.g. pr.wk 62% -> 39%)");
+    occ.print(std::cout);
+    return 0;
+}

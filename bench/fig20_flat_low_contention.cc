@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces paper Fig. 20: SynCron (hierarchical) vs its flat variant
+ * on low-contention, synchronization-non-intensive graph workloads with
+ * the default 40 ns links. Speedup of SynCron normalized to flat.
+ *
+ * Expected shape: hierarchical SynCron within ~1-2% of flat (paper:
+ * 1.1% worse on average) — the hierarchy costs nothing here and pays
+ * off elsewhere (Fig. 21).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace syncron;
+using harness::fmt;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = harness::BenchOptions::parse(argc, argv);
+    const double scale = 0.35 * opts.effectiveScale();
+
+    harness::TablePrinter table(
+        "Fig. 20: SynCron speedup normalized to flat (40 ns links)",
+        {"app.input", "SynCron/flat"});
+
+    double geo = 0;
+    int n = 0;
+    for (const harness::AppInput &ai : harness::allAppInputs()) {
+        if (ai.app == "ts")
+            continue; // Fig. 20 is the 24 graph combinations
+        SystemConfig flatCfg = SystemConfig::make(Scheme::SynCronFlat,
+                                                  4, 15);
+        SystemConfig hierCfg = SystemConfig::make(Scheme::SynCron, 4, 15);
+        auto flat = harness::runAppInput(flatCfg, ai, scale);
+        auto hier = harness::runAppInput(hierCfg, ai, scale);
+        const double ratio = static_cast<double>(flat.time)
+                             / static_cast<double>(hier.time);
+        table.addRow({ai.app + "." + ai.input, fmt(ratio, 3)});
+        geo += std::log(ratio);
+        ++n;
+    }
+    table.addNote("paper: SynCron within 1.1% of flat on average");
+    table.print(std::cout);
+    std::cout << "geomean SynCron/flat: " << fmt(std::exp(geo / n), 3)
+              << "\n";
+    return 0;
+}

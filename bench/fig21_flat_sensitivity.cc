@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces paper Fig. 21: SynCron vs its flat variant while sweeping
+ * the inter-unit link latency (40-500 ns).
+ *   (a) low contention + synchronization-intensive: time series;
+ *   (b) high contention: the queue with 30 and 60 cores.
+ *
+ * Expected shape: (a) flat slightly ahead (paper: SynCron 3.6-7.3%
+ * worse); (b) SynCron ahead, growing with latency and core count
+ * (paper: up to 2.14x at 500 ns / 60 cores).
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace syncron;
+using harness::fmt;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = harness::BenchOptions::parse(argc, argv);
+    const unsigned latenciesNs[] = {40, 100, 200, 500};
+
+    // (a) time series, 4 units.
+    harness::TablePrinter a(
+        "Fig. 21a (ts): SynCron speedup normalized to flat",
+        {"input", "40ns", "100ns", "200ns", "500ns"});
+    for (const char *input : {"air", "pow"}) {
+        std::vector<std::string> row{input};
+        for (unsigned ns : latenciesNs) {
+            SystemConfig flatCfg =
+                SystemConfig::make(Scheme::SynCronFlat, 4, 15);
+            SystemConfig hierCfg =
+                SystemConfig::make(Scheme::SynCron, 4, 15);
+            flatCfg.link.flightTicks =
+                static_cast<Tick>(ns) * kTicksPerNs;
+            hierCfg.link.flightTicks =
+                static_cast<Tick>(ns) * kTicksPerNs;
+            auto flat = harness::runTimeSeries(
+                flatCfg, input, 0.35 * opts.effectiveScale());
+            auto hier = harness::runTimeSeries(
+                hierCfg, input, 0.35 * opts.effectiveScale());
+            row.push_back(fmt(static_cast<double>(flat.time)
+                                  / static_cast<double>(hier.time),
+                              3));
+        }
+        a.addRow(std::move(row));
+    }
+    a.addNote("paper: SynCron 7.3% worse at 40ns, 3.6% worse at 500ns");
+    a.print(std::cout);
+
+    // (b) queue under high contention, 2 and 4 units.
+    harness::TablePrinter b(
+        "Fig. 21b (queue): SynCron speedup normalized to flat",
+        {"cores", "40ns", "100ns", "200ns", "500ns"});
+    for (unsigned units : {2u, 4u}) {
+        std::vector<std::string> row{std::to_string(units * 15)};
+        const harness::DsParams params = harness::dsDefaults(
+            harness::DsKind::Queue, opts.effectiveScale());
+        for (unsigned ns : latenciesNs) {
+            SystemConfig flatCfg =
+                SystemConfig::make(Scheme::SynCronFlat, units, 15);
+            SystemConfig hierCfg =
+                SystemConfig::make(Scheme::SynCron, units, 15);
+            flatCfg.link.flightTicks =
+                static_cast<Tick>(ns) * kTicksPerNs;
+            hierCfg.link.flightTicks =
+                static_cast<Tick>(ns) * kTicksPerNs;
+            auto flat = harness::runDataStructure(
+                flatCfg, harness::DsKind::Queue, params.initialSize,
+                params.opsPerCore);
+            auto hier = harness::runDataStructure(
+                hierCfg, harness::DsKind::Queue, params.initialSize,
+                params.opsPerCore);
+            row.push_back(fmt(static_cast<double>(flat.time)
+                                  / static_cast<double>(hier.time),
+                              2));
+        }
+        b.addRow(std::move(row));
+    }
+    b.addNote("paper: 30 cores 1.23x-1.76x; 60 cores up to 2.14x at "
+              "500ns");
+    b.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Domain example: a near-data key-value store — a hash table with
+ * per-bucket locks served by NDP cores, the pointer-chasing workload
+ * class of the paper's Section 6.1.2. Compares the four schemes on the
+ * same mixed lookup workload and prints a small scaling study.
+ *
+ *   $ ./example_concurrent_kv_store
+ */
+
+#include <cstdio>
+
+#include "system/system.hh"
+#include "workloads/datastructures/structures.hh"
+
+using namespace syncron;
+
+namespace {
+
+double
+throughput(Scheme scheme, unsigned units)
+{
+    SystemConfig cfg = SystemConfig::make(scheme, units, 15);
+    NdpSystem sys(cfg);
+    workloads::SimHashTable table(sys, /*initialSize=*/512);
+    const unsigned opsPerCore = 40;
+    for (unsigned i = 0; i < sys.numClientCores(); ++i)
+        sys.spawn(table.worker(sys.clientCore(i), opsPerCore));
+    sys.run();
+    const double ms = static_cast<double>(sys.elapsed()) / 1e9;
+    return static_cast<double>(sys.numClientCores()) * opsPerCore / ms;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("near-data key-value store (hash table, per-bucket "
+                "locks)\n\n");
+    std::printf("%-10s", "cores");
+    for (Scheme s : {Scheme::Central, Scheme::Hier, Scheme::SynCron,
+                     Scheme::Ideal})
+        std::printf("  %12s", schemeName(s));
+    std::printf("   [lookups/ms]\n");
+
+    for (unsigned units = 1; units <= 4; ++units) {
+        std::printf("%-10u", units * 15);
+        for (Scheme s : {Scheme::Central, Scheme::Hier, Scheme::SynCron,
+                         Scheme::Ideal})
+            std::printf("  %12.0f", throughput(s, units));
+        std::printf("\n");
+    }
+    std::printf("\nSynCron keeps the per-bucket locks in the "
+                "Synchronization Tables,\navoiding the server-core "
+                "bottleneck (Central) and the cache/memory\naccesses "
+                "for synchronization state (Hier).\n");
+    return 0;
+}

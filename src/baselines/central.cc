@@ -1,0 +1,97 @@
+#include "baselines/central.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/units.hh"
+#include "core/core.hh"
+#include "sync/syncvar.hh"
+
+namespace syncron::baselines {
+
+CentralBackend::CentralBackend(Machine &machine, UnitId serverUnit)
+    : machine_(machine), l1_(machine.config().l1, machine.stats()),
+      serverUnit_(serverUnit)
+{
+    SYNCRON_ASSERT(serverUnit < machine.config().numUnits,
+                   "server unit out of range");
+}
+
+void
+CentralBackend::request(core::Core &requester, sync::OpKind kind, Addr var,
+                        std::uint64_t info, sim::Gate *gate)
+{
+    const bool acquire = sync::isAcquireType(kind);
+    if (!acquire) {
+        // req_async: commit once the message has been issued.
+        gate->open(0, requester.cyclePeriod());
+    }
+
+    const Tick arrival =
+        machine_.routeMessage(machine_.eq().now(), requester.unit(),
+                              serverUnit_, sync::kSyncReqBits);
+    if (requester.unit() == serverUnit_)
+        ++machine_.stats().syncLocalMsgs;
+    else
+        ++machine_.stats().syncGlobalMsgs;
+
+    const CoreId core = requester.id();
+    sim::Gate *acquireGate = acquire ? gate : nullptr;
+    machine_.eq().schedule(arrival, [this, kind, core, var, info,
+                                     acquireGate] {
+        process(kind, core, var, info, acquireGate);
+    });
+}
+
+Tick
+CentralBackend::varAccess(Tick start, Addr var)
+{
+    // Software read-modify-write of the variable's line through the
+    // server's private L1; a miss fetches the line from the owning
+    // unit's DRAM — across the serial links when the variable is remote.
+    const Tick hit = static_cast<Tick>(l1_.params().hitCycles)
+                     * kCoreClock.period();
+    cache::CacheAccessResult res = l1_.access(var, false);
+    Tick t = start + hit;
+    if (!res.hit) {
+        t = machine_.memoryAccess(t, serverUnit_, lineAlign(var), false,
+                                  kCacheLineBytes);
+        if (res.writeback) {
+            machine_.memoryAccess(start + hit, serverUnit_,
+                                  res.victimAddr, true, kCacheLineBytes);
+        }
+    }
+    l1_.access(var, true); // the modifying write hits
+    return t + hit;
+}
+
+void
+CentralBackend::process(sync::OpKind kind, CoreId core, Addr var,
+                        std::uint64_t info, sim::Gate *gate)
+{
+    const SystemConfig &cfg = machine_.config();
+    const Tick start = std::max(machine_.eq().now(), busyUntil_);
+    Tick done = start
+                + static_cast<Tick>(cfg.serverSwOverheadCycles)
+                      * kCoreClock.period();
+    done = varAccess(done, var);
+    busyUntil_ = done;
+
+    machine_.eq().schedule(done, [this, kind, core, var, info, gate] {
+        const Tick when = machine_.eq().now();
+        auto grants = state_.apply(kind, core, var, info, gate);
+        for (const sync::SyncGrant &g : grants) {
+            const UnitId unit = g.core / machine_.config().coresPerUnit;
+            const Tick arrival = machine_.routeMessage(
+                when, serverUnit_, unit, sync::kSyncRespBits);
+            if (unit == serverUnit_)
+                ++machine_.stats().syncLocalMsgs;
+            else
+                ++machine_.stats().syncGlobalMsgs;
+            SYNCRON_ASSERT(g.gate != nullptr, "grant without gate");
+            g.gate->open(0, arrival - when);
+        }
+    });
+}
+
+} // namespace syncron::baselines

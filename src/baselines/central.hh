@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The Central baseline (paper Section 5): one dedicated NDP core in the
+ * entire system acts as a synchronization server, extending the
+ * message-passing barrier of Tesseract to all primitives. Every client
+ * core sends its requests to that single server — crossing the expensive
+ * inter-unit links for three quarters of the system — and the server
+ * processes each message in software, accessing the synchronization
+ * variable through its own memory hierarchy (private L1, then DRAM,
+ * possibly in a remote unit).
+ */
+
+#ifndef SYNCRON_BASELINES_CENTRAL_HH
+#define SYNCRON_BASELINES_CENTRAL_HH
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "sync/backend.hh"
+#include "sync/flat_state.hh"
+#include "system/machine.hh"
+
+namespace syncron::baselines {
+
+/** One software synchronization server for the whole NDP system. */
+class CentralBackend : public sync::SyncBackend
+{
+  public:
+    /**
+     * @param machine    the platform
+     * @param serverUnit unit housing the server core (default 0)
+     */
+    explicit CentralBackend(Machine &machine, UnitId serverUnit = 0);
+
+    void request(core::Core &requester, sync::OpKind kind, Addr var,
+                 std::uint64_t info, sim::Gate *gate) override;
+
+    const char *name() const override { return "Central"; }
+
+  private:
+    /** Runs at the server when a request message arrives. */
+    void process(sync::OpKind kind, CoreId core, Addr var,
+                 std::uint64_t info, sim::Gate *gate);
+
+    /** Timed software RMW of @p var through the server's L1. */
+    Tick varAccess(Tick start, Addr var);
+
+    Machine &machine_;
+    cache::Cache l1_;
+    sync::FlatSyncState state_;
+    UnitId serverUnit_;
+    Tick busyUntil_ = 0;
+};
+
+} // namespace syncron::baselines
+
+#endif // SYNCRON_BASELINES_CENTRAL_HH

@@ -1,0 +1,70 @@
+#include "baselines/flat.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/core.hh"
+#include "mem/allocator.hh"
+#include "sync/syncvar.hh"
+
+namespace syncron::baselines {
+
+FlatSynCronBackend::FlatSynCronBackend(Machine &machine)
+    : machine_(machine), busyUntil_(machine.config().numUnits, 0)
+{}
+
+void
+FlatSynCronBackend::request(core::Core &requester, sync::OpKind kind,
+                            Addr var, std::uint64_t info, sim::Gate *gate)
+{
+    const bool acquire = sync::isAcquireType(kind);
+    if (!acquire)
+        gate->open(0, requester.cyclePeriod());
+
+    const UnitId master = mem::unitOfAddr(var);
+    const Tick arrival = machine_.routeMessage(
+        machine_.eq().now(), requester.unit(), master, sync::kSyncReqBits);
+    if (requester.unit() == master)
+        ++machine_.stats().syncLocalMsgs;
+    else
+        ++machine_.stats().syncGlobalMsgs;
+
+    const CoreId core = requester.id();
+    sim::Gate *acquireGate = acquire ? gate : nullptr;
+    machine_.eq().schedule(arrival, [this, master, kind, core, var, info,
+                                     acquireGate] {
+        process(master, kind, core, var, info, acquireGate);
+    });
+}
+
+void
+FlatSynCronBackend::process(UnitId se, sync::OpKind kind, CoreId core,
+                            Addr var, std::uint64_t info, sim::Gate *gate)
+{
+    const SystemConfig &cfg = machine_.config();
+    const Tick start = std::max(machine_.eq().now(), busyUntil_[se]);
+    // Same SPU cost as hierarchical SynCron: the variable is buffered
+    // directly in the Master SE's ST.
+    const Tick done = start
+                      + static_cast<Tick>(cfg.seServiceCycles)
+                            * cfg.seCyclePeriod;
+    busyUntil_[se] = done;
+
+    machine_.eq().schedule(done, [this, se, kind, core, var, info, gate] {
+        const Tick when = machine_.eq().now();
+        auto grants = state_.apply(kind, core, var, info, gate);
+        for (const sync::SyncGrant &g : grants) {
+            const UnitId unit = g.core / machine_.config().coresPerUnit;
+            const Tick arrival = machine_.routeMessage(
+                when, se, unit, sync::kSyncRespBits);
+            if (unit == se)
+                ++machine_.stats().syncLocalMsgs;
+            else
+                ++machine_.stats().syncGlobalMsgs;
+            SYNCRON_ASSERT(g.gate != nullptr, "grant without gate");
+            g.gate->open(0, arrival - when);
+        }
+    });
+}
+
+} // namespace syncron::baselines

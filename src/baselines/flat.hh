@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SynCron's flat variant (paper Section 6.7.1): every core sends its
+ * synchronization requests directly to the Master SE of the variable,
+ * with no local-SE level. The station microarchitecture is identical to
+ * SynCron's SE (SPU service time, ST buffering), so the comparison
+ * isolates exactly the hierarchy: under high contention and/or slow
+ * inter-unit links, flat floods the serial links with per-core messages
+ * where hierarchical SynCron sends one aggregated message per unit.
+ */
+
+#ifndef SYNCRON_BASELINES_FLAT_HH
+#define SYNCRON_BASELINES_FLAT_HH
+
+#include <vector>
+
+#include "sync/backend.hh"
+#include "sync/flat_state.hh"
+#include "system/machine.hh"
+
+namespace syncron::baselines {
+
+/** Non-hierarchical SynCron: direct core -> Master SE messaging. */
+class FlatSynCronBackend : public sync::SyncBackend
+{
+  public:
+    explicit FlatSynCronBackend(Machine &machine);
+
+    void request(core::Core &requester, sync::OpKind kind, Addr var,
+                 std::uint64_t info, sim::Gate *gate) override;
+
+    const char *name() const override { return "SynCron-flat"; }
+
+  private:
+    void process(UnitId se, sync::OpKind kind, CoreId core, Addr var,
+                 std::uint64_t info, sim::Gate *gate);
+
+    Machine &machine_;
+    sync::FlatSyncState state_;
+    std::vector<Tick> busyUntil_; ///< per-unit SE SPU
+};
+
+} // namespace syncron::baselines
+
+#endif // SYNCRON_BASELINES_FLAT_HH

@@ -1,0 +1,7 @@
+#include "baselines/hier.hh"
+
+// HierBackend is a thin configuration of engine::SynCronBackend (the
+// hierarchical protocol is shared; only the station cost model differs).
+
+namespace syncron::baselines {
+} // namespace syncron::baselines

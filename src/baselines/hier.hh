@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The Hier baseline (paper Section 5): one NDP core per unit acts as a
+ * software synchronization server, mirroring the hierarchical barrier of
+ * Gao et al. and the hierarchical lock of pLock. The protocol is the
+ * same hierarchy SynCron uses — implemented once in
+ * engine::SynCronBackend — but the per-unit station is a software server
+ * whose per-message cost is instruction overhead plus an L1/DRAM access
+ * for the variable's tracking state (instead of the SE's 12 SPU cycles
+ * and direct ST buffering).
+ */
+
+#ifndef SYNCRON_BASELINES_HIER_HH
+#define SYNCRON_BASELINES_HIER_HH
+
+#include "syncron/engine.hh"
+
+namespace syncron::baselines {
+
+/** Hierarchical software-server baseline. */
+class HierBackend : public engine::SynCronBackend
+{
+  public:
+    explicit HierBackend(Machine &machine)
+        : engine::SynCronBackend(
+              machine,
+              engine::EngineOptions{
+                  engine::StationKind::ServerCore,
+                  engine::OverflowPolicy::Integrated, 0, "Hier"})
+    {}
+};
+
+} // namespace syncron::baselines
+
+#endif // SYNCRON_BASELINES_HIER_HH

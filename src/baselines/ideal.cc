@@ -1,0 +1,20 @@
+#include "baselines/ideal.hh"
+
+#include "core/core.hh"
+
+namespace syncron::baselines {
+
+void
+IdealBackend::request(core::Core &requester, sync::OpKind kind, Addr var,
+                      std::uint64_t info, sim::Gate *gate)
+{
+    const bool acquire = sync::isAcquireType(kind);
+    auto grants = state_.apply(kind, requester.id(), var, info,
+                               acquire ? gate : nullptr);
+    if (!acquire)
+        gate->open(0, 0);
+    for (const sync::SyncGrant &g : grants)
+        g.gate->open(0, 0);
+}
+
+} // namespace syncron::baselines

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The Ideal comparison point (paper Section 5): a synchronization scheme
+ * with zero performance overhead. Semantics (mutual exclusion, barrier
+ * release order, semaphore counting, condition signaling) are fully
+ * enforced — critical sections still serialize — but acquiring,
+ * releasing, and coordinating cost zero time, zero messages, and zero
+ * energy. Ideal therefore "reflects the actual behavior of the main
+ * workload" (Section 6.4.1) and upper-bounds every real scheme.
+ */
+
+#ifndef SYNCRON_BASELINES_IDEAL_HH
+#define SYNCRON_BASELINES_IDEAL_HH
+
+#include "sync/backend.hh"
+#include "sync/flat_state.hh"
+#include "system/machine.hh"
+
+namespace syncron::baselines {
+
+/** Zero-overhead synchronization. */
+class IdealBackend : public sync::SyncBackend
+{
+  public:
+    explicit IdealBackend(Machine &machine) : machine_(machine) {}
+
+    void request(core::Core &requester, sync::OpKind kind, Addr var,
+                 std::uint64_t info, sim::Gate *gate) override;
+
+    const char *name() const override { return "Ideal"; }
+
+  private:
+    Machine &machine_;
+    sync::FlatSyncState state_;
+};
+
+} // namespace syncron::baselines
+
+#endif // SYNCRON_BASELINES_IDEAL_HH

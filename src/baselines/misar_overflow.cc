@@ -1,0 +1,7 @@
+#include "baselines/misar_overflow.hh"
+
+// Thin configurations of engine::SynCronBackend; the MiSAR-style abort
+// and switch-back machinery lives in syncron/overflow.cc.
+
+namespace syncron::baselines {
+} // namespace syncron::baselines

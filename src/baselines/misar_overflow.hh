@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The MiSAR-style overflow variants of SynCron used in the Fig. 23
+ * ablation (paper Section 6.7.3): on ST overflow the SEs abort the
+ * participating cores to an alternative software synchronization
+ * solution, and the cores notify the SEs to switch back afterwards.
+ *
+ *  - SynCron_CentralOvrfl: one dedicated NDP core handles all overflowed
+ *    variables.
+ *  - SynCron_DistribOvrfl: one NDP core per unit handles the overflowed
+ *    variables homed in its unit.
+ */
+
+#ifndef SYNCRON_BASELINES_MISAR_OVERFLOW_HH
+#define SYNCRON_BASELINES_MISAR_OVERFLOW_HH
+
+#include "syncron/engine.hh"
+
+namespace syncron::baselines {
+
+/** SynCron with MiSAR-style central software overflow handling. */
+class CentralOvrflBackend : public engine::SynCronBackend
+{
+  public:
+    explicit CentralOvrflBackend(Machine &machine,
+                                 std::uint32_t stEntries = 0)
+        : engine::SynCronBackend(
+              machine,
+              engine::EngineOptions{engine::StationKind::SyncronSe,
+                                    engine::OverflowPolicy::MisarCentral,
+                                    stEntries, "SynCron_CentralOvrfl"})
+    {}
+};
+
+/** SynCron with MiSAR-style distributed software overflow handling. */
+class DistribOvrflBackend : public engine::SynCronBackend
+{
+  public:
+    explicit DistribOvrflBackend(Machine &machine,
+                                 std::uint32_t stEntries = 0)
+        : engine::SynCronBackend(
+              machine,
+              engine::EngineOptions{engine::StationKind::SyncronSe,
+                                    engine::OverflowPolicy::MisarDistrib,
+                                    stEntries, "SynCron_DistribOvrfl"})
+    {}
+};
+
+} // namespace syncron::baselines
+
+#endif // SYNCRON_BASELINES_MISAR_OVERFLOW_HH

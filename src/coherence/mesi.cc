@@ -1,0 +1,283 @@
+#include "coherence/mesi.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+#include "common/units.hh"
+#include "mem/allocator.hh"
+
+namespace syncron::coherence {
+
+namespace {
+/// Directory SRAM lookup at the home memory controller.
+constexpr Tick kDirLookupTicks = 2 * 1000; // 2 ns
+/// Coherence request/response message sizes.
+constexpr std::uint32_t kCohReqBits = 80;
+constexpr std::uint32_t kCohDataBits = 80 + kCacheLineBytes * 8;
+} // namespace
+
+MesiSystem::MesiSystem(Machine &machine, unsigned numCores)
+    : machine_(machine)
+{
+    const unsigned units = machine.config().numUnits;
+    const unsigned perUnit = (numCores + units - 1) / units;
+    coreUnit_.reserve(numCores);
+    for (unsigned c = 0; c < numCores; ++c) {
+        coreUnit_.push_back(std::min<UnitId>(c / perUnit, units - 1));
+        l1_.push_back(std::make_unique<cache::Cache>(machine.config().l1,
+                                                     machine.stats()));
+    }
+}
+
+MesiSystem::DirEntry &
+MesiSystem::dirEntry(Addr line)
+{
+    return dir_[line];
+}
+
+Tick
+MesiSystem::hitLatency() const
+{
+    return static_cast<Tick>(machine_.config().l1.hitCycles)
+           * kCoreClock.period();
+}
+
+bool
+MesiSystem::localHit(unsigned core, Addr line, bool needExclusive) const
+{
+    auto it = dir_.find(line);
+    if (it == dir_.end())
+        return false;
+    const DirEntry &e = it->second;
+    if (!l1_[core]->contains(line))
+        return false;
+    if (e.state == DirState::Modified && e.owner == core)
+        return true;
+    if (e.state == DirState::Shared && bitSet(e.sharers, core))
+        return !needExclusive;
+    return false;
+}
+
+Tick
+MesiSystem::missPath(unsigned core, Addr line, bool needExclusive,
+                     Tick start)
+{
+    const UnitId myUnit = coreUnit_[core];
+    const UnitId home = mem::unitOfAddr(line);
+    DirEntry &e = dirEntry(line);
+
+    // Request travels to the home directory. The directory serializes
+    // the *lookup/update* of a line's entry (not the whole fill path,
+    // which is pipelined in any real implementation).
+    Tick t = machine_.routeMessage(start, myUnit, home, kCohReqBits);
+    t = std::max(t, e.busyUntil) + kDirLookupTicks;
+    e.busyUntil = t;
+
+    if (e.state == DirState::Modified && e.owner != core) {
+        // Fetch from the remote owner (cache-to-cache). Ownership
+        // transfers (RFO) keep the line dirty in the new owner; only a
+        // downgrade to Shared writes the line back to DRAM.
+        const UnitId ownerUnit = coreUnit_[e.owner];
+        Tick f = machine_.routeMessage(t, home, ownerUnit, kCohReqBits);
+        f += hitLatency();
+        l1_[e.owner]->invalidate(line);
+        if (!needExclusive)
+            machine_.dram(home).access(f, line, true, kCacheLineBytes);
+        t = machine_.routeMessage(f, ownerUnit, myUnit, kCohDataBits);
+    } else {
+        // Clean (or self-owned) miss: fill from home DRAM.
+        Tick f = machine_.dram(home).access(t, line, false,
+                                            kCacheLineBytes);
+        t = machine_.routeMessage(f, home, myUnit, kCohDataBits);
+    }
+
+    if (needExclusive) {
+        // Invalidate all other sharers; completion waits for the
+        // slowest acknowledgment.
+        Tick inv = t;
+        std::uint64_t sharers = e.sharers;
+        while (sharers != 0) {
+            const unsigned s = lowestSetBit(sharers);
+            sharers = withoutBit(sharers, s);
+            if (s == core)
+                continue;
+            Tick a = machine_.routeMessage(t, home, coreUnit_[s],
+                                           kCohReqBits);
+            l1_[s]->invalidate(line);
+            a = machine_.routeMessage(a, coreUnit_[s], home, kCohReqBits);
+            inv = std::max(inv, a);
+        }
+        t = inv;
+        e.state = DirState::Modified;
+        e.owner = core;
+        e.sharers = withBit(0, core);
+    } else {
+        if (e.state == DirState::Modified)
+            e.sharers = withBit(0, e.owner);
+        e.state = DirState::Shared;
+        e.sharers = withBit(e.sharers, core);
+    }
+
+    l1_[core]->access(line, needExclusive);
+    return t;
+}
+
+Tick
+MesiSystem::read(unsigned core, Addr addr, Tick start)
+{
+    const Addr line = lineAlign(addr);
+    if (localHit(core, line, false)) {
+        l1_[core]->access(line, false);
+        return start + hitLatency();
+    }
+    return missPath(core, line, false, start);
+}
+
+Tick
+MesiSystem::write(unsigned core, Addr addr, Tick start)
+{
+    const Addr line = lineAlign(addr);
+    if (localHit(core, line, true)) {
+        l1_[core]->access(line, true);
+        return start + hitLatency();
+    }
+    return missPath(core, line, true, start);
+}
+
+std::pair<Tick, std::uint64_t>
+MesiSystem::rmwSwap(unsigned core, Addr addr, std::uint64_t newValue,
+                    Tick start)
+{
+    // Value updates apply in directory-serialization order, which the
+    // sequential event loop makes identical to call order per line.
+    const Tick done = write(core, addr, start);
+    const std::uint64_t old = values_[addr];
+    values_[addr] = newValue;
+    return {done, old};
+}
+
+std::pair<Tick, std::uint64_t>
+MesiSystem::rmwFetchAdd(unsigned core, Addr addr, std::uint64_t delta,
+                        Tick start)
+{
+    const Tick done = write(core, addr, start);
+    const std::uint64_t old = values_[addr];
+    values_[addr] = old + delta;
+    return {done, old};
+}
+
+std::uint64_t
+MesiSystem::value(Addr addr) const
+{
+    auto it = values_.find(addr);
+    return it == values_.end() ? 0 : it->second;
+}
+
+void
+MesiSystem::setValue(Addr addr, std::uint64_t v)
+{
+    values_[addr] = v;
+}
+
+// ----------------------------------------------------------------------
+// Lock algorithms over MESI
+// ----------------------------------------------------------------------
+
+sim::Process
+ttasLockLoop(MesiSystem &sys, unsigned core, Addr lockAddr, unsigned ops,
+             unsigned csCycles, std::uint64_t *acquired)
+{
+    sim::EventQueue &eq = sys.machineEq();
+    for (unsigned i = 0; i < ops; ++i) {
+        // Acquire: spin on cached reads with exponential backoff
+        // (standard TTAS practice, as in the libslock implementations
+        // the paper measures); attempt the swap when free.
+        Tick backoff = kCoreClock.cycles(32);
+        const Tick maxBackoff = kCoreClock.cycles(2048);
+        for (;;) {
+            Tick t = sys.read(core, lockAddr, eq.now());
+            co_await sim::Delay{eq, t - eq.now()};
+            if (sys.value(lockAddr) == 0) {
+                auto [done, old] =
+                    sys.rmwSwap(core, lockAddr, 1, eq.now());
+                co_await sim::Delay{eq, done - eq.now()};
+                if (old == 0)
+                    break; // lock obtained
+            }
+            co_await sim::Delay{eq, backoff};
+            backoff = std::min(backoff * 2, maxBackoff);
+        }
+        ++*acquired;
+        co_await sim::Delay{eq, kCoreClock.cycles(csCycles)};
+        // Release: store 0 (invalidates the spinning readers).
+        const Tick rel = sys.rmwSwap(core, lockAddr, 0, eq.now()).first;
+        co_await sim::Delay{eq, rel - eq.now()};
+        co_await sim::Delay{eq, kCoreClock.cycles(16)};
+    }
+}
+
+HierTicketLock
+HierTicketLock::make(Machine &machine)
+{
+    HierTicketLock lock;
+    mem::AddressSpace &space = machine.addrSpace();
+    lock.globalNext = space.allocIn(0, kCacheLineBytes, kCacheLineBytes);
+    lock.globalServing =
+        space.allocIn(0, kCacheLineBytes, kCacheLineBytes);
+    for (unsigned u = 0; u < machine.config().numUnits; ++u) {
+        lock.localNext.push_back(
+            space.allocIn(u, kCacheLineBytes, kCacheLineBytes));
+        lock.localServing.push_back(
+            space.allocIn(u, kCacheLineBytes, kCacheLineBytes));
+    }
+    return lock;
+}
+
+sim::Process
+hierTicketLockLoop(MesiSystem &sys, HierTicketLock &lock, unsigned core,
+                   unsigned ops, unsigned csCycles,
+                   std::uint64_t *acquired)
+{
+    sim::EventQueue &eq = sys.machineEq();
+    const UnitId socket = sys.unitOf(core);
+    for (unsigned i = 0; i < ops; ++i) {
+        // Level 1: local (per-socket) ticket.
+        auto [t1, myLocal] =
+            sys.rmwFetchAdd(core, lock.localNext[socket], 1, eq.now());
+        co_await sim::Delay{eq, t1 - eq.now()};
+        for (;;) {
+            Tick t = sys.read(core, lock.localServing[socket], eq.now());
+            co_await sim::Delay{eq, t - eq.now()};
+            if (sys.value(lock.localServing[socket]) == myLocal)
+                break;
+            co_await sim::Delay{eq, kCoreClock.cycles(32)};
+        }
+        // Level 2: global ticket.
+        auto [t2, myGlobal] =
+            sys.rmwFetchAdd(core, lock.globalNext, 1, eq.now());
+        co_await sim::Delay{eq, t2 - eq.now()};
+        for (;;) {
+            Tick t = sys.read(core, lock.globalServing, eq.now());
+            co_await sim::Delay{eq, t - eq.now()};
+            if (sys.value(lock.globalServing) == myGlobal)
+                break;
+            co_await sim::Delay{eq, kCoreClock.cycles(32)};
+        }
+
+        ++*acquired;
+        co_await sim::Delay{eq, kCoreClock.cycles(csCycles)};
+
+        // Release both levels.
+        const Tick t3 =
+            sys.rmwFetchAdd(core, lock.globalServing, 1, eq.now()).first;
+        co_await sim::Delay{eq, t3 - eq.now()};
+        const Tick t4 = sys.rmwFetchAdd(core, lock.localServing[socket],
+                                        1, eq.now())
+                            .first;
+        co_await sim::Delay{eq, t4 - eq.now()};
+        co_await sim::Delay{eq, kCoreClock.cycles(16)};
+    }
+}
+
+} // namespace syncron::coherence

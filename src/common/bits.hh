@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the Synchronization Table waiting
+ * lists (hardware bit queues), the cache indexing logic, and the MESI
+ * directory sharer masks.
+ */
+
+#ifndef SYNCRON_COMMON_BITS_HH
+#define SYNCRON_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace syncron {
+
+/** Returns true iff bit @p pos of @p v is set. */
+constexpr bool
+bitSet(std::uint64_t v, unsigned pos)
+{
+    return (v >> pos) & 1ULL;
+}
+
+/** Returns @p v with bit @p pos set. */
+constexpr std::uint64_t
+withBit(std::uint64_t v, unsigned pos)
+{
+    return v | (1ULL << pos);
+}
+
+/** Returns @p v with bit @p pos cleared. */
+constexpr std::uint64_t
+withoutBit(std::uint64_t v, unsigned pos)
+{
+    return v & ~(1ULL << pos);
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popCount(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+/**
+ * Index of the lowest set bit, or 64 when @p v == 0. The hardware waiting
+ * lists of SynCron grant in lowest-index-first order (paper Section 3.2
+ * grants to "NDP Core 0 first, and NDP Core 1 next").
+ */
+constexpr unsigned
+lowestSetBit(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Extracts bits [hi:lo] (inclusive) of @p v. */
+constexpr std::uint64_t
+bitsOf(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    const std::uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (v >> lo) & mask;
+}
+
+} // namespace syncron
+
+#endif // SYNCRON_COMMON_BITS_HH

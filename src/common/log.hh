@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers in the spirit of gem5's
+ * logging.hh: panic() for internal invariant violations, fatal() for user
+ * configuration errors, warn()/inform() for status output.
+ */
+
+#ifndef SYNCRON_COMMON_LOG_HH
+#define SYNCRON_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace syncron {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Sets the global status-message verbosity. */
+void setLogLevel(LogLevel level);
+
+/** Returns the global status-message verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Builds a message string from a stream expression. */
+class MsgBuilder
+{
+  public:
+    template <typename T>
+    MsgBuilder &
+    operator<<(const T &v)
+    {
+        os_ << v;
+        return *this;
+    }
+
+    std::string str() const { return os_.str(); }
+
+  private:
+    std::ostringstream os_;
+};
+
+} // namespace detail
+} // namespace syncron
+
+/**
+ * Aborts the simulation: something happened that should never happen
+ * regardless of user input, i.e. a bug in the simulator itself.
+ */
+#define SYNCRON_PANIC(msg_expr)                                             \
+    do {                                                                    \
+        ::syncron::detail::MsgBuilder mb_;                                  \
+        mb_ << msg_expr;                                                    \
+        ::syncron::detail::panicImpl(__FILE__, __LINE__, mb_.str());        \
+    } while (0)
+
+/**
+ * Terminates the simulation due to a user-caused condition (bad
+ * configuration, invalid arguments) rather than a simulator bug.
+ */
+#define SYNCRON_FATAL(msg_expr)                                             \
+    do {                                                                    \
+        ::syncron::detail::MsgBuilder mb_;                                  \
+        mb_ << msg_expr;                                                    \
+        ::syncron::detail::fatalImpl(__FILE__, __LINE__, mb_.str());        \
+    } while (0)
+
+/** Non-fatal warning about questionable behaviour. */
+#define SYNCRON_WARN(msg_expr)                                              \
+    do {                                                                    \
+        ::syncron::detail::MsgBuilder mb_;                                  \
+        mb_ << msg_expr;                                                    \
+        ::syncron::detail::warnImpl(mb_.str());                             \
+    } while (0)
+
+/** Informative status message (suppressed when LogLevel::Quiet). */
+#define SYNCRON_INFORM(msg_expr)                                            \
+    do {                                                                    \
+        ::syncron::detail::MsgBuilder mb_;                                  \
+        mb_ << msg_expr;                                                    \
+        ::syncron::detail::informImpl(mb_.str());                           \
+    } while (0)
+
+/** Internal-consistency check that panics with a message on failure. */
+#define SYNCRON_ASSERT(cond, msg_expr)                                      \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            SYNCRON_PANIC("assertion failed: " #cond ": " << msg_expr);     \
+        }                                                                   \
+    } while (0)
+
+#endif // SYNCRON_COMMON_LOG_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and
+ * generators. The simulation must be reproducible bit-for-bit, so every
+ * random decision flows through an explicitly seeded Xorshift64* stream.
+ */
+
+#ifndef SYNCRON_COMMON_RNG_HH
+#define SYNCRON_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace syncron {
+
+/**
+ * Xorshift64* generator. Small, fast, and good enough for workload key
+ * selection and synthetic graph generation; not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Seeds the stream; a zero seed is remapped to a fixed constant. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed ? seed : 0x9e3779b97f4a7c15ULL)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace syncron
+
+#endif // SYNCRON_COMMON_RNG_HH

@@ -1,0 +1,82 @@
+#include "common/stats.hh"
+
+namespace syncron {
+
+void
+SystemStats::forEach(
+    const std::function<void(const std::string &, double)> &fn) const
+{
+    fn("instructions", static_cast<double>(instructions));
+    fn("memOps", static_cast<double>(memOps));
+    fn("syncOps", static_cast<double>(syncOps));
+    fn("l1Hits", static_cast<double>(l1Hits));
+    fn("l1Misses", static_cast<double>(l1Misses));
+    fn("dramReads", static_cast<double>(dramReads));
+    fn("dramWrites", static_cast<double>(dramWrites));
+    fn("dramRowHits", static_cast<double>(dramRowHits));
+    fn("dramRowMisses", static_cast<double>(dramRowMisses));
+    fn("xbarMessages", static_cast<double>(xbarMessages));
+    fn("xbarBitHops", static_cast<double>(xbarBitHops));
+    fn("linkMessages", static_cast<double>(linkMessages));
+    fn("linkBits", static_cast<double>(linkBits));
+    fn("bytesInsideUnits", static_cast<double>(bytesInsideUnits));
+    fn("bytesAcrossUnits", static_cast<double>(bytesAcrossUnits));
+    fn("syncLocalMsgs", static_cast<double>(syncLocalMsgs));
+    fn("syncGlobalMsgs", static_cast<double>(syncGlobalMsgs));
+    fn("syncOverflowMsgs", static_cast<double>(syncOverflowMsgs));
+    fn("syncMemAccesses", static_cast<double>(syncMemAccesses));
+    fn("stAllocs", static_cast<double>(stAllocs));
+    fn("stOverflowEvents", static_cast<double>(stOverflowEvents));
+    fn("stRequests", static_cast<double>(stRequests));
+    fn("stMaxOccupied", static_cast<double>(stMaxOccupied));
+    fn("stOccupancyIntegral", stOccupancyIntegral);
+    fn("stOccupancyTime", static_cast<double>(stOccupancyTime));
+}
+
+void
+SystemStats::reset()
+{
+    *this = SystemStats{};
+}
+
+SystemStats &
+SystemStats::operator+=(const SystemStats &other)
+{
+    instructions += other.instructions;
+    memOps += other.memOps;
+    syncOps += other.syncOps;
+    l1Hits += other.l1Hits;
+    l1Misses += other.l1Misses;
+    dramReads += other.dramReads;
+    dramWrites += other.dramWrites;
+    dramRowHits += other.dramRowHits;
+    dramRowMisses += other.dramRowMisses;
+    xbarMessages += other.xbarMessages;
+    xbarBitHops += other.xbarBitHops;
+    linkMessages += other.linkMessages;
+    linkBits += other.linkBits;
+    bytesInsideUnits += other.bytesInsideUnits;
+    bytesAcrossUnits += other.bytesAcrossUnits;
+    syncLocalMsgs += other.syncLocalMsgs;
+    syncGlobalMsgs += other.syncGlobalMsgs;
+    syncOverflowMsgs += other.syncOverflowMsgs;
+    syncMemAccesses += other.syncMemAccesses;
+    stAllocs += other.stAllocs;
+    stOverflowEvents += other.stOverflowEvents;
+    stRequests += other.stRequests;
+    if (other.stMaxOccupied > stMaxOccupied)
+        stMaxOccupied = other.stMaxOccupied;
+    stOccupancyIntegral += other.stOccupancyIntegral;
+    stOccupancyTime += other.stOccupancyTime;
+    return *this;
+}
+
+double
+SystemStats::avgStOccupancy() const
+{
+    if (stOccupancyTime == 0)
+        return 0.0;
+    return stOccupancyIntegral / static_cast<double>(stOccupancyTime);
+}
+
+} // namespace syncron

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Event-sourced statistics for the simulated NDP system.
+ *
+ * Every device (cache, DRAM, crossbar, link, SE, server core) increments
+ * plain counters here as events happen. Derived metrics — energy
+ * (Fig. 14), data movement (Fig. 15), ST occupancy (Table 7) — are
+ * computed from these counts by system/energy.hh and the harness, so the
+ * accounting matches the paper's methodology of counting events in
+ * ZSim-Ramulator and applying per-event costs afterwards.
+ */
+
+#ifndef SYNCRON_COMMON_STATS_HH
+#define SYNCRON_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+
+namespace syncron {
+
+/**
+ * All event counters for one simulated system instance.
+ *
+ * Counter semantics (units in the name where ambiguous):
+ *  - cache: L1 data accesses by NDP cores and server cores.
+ *  - dram: accesses to the memory arrays of any NDP unit.
+ *  - xbar: messages through intra-unit crossbars; bitHops = bits * hops.
+ *  - link: transfers over the serial inter-unit links.
+ *  - bytesInside/AcrossUnits: data-movement accounting for Fig. 15.
+ *  - sync*: synchronization-protocol message counts.
+ *  - st*: Synchronization Table allocation/overflow tracking (Table 7,
+ *    Fig. 22/23). Occupancy is tracked as a time integral: occupancy
+ *    integral / total time = average occupied entries.
+ */
+struct SystemStats
+{
+    // -- Core activity
+    std::uint64_t instructions = 0;   ///< compute instructions retired
+    std::uint64_t memOps = 0;         ///< loads + stores issued by cores
+    std::uint64_t syncOps = 0;        ///< API-level sync operations
+
+    // -- Cache
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+
+    // -- DRAM
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
+
+    // -- Intra-unit network (buffered crossbar)
+    std::uint64_t xbarMessages = 0;
+    std::uint64_t xbarBitHops = 0;
+
+    // -- Inter-unit serial links
+    std::uint64_t linkMessages = 0;
+    std::uint64_t linkBits = 0;
+
+    // -- Data movement (Fig. 15)
+    std::uint64_t bytesInsideUnits = 0;
+    std::uint64_t bytesAcrossUnits = 0;
+
+    // -- Synchronization protocol
+    std::uint64_t syncLocalMsgs = 0;    ///< core <-> local SE / server
+    std::uint64_t syncGlobalMsgs = 0;   ///< SE <-> Master SE (cross-unit)
+    std::uint64_t syncOverflowMsgs = 0; ///< overflow-opcode messages
+    std::uint64_t syncMemAccesses = 0;  ///< syncronVar DRAM accesses
+
+    // -- Synchronization Table
+    std::uint64_t stAllocs = 0;          ///< entries ever reserved
+    std::uint64_t stOverflowEvents = 0;  ///< requests serviced via memory
+    std::uint64_t stRequests = 0;        ///< requests that consulted an ST
+    std::uint64_t stMaxOccupied = 0;     ///< max entries occupied (any ST)
+    double stOccupancyIntegral = 0.0;    ///< sum(occupied * dt) over time
+    Tick stOccupancyTime = 0;            ///< total observed time
+
+    /** Visits every scalar counter as (name, value-as-double). */
+    void forEach(
+        const std::function<void(const std::string &, double)> &fn) const;
+
+    /** Resets all counters to zero. */
+    void reset();
+
+    /** Adds another stat set into this one (for aggregation). */
+    SystemStats &operator+=(const SystemStats &other);
+
+    /** Average ST occupancy in entries over the observed interval. */
+    double avgStOccupancy() const;
+};
+
+} // namespace syncron
+
+#endif // SYNCRON_COMMON_STATS_HH

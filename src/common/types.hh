@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the SynCron
+ * reproduction: simulation ticks, physical addresses, and the identifiers
+ * for NDP cores, NDP units, and Synchronization Engines.
+ */
+
+#ifndef SYNCRON_COMMON_TYPES_HH
+#define SYNCRON_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace syncron {
+
+/**
+ * Simulation time in picoseconds. One tick = 1 ps, which expresses every
+ * clock domain in the evaluated system exactly: 2.5 GHz NDP cores
+ * (400 ps/cycle), the 1 GHz SPU inside each SE (1000 ps/cycle), and DRAM
+ * timing parameters given in nanoseconds.
+ */
+using Tick = std::uint64_t;
+
+/** The maximum representable tick, used as "never". */
+constexpr Tick kTickNever = ~Tick{0};
+
+/**
+ * Physical byte address in the single shared address space of the NDP
+ * system. The upper bits select the NDP unit that owns the address
+ * (see mem/allocator.hh).
+ */
+using Addr = std::uint64_t;
+
+/** System-wide core identifier (unique across all NDP units). */
+using CoreId = std::uint32_t;
+
+/** NDP unit identifier; also the global ID of the unit's SE. */
+using UnitId = std::uint32_t;
+
+/** An invalid/unassigned core id. */
+constexpr CoreId kInvalidCore = ~CoreId{0};
+
+/** An invalid/unassigned unit id. */
+constexpr UnitId kInvalidUnit = ~UnitId{0};
+
+/** Cache-line size used throughout the system (Table 5: 64 B lines). */
+constexpr std::uint32_t kCacheLineBytes = 64;
+
+/** Returns the cache-line-aligned base of @p addr. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~Addr{kCacheLineBytes - 1};
+}
+
+} // namespace syncron
+
+#endif // SYNCRON_COMMON_TYPES_HH

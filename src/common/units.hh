@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit conversions between wall time, clock cycles, and simulation ticks.
+ * Ticks are picoseconds (common/types.hh), so all conversions are exact
+ * for the frequencies used in the paper's configuration.
+ */
+
+#ifndef SYNCRON_COMMON_UNITS_HH
+#define SYNCRON_COMMON_UNITS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace syncron {
+
+/** Ticks per nanosecond. */
+constexpr Tick kTicksPerNs = 1000;
+
+/** Ticks per microsecond. */
+constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+
+/** Converts nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs));
+}
+
+/** Converts ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/** Converts ticks to (fractional) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-12;
+}
+
+/**
+ * A fixed-frequency clock domain that converts between cycles and ticks.
+ * All devices in the simulated system (cores, SEs, networks) express their
+ * latencies in their own cycles and use a Clock to talk to the global
+ * picosecond timebase.
+ */
+class Clock
+{
+  public:
+    /** Creates a clock running at @p mhz megahertz. */
+    constexpr explicit Clock(std::uint64_t mhz)
+        : periodTicks_(1000000 / mhz)
+    {}
+
+    /** Tick length of one cycle of this clock. */
+    constexpr Tick period() const { return periodTicks_; }
+
+    /** Converts a cycle count of this clock into ticks. */
+    constexpr Tick cycles(std::uint64_t n) const { return n * periodTicks_; }
+
+    /** Rounds @p t up to the next edge of this clock. */
+    constexpr Tick
+    nextEdge(Tick t) const
+    {
+        Tick rem = t % periodTicks_;
+        return rem == 0 ? t : t + (periodTicks_ - rem);
+    }
+
+  private:
+    Tick periodTicks_;
+};
+
+/** NDP core clock: 16 in-order cores @2.5 GHz per unit (Table 5). */
+constexpr Clock kCoreClock{2500};
+
+/** Synchronization Engine SPU clock: 1 GHz (Table 5). */
+constexpr Clock kSpuClock{1000};
+
+} // namespace syncron
+
+#endif // SYNCRON_COMMON_UNITS_HH

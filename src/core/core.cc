@@ -1,0 +1,79 @@
+#include "core/core.hh"
+
+#include <algorithm>
+
+namespace syncron::core {
+
+Core::Core(Machine &machine, CoreId id, UnitId unit, unsigned localId)
+    : machine_(machine), l1_(machine.config().l1, machine.stats()),
+      rng_(machine.config().seed * 0x9e3779b97f4a7c15ULL + id + 1),
+      id_(id), unit_(unit), localId_(localId)
+{}
+
+sim::Delay
+Core::compute(std::uint64_t instructions)
+{
+    machine_.stats().instructions += instructions;
+    return sim::Delay{machine_.eq(), instructions * cyclePeriod()};
+}
+
+Tick
+Core::cachedAccess(Addr addr, bool isWrite, std::uint32_t bytes)
+{
+    // Split accesses that straddle a line boundary (rare; keeps the tag
+    // model honest for multi-word reads).
+    const Tick now = machine_.eq().now();
+    Tick done = now;
+    Addr line = lineAlign(addr);
+    const Addr lastLine = lineAlign(addr + bytes - 1);
+    Tick start = now;
+    for (; line <= lastLine; line += kCacheLineBytes) {
+        const cache::CacheAccessResult res = l1_.access(line, isWrite);
+        const Tick lookup =
+            static_cast<Tick>(l1_.params().hitCycles) * cyclePeriod();
+        Tick t = start + lookup;
+        if (!res.hit) {
+            // Fill the line from the owning unit's DRAM.
+            t = machine_.memoryAccess(t, unit_, line, false,
+                                      kCacheLineBytes);
+            if (res.writeback) {
+                // Dirty victim written back off the critical path; it
+                // still occupies banks/links and counts energy.
+                machine_.memoryAccess(start + lookup, unit_,
+                                      res.victimAddr, true,
+                                      kCacheLineBytes);
+            }
+        }
+        done = std::max(done, t);
+        start = t;
+    }
+    return done;
+}
+
+sim::Delay
+Core::load(Addr addr, std::uint32_t bytes, MemKind kind)
+{
+    ++machine_.stats().memOps;
+    const Tick now = machine_.eq().now();
+    Tick done;
+    if (kind == MemKind::SharedRW)
+        done = machine_.memoryAccess(now, unit_, addr, false, bytes);
+    else
+        done = cachedAccess(addr, false, bytes);
+    return sim::Delay{machine_.eq(), done - now};
+}
+
+sim::Delay
+Core::store(Addr addr, std::uint32_t bytes, MemKind kind)
+{
+    ++machine_.stats().memOps;
+    const Tick now = machine_.eq().now();
+    Tick done;
+    if (kind == MemKind::SharedRW)
+        done = machine_.memoryAccess(now, unit_, addr, true, bytes);
+    else
+        done = cachedAccess(addr, true, bytes);
+    return sim::Delay{machine_.eq(), done - now};
+}
+
+} // namespace syncron::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Model of one in-order programmable NDP core (Table 5: 16 cores @
+ * 2.5 GHz per unit, private 16 KB L1, one outstanding memory operation).
+ *
+ * Workloads run as coroutines and interact with the machine exclusively
+ * through this class:
+ *
+ *   co_await core.compute(n);              // n instructions @ 1 IPC
+ *   co_await core.load(addr, 8, MemKind::SharedRW);
+ *   co_await core.store(addr, 8, MemKind::Private);
+ *
+ * The baseline architecture uses software-assisted coherence
+ * (Section 2.1): thread-private and shared read-only data may be cached
+ * in the L1; shared read-write data is uncacheable and always accesses
+ * DRAM at the owning unit. The MemKind argument selects that policy.
+ */
+
+#ifndef SYNCRON_CORE_CORE_HH
+#define SYNCRON_CORE_CORE_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+#include "sim/process.hh"
+#include "system/machine.hh"
+
+namespace syncron::core {
+
+/** Sharing class of the data touched by a memory operation. */
+enum class MemKind
+{
+    Private,  ///< thread-private: cacheable
+    SharedRO, ///< shared read-only: cacheable
+    SharedRW, ///< shared read-write: uncacheable (software coherence)
+};
+
+/** One simulated NDP core. */
+class Core
+{
+  public:
+    /**
+     * @param machine the platform this core lives on
+     * @param id      system-wide core id
+     * @param unit    NDP unit housing this core
+     * @param localId index of this core within its unit (waitlist bit)
+     */
+    Core(Machine &machine, CoreId id, UnitId unit, unsigned localId);
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** Executes @p instructions compute instructions at 1 IPC. */
+    sim::Delay compute(std::uint64_t instructions);
+
+    /** Loads @p bytes from @p addr. */
+    sim::Delay load(Addr addr, std::uint32_t bytes = 8,
+                    MemKind kind = MemKind::SharedRW);
+
+    /** Stores @p bytes to @p addr (completes before the next op). */
+    sim::Delay store(Addr addr, std::uint32_t bytes = 8,
+                     MemKind kind = MemKind::SharedRW);
+
+    CoreId id() const { return id_; }
+    UnitId unit() const { return unit_; }
+    unsigned localId() const { return localId_; }
+    Machine &machine() { return machine_; }
+    Rng &rng() { return rng_; }
+    cache::Cache &l1() { return l1_; }
+
+    /** Period of the core clock in ticks (400 ps @ 2.5 GHz). */
+    Tick cyclePeriod() const { return kCoreClock.period(); }
+
+  private:
+    /** Timed access through the L1 (cacheable kinds). */
+    Tick cachedAccess(Addr addr, bool isWrite, std::uint32_t bytes);
+
+    Machine &machine_;
+    cache::Cache l1_;
+    Rng rng_;
+    CoreId id_;
+    UnitId unit_;
+    unsigned localId_;
+};
+
+} // namespace syncron::core
+
+#endif // SYNCRON_CORE_CORE_HH

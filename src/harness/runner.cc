@@ -1,0 +1,259 @@
+#include "harness/runner.hh"
+
+#include <cstring>
+#include <memory>
+
+#include "common/log.hh"
+#include "system/system.hh"
+#include "workloads/datastructures/structures.hh"
+#include "workloads/timeseries/scrimp.hh"
+
+namespace syncron::harness {
+
+using workloads::DsResult;
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--full") == 0) {
+            opts.full = true;
+        } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+            opts.scale = std::atof(arg + 8);
+            if (opts.scale <= 0.0)
+                SYNCRON_FATAL("bad --scale value");
+        } else if (std::strncmp(arg, "--benchmark", 11) == 0) {
+            // Tolerate google-benchmark's standard flags.
+        } else {
+            SYNCRON_FATAL("unknown argument '"
+                          << arg << "' (use --full or --scale=<f>)");
+        }
+    }
+    return opts;
+}
+
+const char *
+dsName(DsKind kind)
+{
+    switch (kind) {
+      case DsKind::Stack: return "Stack";
+      case DsKind::Queue: return "Queue";
+      case DsKind::ArrayMap: return "Array Map";
+      case DsKind::PriorityQueue: return "Priority Queue";
+      case DsKind::SkipList: return "Skip List";
+      case DsKind::HashTable: return "Hash Table";
+      case DsKind::LinkedList: return "Linked List";
+      case DsKind::BstFg: return "BST_FG";
+      case DsKind::BstDrachsler: return "BST_Drachsler";
+    }
+    return "?";
+}
+
+DsParams
+dsDefaults(DsKind kind, double scale)
+{
+    // Table 6 sizes, scaled down for simulation speed at scale 1.0;
+    // --full (scale 8) approaches the paper's configuration.
+    auto s = [scale](unsigned base) {
+        return std::max(8u, static_cast<unsigned>(base * scale));
+    };
+    switch (kind) {
+      case DsKind::Stack: return {s(12500), s(24)};
+      case DsKind::Queue: return {s(12500), s(24)};
+      case DsKind::ArrayMap: return {10, s(24)};
+      case DsKind::PriorityQueue: return {s(2500), s(24)};
+      case DsKind::SkipList: return {s(640), s(16)};
+      case DsKind::HashTable: return {s(128), s(24)};
+      case DsKind::LinkedList: return {s(256), s(3)};
+      case DsKind::BstFg: return {s(2500), s(10)};
+      case DsKind::BstDrachsler: return {s(1250), s(10)};
+    }
+    SYNCRON_PANIC("unknown data structure");
+}
+
+double
+RunOutput::opsPerMs() const
+{
+    if (time == 0)
+        return 0.0;
+    return static_cast<double>(ops)
+           / (static_cast<double>(time) / 1e9);
+}
+
+double
+RunOutput::overflowFrac() const
+{
+    if (totalReqs == 0)
+        return 0.0;
+    return static_cast<double>(overflowedReqs)
+           / static_cast<double>(totalReqs);
+}
+
+namespace {
+
+/** Fills the scheme-independent tail of a RunOutput. */
+void
+finishOutput(RunOutput &out, NdpSystem &sys)
+{
+    out.stats = sys.stats();
+    out.energy = computeEnergy(sys.stats(), sys.config());
+    if (engine::SynCronBackend *eng = sys.syncronBackend()) {
+        out.stMaxFrac = static_cast<double>(sys.stats().stMaxOccupied)
+                        / sys.config().stEntries;
+        out.stAvgFrac =
+            sys.stats().avgStOccupancy() / sys.config().stEntries;
+        out.overflowedReqs = eng->overflowedRequests();
+        out.totalReqs = eng->totalRequests();
+    }
+}
+
+} // namespace
+
+RunOutput
+runDataStructure(const SystemConfig &cfg, DsKind kind,
+                 unsigned initialSize, unsigned opsPerCore)
+{
+    NdpSystem sys(cfg);
+    const unsigned n = sys.numClientCores();
+
+    // The structure object must outlive the run.
+    std::unique_ptr<workloads::SimStack> stack;
+    std::unique_ptr<workloads::SimQueue> queue;
+    std::unique_ptr<workloads::SimArrayMap> map;
+    std::unique_ptr<workloads::SimPriorityQueue> pq;
+    std::unique_ptr<workloads::SimSkipList> skip;
+    std::unique_ptr<workloads::SimHashTable> hash;
+    std::unique_ptr<workloads::SimLinkedList> list;
+    std::unique_ptr<workloads::SimBstFg> bstFg;
+    std::unique_ptr<workloads::SimBstDrachsler> bstDr;
+
+    for (unsigned i = 0; i < n; ++i) {
+        core::Core &c = sys.clientCore(i);
+        switch (kind) {
+          case DsKind::Stack:
+            if (!stack)
+                stack = std::make_unique<workloads::SimStack>(
+                    sys, initialSize);
+            sys.spawn(stack->worker(c, opsPerCore));
+            break;
+          case DsKind::Queue:
+            if (!queue)
+                queue = std::make_unique<workloads::SimQueue>(
+                    sys, initialSize);
+            sys.spawn(queue->worker(c, opsPerCore));
+            break;
+          case DsKind::ArrayMap:
+            if (!map)
+                map = std::make_unique<workloads::SimArrayMap>(
+                    sys, initialSize);
+            sys.spawn(map->worker(c, opsPerCore));
+            break;
+          case DsKind::PriorityQueue:
+            if (!pq)
+                pq = std::make_unique<workloads::SimPriorityQueue>(
+                    sys, initialSize);
+            sys.spawn(pq->worker(c, opsPerCore));
+            break;
+          case DsKind::SkipList:
+            if (!skip)
+                skip = std::make_unique<workloads::SimSkipList>(
+                    sys, initialSize);
+            sys.spawn(skip->worker(c, opsPerCore));
+            break;
+          case DsKind::HashTable:
+            if (!hash)
+                hash = std::make_unique<workloads::SimHashTable>(
+                    sys, initialSize);
+            sys.spawn(hash->worker(c, opsPerCore));
+            break;
+          case DsKind::LinkedList:
+            if (!list)
+                list = std::make_unique<workloads::SimLinkedList>(
+                    sys, initialSize);
+            sys.spawn(list->worker(c, opsPerCore));
+            break;
+          case DsKind::BstFg:
+            if (!bstFg)
+                bstFg = std::make_unique<workloads::SimBstFg>(
+                    sys, initialSize);
+            sys.spawn(bstFg->worker(c, opsPerCore));
+            break;
+          case DsKind::BstDrachsler:
+            if (!bstDr)
+                bstDr = std::make_unique<workloads::SimBstDrachsler>(
+                    sys, initialSize);
+            sys.spawn(bstDr->worker(c, opsPerCore));
+            break;
+        }
+    }
+
+    sys.run();
+    RunOutput out;
+    out.time = sys.elapsed();
+    out.ops = static_cast<std::uint64_t>(n) * opsPerCore;
+    finishOutput(out, sys);
+    return out;
+}
+
+RunOutput
+runGraph(const SystemConfig &cfg, const std::string &input,
+         workloads::GraphApp app, double scale, bool metisPartition)
+{
+    NdpSystem sys(cfg);
+    workloads::Graph g = workloads::makeProxyInput(input, scale);
+    std::vector<UnitId> part =
+        metisPartition ? workloads::greedyPartition(g, cfg.numUnits)
+                       : workloads::rangePartition(g, cfg.numUnits);
+    workloads::PlacedGraph placed(sys, std::move(g), std::move(part));
+
+    workloads::GraphRunResult r =
+        workloads::runGraphApp(sys, placed, app);
+
+    RunOutput out;
+    out.time = r.time;
+    out.ops = r.updates;
+    finishOutput(out, sys);
+    return out;
+}
+
+RunOutput
+runTimeSeries(const SystemConfig &cfg, const std::string &input,
+              double scale)
+{
+    NdpSystem sys(cfg);
+    workloads::ScrimpWorkload ts(sys, input, scale);
+    const Tick time = ts.run();
+
+    RunOutput out;
+    out.time = time;
+    out.ops = ts.updates();
+    finishOutput(out, sys);
+    return out;
+}
+
+std::vector<AppInput>
+allAppInputs()
+{
+    std::vector<AppInput> all;
+    for (const char *app : {"bfs", "cc", "sssp", "pr", "tf", "tc"}) {
+        for (const char *input : {"wk", "sl", "sx", "co"})
+            all.push_back(AppInput{app, input});
+    }
+    all.push_back(AppInput{"ts", "air"});
+    all.push_back(AppInput{"ts", "pow"});
+    return all;
+}
+
+RunOutput
+runAppInput(const SystemConfig &cfg, const AppInput &ai, double scale,
+            bool metisPartition)
+{
+    if (ai.app == "ts")
+        return runTimeSeries(cfg, ai.input, scale);
+    return runGraph(cfg, ai.input, workloads::graphAppFromName(ai.app),
+                    scale, metisPartition);
+}
+
+} // namespace syncron::harness

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Experiment runner shared by every bench binary: builds a system for a
+ * scheme, runs a workload (data structure / graph app / time series /
+ * primitive microbenchmark), and returns simulated time plus the event
+ * statistics needed for the paper's derived metrics (energy, data
+ * movement, ST occupancy, overflow rate).
+ */
+
+#ifndef SYNCRON_HARNESS_RUNNER_HH
+#define SYNCRON_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "system/config.hh"
+#include "system/energy.hh"
+#include "workloads/graph/kernels.hh"
+
+namespace syncron::harness {
+
+/** Command-line options common to all bench binaries. */
+struct BenchOptions
+{
+    bool full = false;   ///< --full: approach paper-scale inputs
+    double scale = 1.0;  ///< --scale=<f>: input size multiplier
+
+    /** Parses argv; unknown arguments are fatal. */
+    static BenchOptions parse(int argc, char **argv);
+
+    /** Effective workload scale (full implies a larger multiplier). */
+    double effectiveScale() const { return full ? scale * 8.0 : scale; }
+};
+
+/** The nine Table 6 data structures. */
+enum class DsKind
+{
+    Stack,
+    Queue,
+    ArrayMap,
+    PriorityQueue,
+    SkipList,
+    HashTable,
+    LinkedList,
+    BstFg,
+    BstDrachsler,
+};
+
+/** Printable name matching the paper ("Stack", "BST_FG", ...). */
+const char *dsName(DsKind kind);
+
+/** All nine, in Fig. 11 order. */
+inline constexpr DsKind kAllDsKinds[] = {
+    DsKind::Stack,      DsKind::Queue,     DsKind::ArrayMap,
+    DsKind::PriorityQueue, DsKind::SkipList, DsKind::HashTable,
+    DsKind::LinkedList, DsKind::BstFg,     DsKind::BstDrachsler,
+};
+
+/** Default initial size / per-core operations for a structure. */
+struct DsParams
+{
+    unsigned initialSize;
+    unsigned opsPerCore;
+};
+
+/** Table 6 defaults scaled for simulation (x8 under --full). */
+DsParams dsDefaults(DsKind kind, double scale);
+
+/** Everything a bench needs from one run. */
+struct RunOutput
+{
+    Tick time = 0;
+    std::uint64_t ops = 0; ///< ds operations / graph+ts locked updates
+    SystemStats stats;
+    EnergyBreakdown energy;
+    double stMaxFrac = 0.0; ///< max ST occupancy fraction
+    double stAvgFrac = 0.0; ///< avg ST occupancy fraction
+    std::uint64_t overflowedReqs = 0;
+    std::uint64_t totalReqs = 0;
+
+    /** Fig. 11 metric. */
+    double opsPerMs() const;
+    /** Fraction of requests serviced via memory (Fig. 22/23). */
+    double overflowFrac() const;
+};
+
+/** Runs one data-structure benchmark. */
+RunOutput runDataStructure(const SystemConfig &cfg, DsKind kind,
+                           unsigned initialSize, unsigned opsPerCore);
+
+/** Runs one graph application on a proxy input. */
+RunOutput runGraph(const SystemConfig &cfg, const std::string &input,
+                   workloads::GraphApp app, double scale,
+                   bool metisPartition = false);
+
+/** Runs time-series analysis (SCRIMP) on a proxy input. */
+RunOutput runTimeSeries(const SystemConfig &cfg,
+                        const std::string &input, double scale);
+
+/** The 26 real application-input combinations of Fig. 12. */
+struct AppInput
+{
+    std::string app;   ///< "bfs".."tc" or "ts"
+    std::string input; ///< "wk"/"sl"/"sx"/"co" or "air"/"pow"
+};
+std::vector<AppInput> allAppInputs();
+
+/** Runs one Fig. 12 combination. */
+RunOutput runAppInput(const SystemConfig &cfg, const AppInput &ai,
+                      double scale, bool metisPartition = false);
+
+} // namespace syncron::harness
+
+#endif // SYNCRON_HARNESS_RUNNER_HH

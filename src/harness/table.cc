@@ -1,0 +1,83 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace syncron::harness {
+
+TablePrinter::TablePrinter(std::string title,
+                           std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    SYNCRON_ASSERT(cells.size() == headers_.size(),
+                   "row width " << cells.size() << " != header width "
+                                << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    os << "== " << title_ << " ==\n";
+    auto printRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ") << std::left
+               << std::setw(static_cast<int>(width[c])) << cells[c];
+        }
+        os << "\n";
+    };
+    printRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        printRow(row);
+    for (const auto &note : notes_)
+        os << "note: " << note << "\n";
+    os << "\n";
+}
+
+std::string
+fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+fmtX(double ratio, int precision)
+{
+    return fmt(ratio, precision) + "x";
+}
+
+std::string
+fmtPct(double fraction, int precision)
+{
+    return fmt(fraction * 100.0, precision) + "%";
+}
+
+} // namespace syncron::harness

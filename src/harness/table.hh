@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness: every bench
+ * binary prints the rows/series of its paper table or figure through
+ * this printer, so outputs are uniform and grep-able.
+ */
+
+#ifndef SYNCRON_HARNESS_TABLE_HH
+#define SYNCRON_HARNESS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace syncron::harness {
+
+/** Fixed-width column table with a title and optional notes. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title,
+                          std::vector<std::string> headers);
+
+    /** Appends one row (cells.size() must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Appends a free-form note printed under the table. */
+    void addNote(std::string note);
+
+    /** Renders to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+/** Formats a double with @p precision decimals. */
+std::string fmt(double value, int precision = 2);
+
+/** Formats a ratio as "1.23x". */
+std::string fmtX(double ratio, int precision = 2);
+
+/** Formats a fraction as a percentage "12.3%". */
+std::string fmtPct(double fraction, int precision = 1);
+
+} // namespace syncron::harness
+
+#endif // SYNCRON_HARNESS_TABLE_HH

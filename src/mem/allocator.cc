@@ -1,0 +1,47 @@
+#include "mem/allocator.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace syncron::mem {
+
+AddressSpace::AddressSpace(unsigned numUnits)
+{
+    SYNCRON_ASSERT(numUnits >= 1, "system needs at least one NDP unit");
+    next_.reserve(numUnits);
+    for (unsigned u = 0; u < numUnits; ++u) {
+        // Skip the first line of each window so address 0 never appears
+        // as a valid allocation (0 doubles as "null" in workloads).
+        next_.push_back(unitBase(u) + kCacheLineBytes);
+    }
+}
+
+Addr
+AddressSpace::allocIn(UnitId unit, std::uint64_t bytes, std::uint64_t align)
+{
+    SYNCRON_ASSERT(unit < next_.size(), "allocation in unknown unit "
+                                            << unit);
+    SYNCRON_ASSERT(isPowerOfTwo(align), "alignment must be a power of two");
+    Addr base = (next_[unit] + align - 1) & ~(align - 1);
+    SYNCRON_ASSERT(unitOfAddr(base + bytes - 1) == unit,
+                   "unit " << unit << " out of memory");
+    next_[unit] = base + bytes;
+    return base;
+}
+
+Addr
+AddressSpace::allocInterleaved(std::uint64_t bytes, std::uint64_t align)
+{
+    Addr a = allocIn(rr_, bytes, align);
+    rr_ = (rr_ + 1) % next_.size();
+    return a;
+}
+
+std::uint64_t
+AddressSpace::usedIn(UnitId unit) const
+{
+    SYNCRON_ASSERT(unit < next_.size(), "unknown unit " << unit);
+    return next_[unit] - unitBase(unit) - kCacheLineBytes;
+}
+
+} // namespace syncron::mem

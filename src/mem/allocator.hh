@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The shared physical address space of the NDP system and per-unit data
+ * placement.
+ *
+ * All NDP units share one flat 64-bit address space (paper Section 2.1:
+ * units are "connected with each other via serial interconnection links to
+ * share the same physical address space"). We give each unit a 4 GB
+ * window: bits [63:32] of an address name the owning unit, which is how
+ * every device decides whether an access is local or must cross an
+ * inter-unit link, and how SynCron derives the Master SE of a variable
+ * ("the Master SE is defined by the address of the synchronization
+ * variable", Section 3.1).
+ *
+ * Workloads place their data with per-unit bump allocators, mirroring the
+ * paper's static partitioning of data structures and graphs across units.
+ */
+
+#ifndef SYNCRON_MEM_ALLOCATOR_HH
+#define SYNCRON_MEM_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace syncron::mem {
+
+/** Bits of address space given to each NDP unit (4 GB). */
+constexpr unsigned kUnitAddrShift = 32;
+
+/** Returns the NDP unit that owns @p addr. */
+constexpr UnitId
+unitOfAddr(Addr addr)
+{
+    return static_cast<UnitId>(addr >> kUnitAddrShift);
+}
+
+/** Returns the first address of @p unit's window. */
+constexpr Addr
+unitBase(UnitId unit)
+{
+    return static_cast<Addr>(unit) << kUnitAddrShift;
+}
+
+/**
+ * Carves data placements out of the system's address space. One bump
+ * pointer per NDP unit; allocations never overlap and are aligned as
+ * requested.
+ */
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(unsigned numUnits);
+
+    /**
+     * Allocates @p bytes in @p unit's memory.
+     * @param align required alignment (power of two, default 8)
+     */
+    Addr allocIn(UnitId unit, std::uint64_t bytes, std::uint64_t align = 8);
+
+    /** Allocates round-robin across units (for randomly distributed data). */
+    Addr allocInterleaved(std::uint64_t bytes, std::uint64_t align = 8);
+
+    /** Bytes currently allocated in @p unit. */
+    std::uint64_t usedIn(UnitId unit) const;
+
+    unsigned numUnits() const { return static_cast<unsigned>(next_.size()); }
+
+  private:
+    std::vector<Addr> next_;  ///< next free address per unit
+    unsigned rr_ = 0;         ///< round-robin cursor for allocInterleaved
+};
+
+} // namespace syncron::mem
+
+#endif // SYNCRON_MEM_ALLOCATOR_HH

@@ -1,0 +1,56 @@
+#include "net/md1.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace syncron::net {
+
+namespace {
+/// EWMA smoothing factor for inter-arrival times. Small enough to damp
+/// single-message noise, large enough to track phase changes within a few
+/// tens of messages.
+constexpr double kAlpha = 0.05;
+} // namespace
+
+Md1Estimator::Md1Estimator(Tick serviceTicks, double maxRho)
+    : serviceTicks_(serviceTicks), maxRho_(maxRho)
+{
+    SYNCRON_ASSERT(serviceTicks_ > 0, "service time must be positive");
+    SYNCRON_ASSERT(maxRho_ > 0.0 && maxRho_ < 1.0, "maxRho out of range");
+}
+
+Tick
+Md1Estimator::onArrival(Tick now)
+{
+    if (!seenArrival_) {
+        seenArrival_ = true;
+        lastArrival_ = now;
+        return 0;
+    }
+
+    const double inter = static_cast<double>(now - lastArrival_);
+    lastArrival_ = now;
+    if (avgInterArrival_ <= 0.0)
+        avgInterArrival_ = inter > 0.0 ? inter : 1.0;
+    else
+        avgInterArrival_ =
+            (1.0 - kAlpha) * avgInterArrival_ + kAlpha * std::max(inter, 1.0);
+
+    const double lambda = 1.0 / avgInterArrival_;
+    const double mu = 1.0 / static_cast<double>(serviceTicks_);
+    rho_ = std::min(lambda / mu, maxRho_);
+    return currentDelay();
+}
+
+Tick
+Md1Estimator::currentDelay() const
+{
+    if (rho_ <= 0.0)
+        return 0;
+    const double mu = 1.0 / static_cast<double>(serviceTicks_);
+    const double wq = rho_ / (2.0 * mu * (1.0 - rho_));
+    return static_cast<Tick>(wq);
+}
+
+} // namespace syncron::net

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * M/D/1 queueing-latency estimator for the intra-unit crossbar.
+ *
+ * The paper models intra-unit network queueing latency with an M/D/1
+ * model (Table 5, citing Bhat's queueing-theory text): Poisson arrivals,
+ * deterministic service. Mean waiting time in queue:
+ *
+ *      Wq = rho / (2 * mu * (1 - rho)),   rho = lambda / mu
+ *
+ * where mu = 1 / serviceTime. We estimate lambda online with an
+ * exponentially weighted moving average of message inter-arrival times,
+ * and clamp rho below 1 so transient bursts produce large-but-finite
+ * latencies instead of infinities.
+ */
+
+#ifndef SYNCRON_NET_MD1_HH
+#define SYNCRON_NET_MD1_HH
+
+#include "common/types.hh"
+
+namespace syncron::net {
+
+/** Online M/D/1 waiting-time estimator. */
+class Md1Estimator
+{
+  public:
+    /**
+     * @param serviceTicks deterministic service time per message
+     * @param maxRho       utilization clamp (default 0.95)
+     */
+    explicit Md1Estimator(Tick serviceTicks, double maxRho = 0.95);
+
+    /**
+     * Records a message arrival at @p now and returns the estimated
+     * queueing delay (ticks) this message experiences.
+     */
+    Tick onArrival(Tick now);
+
+    /** Current utilization estimate rho in [0, maxRho]. */
+    double rho() const { return rho_; }
+
+    /** Queueing delay at the current utilization (no state update). */
+    Tick currentDelay() const;
+
+  private:
+    Tick serviceTicks_;
+    double maxRho_;
+    double rho_ = 0.0;
+    Tick lastArrival_ = 0;
+    bool seenArrival_ = false;
+    double avgInterArrival_ = 0.0; ///< EWMA of inter-arrival ticks
+};
+
+} // namespace syncron::net
+
+#endif // SYNCRON_NET_MD1_HH

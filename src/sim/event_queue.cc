@@ -1,0 +1,40 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace syncron::sim {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    SYNCRON_ASSERT(when >= now_,
+                   "scheduling into the past: when=" << when
+                       << " now=" << now_);
+    events_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events_.empty())
+        return false;
+    // std::priority_queue::top() returns const&; the callback must be
+    // moved out before pop, so copy the metadata and steal the callback.
+    Event ev = std::move(const_cast<Event &>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ev.cb();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick until)
+{
+    while (!events_.empty() && events_.top().when <= until)
+        runOne();
+    return now_;
+}
+
+} // namespace syncron::sim

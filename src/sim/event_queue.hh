@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global EventQueue orders all activity in the simulated NDP
+ * system at picosecond resolution. Devices (DRAM, crossbars, links, SEs,
+ * server cores) are modeled as busy-until resources that schedule
+ * callbacks; simulated NDP cores are coroutines (sim/process.hh) that the
+ * queue resumes when their pending operation completes.
+ *
+ * Events at the same tick execute in scheduling order (FIFO), which makes
+ * every simulation deterministic and reproducible.
+ */
+
+#ifndef SYNCRON_SIM_EVENT_QUEUE_HH
+#define SYNCRON_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace syncron::sim {
+
+/** Global time-ordered queue of callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedules @p cb at absolute tick @p when (must be >= now()). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedules @p cb @p delta ticks from now. */
+    void scheduleIn(Tick delta, Callback cb) { schedule(now_ + delta, std::move(cb)); }
+
+    /** Executes the next event; returns false when the queue is empty. */
+    bool runOne();
+
+    /**
+     * Runs events until the queue is empty or simulated time would exceed
+     * @p until. Returns the tick of the last executed event.
+     */
+    Tick run(Tick until = kTickNever);
+
+    /** True when no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq; ///< tie-breaker: FIFO among same-tick events
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace syncron::sim
+
+#endif // SYNCRON_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,8 @@
+#include "sim/process.hh"
+
+// All of sim/process.hh is header-only (coroutine machinery must be
+// visible to every translation unit); this file exists to give the
+// module a home in the library and to catch ODR issues early.
+
+namespace syncron::sim {
+} // namespace syncron::sim

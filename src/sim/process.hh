@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Coroutine-based simulated processes.
+ *
+ * Each simulated NDP core (and each server-core software loop) is a C++20
+ * coroutine returning sim::Process. The coroutine issues timed operations
+ * by co_await-ing awaitables that suspend it and arrange for the
+ * EventQueue to resume it when the operation completes:
+ *
+ *   - Delay{eq, ticks}   : fixed-latency operation
+ *   - Gate               : one-shot completion signaled by another device
+ *
+ * Processes start suspended; Process::start() schedules the first resume,
+ * so spawning order and start time are explicit and deterministic.
+ */
+
+#ifndef SYNCRON_SIM_PROCESS_HH
+#define SYNCRON_SIM_PROCESS_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace syncron::sim {
+
+/**
+ * Handle to a simulated process coroutine. Move-only; owns the coroutine
+ * frame. Exceptions escaping the coroutine body propagate out of
+ * EventQueue::run() so tests and the harness observe them.
+ */
+class Process
+{
+  public:
+    struct promise_type
+    {
+        Process
+        get_return_object()
+        {
+            return Process{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            // Let the exception escape resume(): it unwinds through the
+            // event callback and out of EventQueue::run().
+            throw;
+        }
+    };
+
+    Process() = default;
+
+    explicit Process(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    Process(Process &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    Process &
+    operator=(Process &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    ~Process() { destroy(); }
+
+    /** Schedules the first resume of this process at the current tick. */
+    void
+    start(EventQueue &eq)
+    {
+        SYNCRON_ASSERT(handle_ && !handle_.done(), "starting dead process");
+        auto h = handle_;
+        eq.scheduleIn(0, [h] { h.resume(); });
+    }
+
+    /** True once the coroutine body has run to completion. */
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** True if this handle refers to a live coroutine. */
+    bool valid() const { return static_cast<bool>(handle_); }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/** Awaitable fixed delay: co_await Delay{eq, ticks}. */
+struct Delay
+{
+    EventQueue &eq;
+    Tick ticks;
+
+    bool await_ready() const noexcept { return ticks == 0; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        eq.scheduleIn(ticks, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+};
+
+/**
+ * One-shot completion gate.
+ *
+ * A requester co_awaits the gate after sending a request; the responder
+ * calls open() (optionally with a payload and an extra delay) which
+ * schedules the requester's resume. A gate may be opened before it is
+ * awaited (the await then completes immediately).
+ *
+ * The gate lives on the awaiting coroutine's frame; because the awaiter
+ * stays suspended until open(), the storage is guaranteed alive when the
+ * responder touches it.
+ */
+class Gate
+{
+  public:
+    explicit Gate(EventQueue &eq) : eq_(&eq) {}
+
+    Gate(const Gate &) = delete;
+    Gate &operator=(const Gate &) = delete;
+
+    /**
+     * Signals completion. The waiter (if already suspended) is resumed
+     * @p delay ticks from now; @p payload is returned from co_await.
+     */
+    void
+    open(std::uint64_t payload = 0, Tick delay = 0)
+    {
+        SYNCRON_ASSERT(!opened_, "gate opened twice");
+        opened_ = true;
+        payload_ = payload;
+        readyAt_ = eq_->now() + delay;
+        if (waiter_) {
+            auto h = waiter_;
+            waiter_ = nullptr;
+            eq_->scheduleIn(delay, [h] { h.resume(); });
+        }
+    }
+
+    /** True once open() has been called. */
+    bool opened() const { return opened_; }
+
+    // -- Awaitable interface -------------------------------------------
+    bool
+    await_ready() const noexcept
+    {
+        return opened_ && readyAt_ <= eq_->now();
+    }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        SYNCRON_ASSERT(!waiter_, "gate awaited by two processes");
+        if (opened_) {
+            // Opened with a delay that has not yet elapsed.
+            Tick delta = readyAt_ > eq_->now() ? readyAt_ - eq_->now() : 0;
+            eq_->scheduleIn(delta, [h] { h.resume(); });
+        } else {
+            waiter_ = h;
+        }
+    }
+
+    std::uint64_t await_resume() const noexcept { return payload_; }
+
+  private:
+    EventQueue *eq_;
+    std::coroutine_handle<> waiter_;
+    std::uint64_t payload_ = 0;
+    Tick readyAt_ = 0;
+    bool opened_ = false;
+};
+
+} // namespace syncron::sim
+
+#endif // SYNCRON_SIM_PROCESS_HH

@@ -1,0 +1,108 @@
+#include "sync/api.hh"
+
+#include "common/log.hh"
+
+namespace syncron::sync {
+
+SyncApi::SyncApi(Machine &machine, SyncBackend &backend)
+    : machine_(machine), backend_(backend),
+      freeLists_(machine.config().numUnits)
+{}
+
+SyncVar
+SyncApi::createSyncVar(UnitId unit)
+{
+    SYNCRON_ASSERT(unit < freeLists_.size(),
+                   "createSyncVar in unknown unit " << unit);
+    if (!freeLists_[unit].empty()) {
+        Addr addr = freeLists_[unit].back();
+        freeLists_[unit].pop_back();
+        return SyncVar{addr};
+    }
+    // The driver allocates each syncronVar on its own cache line so that
+    // distinct variables never false-share and the 8-LSB line index used
+    // by the indexing counters is meaningful.
+    Addr addr = machine_.addrSpace().allocIn(unit, kCacheLineBytes,
+                                             kCacheLineBytes);
+    return SyncVar{addr};
+}
+
+SyncVar
+SyncApi::createSyncVarInterleaved()
+{
+    SyncVar v = createSyncVar(rr_);
+    rr_ = (rr_ + 1) % machine_.config().numUnits;
+    return v;
+}
+
+void
+SyncApi::destroySyncVar(SyncVar var)
+{
+    SYNCRON_ASSERT(var.valid(), "destroy of invalid sync var");
+    freeLists_[var.home()].push_back(var.addr);
+}
+
+SyncOp
+SyncApi::makeOp(core::Core &c, OpKind kind, SyncVar v, std::uint64_t info)
+{
+    ++machine_.stats().syncOps;
+    return SyncOp{c, backend_, kind, v.addr, info};
+}
+
+SyncOp
+SyncApi::lockAcquire(core::Core &c, SyncVar v)
+{
+    return makeOp(c, OpKind::LockAcquire, v, 0);
+}
+
+SyncOp
+SyncApi::lockRelease(core::Core &c, SyncVar v)
+{
+    return makeOp(c, OpKind::LockRelease, v, 0);
+}
+
+SyncOp
+SyncApi::barrierWaitWithinUnit(core::Core &c, SyncVar v,
+                               std::uint32_t initialCores)
+{
+    return makeOp(c, OpKind::BarrierWaitWithinUnit, v, initialCores);
+}
+
+SyncOp
+SyncApi::barrierWaitAcrossUnits(core::Core &c, SyncVar v,
+                                std::uint32_t initialCores)
+{
+    return makeOp(c, OpKind::BarrierWaitAcrossUnits, v, initialCores);
+}
+
+SyncOp
+SyncApi::semWait(core::Core &c, SyncVar v, std::uint32_t initialResources)
+{
+    return makeOp(c, OpKind::SemWait, v, initialResources);
+}
+
+SyncOp
+SyncApi::semPost(core::Core &c, SyncVar v)
+{
+    return makeOp(c, OpKind::SemPost, v, 0);
+}
+
+SyncOp
+SyncApi::condWait(core::Core &c, SyncVar cond, SyncVar lock)
+{
+    return makeOp(c, OpKind::CondWait, cond, lock.addr);
+}
+
+SyncOp
+SyncApi::condSignal(core::Core &c, SyncVar cond)
+{
+    return makeOp(c, OpKind::CondSignal, cond, 0);
+}
+
+SyncOp
+SyncApi::condBroadcast(core::Core &c, SyncVar cond)
+{
+    return makeOp(c, OpKind::CondBroadcast, cond, 0);
+}
+
+} // namespace syncron::sync

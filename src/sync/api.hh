@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SynCron's programming interface (paper Table 2), independent of the
+ * backend actually providing synchronization.
+ *
+ * Workload coroutines use it as:
+ *
+ *   sync::SyncVar lock = api.createSyncVar(homeUnit);
+ *   co_await api.lockAcquire(core, lock);
+ *   ... critical section ...
+ *   co_await api.lockRelease(core, lock);
+ *
+ * Acquire-type operations map to the req_sync ISA instruction (commit
+ * when the response returns); release-type operations map to req_async
+ * (commit once issued). Both are realized as awaitables whose completion
+ * gate the backend opens.
+ */
+
+#ifndef SYNCRON_SYNC_API_HH
+#define SYNCRON_SYNC_API_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "core/core.hh"
+#include "sim/process.hh"
+#include "sync/backend.hh"
+#include "sync/syncvar.hh"
+#include "system/machine.hh"
+
+namespace syncron::sync {
+
+/**
+ * Awaitable synchronization operation. The request is issued to the
+ * backend when the coroutine suspends; the backend opens the gate when
+ * the operation completes (immediately for release-type operations).
+ */
+class SyncOp
+{
+  public:
+    SyncOp(core::Core &core, SyncBackend &backend, OpKind kind, Addr var,
+           std::uint64_t info)
+        : core_(core), backend_(backend), gate_(core.machine().eq()),
+          var_(var), info_(info), kind_(kind)
+    {}
+
+    SyncOp(const SyncOp &) = delete;
+    SyncOp &operator=(const SyncOp &) = delete;
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        backend_.request(core_, kind_, var_, info_, &gate_);
+        // The gate handles both orders: backend already opened it
+        // (schedule resume) or will open it later (park the handle).
+        gate_.await_suspend(h);
+    }
+
+    std::uint64_t await_resume() const noexcept
+    {
+        return gate_.await_resume();
+    }
+
+  private:
+    core::Core &core_;
+    SyncBackend &backend_;
+    sim::Gate gate_;
+    Addr var_;
+    std::uint64_t info_;
+    OpKind kind_;
+};
+
+/** Factory for synchronization variables + the Table 2 operations. */
+class SyncApi
+{
+  public:
+    SyncApi(Machine &machine, SyncBackend &backend);
+
+    /** create_syncvar(): allocates a variable homed in @p unit. */
+    SyncVar createSyncVar(UnitId unit);
+
+    /** Allocates a variable round-robin across units. */
+    SyncVar createSyncVarInterleaved();
+
+    /** destroy_syncvar(): releases the variable's line for reuse. */
+    void destroySyncVar(SyncVar var);
+
+    // -- Table 2 operations --------------------------------------------
+    SyncOp lockAcquire(core::Core &c, SyncVar v);
+    SyncOp lockRelease(core::Core &c, SyncVar v);
+    SyncOp barrierWaitWithinUnit(core::Core &c, SyncVar v,
+                                 std::uint32_t initialCores);
+    SyncOp barrierWaitAcrossUnits(core::Core &c, SyncVar v,
+                                  std::uint32_t initialCores);
+    SyncOp semWait(core::Core &c, SyncVar v,
+                   std::uint32_t initialResources);
+    SyncOp semPost(core::Core &c, SyncVar v);
+    SyncOp condWait(core::Core &c, SyncVar cond, SyncVar lock);
+    SyncOp condSignal(core::Core &c, SyncVar cond);
+    SyncOp condBroadcast(core::Core &c, SyncVar cond);
+
+    SyncBackend &backend() { return backend_; }
+
+  private:
+    SyncOp makeOp(core::Core &c, OpKind kind, SyncVar v,
+                  std::uint64_t info);
+
+    Machine &machine_;
+    SyncBackend &backend_;
+    std::vector<std::vector<Addr>> freeLists_; ///< per-unit recycled vars
+    unsigned rr_ = 0;
+};
+
+} // namespace syncron::sync
+
+#endif // SYNCRON_SYNC_API_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The synchronization-backend interface.
+ *
+ * Every scheme the paper compares — Ideal, Central, Hier, SynCron,
+ * SynCron-flat, and the MiSAR-style overflow variants — implements this
+ * interface, so workloads run unmodified on every scheme (exactly how the
+ * paper's evaluation holds the main kernel constant and swaps the
+ * synchronization mechanism).
+ *
+ * Contract:
+ *  - request() is called at the requesting core's current time with the
+ *    gate the core will co_await.
+ *  - Acquire-type operations (req_sync semantics, Section 4.1.1) open the
+ *    gate when the operation is granted.
+ *  - Release-type operations (req_async semantics) open the gate as soon
+ *    as the message has been issued to the network; the protocol
+ *    continues in the background.
+ */
+
+#ifndef SYNCRON_SYNC_BACKEND_HH
+#define SYNCRON_SYNC_BACKEND_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "sim/process.hh"
+#include "sync/opcodes.hh"
+
+namespace syncron::core {
+class Core;
+} // namespace syncron::core
+
+namespace syncron::sync {
+
+/** Abstract synchronization mechanism. */
+class SyncBackend
+{
+  public:
+    virtual ~SyncBackend() = default;
+
+    /**
+     * Issues a synchronization operation.
+     *
+     * @param requester the issuing NDP core
+     * @param kind      API-level operation
+     * @param var       synchronization-variable address
+     * @param info      MessageInfo: barrier participant count, semaphore
+     *                  initial resources, or associated lock address for
+     *                  cond_wait (paper Fig. 5)
+     * @param gate      completion gate the core awaits
+     */
+    virtual void request(core::Core &requester, OpKind kind, Addr var,
+                         std::uint64_t info, sim::Gate *gate) = 0;
+
+    /** Scheme name for reports. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace syncron::sync
+
+#endif // SYNCRON_SYNC_BACKEND_HH

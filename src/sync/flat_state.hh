@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Flat (non-hierarchical) semantic state machine for all four
+ * synchronization primitives.
+ *
+ * This is the functional core shared by the Ideal backend (zero cost),
+ * the Central baseline (one software server for the whole system), and
+ * the SynCron-flat ablation (one Master SE per variable, no local SEs).
+ * It tracks owners/waiters/counts per variable and reports which waiting
+ * cores become runnable after each operation; the calling backend
+ * attaches its own timing and message costs.
+ *
+ * It is also the reference model against which the hierarchical SynCron
+ * protocol is property-tested (same grants must eventually be produced).
+ */
+
+#ifndef SYNCRON_SYNC_FLAT_STATE_HH
+#define SYNCRON_SYNC_FLAT_STATE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/process.hh"
+#include "sync/opcodes.hh"
+
+namespace syncron::sync {
+
+/** A core whose pending operation has been granted. */
+struct SyncGrant
+{
+    CoreId core = kInvalidCore;
+    sim::Gate *gate = nullptr;
+};
+
+/** Flat semantics for locks, barriers, semaphores, condition variables. */
+class FlatSyncState
+{
+  public:
+    /**
+     * Applies one operation and returns the cores granted as a result
+     * (possibly including the requester, e.g. an uncontended
+     * lock_acquire).
+     *
+     * @param kind operation
+     * @param core requesting core (system-wide id)
+     * @param var  variable address
+     * @param info barrier count / sem initial resources / cond lock addr
+     * @param gate requester's gate for acquire-type ops; nullptr for
+     *             release-type ops (their gate opens at issue)
+     */
+    std::vector<SyncGrant> apply(OpKind kind, CoreId core, Addr var,
+                                 std::uint64_t info, sim::Gate *gate);
+
+    /** True when @p var has no owner, waiters, or residual state. */
+    bool idle(Addr var) const;
+
+    /** Number of variables with live state. */
+    std::size_t liveVars() const { return vars_.size(); }
+
+    /** Drops state for @p var (destroy_syncvar). */
+    void destroy(Addr var) { vars_.erase(var); }
+
+  private:
+    struct CondWaiter
+    {
+        CoreId core;
+        sim::Gate *gate;
+        Addr lockAddr;
+    };
+
+    struct VarState
+    {
+        // Lock
+        bool locked = false;
+        CoreId owner = kInvalidCore;
+        std::deque<SyncGrant> lockWaiters;
+        // Barrier
+        std::uint32_t barrierArrived = 0;
+        std::vector<SyncGrant> barrierWaiters;
+        // Semaphore
+        bool semInitialized = false;
+        std::int64_t semCount = 0;
+        std::deque<SyncGrant> semWaiters;
+        // Condition variable
+        std::deque<CondWaiter> condWaiters;
+
+        bool idle() const;
+    };
+
+    VarState &state(Addr var) { return vars_[var]; }
+
+    void lockAcquire(VarState &st, CoreId core, sim::Gate *gate,
+                     std::vector<SyncGrant> &out);
+    void lockRelease(Addr var, CoreId core, std::vector<SyncGrant> &out);
+
+    std::unordered_map<Addr, VarState> vars_;
+};
+
+} // namespace syncron::sync
+
+#endif // SYNCRON_SYNC_FLAT_STATE_HH

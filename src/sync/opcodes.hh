@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Message opcodes of SynCron's hierarchical protocol — the complete set
+ * of the paper's Table 3, plus the API-level operation kinds (Table 2).
+ *
+ * Opcode name structure:
+ *   - *_local:    NDP core <-> its local SE
+ *   - *_global:   local SE <-> Master SE (may cross NDP units)
+ *   - *_overflow: overflowed local SE <-> Master SE (ST overflow path)
+ */
+
+#ifndef SYNCRON_SYNC_OPCODES_HH
+#define SYNCRON_SYNC_OPCODES_HH
+
+#include <cstdint>
+
+namespace syncron::sync {
+
+/** API-level synchronization operations (paper Table 2). */
+enum class OpKind : std::uint8_t
+{
+    LockAcquire,
+    LockRelease,
+    BarrierWaitWithinUnit,
+    BarrierWaitAcrossUnits,
+    SemWait,
+    SemPost,
+    CondWait,
+    CondSignal,
+    CondBroadcast,
+};
+
+/** Returns a printable name for @p kind. */
+const char *opKindName(OpKind kind);
+
+/** True for operations with acquire semantics (req_sync, blocks). */
+bool isAcquireType(OpKind kind);
+
+/** True for operations with release semantics (req_async, non-blocking). */
+bool isReleaseType(OpKind kind);
+
+/** Message opcodes (paper Table 3). 6 bits cover all values. */
+enum class Op : std::uint8_t
+{
+    // -- Locks
+    LockAcquireGlobal,
+    LockAcquireLocal,
+    LockReleaseGlobal,
+    LockReleaseLocal,
+    LockGrantGlobal,
+    LockGrantLocal,
+    LockAcquireOverflow,
+    LockReleaseOverflow,
+    LockGrantOverflow,
+
+    // -- Barriers
+    BarrierWaitGlobal,
+    BarrierWaitLocalWithinUnit,
+    BarrierWaitLocalAcrossUnits,
+    BarrierDepartGlobal,
+    BarrierDepartLocal,
+    BarrierWaitOverflow,
+    BarrierDepartureOverflow,
+
+    // -- Semaphores
+    SemWaitGlobal,
+    SemWaitLocal,
+    SemGrantGlobal,
+    SemGrantLocal,
+    SemPostGlobal,
+    SemPostLocal,
+    SemWaitOverflow,
+    SemGrantOverflow,
+    SemPostOverflow,
+
+    // -- Condition variables
+    CondWaitGlobal,
+    CondWaitLocal,
+    CondSignalGlobal,
+    CondSignalLocal,
+    CondBroadGlobal,
+    CondBroadLocal,
+    CondGrantGlobal,
+    CondGrantLocal,
+    CondWaitOverflow,
+    CondSignalOverflow,
+    CondBroadOverflow,
+    CondGrantOverflow,
+
+    // -- Other
+    DecreaseIndexingCounter,
+};
+
+/** Returns a printable name for @p op. */
+const char *opName(Op op);
+
+/** True for opcodes exchanged between SEs (global/overflow/decrease). */
+bool isGlobalOp(Op op);
+
+/** True for the overflow-path opcodes. */
+bool isOverflowOp(Op op);
+
+/** True for opcodes with acquire-type semantics (indexing counter ++). */
+bool isAcquireOp(Op op);
+
+/** True for opcodes with release-type semantics (indexing counter --). */
+bool isReleaseOp(Op op);
+
+} // namespace syncron::sync
+
+#endif // SYNCRON_SYNC_OPCODES_HH

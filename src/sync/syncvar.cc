@@ -1,0 +1,11 @@
+#include "sync/syncvar.hh"
+
+// SyncVar and SyncMessage are plain value types; this translation unit
+// anchors the module in the library.
+
+namespace syncron::sync {
+
+static_assert(kSyncReqBits == 64 + 6 + 6 + 64,
+              "message encoding must match paper Fig. 5");
+
+} // namespace syncron::sync

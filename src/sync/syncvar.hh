@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Synchronization-variable handles and the message format exchanged
+ * between NDP cores and Synchronization Engines (paper Fig. 5).
+ *
+ * A SyncVar is the opaque handle returned by create_syncvar() (Table 2):
+ * programmers never dereference it; its address determines the Master SE
+ * (Section 3.1) and backs the in-memory syncronVar record under ST
+ * overflow (Fig. 9).
+ */
+
+#ifndef SYNCRON_SYNC_SYNCVAR_HH
+#define SYNCRON_SYNC_SYNCVAR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/allocator.hh"
+#include "sync/opcodes.hh"
+
+namespace syncron::sync {
+
+/** Opaque handle to a synchronization variable. */
+struct SyncVar
+{
+    Addr addr = 0;
+
+    /** NDP unit owning the variable; its SE is the Master SE. */
+    UnitId home() const { return mem::unitOfAddr(addr); }
+
+    bool valid() const { return addr != 0; }
+
+    friend bool operator==(const SyncVar &, const SyncVar &) = default;
+};
+
+/**
+ * Size of the in-memory syncronVar record (Fig. 9):
+ * uint16_t Waitlist[4] + uint64_t VarInfo + uint8_t OverflowInfo,
+ * padded to 16 bytes.
+ */
+constexpr std::uint32_t kSyncronVarBytes = 16;
+
+/** Request-message size: 64 addr + 6 opcode + 6 core id + 64 info bits. */
+constexpr std::uint32_t kSyncReqBits = 140;
+
+/** Response-message size (Fig. 6 datapath: 149 bits). */
+constexpr std::uint32_t kSyncRespBits = 149;
+
+/**
+ * A synchronization message (Fig. 5). Used between cores and SEs and,
+ * with global/overflow opcodes, between SEs.
+ */
+struct SyncMessage
+{
+    Addr addr = 0;          ///< synchronization variable address
+    Op opcode{};            ///< message opcode (Table 3)
+    std::uint32_t coreId = 0; ///< local core id, or global SE id
+    std::uint64_t info = 0;   ///< MessageInfo (Fig. 5)
+};
+
+} // namespace syncron::sync
+
+#endif // SYNCRON_SYNC_SYNCVAR_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Analytic area/power model for the Synchronization Engine — reproduces
+ * the paper's Table 8, which compares one SE against an ARM Cortex-A7.
+ *
+ * The paper obtained the SPU numbers with Aladdin (40 nm, 1 GHz) and the
+ * ST / indexing-counter numbers with CACTI; we reproduce the published
+ * component values and scale the two SRAM structures linearly with their
+ * capacity so the Fig. 22/23 ST-size sweeps can report hardware cost.
+ */
+
+#ifndef SYNCRON_SYNCRON_AREA_MODEL_HH
+#define SYNCRON_SYNCRON_AREA_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace syncron::engine {
+
+/** Area/power of one SE configuration. */
+struct SeAreaPower
+{
+    double spuMm2;      ///< control unit + buffer + registers
+    double stMm2;       ///< Synchronization Table SRAM
+    double countersMm2; ///< indexing-counter SRAM
+    double totalMm2;
+    double powerMw;
+
+    /// Reference comparison point (Table 8): ARM Cortex-A7, 28 nm,
+    /// with 32 KB L1.
+    static constexpr double kCortexA7Mm2 = 0.45;
+    static constexpr double kCortexA7Mw = 100.0;
+};
+
+/**
+ * Computes the SE area/power for a configuration.
+ *
+ * @param stEntries        ST entries (Table 5 default: 64)
+ * @param indexingCounters counters (Table 5 default: 256)
+ */
+SeAreaPower seAreaPower(std::uint32_t stEntries = 64,
+                        std::uint32_t indexingCounters = 256);
+
+/** Formats the Table 8 comparison as printable text. */
+std::string formatAreaPowerTable(const SeAreaPower &se);
+
+} // namespace syncron::engine
+
+#endif // SYNCRON_SYNCRON_AREA_MODEL_HH

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * The SynCron synchronization mechanism (paper Sections 3-4): one
+ * Synchronization Engine (SE) per NDP unit, each with a Synchronization
+ * Processing Unit (SPU), a Synchronization Table (ST), and indexing
+ * counters, coordinating locks, barriers, semaphores, and condition
+ * variables with a hierarchical message-passing protocol and a
+ * hardware-only overflow scheme.
+ *
+ * The same protocol implementation also realizes the paper's Hier
+ * baseline: with StationKind::ServerCore, each per-unit station is an NDP
+ * core acting as a software server — identical message flow, but each
+ * message costs software-processing cycles plus an L1/DRAM access for the
+ * variable's tracking state instead of the SE's 12 SPU cycles, and there
+ * is no ST capacity limit (state lives in memory through the server's
+ * cache). This mirrors how the paper contrasts the two designs: the
+ * hierarchy is shared; the station microarchitecture differs.
+ *
+ * Overflow handling (Section 4.3) is selectable for the Fig. 23 ablation:
+ *   - Integrated:    SynCron's hardware-only scheme (syncronVar record in
+ *     the Master SE's local memory + overflow message opcodes).
+ *   - MisarCentral / MisarDistrib: MiSAR-style abort to an alternative
+ *     software solution (one global server core / one server core per
+ *     unit), with abort/switch-back notification traffic.
+ */
+
+#ifndef SYNCRON_SYNCRON_ENGINE_HH
+#define SYNCRON_SYNCRON_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/core.hh"
+#include "sim/process.hh"
+#include "sync/backend.hh"
+#include "sync/flat_state.hh"
+#include "sync/syncvar.hh"
+#include "syncron/indexing_counters.hh"
+#include "syncron/sync_table.hh"
+#include "system/machine.hh"
+
+namespace syncron::engine {
+
+/** Microarchitecture of the per-unit synchronization station. */
+enum class StationKind
+{
+    SyncronSe,  ///< SynCron SE: SPU @1 GHz, 12-cycle service, ST-limited
+    ServerCore, ///< Hier baseline: software server on an NDP core
+};
+
+/** Overflow-handling policy (Fig. 23 ablation). */
+enum class OverflowPolicy
+{
+    Integrated,   ///< SynCron's hardware-only scheme (Section 4.3)
+    MisarCentral, ///< abort to one global software server
+    MisarDistrib, ///< abort to one software server per NDP unit
+};
+
+/** Construction options. */
+struct EngineOptions
+{
+    StationKind station = StationKind::SyncronSe;
+    OverflowPolicy overflow = OverflowPolicy::Integrated;
+    /// ST entries per SE; 0 = take SystemConfig::stEntries.
+    std::uint32_t stEntries = 0;
+    /// Reported scheme name (defaults by station kind).
+    const char *name = nullptr;
+};
+
+/** The hierarchical SynCron/Hier backend. */
+class SynCronBackend : public sync::SyncBackend
+{
+  public:
+    SynCronBackend(Machine &machine, EngineOptions opts = {});
+    ~SynCronBackend() override;
+
+    void request(core::Core &requester, sync::OpKind kind, Addr var,
+                 std::uint64_t info, sim::Gate *gate) override;
+
+    const char *name() const override { return name_; }
+
+    /** Closes ST occupancy integrals (call once after the run). */
+    void finalizeStats();
+
+    // -- Introspection for tests and the harness ------------------------
+    std::uint32_t stOccupied(UnitId unit) const;
+    std::uint32_t counterValue(UnitId unit, Addr var) const;
+    std::uint64_t overflowedRequests() const { return overflowedReqs_; }
+    std::uint64_t totalRequests() const { return totalReqs_; }
+
+  private:
+    /** Per-unit synchronization station (SE or software server). */
+    struct Station
+    {
+        UnitId unit = 0;
+        SyncTable table;
+        IndexingCounters counters;
+        Tick busyUntil = 0;
+        /// ServerCore mode: the server's private L1.
+        std::unique_ptr<cache::Cache> l1;
+        /// ServerCore mode: local shadow tracking addresses per variable.
+        std::unordered_map<Addr, Addr> shadow;
+        /// Exact per-variable count of redirected acquire-type
+        /// operations still outstanding at the Master SE. The hardware
+        /// relies on the (aliased) indexing counters for this; aliasing
+        /// there is only a performance hazard, but the model keeps an
+        /// exact count so a variable never splits between a fresh ST
+        /// entry here and in-memory state at the master.
+        std::unordered_map<Addr, std::uint32_t> redirected;
+
+        Station(UnitId u, std::uint32_t entries, std::uint32_t counters,
+                SystemStats &stats);
+
+        void redirectedInc(Addr var) { ++redirected[var]; }
+        void
+        redirectedDec(Addr var)
+        {
+            auto it = redirected.find(var);
+            if (it != redirected.end() && --it->second == 0)
+                redirected.erase(it);
+        }
+        bool
+        hasRedirected(Addr var) const
+        {
+            return redirected.count(var) != 0;
+        }
+    };
+
+    /** How a message is serviced (Fig. 8 control flow). */
+    enum class Route
+    {
+        Table,    ///< ST entry found or reserved
+        Memory,   ///< master services via syncronVar in local memory
+        Redirect, ///< non-master SE overflowed: forward to Master SE
+    };
+
+    /**
+     * Master-side in-memory synchronization state (the syncronVar record
+     * of Fig. 9). coreBits[j] is Waitlist[j]: core-granular waiting bits
+     * for overflowed unit j (and the master's own local cores);
+     * unit-granular requests from non-overflowed SEs live in
+     * st.globalWaitBits.
+     */
+    struct MemVar
+    {
+        StEntry st;
+        std::vector<std::uint16_t> coreBits;
+        std::uint16_t overflowInfo = 0;
+        /// Net acquire-type messages serviced via memory that the Master
+        /// SE's indexing counter still reflects (flushed at cleanup).
+        std::uint32_t outstanding = 0;
+        explicit MemVar(unsigned numUnits) : coreBits(numUnits, 0) {}
+        bool idle() const;
+    };
+
+    /** MiSAR-ablation software fallback server. */
+    struct SoftServer
+    {
+        UnitId unit = 0;
+        Tick busyUntil = 0;
+        std::unique_ptr<cache::Cache> l1;
+    };
+
+    // -- Identity helpers ----------------------------------------------
+    UnitId masterOf(Addr var) const { return mem::unitOfAddr(var); }
+    bool isMaster(const Station &s, Addr var) const;
+    CoreId globalCoreId(UnitId unit, unsigned local) const;
+
+    // -- Transport ------------------------------------------------------
+    /** Core -> its local station (request issue). */
+    void sendRequest(core::Core &core, sync::SyncMessage msg);
+    /** Station -> station (global / overflow opcodes). */
+    void sendToStation(UnitId from, UnitId to, sync::SyncMessage msg,
+                       Tick depart);
+    /** Station -> core grant: opens the core's pending gate. */
+    void grantCore(UnitId seUnit, CoreId core, Tick depart);
+
+    // -- SPU scheduling --------------------------------------------------
+    void receive(UnitId unit, sync::SyncMessage msg);
+    void handle(Station &s, sync::SyncMessage msg);
+    /** Station service latency excluding overflow memory accesses. */
+    Tick baseServiceTicks(Station &s, Addr var);
+
+    // -- Fig. 8 routing ---------------------------------------------------
+    Route routeFor(Station &s, Addr var, bool acquireType, bool global);
+
+    // -- Lock -------------------------------------------------------------
+    void onLockAcquireLocal(Station &s, const sync::SyncMessage &m,
+                            Tick done);
+    void onLockReleaseLocal(Station &s, const sync::SyncMessage &m,
+                            Tick done);
+    void onLockAcquireGlobal(Station &s, const sync::SyncMessage &m,
+                             Tick done);
+    void onLockReleaseGlobal(Station &s, const sync::SyncMessage &m,
+                             Tick done);
+    void onLockGrantGlobal(Station &s, const sync::SyncMessage &m,
+                           Tick done);
+    void masterNextGrant(Station &s, StEntry &e, Tick done);
+    void localGrantNext(Station &s, StEntry &e, Tick done);
+    /** Lock acquire/release on behalf of @p localCore (cond-var path). */
+    void internalLockAcquire(Station &s, unsigned localCore, Addr lock,
+                             Tick done);
+    void internalLockRelease(Station &s, unsigned localCore, Addr lock,
+                             Tick done);
+
+    // -- Barrier ------------------------------------------------------------
+    void onBarrierWaitLocal(Station &s, const sync::SyncMessage &m,
+                            bool withinUnit, Tick done);
+    void onBarrierWaitGlobal(Station &s, const sync::SyncMessage &m,
+                             Tick done);
+    void onBarrierDepartGlobal(Station &s, const sync::SyncMessage &m,
+                               Tick done);
+    void masterBarrierCheck(Station &s, StEntry &e, std::uint64_t total,
+                            Tick done);
+    void departLocalWaiters(Station &s, StEntry &e, Tick done);
+
+    // -- Semaphore ------------------------------------------------------------
+    void onSemWaitLocal(Station &s, const sync::SyncMessage &m, Tick done);
+    void onSemPostLocal(Station &s, const sync::SyncMessage &m, Tick done);
+    void onSemWaitGlobal(Station &s, const sync::SyncMessage &m,
+                         Tick done);
+    void onSemPostGlobal(Station &s, const sync::SyncMessage &m,
+                         Tick done);
+    void onSemGrantGlobal(Station &s, const sync::SyncMessage &m,
+                          Tick done);
+    void masterSemPost(Station &s, StEntry &e, Tick done);
+
+    // -- Condition variable ----------------------------------------------------
+    void onCondWaitLocal(Station &s, const sync::SyncMessage &m,
+                         Tick done);
+    void onCondSignalLocal(Station &s, const sync::SyncMessage &m,
+                           bool broadcast, Tick done);
+    void onCondWaitGlobal(Station &s, const sync::SyncMessage &m,
+                          Tick done);
+    void onCondSignalGlobal(Station &s, const sync::SyncMessage &m,
+                            bool broadcast, Tick done);
+    void onCondGrantGlobal(Station &s, const sync::SyncMessage &m,
+                           bool broadcast, Tick done);
+    void masterCondSignal(Station &s, StEntry &e, bool broadcast,
+                          Tick done);
+
+    // -- Overflow: integrated hardware scheme (overflow.cc) -------------
+    void redirectOverflow(Station &s, const sync::SyncMessage &m,
+                          Tick done);
+    void handleOverflowAtMaster(Station &s, const sync::SyncMessage &m,
+                                Tick done);
+    void memLockOp(Station &s, MemVar &v, const sync::SyncMessage &m,
+                   bool acquire, UnitId fromUnit, int fromCore,
+                   bool unitLevel, Tick done);
+    void memBarrierOp(Station &s, MemVar &v, const sync::SyncMessage &m,
+                      UnitId fromUnit, int fromCore, bool unitLevel,
+                      Tick done);
+    void memSemOp(Station &s, MemVar &v, const sync::SyncMessage &m,
+                  bool wait, UnitId fromUnit, int fromCore, bool unitLevel,
+                  Tick done);
+    void memCondOp(Station &s, MemVar &v, const sync::SyncMessage &m,
+                   sync::OpKind kind, UnitId fromUnit, int fromCore,
+                   bool unitLevel, Tick done);
+    void memNextLockGrant(Station &s, MemVar &v, Tick done);
+    void memGrantTo(Station &s, MemVar &v, sync::Op grantOp,
+                    UnitId unit, int coreBit, bool unitLevel, Tick done);
+    void memMaybeCleanup(Station &s, Addr var, MemVar &v, Tick done);
+    /** Timed syncronVar read-modify-write at the master's local memory. */
+    Tick memVarAccess(Station &s, Addr var, Tick start);
+    void onDecreaseIndexingCounter(Station &s,
+                                   const sync::SyncMessage &m);
+    void onOverflowGrant(Station &s, const sync::SyncMessage &m,
+                         Tick done);
+
+    // -- Overflow: MiSAR-style ablation (overflow.cc) --------------------
+    bool misarActive() const;
+    /** True when @p var has no hardware state at any station. */
+    bool misarCanEnter(Addr var) const;
+    void misarEnter(Addr var, Tick when);
+    /** Diverts a local-opcode message to the software fallback. */
+    void misarDivertLocal(Station &s, const sync::SyncMessage &m,
+                          Tick done);
+    void misarRequest(core::Core &core, sync::OpKind kind, Addr var,
+                      std::uint64_t info, sim::Gate *gate);
+    void misarProcess(SoftServer &server, sync::OpKind kind, CoreId core,
+                      Addr var, std::uint64_t info, sim::Gate *gate);
+    void misarMaybeExit(Addr var, Tick when);
+    SoftServer &softServerFor(Addr var);
+
+    // -- Common helpers ---------------------------------------------------
+    void maybeFree(Station &s, StEntry &e, Tick now);
+    StEntry *entryOf(Station &s, Addr var);
+    /** Cost of the station's state access in ServerCore mode. */
+    Tick serverStateAccess(Station &s, Addr var, Tick start);
+
+    Machine &machine_;
+    EngineOptions opts_;
+    const char *name_;
+    std::vector<std::unique_ptr<Station>> stations_;
+    std::unordered_map<Addr, MemVar> memVars_;
+    std::vector<sim::Gate *> gates_; ///< pending gate per global core id
+    std::uint64_t overflowedReqs_ = 0;
+    std::uint64_t totalReqs_ = 0;
+
+    // MiSAR ablation state
+    std::unordered_set<Addr> misarVars_;
+    /// Software operations issued but not yet applied at the fallback
+    /// server, per variable. A variable may only leave software mode
+    /// once these drain — otherwise a core could acquire in software
+    /// and release in hardware.
+    std::unordered_map<Addr, std::uint32_t> misarPending_;
+    /// Software servicing cannot begin before the abort round trip to
+    /// every participating core completes.
+    std::unordered_map<Addr, Tick> misarReadyAt_;
+    sync::FlatSyncState misarState_;
+    std::vector<SoftServer> softServers_;
+};
+
+} // namespace syncron::engine
+
+#endif // SYNCRON_SYNCRON_ENGINE_HH

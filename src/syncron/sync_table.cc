@@ -1,0 +1,81 @@
+#include "syncron/sync_table.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace syncron::engine {
+
+bool
+StEntry::idle() const
+{
+    return localWaitBits == 0 && globalWaitBits == 0
+           && ownerKind == LockOwner::None && !holdsGrant
+           && !requestedGlobal && barrierArrived == 0
+           && barrierUnitsArrived == 0 && !barrierGlobalSent && !semInit
+           && !semArmed && !condArmed && condPending == 0;
+}
+
+SyncTable::SyncTable(std::uint32_t capacity, SystemStats &stats)
+    : capacity_(capacity), stats_(stats)
+{
+    SYNCRON_ASSERT(capacity_ >= 1, "ST needs at least one entry");
+}
+
+void
+SyncTable::accountOccupancy(Tick now)
+{
+    SYNCRON_ASSERT(now >= lastChange_, "occupancy time went backwards");
+    stats_.stOccupancyIntegral +=
+        static_cast<double>(occupied_)
+        * static_cast<double>(now - lastChange_);
+    stats_.stOccupancyTime += now - lastChange_;
+    lastChange_ = now;
+}
+
+StEntry *
+SyncTable::find(Addr var)
+{
+    auto it = entries_.find(var);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+StEntry *
+SyncTable::alloc(Addr var, Tick now)
+{
+    SYNCRON_ASSERT(!find(var), "double allocation for var @" << var);
+    if (full())
+        return nullptr;
+    accountOccupancy(now);
+    ++occupied_;
+    stats_.stMaxOccupied =
+        std::max<std::uint64_t>(stats_.stMaxOccupied, occupied_);
+    ++stats_.stAllocs;
+    StEntry &e = entries_[var];
+    e = StEntry{};
+    e.addr = var;
+    e.occupied = true;
+    return &e;
+}
+
+void
+SyncTable::release(Addr var, Tick now)
+{
+    auto it = entries_.find(var);
+    SYNCRON_ASSERT(it != entries_.end(), "release of absent entry @"
+                                             << var);
+    SYNCRON_ASSERT(it->second.idle(),
+                   "releasing non-idle ST entry @" << var);
+    accountOccupancy(now);
+    SYNCRON_ASSERT(occupied_ > 0, "occupancy underflow");
+    --occupied_;
+    entries_.erase(it);
+}
+
+void
+SyncTable::finalize(Tick now)
+{
+    accountOccupancy(now);
+}
+
+} // namespace syncron::engine

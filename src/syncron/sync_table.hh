@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The Synchronization Table (ST) — the specialized cache structure inside
+ * each Synchronization Engine that directly buffers synchronization
+ * variables (paper Section 4.2.2, Fig. 7).
+ *
+ * Each entry holds: the variable's 64-bit address, the global waiting
+ * list (one bit per SE, used in the Master role), the local waiting list
+ * (one bit per NDP core of the unit), an occupied/free state bit, and a
+ * 64-bit TableInfo field whose meaning depends on the primitive (lock
+ * owner, barrier arrival count, semaphore resources, or the lock address
+ * associated with a condition variable). The evaluated configuration has
+ * 64 entries per ST (Table 5); the size is a constructor parameter so
+ * Fig. 22/23 can sweep it.
+ *
+ * Occupancy is tracked as a time integral (sum of occupied-entries x
+ * elapsed ticks) to reproduce Table 7's max/avg occupancy statistics.
+ */
+
+#ifndef SYNCRON_SYNCRON_SYNC_TABLE_HH
+#define SYNCRON_SYNCRON_SYNC_TABLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sync/opcodes.hh"
+
+namespace syncron::engine {
+
+/** Who currently owns a lock tracked by an entry. */
+enum class LockOwner : std::uint8_t
+{
+    None,      ///< lock free
+    LocalCore, ///< a core of this SE's unit (Local ID in TableInfo)
+    Unit,      ///< another SE's unit (Global ID in TableInfo)
+};
+
+/**
+ * One ST entry (Fig. 7) plus the protocol bookkeeping the SPU keeps in
+ * its registers while the entry is live. Fields are grouped by the role
+ * (local SE vs. Master SE) and primitive that uses them.
+ */
+struct StEntry
+{
+    Addr addr = 0;
+    bool occupied = false;
+
+    /// Local waiting list: one bit per NDP core of this unit (Fig. 7).
+    std::uint64_t localWaitBits = 0;
+    /// Global waiting list: one bit per SE (Master role only).
+    std::uint64_t globalWaitBits = 0;
+    /// Per-primitive TableInfo payload (barrier count, sem resources,
+    /// cond-var lock address).
+    std::uint64_t tableInfo = 0;
+
+    // -- Lock
+    LockOwner ownerKind = LockOwner::None;
+    std::uint32_t ownerId = 0;   ///< local core id or SE global id
+    bool holdsGrant = false;     ///< local role: unit holds the lock
+    bool requestedGlobal = false;///< local role: acquire_global in flight
+    std::uint32_t grantStreak = 0; ///< consecutive local grants (4.4.2)
+
+    // -- Barrier
+    std::uint32_t barrierArrived = 0;      ///< local arrivals (or total
+                                           ///< at master in one-level mode)
+    std::uint32_t barrierUnitsArrived = 0; ///< master: SEs fully arrived
+    bool barrierGlobalSent = false;        ///< local role: aggregate sent
+
+    // -- Semaphore
+    bool semInit = false;
+    std::int64_t semAvail = 0; ///< master: available resources
+    bool semArmed = false;     ///< local role: sem_wait_global in flight
+
+    // -- Condition variable
+    bool condArmed = false;    ///< local role: cond_wait_global in flight
+    /// Master role: signals that arrived before any waiter's arming
+    /// message (a network race); consumed by the next wait — turning a
+    /// would-be lost wakeup into a Mesa-legal spurious wakeup.
+    std::uint32_t condPending = 0;
+
+    /** True when the entry holds no live protocol state. */
+    bool idle() const;
+};
+
+/** Fixed-capacity table of StEntry with occupancy accounting. */
+class SyncTable
+{
+  public:
+    /**
+     * @param capacity number of entries (Table 5: 64)
+     * @param stats    global stat sink (occupancy integral, max, allocs)
+     */
+    SyncTable(std::uint32_t capacity, SystemStats &stats);
+
+    /** Returns the entry for @p var, or nullptr. */
+    StEntry *find(Addr var);
+
+    /**
+     * Reserves a new entry for @p var at time @p now.
+     * @return the entry, or nullptr when the table is full
+     */
+    StEntry *alloc(Addr var, Tick now);
+
+    /** Releases @p var's entry at time @p now. */
+    void release(Addr var, Tick now);
+
+    bool full() const { return occupied_ >= capacity_; }
+    std::uint32_t occupied() const { return occupied_; }
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Read-only view of the live entries (model introspection). */
+    const std::unordered_map<Addr, StEntry> &
+    entries() const
+    {
+        return entries_;
+    }
+
+    /** Closes the occupancy integral at simulation end. */
+    void finalize(Tick now);
+
+  private:
+    void accountOccupancy(Tick now);
+
+    std::uint32_t capacity_;
+    SystemStats &stats_;
+    std::unordered_map<Addr, StEntry> entries_;
+    std::uint32_t occupied_ = 0;
+    Tick lastChange_ = 0;
+};
+
+} // namespace syncron::engine
+
+#endif // SYNCRON_SYNCRON_SYNC_TABLE_HH

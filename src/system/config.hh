@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Configuration of the simulated NDP system — the paper's Table 5 plus
+ * the synchronization-scheme selection used throughout the evaluation.
+ */
+
+#ifndef SYNCRON_SYSTEM_CONFIG_HH
+#define SYNCRON_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.hh"
+#include "common/types.hh"
+#include "mem/dram.hh"
+#include "net/crossbar.hh"
+#include "net/link.hh"
+
+namespace syncron {
+
+/**
+ * Synchronization scheme under evaluation (Section 5, "Comparison
+ * Points", plus the design-ablation variants of Section 6.7).
+ */
+enum class Scheme
+{
+    Ideal,        ///< zero-overhead synchronization
+    Central,      ///< one server NDP core for the whole system (Tesseract)
+    Hier,         ///< one server NDP core per unit (Gao et al. / pLock)
+    SynCron,      ///< the paper's mechanism: hierarchical SEs with STs
+    SynCronFlat,  ///< ablation: cores message the Master SE directly
+    /// Overflow ablations (Fig. 23): MiSAR-style abort to a software
+    /// fallback instead of SynCron's integrated hardware scheme.
+    SynCronCentralOvrfl,
+    SynCronDistribOvrfl,
+};
+
+/** Short scheme name for table output. */
+const char *schemeName(Scheme scheme);
+
+/** Full system configuration (defaults = Table 5, 2.5D HBM config). */
+struct SystemConfig
+{
+    // -- Topology
+    unsigned numUnits = 4;       ///< Table 5: 4 stacks / NDP units
+    unsigned coresPerUnit = 16;  ///< Table 5: 16 in-order cores per unit
+
+    /**
+     * Client cores per unit actually running the workload. One core per
+     * unit is reserved (server in Central/Hier, disabled under SynCron)
+     * so all schemes use the same thread-level parallelism (Section 5:
+     * "15 per NDP unit").
+     */
+    unsigned clientCoresPerUnit = 15;
+
+    // -- Memory technology
+    mem::DramTech dramTech = mem::DramTech::Hbm;
+
+    // -- Interconnect
+    net::CrossbarParams xbar{};
+    net::LinkParams link{};
+
+    // -- Caches
+    cache::CacheParams l1{};
+    double l1HitPj = 23.0;  ///< Table 5: 23 pJ per hit
+    double l1MissPj = 47.0; ///< Table 5: 47 pJ per miss
+
+    // -- Synchronization Engine (Table 5 "Synchronization Engine" row)
+    std::uint32_t stEntries = 64;          ///< ST: 64 entries
+    std::uint32_t indexingCounters = 256;  ///< 256 counters (8 LSB index)
+    std::uint32_t seServiceCycles = 12;    ///< 12 SPU cycles per message
+    Tick seCyclePeriod = 1000;             ///< SPU @1 GHz -> 1000 ps
+
+    /**
+     * Software message-handling cost on a server NDP core (Central /
+     * Hier), in core cycles, excluding the cache/memory access for the
+     * variable itself.
+     *
+     * chosen: not given by the paper. 40 cycles of mailbox read, decode,
+     * dispatch, waiting-list update, and response composition on a
+     * 2.5 GHz in-order core (16 ns) plus the L1 read-modify-write
+     * (3.2 ns on hits) makes a server ~60% slower per message than an SE
+     * (12 ns), matching Fig. 10's SynCron-vs-Hier gap at the
+     * 200-instruction interval.
+     */
+    std::uint32_t serverSwOverheadCycles = 40;
+
+    /**
+     * Optional lock-fairness threshold (paper Section 4.4.2, left as
+     * future work there; implemented here as an extension). 0 disables:
+     * an SE keeps serving local requesters while any exist — the paper's
+     * default behaviour. N > 0 transfers the lock to a remote waiter
+     * after N consecutive local grants.
+     */
+    std::uint32_t localGrantThreshold = 0;
+
+    // -- Scheme / workload
+    Scheme scheme = Scheme::SynCron;
+    std::uint64_t seed = 1;
+
+    /** Total number of client cores in the system. */
+    unsigned
+    totalClientCores() const
+    {
+        return numUnits * clientCoresPerUnit;
+    }
+
+    /** Total number of cores (client + reserved). */
+    unsigned totalCores() const { return numUnits * coresPerUnit; }
+
+    /** Checks internal consistency; fatal()s on user error. */
+    void validate() const;
+
+    /** Convenience: a config with @p n units and @p scheme. */
+    static SystemConfig make(Scheme scheme, unsigned numUnits = 4,
+                             unsigned clientCoresPerUnit = 15);
+};
+
+} // namespace syncron
+
+#endif // SYNCRON_SYSTEM_CONFIG_HH

@@ -1,0 +1,36 @@
+#include "system/energy.hh"
+
+#include "mem/dram.hh"
+
+namespace syncron {
+
+EnergyBreakdown
+computeEnergy(const SystemStats &stats, const SystemConfig &cfg)
+{
+    constexpr double kPjToJ = 1e-12;
+    EnergyBreakdown e;
+
+    // Table 5: 23/47 pJ per L1 hit/miss.
+    e.cacheJ = (static_cast<double>(stats.l1Hits) * cfg.l1HitPj
+                + static_cast<double>(stats.l1Misses) * cfg.l1MissPj)
+               * kPjToJ;
+
+    // Table 5: 0.4 pJ/bit per crossbar hop; 4 pJ/bit on the links.
+    e.networkJ = (static_cast<double>(stats.xbarBitHops)
+                      * cfg.xbar.pjPerBitHop
+                  + static_cast<double>(stats.linkBits)
+                        * cfg.link.pjPerBit)
+                 * kPjToJ;
+
+    // DRAM accesses move whole lines; Table 5: 7 pJ/bit for HBM (scaled
+    // per technology).
+    const mem::DramParams dram = mem::DramParams::forTech(cfg.dramTech);
+    const double dramBits =
+        static_cast<double>(stats.dramReads + stats.dramWrites)
+        * kCacheLineBytes * 8.0;
+    e.memoryJ = dramBits * dram.pjPerBit * kPjToJ;
+
+    return e;
+}
+
+} // namespace syncron

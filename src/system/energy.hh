@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Energy model: converts the event counts in SystemStats into the
+ * cache/network/memory energy breakdown of the paper's Fig. 14, using
+ * the per-event costs of Table 5 (CACTI-derived cache energies, network
+ * pJ/bit-hop, link pJ/bit, DRAM pJ/bit).
+ */
+
+#ifndef SYNCRON_SYSTEM_ENERGY_HH
+#define SYNCRON_SYSTEM_ENERGY_HH
+
+#include "common/stats.hh"
+#include "system/config.hh"
+
+namespace syncron {
+
+/** Energy in joules per Fig. 14 category. */
+struct EnergyBreakdown
+{
+    double cacheJ = 0.0;
+    double networkJ = 0.0;
+    double memoryJ = 0.0;
+
+    double total() const { return cacheJ + networkJ + memoryJ; }
+};
+
+/** Computes the breakdown from event counts and configuration. */
+EnergyBreakdown computeEnergy(const SystemStats &stats,
+                              const SystemConfig &cfg);
+
+} // namespace syncron
+
+#endif // SYNCRON_SYSTEM_ENERGY_HH

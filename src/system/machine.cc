@@ -1,0 +1,69 @@
+#include "system/machine.hh"
+
+#include "common/log.hh"
+
+namespace syncron {
+
+Machine::Machine(const SystemConfig &cfg)
+    : cfg_(cfg), addrSpace_(cfg.numUnits)
+{
+    cfg_.validate();
+    const mem::DramParams dramParams =
+        mem::DramParams::forTech(cfg_.dramTech);
+    xbars_.reserve(cfg_.numUnits);
+    drams_.reserve(cfg_.numUnits);
+    for (unsigned u = 0; u < cfg_.numUnits; ++u) {
+        xbars_.push_back(
+            std::make_unique<net::Crossbar>(cfg_.xbar, stats_));
+        drams_.push_back(std::make_unique<mem::Dram>(dramParams, stats_));
+    }
+    links_ = std::make_unique<net::LinkFabric>(cfg_.numUnits, cfg_.link,
+                                               stats_);
+}
+
+net::Crossbar &
+Machine::xbar(UnitId unit)
+{
+    SYNCRON_ASSERT(unit < xbars_.size(), "xbar: unknown unit " << unit);
+    return *xbars_[unit];
+}
+
+mem::Dram &
+Machine::dram(UnitId unit)
+{
+    SYNCRON_ASSERT(unit < drams_.size(), "dram: unknown unit " << unit);
+    return *drams_[unit];
+}
+
+Tick
+Machine::routeMessage(Tick start, UnitId from, UnitId to,
+                      std::uint32_t bits)
+{
+    if (from == to)
+        return xbar(from).transfer(start, bits);
+
+    Tick t = xbar(from).transfer(start, bits);
+    t = links_->send(t, from, to, (bits + 7) / 8);
+    return xbar(to).transfer(t, bits);
+}
+
+Tick
+Machine::memoryAccess(Tick start, UnitId from, Addr addr, bool isWrite,
+                      std::uint32_t bytes)
+{
+    const UnitId home = mem::unitOfAddr(addr);
+    SYNCRON_ASSERT(home < cfg_.numUnits,
+                   "access to address outside the system: " << addr);
+
+    // Request carries the write data; the response carries read data.
+    const std::uint32_t reqBits =
+        kMemReqHeaderBits + (isWrite ? bytes * 8 : 0);
+    const std::uint32_t respBits =
+        kMemRespHeaderBits + (isWrite ? 0 : bytes * 8);
+
+    Tick t = routeMessage(start, from, home, reqBits);
+    t = dram(home).access(t, addr, isWrite, bytes);
+    return routeMessage(t, home, from, respBits);
+}
+
+} // namespace syncron

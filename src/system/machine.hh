@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The simulated hardware platform: event queue, statistics, per-unit
+ * crossbars and DRAM, inter-unit links, and the shared address space.
+ *
+ * Machine provides the two composite operations every agent (core, SE,
+ * server core) uses:
+ *   - routeMessage(): deliver a message between (possibly different)
+ *     units through crossbar [+ link + crossbar];
+ *   - memoryAccess(): a full uncached memory transaction — request
+ *     message, DRAM access at the owning unit, response message.
+ */
+
+#ifndef SYNCRON_SYSTEM_MACHINE_HH
+#define SYNCRON_SYSTEM_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/allocator.hh"
+#include "mem/dram.hh"
+#include "net/crossbar.hh"
+#include "net/link.hh"
+#include "sim/event_queue.hh"
+#include "system/config.hh"
+
+namespace syncron {
+
+/** Bits in a request message header (command + address + ids). */
+constexpr std::uint32_t kMemReqHeaderBits = 80;
+
+/** Bits in a response message header. */
+constexpr std::uint32_t kMemRespHeaderBits = 16;
+
+/** One simulated NDP platform instance. */
+class Machine
+{
+  public:
+    explicit Machine(const SystemConfig &cfg);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const SystemConfig &config() const { return cfg_; }
+    sim::EventQueue &eq() { return eq_; }
+    SystemStats &stats() { return stats_; }
+    const SystemStats &stats() const { return stats_; }
+    mem::AddressSpace &addrSpace() { return addrSpace_; }
+
+    net::Crossbar &xbar(UnitId unit);
+    mem::Dram &dram(UnitId unit);
+    net::LinkFabric &links() { return *links_; }
+
+    /**
+     * Routes a @p bits -bit message from unit @p from to unit @p to,
+     * starting at @p start. Same-unit messages traverse only the local
+     * crossbar; cross-unit messages traverse source crossbar, serial
+     * link, and destination crossbar.
+     *
+     * @return absolute arrival tick
+     */
+    Tick routeMessage(Tick start, UnitId from, UnitId to,
+                      std::uint32_t bits);
+
+    /**
+     * Performs a complete uncached memory transaction issued by an agent
+     * in unit @p from to address @p addr (request + DRAM + response).
+     *
+     * @return absolute tick at which the response reaches the requester
+     */
+    Tick memoryAccess(Tick start, UnitId from, Addr addr, bool isWrite,
+                      std::uint32_t bytes);
+
+  private:
+    SystemConfig cfg_;
+    sim::EventQueue eq_;
+    SystemStats stats_;
+    mem::AddressSpace addrSpace_;
+    std::vector<std::unique_ptr<net::Crossbar>> xbars_;
+    std::vector<std::unique_ptr<mem::Dram>> drams_;
+    std::unique_ptr<net::LinkFabric> links_;
+};
+
+} // namespace syncron
+
+#endif // SYNCRON_SYSTEM_MACHINE_HH

@@ -1,0 +1,103 @@
+#include "system/system.hh"
+
+#include "baselines/central.hh"
+#include "baselines/flat.hh"
+#include "baselines/hier.hh"
+#include "baselines/ideal.hh"
+#include "baselines/misar_overflow.hh"
+#include "common/log.hh"
+
+namespace syncron {
+
+namespace {
+
+std::unique_ptr<sync::SyncBackend>
+makeBackend(Machine &machine)
+{
+    switch (machine.config().scheme) {
+      case Scheme::Ideal:
+        return std::make_unique<baselines::IdealBackend>(machine);
+      case Scheme::Central:
+        return std::make_unique<baselines::CentralBackend>(machine);
+      case Scheme::Hier:
+        return std::make_unique<baselines::HierBackend>(machine);
+      case Scheme::SynCron:
+        return std::make_unique<engine::SynCronBackend>(machine);
+      case Scheme::SynCronFlat:
+        return std::make_unique<baselines::FlatSynCronBackend>(machine);
+      case Scheme::SynCronCentralOvrfl:
+        return std::make_unique<baselines::CentralOvrflBackend>(machine);
+      case Scheme::SynCronDistribOvrfl:
+        return std::make_unique<baselines::DistribOvrflBackend>(machine);
+    }
+    SYNCRON_PANIC("unknown scheme");
+}
+
+} // namespace
+
+NdpSystem::NdpSystem(const SystemConfig &cfg)
+    : machine_(std::make_unique<Machine>(cfg))
+{
+    backend_ = makeBackend(*machine_);
+    engineView_ = dynamic_cast<engine::SynCronBackend *>(backend_.get());
+    api_ = std::make_unique<sync::SyncApi>(*machine_, *backend_);
+
+    const SystemConfig &c = machine_->config();
+    cores_.reserve(c.totalClientCores());
+    for (unsigned u = 0; u < c.numUnits; ++u) {
+        for (unsigned l = 0; l < c.clientCoresPerUnit; ++l) {
+            const CoreId id = u * c.coresPerUnit + l;
+            cores_.push_back(
+                std::make_unique<core::Core>(*machine_, id, u, l));
+        }
+    }
+}
+
+NdpSystem::~NdpSystem() = default;
+
+unsigned
+NdpSystem::numClientCores() const
+{
+    return static_cast<unsigned>(cores_.size());
+}
+
+core::Core &
+NdpSystem::clientCore(unsigned idx)
+{
+    SYNCRON_ASSERT(idx < cores_.size(), "client core index out of range: "
+                                            << idx);
+    return *cores_[idx];
+}
+
+void
+NdpSystem::spawn(sim::Process process)
+{
+    process.start(machine_->eq());
+    processes_.push_back(std::move(process));
+}
+
+void
+NdpSystem::run()
+{
+    machine_->eq().run();
+    for (const sim::Process &p : processes_) {
+        if (!p.done()) {
+            SYNCRON_FATAL(
+                "deadlock: event queue drained with "
+                << processes_.size()
+                << " processes spawned but at least one still blocked "
+                   "(scheme "
+                << backend_->name() << ")");
+        }
+    }
+    if (engineView_ != nullptr)
+        engineView_->finalizeStats();
+}
+
+Tick
+NdpSystem::elapsed() const
+{
+    return machine_->eq().now();
+}
+
+} // namespace syncron

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * NdpSystem: one fully assembled simulated NDP system — the hardware
+ * platform (Machine), the synchronization backend selected by the
+ * configuration's Scheme, the client NDP cores, and the run loop that
+ * drives workload coroutines to completion.
+ *
+ * Typical use (see examples/quickstart.cc):
+ *
+ *   SystemConfig cfg = SystemConfig::make(Scheme::SynCron);
+ *   NdpSystem sys(cfg);
+ *   for (unsigned i = 0; i < sys.numClientCores(); ++i)
+ *       sys.spawn(myKernel(sys.clientCore(i), sys.api()));
+ *   sys.run();
+ *   // sys.elapsed(), sys.stats(), computeEnergy(...)
+ */
+
+#ifndef SYNCRON_SYSTEM_SYSTEM_HH
+#define SYNCRON_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/core.hh"
+#include "sync/api.hh"
+#include "sync/backend.hh"
+#include "syncron/engine.hh"
+#include "system/config.hh"
+#include "system/machine.hh"
+
+namespace syncron {
+
+/** A complete simulated NDP system instance. */
+class NdpSystem
+{
+  public:
+    explicit NdpSystem(const SystemConfig &cfg);
+    ~NdpSystem();
+
+    NdpSystem(const NdpSystem &) = delete;
+    NdpSystem &operator=(const NdpSystem &) = delete;
+
+    Machine &machine() { return *machine_; }
+    sync::SyncApi &api() { return *api_; }
+    sync::SyncBackend &backend() { return *backend_; }
+
+    /**
+     * The SynCron engine, when the configured scheme is SE- or
+     * server-based (SynCron, Hier, overflow variants); nullptr for
+     * Ideal/Central/flat.
+     */
+    engine::SynCronBackend *syncronBackend() { return engineView_; }
+
+    /** Number of client cores executing the workload. */
+    unsigned numClientCores() const;
+
+    /** The @p idx -th client core; cores are distributed round-robin by
+     *  unit (core 0 -> unit 0, core 1 -> unit 0, ..., 15 -> unit 1...). */
+    core::Core &clientCore(unsigned idx);
+
+    /** Registers and starts a workload coroutine. */
+    void spawn(sim::Process process);
+
+    /**
+     * Runs the simulation until every spawned process completes.
+     * fatal()s on deadlock (event queue empty, processes pending).
+     */
+    void run();
+
+    /** Simulated time elapsed so far. */
+    Tick elapsed() const;
+
+    const SystemStats &stats() const { return machine_->stats(); }
+    const SystemConfig &config() const { return machine_->config(); }
+
+  private:
+    std::unique_ptr<Machine> machine_;
+    std::unique_ptr<sync::SyncBackend> backend_;
+    engine::SynCronBackend *engineView_ = nullptr;
+    std::unique_ptr<sync::SyncApi> api_;
+    std::vector<std::unique_ptr<core::Core>> cores_; ///< client cores
+    std::vector<sim::Process> processes_;
+};
+
+} // namespace syncron
+
+#endif // SYNCRON_SYSTEM_SYSTEM_HH

@@ -1,0 +1,81 @@
+#include "workloads/datastructures/structures.hh"
+
+#include <bit>
+
+namespace syncron::workloads {
+
+using core::Core;
+using core::MemKind;
+
+SimBstDrachsler::SimBstDrachsler(NdpSystem &sys, unsigned initialSize)
+    : sys_(sys), heap_(sys, 64, true) // distributed randomly
+{
+    Rng rng(sys.config().seed * 41 + 9);
+    while (nodes_.size() < initialSize) {
+        const std::uint64_t key = rng.next() >> 8;
+        if (nodes_.count(key))
+            continue;
+        nodes_.emplace(key, Node{heap_.alloc(),
+                                 sys.api().createSyncVarInterleaved()});
+    }
+}
+
+sim::Process
+SimBstDrachsler::worker(Core &c, unsigned ops)
+{
+    // Drachsler-style deletion: the search descends the tree lock-free
+    // (logical ordering), reads the node's payload, and only then locks
+    // the victim and its predecessor for the physical unlink. Lock
+    // traffic is a tiny fraction of the memory traffic, so all
+    // synchronization schemes perform similarly here (Section 6.1.2).
+    sync::SyncApi &api = sys_.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        if (nodes_.size() < 2)
+            break;
+        // Snapshot key/victim/pred/path before the first suspension:
+        // concurrent deleters invalidate map iterators.
+        auto it = nodes_.lower_bound(c.rng().next() >> 8);
+        if (it == nodes_.end())
+            it = std::prev(nodes_.end());
+        const std::uint64_t key = it->first;
+        const Node victim = it->second;
+        auto predIt = it == nodes_.begin() ? it : std::prev(it);
+        const bool havePred = predIt != it;
+        const Node pred = predIt->second;
+        const std::size_t pathLen =
+            3 * (63 - std::countl_zero(nodes_.size() | 1));
+        std::vector<Addr> path;
+        path.reserve(pathLen);
+        for (auto walk = it;; --walk) {
+            path.push_back(walk->second.addr);
+            if (path.size() >= pathLen || walk == nodes_.begin())
+                break;
+        }
+
+        // Lock-free search: ~3 * log2(n) dependent reads (search +
+        // logical-ordering validation), then the 64 B payload.
+        for (Addr hop : path)
+            co_await c.load(hop, 16, MemKind::SharedRW);
+        co_await c.load(victim.addr, 64, MemKind::SharedRW);
+        co_await c.compute(60); // value processing
+
+        if (havePred)
+            co_await api.lockAcquire(c, pred.lock);
+        co_await api.lockAcquire(c, victim.lock);
+        auto found = nodes_.find(key);
+        if (found != nodes_.end()
+            && found->second.addr == victim.addr) {
+            co_await c.store(victim.addr, 16, MemKind::SharedRW);
+            if (havePred)
+                co_await c.store(pred.addr, 16, MemKind::SharedRW);
+            nodes_.erase(found);
+            heap_.free(victim.addr);
+        }
+        co_await api.lockRelease(c, victim.lock);
+        if (havePred)
+            co_await api.lockRelease(c, pred.lock);
+        co_await c.compute(10);
+    }
+}
+
+} // namespace syncron::workloads

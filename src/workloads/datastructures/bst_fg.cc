@@ -1,0 +1,106 @@
+#include "workloads/datastructures/structures.hh"
+
+#include <algorithm>
+
+namespace syncron::workloads {
+
+using core::Core;
+using core::MemKind;
+
+int
+SimBstFg::insertShadow(std::uint64_t key, Addr addr, sync::SyncVar lock)
+{
+    nodes_.push_back(Node{key, addr, lock, -1, -1});
+    const int idx = static_cast<int>(nodes_.size()) - 1;
+    if (root_ == -1) {
+        root_ = idx;
+        return idx;
+    }
+    int cur = root_;
+    for (;;) {
+        Node &n = nodes_[cur];
+        if (key < n.key) {
+            if (n.left == -1) {
+                n.left = idx;
+                return idx;
+            }
+            cur = n.left;
+        } else {
+            if (n.right == -1) {
+                n.right = idx;
+                return idx;
+            }
+            cur = n.right;
+        }
+    }
+}
+
+SimBstFg::SimBstFg(NdpSystem &sys, unsigned initialSize)
+    : sys_(sys), heap_(sys, 40, true) // BSTs are distributed randomly
+{
+    // Shuffled insertion order gives the expected ~1.39 log2(n) depth.
+    Rng rng(sys.config().seed * 23 + 1);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(initialSize);
+    for (unsigned i = 0; i < initialSize; ++i)
+        keys.push_back(rng.next() >> 8);
+    for (std::uint64_t key : keys) {
+        insertShadow(key, heap_.alloc(),
+                     sys.api().createSyncVarInterleaved());
+    }
+}
+
+unsigned
+SimBstFg::depth() const
+{
+    unsigned maxDepth = 0;
+    // Iterative DFS to avoid recursion on a possibly deep tree.
+    std::vector<std::pair<int, unsigned>> stack;
+    if (root_ != -1)
+        stack.emplace_back(root_, 1);
+    while (!stack.empty()) {
+        auto [idx, d] = stack.back();
+        stack.pop_back();
+        maxDepth = std::max(maxDepth, d);
+        if (nodes_[idx].left != -1)
+            stack.emplace_back(nodes_[idx].left, d + 1);
+        if (nodes_[idx].right != -1)
+            stack.emplace_back(nodes_[idx].right, d + 1);
+    }
+    return maxDepth;
+}
+
+sim::Process
+SimBstFg::worker(Core &c, unsigned ops)
+{
+    // Fine-grained lookup with lock coupling down the search path: the
+    // core always holds the lock of the node it inspects, acquiring the
+    // child before releasing the parent. Two locks are held at every
+    // step, so with many cores the active-lock working set exceeds small
+    // STs — the Fig. 23 overflow workload.
+    sync::SyncApi &api = sys_.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        if (root_ == -1)
+            break;
+        const std::uint64_t key = c.rng().next() >> 8;
+
+        int cur = root_;
+        co_await api.lockAcquire(c, nodes_[cur].lock);
+        co_await c.load(nodes_[cur].addr, 24, MemKind::SharedRW);
+        for (;;) {
+            Node &n = nodes_[cur];
+            int next = key < n.key ? n.left : n.right;
+            co_await c.compute(3);
+            if (next == -1 || n.key == key)
+                break;
+            co_await api.lockAcquire(c, nodes_[next].lock);
+            co_await api.lockRelease(c, n.lock);
+            co_await c.load(nodes_[next].addr, 24, MemKind::SharedRW);
+            cur = next;
+        }
+        co_await api.lockRelease(c, nodes_[cur].lock);
+        co_await c.compute(10);
+    }
+}
+
+} // namespace syncron::workloads

@@ -1,0 +1,56 @@
+#include "workloads/datastructures/structures.hh"
+
+#include <algorithm>
+
+namespace syncron::workloads {
+
+using core::Core;
+using core::MemKind;
+
+SimLinkedList::SimLinkedList(NdpSystem &sys, unsigned initialSize)
+    : sys_(sys), heap_(sys, 24, false)
+{
+    Rng rng(sys.config().seed * 17 + 11);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(initialSize);
+    for (unsigned i = 0; i < initialSize; ++i)
+        keys.push_back(rng.next() >> 8);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    nodes_.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const UnitId unit = static_cast<UnitId>(
+            (i * sys.config().numUnits) / keys.size());
+        nodes_.push_back(Node{keys[i], heap_.alloc(unit),
+                              sys.api().createSyncVar(unit)});
+    }
+}
+
+sim::Process
+SimLinkedList::worker(Core &c, unsigned ops)
+{
+    // Hand-over-hand (lock-coupling) lookup: at any time the core holds
+    // the lock of the node it reads and acquires the next one before
+    // releasing it — so every core holds up to two locks concurrently,
+    // which is what overflows small STs (Section 6.7.3).
+    sync::SyncApi &api = sys_.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        if (nodes_.empty())
+            break;
+        const std::size_t target = c.rng().below(nodes_.size());
+
+        co_await api.lockAcquire(c, nodes_[0].lock);
+        co_await c.load(nodes_[0].addr, 16, MemKind::SharedRW);
+        for (std::size_t pos = 1; pos <= target; ++pos) {
+            co_await api.lockAcquire(c, nodes_[pos].lock);
+            co_await api.lockRelease(c, nodes_[pos - 1].lock);
+            co_await c.load(nodes_[pos].addr, 16, MemKind::SharedRW);
+            co_await c.compute(2);
+        }
+        co_await api.lockRelease(c, nodes_[target].lock);
+        co_await c.compute(10);
+    }
+}
+
+} // namespace syncron::workloads

@@ -1,0 +1,47 @@
+#include "workloads/datastructures/node_heap.hh"
+
+#include "common/log.hh"
+
+namespace syncron::workloads {
+
+NodeHeap::NodeHeap(NdpSystem &sys, std::uint32_t nodeBytes, bool random)
+    : sys_(sys), nodeBytes_(nodeBytes), random_(random)
+{
+    SYNCRON_ASSERT(nodeBytes_ >= 8, "nodes need at least one word");
+}
+
+Addr
+NodeHeap::alloc(UnitId unit)
+{
+    if (!freeList_.empty()) {
+        Addr a = freeList_.back();
+        freeList_.pop_back();
+        return a;
+    }
+    UnitId target = unit;
+    if (random_) {
+        target = rr_;
+        rr_ = (rr_ + 1) % sys_.config().numUnits;
+    }
+    return sys_.machine().addrSpace().allocIn(target, nodeBytes_, 8);
+}
+
+void
+NodeHeap::free(Addr node)
+{
+    freeList_.push_back(node);
+}
+
+FineLocks::FineLocks(NdpSystem &sys, std::size_t count,
+                     const std::vector<UnitId> &home)
+{
+    locks_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const UnitId unit =
+            home.empty() ? static_cast<UnitId>(i % sys.config().numUnits)
+                         : home[i % home.size()];
+        locks_.push_back(sys.api().createSyncVar(unit));
+    }
+}
+
+} // namespace syncron::workloads

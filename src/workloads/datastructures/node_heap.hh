@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Support for pointer-chasing data-structure workloads (paper Table 6:
+ * nine lock-based concurrent data structures from ASCYLIB and
+ * RCU-HTM/BST-FG, used as key-value sets).
+ *
+ * The structures are modeled at the level the evaluation depends on:
+ * every operation issues the same simulated-memory access skeleton
+ * (dependent loads for traversals, stores for mutations) and the same
+ * lock acquire/release pattern as the original implementation, against
+ * nodes placed in NDP-unit memory by a NodeHeap. Host-side shadow state
+ * keeps the structures semantically correct so tests can verify results.
+ */
+
+#ifndef SYNCRON_WORKLOADS_DATASTRUCTURES_NODE_HEAP_HH
+#define SYNCRON_WORKLOADS_DATASTRUCTURES_NODE_HEAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sync/api.hh"
+#include "system/system.hh"
+
+namespace syncron::workloads {
+
+/**
+ * Allocates fixed-size nodes in simulated memory, either statically
+ * partitioned across NDP units (most structures) or distributed randomly
+ * (the BSTs), with a free list for deletions.
+ */
+class NodeHeap
+{
+  public:
+    /**
+     * @param sys       owning system
+     * @param nodeBytes size of one node
+     * @param random    true: nodes spread round-robin over all units
+     *                  (the paper's "distributed randomly" placement);
+     *                  false: caller chooses the unit per allocation
+     */
+    NodeHeap(NdpSystem &sys, std::uint32_t nodeBytes, bool random);
+
+    /** Allocates a node (in @p unit when placement is not random). */
+    Addr alloc(UnitId unit = 0);
+
+    /** Returns a node to the free list. */
+    void free(Addr node);
+
+    std::uint32_t nodeBytes() const { return nodeBytes_; }
+
+  private:
+    NdpSystem &sys_;
+    std::uint32_t nodeBytes_;
+    bool random_;
+    unsigned rr_ = 0;
+    std::vector<Addr> freeList_;
+};
+
+/**
+ * A pool of fine-grained locks, one per slot (per node / bucket / output
+ * element), each homed in a chosen NDP unit. Used by the fine-grained
+ * structures (skip list, hash table, linked list, BSTs) and by the graph
+ * and time-series workloads for per-vertex / per-element locks.
+ */
+class FineLocks
+{
+  public:
+    FineLocks(NdpSystem &sys, std::size_t count,
+              const std::vector<UnitId> &home);
+
+    /** Lock protecting slot @p i. */
+    sync::SyncVar lock(std::size_t i) const { return locks_[i]; }
+
+    std::size_t size() const { return locks_.size(); }
+
+  private:
+    std::vector<sync::SyncVar> locks_;
+};
+
+/** Throughput result of a data-structure run. */
+struct DsResult
+{
+    std::uint64_t ops = 0;
+    Tick time = 0;
+
+    /** Operations per millisecond of simulated time (Fig. 11 metric). */
+    double
+    opsPerMs() const
+    {
+        if (time == 0)
+            return 0.0;
+        return static_cast<double>(ops)
+               / (static_cast<double>(time) / 1e9);
+    }
+};
+
+} // namespace syncron::workloads
+
+#endif // SYNCRON_WORKLOADS_DATASTRUCTURES_NODE_HEAP_HH

@@ -1,0 +1,62 @@
+#include "workloads/datastructures/structures.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/bits.hh"
+
+namespace syncron::workloads {
+
+using core::Core;
+using core::MemKind;
+
+SimPriorityQueue::SimPriorityQueue(NdpSystem &sys, unsigned initialSize)
+    : sys_(sys), lock_(sys.api().createSyncVar(0)),
+      baseAddr_(sys.machine().addrSpace().allocIn(
+          0, static_cast<std::uint64_t>(initialSize + 1) * 8, 8))
+{
+    // A pre-filled binary min-heap of random keys.
+    Rng rng(sys.config().seed * 77 + 5);
+    heapShadow_.reserve(initialSize);
+    for (unsigned i = 0; i < initialSize; ++i)
+        heapShadow_.push_back(rng.next() >> 16);
+    std::make_heap(heapShadow_.begin(), heapShadow_.end(),
+                   std::greater<>());
+}
+
+sim::Process
+SimPriorityQueue::worker(Core &c, unsigned ops)
+{
+    sync::SyncApi &api = sys_.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        // 100% deleteMin: root removal + sift-down under the coarse
+        // lock; every level of the sift is a parent/children access.
+        co_await api.lockAcquire(c, lock_);
+        if (!heapShadow_.empty()) {
+            const std::uint64_t min = heapShadow_.front();
+            if (min < lastPopped_)
+                ordered_ = false; // heap order violated => lock broken
+            std::pop_heap(heapShadow_.begin(), heapShadow_.end(),
+                          std::greater<>());
+            heapShadow_.pop_back();
+            lastPopped_ = min;
+
+            co_await c.load(baseAddr_, 8, MemKind::SharedRW); // root
+            const std::size_t n = heapShadow_.size();
+            co_await c.store(baseAddr_, 8, MemKind::SharedRW);
+            // Sift-down path: two child loads + one store per level.
+            std::size_t idx = 0;
+            while (2 * idx + 1 < n) {
+                const Addr child = baseAddr_ + (2 * idx + 1) * 8;
+                co_await c.load(child, 16, MemKind::SharedRW);
+                co_await c.store(baseAddr_ + idx * 8, 8,
+                                 MemKind::SharedRW);
+                idx = 2 * idx + 1;
+            }
+        }
+        co_await api.lockRelease(c, lock_);
+        co_await c.compute(10);
+    }
+}
+
+} // namespace syncron::workloads

@@ -1,0 +1,41 @@
+#include "workloads/datastructures/structures.hh"
+
+namespace syncron::workloads {
+
+using core::Core;
+using core::MemKind;
+
+SimQueue::SimQueue(NdpSystem &sys, unsigned initialSize)
+    : sys_(sys), heap_(sys, 16, false),
+      headLock_(sys.api().createSyncVar(0)),
+      tailLock_(sys.api().createSyncVar(0)),
+      headAddr_(sys.machine().addrSpace().allocIn(0, 16, 8))
+{
+    for (unsigned i = 0; i < initialSize; ++i)
+        shadow_.push_back(heap_.alloc(i % sys.config().numUnits));
+}
+
+sim::Process
+SimQueue::worker(Core &c, unsigned ops)
+{
+    sync::SyncApi &api = sys_.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        // 100% pop = dequeue through the head lock (Michael-Scott
+        // two-lock queue [104]).
+        co_await api.lockAcquire(c, headLock_);
+        co_await c.load(headAddr_, 8, MemKind::SharedRW); // head pointer
+        if (headIdx_ < shadow_.size()) {
+            const Addr node = shadow_[headIdx_];
+            ++headIdx_;
+            co_await c.load(node, 8, MemKind::SharedRW); // node->next
+            co_await c.store(headAddr_, 8, MemKind::SharedRW);
+            heap_.free(node);
+        } else {
+            ++emptyPops_;
+        }
+        co_await api.lockRelease(c, headLock_);
+        co_await c.compute(10);
+    }
+}
+
+} // namespace syncron::workloads

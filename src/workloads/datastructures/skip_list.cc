@@ -1,0 +1,100 @@
+#include "workloads/datastructures/structures.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bits.hh"
+
+namespace syncron::workloads {
+
+using core::Core;
+using core::MemKind;
+
+SimSkipList::SimSkipList(NdpSystem &sys, unsigned initialSize)
+    : sys_(sys), heap_(sys, 64, false)
+{
+    maxLevel_ = std::max(2u, log2Exact(std::bit_ceil(
+                                  std::uint64_t{initialSize} + 1)));
+    Rng rng(sys.config().seed * 31 + 7);
+    while (nodes_.size() < initialSize) {
+        const std::uint64_t key = rng.next() >> 8;
+        if (nodes_.count(key))
+            continue;
+        unsigned level = 1;
+        while (level < maxLevel_ && rng.chance(0.5))
+            ++level;
+        const UnitId unit =
+            static_cast<UnitId>(key % sys.config().numUnits);
+        nodes_.emplace(key, Node{heap_.alloc(unit),
+                                 sys.api().createSyncVar(unit), level});
+    }
+}
+
+sim::Process
+SimSkipList::worker(Core &c, unsigned ops)
+{
+    sync::SyncApi &api = sys_.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        if (nodes_.empty())
+            break;
+        // Pick a random present key (deterministic per-core stream).
+        // Snapshot everything BEFORE the first suspension: other worker
+        // coroutines may erase nodes while this one is suspended, which
+        // would invalidate any held iterator.
+        auto it = nodes_.lower_bound(c.rng().next() >> 8);
+        if (it == nodes_.end())
+            it = std::prev(nodes_.end());
+        const std::uint64_t key = it->first;
+        const Node victim = it->second;
+        auto predIt = it == nodes_.begin() ? it : std::prev(it);
+        const Node pred = predIt->second;
+        const bool havePred = predIt != it;
+        std::vector<Addr> path;
+        path.reserve(maxLevel_);
+        for (auto walk = it;; --walk) {
+            path.push_back(walk->second.addr);
+            if (path.size() >= maxLevel_ || walk == nodes_.begin())
+                break;
+        }
+
+        // Optimistic search: one dependent node load per level, walking
+        // the predecessor towers (medium contention: different cores
+        // traverse different regions).
+        for (Addr hop : path) {
+            co_await c.load(hop, 16, MemKind::SharedRW);
+            co_await c.compute(3);
+        }
+
+        // Locked deletion: predecessor + victim, then per-level unlink.
+        if (havePred)
+            co_await api.lockAcquire(c, pred.lock);
+        co_await api.lockAcquire(c, victim.lock);
+
+        // Re-validate and unlink under the locks.
+        auto found = nodes_.find(key);
+        const bool stillThere =
+            found != nodes_.end() && found->second.addr == victim.addr;
+        if (stillThere) {
+            for (unsigned lvl = 0; lvl < victim.level; ++lvl) {
+                if (havePred) {
+                    co_await c.store(pred.addr + lvl * 8, 8,
+                                     MemKind::SharedRW);
+                }
+                co_await c.load(victim.addr + lvl * 8, 8,
+                                MemKind::SharedRW);
+            }
+            nodes_.erase(found);
+            heap_.free(victim.addr);
+        }
+
+        co_await api.lockRelease(c, victim.lock);
+        if (havePred)
+            co_await api.lockRelease(c, pred.lock);
+        // The victim's lock variable is not recycled here: another core
+        // may still be queued on it (its retry then revalidates and
+        // backs off) — the same reason ASCYLIB defers reclamation.
+        co_await c.compute(10);
+    }
+}
+
+} // namespace syncron::workloads

@@ -1,0 +1,36 @@
+#include "workloads/datastructures/structures.hh"
+
+namespace syncron::workloads {
+
+using core::Core;
+using core::MemKind;
+
+SimStack::SimStack(NdpSystem &sys, unsigned initialSize)
+    : sys_(sys), heap_(sys, 16, false),
+      lock_(sys.api().createSyncVar(0)),
+      topAddr_(sys.machine().addrSpace().allocIn(0, 8, 8))
+{
+    // Pre-populated nodes are statically partitioned across units.
+    for (unsigned i = 0; i < initialSize; ++i)
+        shadow_.push_back(heap_.alloc(i % sys.config().numUnits));
+}
+
+sim::Process
+SimStack::worker(Core &c, unsigned ops)
+{
+    sync::SyncApi &api = sys_.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        // 100% push (Table 6).
+        const Addr node = heap_.alloc(c.unit());
+        co_await c.compute(6); // key/value preparation
+        co_await api.lockAcquire(c, lock_);
+        co_await c.load(topAddr_, 8, MemKind::SharedRW);
+        co_await c.store(node, 8, MemKind::SharedRW); // node->next = top
+        co_await c.store(topAddr_, 8, MemKind::SharedRW); // top = node
+        shadow_.push_back(node);
+        co_await api.lockRelease(c, lock_);
+        co_await c.compute(10); // caller-side work between operations
+    }
+}
+
+} // namespace syncron::workloads

@@ -1,0 +1,69 @@
+#include "workloads/graph/csr.hh"
+
+#include "common/log.hh"
+
+namespace syncron::workloads {
+
+std::vector<UnitId>
+rangePartition(const Graph &g, unsigned numUnits)
+{
+    std::vector<UnitId> part(g.numVertices, 0);
+    const std::uint32_t perUnit =
+        (g.numVertices + numUnits - 1) / numUnits;
+    for (std::uint32_t v = 0; v < g.numVertices; ++v)
+        part[v] = std::min<UnitId>(v / perUnit, numUnits - 1);
+    return part;
+}
+
+std::uint64_t
+crossingEdges(const Graph &g, const std::vector<UnitId> &part)
+{
+    std::uint64_t crossing = 0;
+    for (std::uint32_t v = 0; v < g.numVertices; ++v) {
+        for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            if (part[v] != part[g.colIdx[e]])
+                ++crossing;
+        }
+    }
+    return crossing / 2; // each undirected edge stored twice
+}
+
+PlacedGraph::PlacedGraph(NdpSystem &sys, Graph graph,
+                         std::vector<UnitId> part)
+    : graph_(std::move(graph)), part_(std::move(part))
+{
+    SYNCRON_ASSERT(part_.size() == graph_.numVertices,
+                   "partition size mismatch");
+    mem::AddressSpace &space = sys.machine().addrSpace();
+
+    dataAddr_.resize(graph_.numVertices);
+    adjAddr_.resize(graph_.numVertices);
+    for (std::uint32_t v = 0; v < graph_.numVertices; ++v) {
+        dataAddr_[v] = space.allocIn(part_[v], 8, 8);
+        const std::uint64_t adjBytes =
+            std::max<std::uint64_t>(4, graph_.degree(v) * 4ULL);
+        adjAddr_[v] = space.allocIn(part_[v], adjBytes, 4);
+    }
+    locks_ = std::make_unique<FineLocks>(sys, graph_.numVertices, part_);
+}
+
+std::vector<std::uint32_t>
+PlacedGraph::ownedBy(unsigned clientIdx, unsigned totalClients,
+                     unsigned clientsPerUnit) const
+{
+    SYNCRON_ASSERT(clientIdx < totalClients, "bad client index");
+    const UnitId unit = clientIdx / clientsPerUnit;
+    const unsigned slot = clientIdx % clientsPerUnit;
+    std::vector<std::uint32_t> owned;
+    unsigned seen = 0;
+    for (std::uint32_t v = 0; v < graph_.numVertices; ++v) {
+        if (part_[v] != unit)
+            continue;
+        if (seen % clientsPerUnit == slot)
+            owned.push_back(v);
+        ++seen;
+    }
+    return owned;
+}
+
+} // namespace syncron::workloads

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Graph substrate for the paper's real-application workloads (Table 6):
+ * CSR storage, synthetic generators standing in for the four real
+ * inputs, vertex partitioning across NDP units, and the placed graph
+ * (simulated addresses + per-vertex locks) the kernels run against.
+ *
+ * Input substitution (see DESIGN.md): the paper uses wikipedia-20051105
+ * (wk), soc-LiveJournal1 (sl), sx-stackoverflow (sx), and com-Orkut
+ * (co). We generate synthetic proxies with matching structure classes —
+ * skewed power-law graphs for wk/sl/sx and a denser, more uniform graph
+ * for co — at simulation-tractable sizes. Contention behaviour depends
+ * on degree skew, size, and partition locality, which the generators
+ * control; scheme orderings are preserved.
+ */
+
+#ifndef SYNCRON_WORKLOADS_GRAPH_CSR_HH
+#define SYNCRON_WORKLOADS_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/datastructures/node_heap.hh"
+
+namespace syncron::workloads {
+
+/** Host-side CSR graph (undirected: both edge directions stored). */
+struct Graph
+{
+    std::uint32_t numVertices = 0;
+    std::vector<std::uint32_t> rowPtr; ///< size numVertices + 1
+    std::vector<std::uint32_t> colIdx;
+
+    std::uint32_t numEdges() const
+    {
+        return static_cast<std::uint32_t>(colIdx.size());
+    }
+
+    std::uint32_t degree(std::uint32_t v) const
+    {
+        return rowPtr[v + 1] - rowPtr[v];
+    }
+};
+
+/** Power-law (skewed) graph: proxy for wk / sl / sx. */
+Graph generatePowerLaw(std::uint32_t numVertices, std::uint32_t avgDegree,
+                       std::uint64_t seed);
+
+/** Near-uniform denser graph: proxy for com-Orkut. */
+Graph generateUniform(std::uint32_t numVertices, std::uint32_t avgDegree,
+                      std::uint64_t seed);
+
+/** The four named proxy inputs at a size scale (1.0 = bench default). */
+Graph makeProxyInput(const std::string &name, double scale = 1.0);
+
+/** Static range partition: contiguous vertex blocks per unit. */
+std::vector<UnitId> rangePartition(const Graph &g, unsigned numUnits);
+
+/**
+ * Greedy BFS-grown min-edge-cut partition — the METIS stand-in for
+ * Fig. 19. Grows one region per unit from high-degree seeds, absorbing
+ * the frontier vertex with the most already-absorbed neighbors.
+ */
+std::vector<UnitId> greedyPartition(const Graph &g, unsigned numUnits);
+
+/** Number of edges whose endpoints land in different units. */
+std::uint64_t crossingEdges(const Graph &g,
+                            const std::vector<UnitId> &part);
+
+/**
+ * A graph placed into simulated memory: per-vertex output data homed in
+ * the owning unit (shared read-write, uncacheable), adjacency lists
+ * homed with the vertex (shared read-only, cacheable), and one
+ * fine-grained lock per vertex homed with its data.
+ */
+class PlacedGraph
+{
+  public:
+    PlacedGraph(NdpSystem &sys, Graph graph, std::vector<UnitId> part);
+
+    const Graph &graph() const { return graph_; }
+    UnitId unitOf(std::uint32_t v) const { return part_[v]; }
+
+    /** Address of vertex @p v 's output element (8 B). */
+    Addr vertexData(std::uint32_t v) const { return dataAddr_[v]; }
+
+    /** Address of vertex @p v 's adjacency list (4 B per neighbor). */
+    Addr adjBase(std::uint32_t v) const { return adjAddr_[v]; }
+
+    /** Per-vertex lock. */
+    sync::SyncVar vertexLock(std::uint32_t v) const
+    {
+        return locks_->lock(v);
+    }
+
+    /**
+     * Vertices owned by client @p clientIdx of @p totalClients: the
+     * vertices of the client's unit, split evenly among that unit's
+     * clients (Section 5: vertex data equally distributed across cores).
+     */
+    std::vector<std::uint32_t> ownedBy(unsigned clientIdx,
+                                       unsigned totalClients,
+                                       unsigned clientsPerUnit) const;
+
+  private:
+    Graph graph_;
+    std::vector<UnitId> part_;
+    std::vector<Addr> dataAddr_;
+    std::vector<Addr> adjAddr_;
+    std::unique_ptr<FineLocks> locks_;
+};
+
+} // namespace syncron::workloads
+
+#endif // SYNCRON_WORKLOADS_GRAPH_CSR_HH

@@ -1,0 +1,179 @@
+#include "workloads/graph/csr.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace syncron::workloads {
+
+namespace {
+
+/** Builds a CSR graph from an undirected edge list (deduplicated). */
+Graph
+fromEdges(std::uint32_t n,
+          const std::set<std::pair<std::uint32_t, std::uint32_t>> &edges)
+{
+    Graph g;
+    g.numVertices = n;
+    std::vector<std::uint32_t> degree(n, 0);
+    for (const auto &[a, b] : edges) {
+        ++degree[a];
+        ++degree[b];
+    }
+    g.rowPtr.resize(n + 1, 0);
+    for (std::uint32_t v = 0; v < n; ++v)
+        g.rowPtr[v + 1] = g.rowPtr[v] + degree[v];
+    g.colIdx.resize(g.rowPtr[n]);
+    std::vector<std::uint32_t> cursor(g.rowPtr.begin(),
+                                      g.rowPtr.end() - 1);
+    for (const auto &[a, b] : edges) {
+        g.colIdx[cursor[a]++] = b;
+        g.colIdx[cursor[b]++] = a;
+    }
+    return g;
+}
+
+} // namespace
+
+Graph
+generatePowerLaw(std::uint32_t numVertices, std::uint32_t avgDegree,
+                 std::uint64_t seed)
+{
+    // Preferential attachment: each new vertex connects to
+    // avgDegree / 2 targets biased toward earlier (high-degree)
+    // vertices, giving the heavy-tailed degree distribution of the
+    // paper's web/social graphs.
+    SYNCRON_ASSERT(numVertices >= 4, "graph too small");
+    Rng rng(seed);
+    std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+    std::vector<std::uint32_t> targets; // vertices repeated by degree
+    targets.reserve(static_cast<std::size_t>(numVertices) * avgDegree);
+
+    const std::uint32_t m = std::max(1u, avgDegree / 2);
+    // Small seed clique.
+    for (std::uint32_t v = 1; v <= m && v < numVertices; ++v) {
+        edges.emplace(0, v);
+        targets.push_back(0);
+        targets.push_back(v);
+    }
+    for (std::uint32_t v = m + 1; v < numVertices; ++v) {
+        for (std::uint32_t k = 0; k < m; ++k) {
+            std::uint32_t u;
+            if (!targets.empty() && rng.chance(0.9)) {
+                u = targets[rng.below(targets.size())];
+            } else {
+                u = static_cast<std::uint32_t>(rng.below(v));
+            }
+            if (u == v)
+                u = (u + 1) % v;
+            const std::uint32_t lo = std::min(u, v);
+            const std::uint32_t hi = std::max(u, v);
+            if (edges.emplace(lo, hi).second) {
+                targets.push_back(u);
+                targets.push_back(v);
+            }
+        }
+    }
+    return fromEdges(numVertices, edges);
+}
+
+Graph
+generateUniform(std::uint32_t numVertices, std::uint32_t avgDegree,
+                std::uint64_t seed)
+{
+    SYNCRON_ASSERT(numVertices >= 4, "graph too small");
+    Rng rng(seed);
+    std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+    const std::uint64_t wanted =
+        static_cast<std::uint64_t>(numVertices) * avgDegree / 2;
+    // Ring backbone keeps the graph connected.
+    for (std::uint32_t v = 0; v < numVertices; ++v) {
+        const std::uint32_t w = (v + 1) % numVertices;
+        edges.emplace(std::min(v, w), std::max(v, w));
+    }
+    while (edges.size() < wanted) {
+        const auto a = static_cast<std::uint32_t>(rng.below(numVertices));
+        const auto b = static_cast<std::uint32_t>(rng.below(numVertices));
+        if (a == b)
+            continue;
+        edges.emplace(std::min(a, b), std::max(a, b));
+    }
+    return fromEdges(numVertices, edges);
+}
+
+Graph
+makeProxyInput(const std::string &name, double scale)
+{
+    const auto sz = [scale](std::uint32_t base) {
+        return std::max<std::uint32_t>(
+            64, static_cast<std::uint32_t>(base * scale));
+    };
+    // Size classes mirror the relative scale and skew of the paper's
+    // inputs at simulation-tractable sizes.
+    if (name == "wk")
+        return generatePowerLaw(sz(2400), 8, 101);  // web: skewed
+    if (name == "sl")
+        return generatePowerLaw(sz(3600), 12, 202); // social: larger
+    if (name == "sx")
+        return generatePowerLaw(sz(3000), 10, 303); // Q&A: skewed
+    if (name == "co")
+        return generateUniform(sz(1800), 24, 404);  // Orkut: denser
+    SYNCRON_FATAL("unknown graph input '" << name
+                                          << "' (wk/sl/sx/co)");
+}
+
+std::vector<UnitId>
+greedyPartition(const Graph &g, unsigned numUnits)
+{
+    const std::uint32_t n = g.numVertices;
+    std::vector<UnitId> part(n, kInvalidUnit);
+    const std::uint32_t target = (n + numUnits - 1) / numUnits;
+
+    // Seeds: spread by vertex id; grow each region greedily by absorbing
+    // the unassigned neighbor with the strongest connection to the
+    // region (BFS-flavored min-cut growth).
+    std::uint32_t nextSeed = 0;
+    for (unsigned u = 0; u < numUnits; ++u) {
+        while (nextSeed < n && part[nextSeed] != kInvalidUnit)
+            ++nextSeed;
+        if (nextSeed >= n)
+            break;
+        std::vector<std::uint32_t> frontier{nextSeed};
+        part[nextSeed] = u;
+        std::uint32_t size = 1;
+        std::size_t cursor = 0;
+        while (size < target && cursor < frontier.size()) {
+            const std::uint32_t v = frontier[cursor++];
+            for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1];
+                 ++e) {
+                const std::uint32_t w = g.colIdx[e];
+                if (part[w] == kInvalidUnit) {
+                    part[w] = u;
+                    frontier.push_back(w);
+                    if (++size >= target)
+                        break;
+                }
+            }
+        }
+    }
+    // Any unreached vertices round-robin to the smallest regions.
+    std::vector<std::uint32_t> sizes(numUnits, 0);
+    for (std::uint32_t v = 0; v < n; ++v) {
+        if (part[v] != kInvalidUnit)
+            ++sizes[part[v]];
+    }
+    for (std::uint32_t v = 0; v < n; ++v) {
+        if (part[v] == kInvalidUnit) {
+            const auto smallest = static_cast<UnitId>(
+                std::min_element(sizes.begin(), sizes.end())
+                - sizes.begin());
+            part[v] = smallest;
+            ++sizes[smallest];
+        }
+    }
+    return part;
+}
+
+} // namespace syncron::workloads

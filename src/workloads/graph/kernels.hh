@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The six graph applications of the paper's Table 6 (CRONO-style push
+ * implementations with fine-grained per-vertex locks and inter-iteration
+ * barriers):
+ *
+ *   bfs  — breadth-first search        (locks + barriers)
+ *   cc   — connected components        (locks + barriers)
+ *   sssp — single-source shortest path (locks + barriers)
+ *   pr   — pagerank                    (locks + barriers)
+ *   tf   — teenage followers           (locks only)
+ *   tc   — triangle counting           (locks + barriers)
+ *
+ * Each app runs one worker coroutine per client core over the vertices
+ * its core owns; updates to another vertex's output element take that
+ * vertex's lock (the output array is shared read-write and uncacheable;
+ * adjacency lists are shared read-only and cacheable). Convergence uses
+ * CRONO's pattern: a global changed-flag in memory plus one barrier per
+ * iteration.
+ *
+ * Host-side reference implementations (hostBfs etc.) verify results.
+ */
+
+#ifndef SYNCRON_WORKLOADS_GRAPH_KERNELS_HH
+#define SYNCRON_WORKLOADS_GRAPH_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/graph/csr.hh"
+
+namespace syncron::workloads {
+
+/** The six applications. */
+enum class GraphApp { Bfs, Cc, Sssp, Pr, Tf, Tc };
+
+/** Short name ("bfs", ...). */
+const char *graphAppName(GraphApp app);
+
+/** Parses a short name; fatal() on unknown. */
+GraphApp graphAppFromName(const std::string &name);
+
+/** All six apps, in the paper's order. */
+inline constexpr GraphApp kAllGraphApps[] = {
+    GraphApp::Bfs, GraphApp::Cc, GraphApp::Sssp,
+    GraphApp::Pr,  GraphApp::Tf, GraphApp::Tc,
+};
+
+/** Outcome of a full application run. */
+struct GraphRunResult
+{
+    Tick time = 0;              ///< simulated execution time
+    std::uint64_t updates = 0;  ///< locked output updates performed
+    unsigned iterations = 0;    ///< outer iterations executed
+    std::vector<std::int64_t> values; ///< final per-vertex output
+};
+
+/**
+ * Runs @p app on @p placed using every client core of @p sys;
+ * blocks until completion (drives sys.run()).
+ *
+ * @param prIterations fixed iteration count for pagerank
+ */
+GraphRunResult runGraphApp(NdpSystem &sys, PlacedGraph &placed,
+                           GraphApp app, unsigned prIterations = 3);
+
+/** Edge weight used by sssp (deterministic in the endpoints). */
+std::uint32_t ssspWeight(std::uint32_t u, std::uint32_t v);
+
+/** Vertex age used by tf (deterministic). */
+std::uint32_t tfAge(std::uint32_t v);
+
+// -- Host-side references for verification ---------------------------
+std::vector<std::int64_t> hostBfs(const Graph &g, std::uint32_t src);
+std::vector<std::int64_t> hostCc(const Graph &g);
+std::vector<std::int64_t> hostSssp(const Graph &g, std::uint32_t src);
+std::vector<std::int64_t> hostTf(const Graph &g);
+
+} // namespace syncron::workloads
+
+#endif // SYNCRON_WORKLOADS_GRAPH_KERNELS_HH

@@ -1,0 +1,168 @@
+#include "workloads/micro/primitives.hh"
+
+#include "common/log.hh"
+#include "system/system.hh"
+
+namespace syncron::workloads {
+
+using core::Core;
+
+namespace {
+
+sim::Process
+lockLoop(NdpSystem &sys, Core &c, sync::SyncVar lock, unsigned interval,
+         unsigned ops)
+{
+    sync::SyncApi &api = sys.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        co_await c.compute(interval);
+        co_await api.lockAcquire(c, lock);
+        // Empty critical section (Fig. 10).
+        co_await api.lockRelease(c, lock);
+    }
+}
+
+sim::Process
+barrierLoop(NdpSystem &sys, Core &c, sync::SyncVar bar, unsigned interval,
+            unsigned ops, unsigned total)
+{
+    sync::SyncApi &api = sys.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        co_await c.compute(interval);
+        co_await api.barrierWaitAcrossUnits(c, bar, total);
+    }
+}
+
+sim::Process
+semWaitLoop(NdpSystem &sys, Core &c, sync::SyncVar sem, unsigned interval,
+            unsigned ops)
+{
+    sync::SyncApi &api = sys.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        co_await c.compute(interval);
+        co_await api.semWait(c, sem, 0);
+    }
+}
+
+sim::Process
+semPostLoop(NdpSystem &sys, Core &c, sync::SyncVar sem, unsigned interval,
+            unsigned ops)
+{
+    sync::SyncApi &api = sys.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        co_await c.compute(interval);
+        co_await api.semPost(c, sem);
+    }
+}
+
+struct CondShared
+{
+    std::int64_t tokens = 0;
+};
+
+sim::Process
+condWaitLoop(NdpSystem &sys, Core &c, sync::SyncVar cond,
+             sync::SyncVar lock, unsigned interval, unsigned ops,
+             CondShared &shared)
+{
+    sync::SyncApi &api = sys.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        co_await c.compute(interval);
+        co_await api.lockAcquire(c, lock);
+        while (shared.tokens == 0)
+            co_await api.condWait(c, cond, lock);
+        --shared.tokens;
+        co_await api.lockRelease(c, lock);
+    }
+}
+
+sim::Process
+condSignalLoop(NdpSystem &sys, Core &c, sync::SyncVar cond,
+               sync::SyncVar lock, unsigned interval, unsigned ops,
+               CondShared &shared)
+{
+    sync::SyncApi &api = sys.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        co_await c.compute(interval);
+        co_await api.lockAcquire(c, lock);
+        ++shared.tokens;
+        co_await api.condSignal(c, cond);
+        co_await api.lockRelease(c, lock);
+    }
+}
+
+} // namespace
+
+const char *
+primitiveName(Primitive p)
+{
+    switch (p) {
+      case Primitive::Lock: return "lock";
+      case Primitive::Barrier: return "barrier";
+      case Primitive::Semaphore: return "semaphore";
+      case Primitive::CondVar: return "condvar";
+    }
+    return "?";
+}
+
+MicroResult
+runPrimitiveBench(Scheme scheme, Primitive primitive, unsigned interval,
+                  unsigned opsPerCore, unsigned numUnits,
+                  unsigned clientsPerUnit)
+{
+    SystemConfig cfg = SystemConfig::make(scheme, numUnits,
+                                          clientsPerUnit);
+    NdpSystem sys(cfg);
+    const unsigned n = sys.numClientCores();
+    sync::SyncVar var = sys.api().createSyncVar(0);
+    sync::SyncVar lock = sys.api().createSyncVar(0);
+    CondShared shared;
+
+    switch (primitive) {
+      case Primitive::Lock:
+        for (unsigned i = 0; i < n; ++i) {
+            sys.spawn(lockLoop(sys, sys.clientCore(i), var, interval,
+                               opsPerCore));
+        }
+        break;
+      case Primitive::Barrier:
+        for (unsigned i = 0; i < n; ++i) {
+            sys.spawn(barrierLoop(sys, sys.clientCore(i), var, interval,
+                                  opsPerCore, n));
+        }
+        break;
+      case Primitive::Semaphore:
+        // Waiters and posters interleave across cores (and therefore
+        // across NDP units), as in a real producer/consumer split.
+        for (unsigned i = 0; i < n; ++i) {
+            if (i % 2 == 0) {
+                sys.spawn(semWaitLoop(sys, sys.clientCore(i), var,
+                                      interval, opsPerCore));
+            } else {
+                sys.spawn(semPostLoop(sys, sys.clientCore(i), var,
+                                      interval, opsPerCore));
+            }
+        }
+        break;
+      case Primitive::CondVar:
+        for (unsigned i = 0; i < n; ++i) {
+            if (i % 2 == 0) {
+                sys.spawn(condWaitLoop(sys, sys.clientCore(i), var, lock,
+                                       interval, opsPerCore, shared));
+            } else {
+                sys.spawn(condSignalLoop(sys, sys.clientCore(i), var,
+                                         lock, interval, opsPerCore,
+                                         shared));
+            }
+        }
+        break;
+    }
+
+    sys.run();
+    MicroResult result;
+    result.time = sys.elapsed();
+    result.syncOps = sys.stats().syncOps;
+    return result;
+}
+
+} // namespace syncron::workloads

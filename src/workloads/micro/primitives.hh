@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Primitive microbenchmarks (paper Fig. 10): cores repeatedly request a
+ * single synchronization variable, with a configurable number of compute
+ * instructions between synchronization points.
+ *
+ *   Lock:      empty critical section, all cores contend on one lock.
+ *   Barrier:   all cores synchronize repeatedly on one barrier.
+ *   Semaphore: half the cores sem_wait, the other half sem_post.
+ *   CondVar:   half cond_wait, half cond_signal (with the associated
+ *              lock — the highest synchronization intensity).
+ */
+
+#ifndef SYNCRON_WORKLOADS_MICRO_PRIMITIVES_HH
+#define SYNCRON_WORKLOADS_MICRO_PRIMITIVES_HH
+
+#include <cstdint>
+
+#include "system/config.hh"
+#include "common/types.hh"
+
+namespace syncron::workloads {
+
+/** The four primitives of Fig. 10. */
+enum class Primitive { Lock, Barrier, Semaphore, CondVar };
+
+/** Printable name. */
+const char *primitiveName(Primitive p);
+
+/** Result of one microbenchmark run. */
+struct MicroResult
+{
+    Tick time = 0;
+    std::uint64_t syncOps = 0;
+};
+
+/**
+ * Runs the Fig. 10 microbenchmark.
+ *
+ * @param scheme      synchronization scheme under test
+ * @param primitive   which primitive
+ * @param interval    compute instructions between synchronization points
+ * @param opsPerCore  synchronization episodes per core
+ * @param numUnits    NDP units (default: paper's 4)
+ * @param clientsPerUnit client cores per unit (default: paper's 15)
+ */
+MicroResult runPrimitiveBench(Scheme scheme, Primitive primitive,
+                              unsigned interval, unsigned opsPerCore,
+                              unsigned numUnits = 4,
+                              unsigned clientsPerUnit = 15);
+
+} // namespace syncron::workloads
+
+#endif // SYNCRON_WORKLOADS_MICRO_PRIMITIVES_HH

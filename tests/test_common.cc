@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for common utilities: bit helpers, RNG determinism, unit
+ * conversions, stats aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace syncron {
+namespace {
+
+TEST(Bits, BasicOperations)
+{
+    EXPECT_TRUE(bitSet(0b1010, 1));
+    EXPECT_FALSE(bitSet(0b1010, 0));
+    EXPECT_EQ(withBit(0, 5), 32u);
+    EXPECT_EQ(withoutBit(0b111, 1), 0b101u);
+    EXPECT_EQ(popCount(0xFF), 8u);
+    EXPECT_EQ(lowestSetBit(0b1000), 3u);
+    EXPECT_EQ(lowestSetBit(1), 0u);
+}
+
+TEST(Bits, PowerOfTwoAndLog)
+{
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(63));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_EQ(log2Exact(256), 8u);
+    EXPECT_EQ(bitsOf(0xABCD, 7, 4), 0xCu);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        differs = differs || (a2.next() != c.next());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+        const auto v = rng.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Units, ClockConversions)
+{
+    EXPECT_EQ(kCoreClock.period(), 400u);  // 2.5 GHz
+    EXPECT_EQ(kSpuClock.period(), 1000u);  // 1 GHz
+    EXPECT_EQ(kCoreClock.cycles(10), 4000u);
+    EXPECT_EQ(nsToTicks(40), 40000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(1500), 1.5);
+    EXPECT_EQ(kCoreClock.nextEdge(401), 800u);
+    EXPECT_EQ(kCoreClock.nextEdge(800), 800u);
+}
+
+TEST(Stats, AggregationAndOccupancy)
+{
+    SystemStats a, b;
+    a.l1Hits = 10;
+    a.stMaxOccupied = 5;
+    a.stOccupancyIntegral = 100.0;
+    a.stOccupancyTime = 50;
+    b.l1Hits = 7;
+    b.stMaxOccupied = 9;
+    b.stOccupancyIntegral = 20.0;
+    b.stOccupancyTime = 10;
+    a += b;
+    EXPECT_EQ(a.l1Hits, 17u);
+    EXPECT_EQ(a.stMaxOccupied, 9u);
+    EXPECT_DOUBLE_EQ(a.avgStOccupancy(), 120.0 / 60.0);
+
+    int fields = 0;
+    a.forEach([&](const std::string &, double) { ++fields; });
+    EXPECT_GT(fields, 20);
+}
+
+} // namespace
+} // namespace syncron

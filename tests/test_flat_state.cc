@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit + property tests for the flat semantic state machine — the
+ * reference semantics all backends must agree with.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/event_queue.hh"
+#include "sync/flat_state.hh"
+
+namespace syncron::sync {
+namespace {
+
+constexpr Addr kVarA = 0x100;
+constexpr Addr kVarB = 0x200;
+constexpr Addr kVarC = 0x300;
+constexpr Addr kLockVar = 0x400;
+constexpr Addr kCondVar = 0x500;
+
+class FlatStateTest : public ::testing::Test
+{
+  protected:
+    sim::EventQueue eq;
+    FlatSyncState st;
+    std::vector<std::unique_ptr<sim::Gate>> gates;
+
+    sim::Gate *
+    gate()
+    {
+        gates.push_back(std::make_unique<sim::Gate>(eq));
+        return gates.back().get();
+    }
+};
+
+TEST_F(FlatStateTest, LockGrantsInFifoOrder)
+{
+    auto g1 = st.apply(OpKind::LockAcquire, 1, kVarA, 0, gate());
+    ASSERT_EQ(g1.size(), 1u);
+    EXPECT_EQ(g1[0].core, 1u);
+
+    EXPECT_TRUE(st.apply(OpKind::LockAcquire, 2, kVarA, 0, gate()).empty());
+    EXPECT_TRUE(st.apply(OpKind::LockAcquire, 3, kVarA, 0, gate()).empty());
+
+    auto g2 = st.apply(OpKind::LockRelease, 1, kVarA, 0, nullptr);
+    ASSERT_EQ(g2.size(), 1u);
+    EXPECT_EQ(g2[0].core, 2u);
+    auto g3 = st.apply(OpKind::LockRelease, 2, kVarA, 0, nullptr);
+    ASSERT_EQ(g3.size(), 1u);
+    EXPECT_EQ(g3[0].core, 3u);
+    st.apply(OpKind::LockRelease, 3, kVarA, 0, nullptr);
+    EXPECT_TRUE(st.idle(kVarA));
+}
+
+TEST_F(FlatStateTest, ReleaseByNonOwnerPanics)
+{
+    st.apply(OpKind::LockAcquire, 1, kVarA, 0, gate());
+    EXPECT_THROW(st.apply(OpKind::LockRelease, 2, kVarA, 0, nullptr),
+                 std::logic_error);
+}
+
+TEST_F(FlatStateTest, BarrierReleasesExactlyAtCount)
+{
+    for (CoreId c = 0; c < 4; ++c) {
+        auto g = st.apply(OpKind::BarrierWaitAcrossUnits, c, kVarB, 5,
+                          gate());
+        EXPECT_TRUE(g.empty());
+    }
+    auto g = st.apply(OpKind::BarrierWaitAcrossUnits, 4, kVarB, 5, gate());
+    EXPECT_EQ(g.size(), 5u);
+    EXPECT_TRUE(st.idle(kVarB)); // reusable afterwards
+}
+
+TEST_F(FlatStateTest, SemaphoreCountsResources)
+{
+    // Initial value 2: first two waits pass, third blocks.
+    EXPECT_EQ(st.apply(OpKind::SemWait, 0, kVarC, 2, gate()).size(), 1u);
+    EXPECT_EQ(st.apply(OpKind::SemWait, 1, kVarC, 2, gate()).size(), 1u);
+    EXPECT_TRUE(st.apply(OpKind::SemWait, 2, kVarC, 2, gate()).empty());
+    auto g = st.apply(OpKind::SemPost, 0, kVarC, 0, nullptr);
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_EQ(g[0].core, 2u);
+    // Post with no waiters accumulates.
+    EXPECT_TRUE(st.apply(OpKind::SemPost, 0, kVarC, 0, nullptr).empty());
+    EXPECT_EQ(st.apply(OpKind::SemWait, 3, kVarC, 2, gate()).size(), 1u);
+}
+
+TEST_F(FlatStateTest, CondWaitReleasesLockAndSignalReacquires)
+{
+    // Core 1 takes the lock, then waits on the cond (releasing it).
+    st.apply(OpKind::LockAcquire, 1, kLockVar, 0, gate());
+    st.apply(OpKind::LockAcquire, 2, kLockVar, 0, gate()); // queued
+    auto g = st.apply(OpKind::CondWait, 1, kCondVar, kLockVar, gate());
+    // The lock passes to core 2.
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_EQ(g[0].core, 2u);
+
+    // Signal: core 1 must re-acquire the lock (held by 2) first.
+    EXPECT_TRUE(st.apply(OpKind::CondSignal, 2, kCondVar, 0, nullptr).empty());
+    auto g2 = st.apply(OpKind::LockRelease, 2, kLockVar, 0, nullptr);
+    ASSERT_EQ(g2.size(), 1u);
+    EXPECT_EQ(g2[0].core, 1u); // cond_wait finally returns
+}
+
+TEST_F(FlatStateTest, BroadcastWakesAllWaiters)
+{
+    st.apply(OpKind::LockAcquire, 9, kLockVar, 0, gate());
+    for (CoreId c = 0; c < 3; ++c) {
+        st.apply(OpKind::LockAcquire, c, kLockVar, 0, gate());
+        // each waiter in turn gets the lock when the previous waits
+        auto g = st.apply(OpKind::CondWait, 9, kCondVar, kLockVar, gate());
+        // returns lock grants to queued acquirers
+        if (!g.empty()) {
+            // re-own for the next round
+        }
+        // Simplify: single-owner pattern tested above; here just count
+        // broadcast delivery below.
+        break;
+    }
+    // Queue three waiters directly.
+    FlatSyncState fresh;
+    fresh.apply(OpKind::LockAcquire, 0, kLockVar, 0, gate());
+    fresh.apply(OpKind::CondWait, 0, kCondVar, kLockVar, gate());
+    fresh.apply(OpKind::LockAcquire, 1, kLockVar, 0, gate());
+    fresh.apply(OpKind::CondWait, 1, kCondVar, kLockVar, gate());
+    fresh.apply(OpKind::LockAcquire, 2, kLockVar, 0, gate());
+    fresh.apply(OpKind::CondWait, 2, kCondVar, kLockVar, gate());
+    auto g = fresh.apply(OpKind::CondBroadcast, 5, kCondVar, 0, nullptr);
+    // One waiter re-acquires immediately; the others queue on the lock.
+    ASSERT_EQ(g.size(), 1u);
+    auto g2 = fresh.apply(OpKind::LockRelease, g[0].core, kLockVar, 0,
+                          nullptr);
+    ASSERT_EQ(g2.size(), 1u);
+}
+
+/** Property sweep: random lock/sem traffic never loses a grant. */
+class FlatStateProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FlatStateProperty, RandomLockTrafficConserved)
+{
+    sim::EventQueue eq;
+    FlatSyncState st;
+    Rng rng(GetParam());
+    std::vector<std::unique_ptr<sim::Gate>> gates;
+
+    const int cores = 8;
+    const Addr var = 0xF00;
+    std::vector<bool> holds(cores, false);
+    std::vector<bool> waiting(cores, false);
+    int grants = 0, acquires = 0;
+
+    auto noteGrants = [&](const std::vector<SyncGrant> &gs) {
+        for (const SyncGrant &g : gs) {
+            EXPECT_TRUE(waiting[g.core]);
+            waiting[g.core] = false;
+            holds[g.core] = true;
+            ++grants;
+        }
+    };
+
+    for (int step = 0; step < 2000; ++step) {
+        const int c = static_cast<int>(rng.below(cores));
+        if (holds[c]) {
+            noteGrants(st.apply(OpKind::LockRelease, c, var, 0, nullptr));
+            holds[c] = false;
+        } else if (!waiting[c]) {
+            gates.push_back(std::make_unique<sim::Gate>(eq));
+            waiting[c] = true;
+            ++acquires;
+            noteGrants(st.apply(OpKind::LockAcquire, c, var, 0,
+                                gates.back().get()));
+        }
+    }
+    // Drain: release holders, everyone eventually gets the lock.
+    for (int round = 0; round < cores * 4; ++round) {
+        for (int c = 0; c < cores; ++c) {
+            if (holds[c]) {
+                noteGrants(
+                    st.apply(OpKind::LockRelease, c, var, 0, nullptr));
+                holds[c] = false;
+            }
+        }
+    }
+    EXPECT_EQ(grants, acquires);
+    EXPECT_TRUE(st.idle(var));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatStateProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace syncron::sync

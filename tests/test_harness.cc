@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Harness tests: table formatting, bench options, workload defaults, and
+ * end-to-end runner outputs (the building blocks of every bench binary).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+namespace syncron::harness {
+namespace {
+
+TEST(Table, FormatsAlignedColumnsAndNotes)
+{
+    TablePrinter t("Demo", {"a", "long-header", "c"});
+    t.addRow({"1", "2", "3"});
+    t.addRow({"wide-cell", "x", "y"});
+    t.addNote("a note");
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== Demo =="), std::string::npos);
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("note: a note"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    TablePrinter t("Demo", {"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtX(1.5), "1.50x");
+    EXPECT_EQ(fmtPct(0.305), "30.5%");
+}
+
+TEST(BenchOptions, ParsesFlags)
+{
+    const char *argv1[] = {"bench", "--full"};
+    auto o1 = BenchOptions::parse(2, const_cast<char **>(argv1));
+    EXPECT_TRUE(o1.full);
+    EXPECT_GT(o1.effectiveScale(), 1.0);
+
+    const char *argv2[] = {"bench", "--scale=0.5"};
+    auto o2 = BenchOptions::parse(2, const_cast<char **>(argv2));
+    EXPECT_DOUBLE_EQ(o2.effectiveScale(), 0.5);
+
+    const char *argv3[] = {"bench", "--bogus"};
+    EXPECT_THROW(BenchOptions::parse(2, const_cast<char **>(argv3)),
+                 std::runtime_error);
+}
+
+TEST(Runner, DsDefaultsCoverAllStructures)
+{
+    for (DsKind kind : kAllDsKinds) {
+        const DsParams p = dsDefaults(kind, 1.0);
+        EXPECT_GE(p.initialSize, 8u) << dsName(kind);
+        EXPECT_GE(p.opsPerCore, 1u) << dsName(kind);
+        EXPECT_STRNE(dsName(kind), "?");
+        // --full scales sizes up.
+        EXPECT_GE(dsDefaults(kind, 8.0).initialSize, p.initialSize);
+    }
+}
+
+TEST(Runner, AppInputsMatchThePapersTwentySix)
+{
+    const auto all = allAppInputs();
+    EXPECT_EQ(all.size(), 26u);
+    unsigned ts = 0;
+    for (const AppInput &ai : all) {
+        if (ai.app == "ts")
+            ++ts;
+    }
+    EXPECT_EQ(ts, 2u);
+}
+
+TEST(Runner, DataStructureRunProducesConsistentOutput)
+{
+    SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 2, 4);
+    auto out = runDataStructure(cfg, DsKind::Stack, 64, 5);
+    EXPECT_EQ(out.ops, 8u * 5u);
+    EXPECT_GT(out.time, 0u);
+    EXPECT_GT(out.opsPerMs(), 0.0);
+    EXPECT_GT(out.stats.syncOps, 0u);
+    EXPECT_GT(out.energy.total(), 0.0);
+    EXPECT_EQ(out.overflowFrac(), 0.0);
+}
+
+TEST(Runner, GraphRunRespectsPartitioningFlag)
+{
+    SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 4, 4);
+    auto range = runGraph(cfg, "wk", workloads::GraphApp::Tf, 0.1, false);
+    auto metis = runGraph(cfg, "wk", workloads::GraphApp::Tf, 0.1, true);
+    EXPECT_GT(range.ops, 0u);
+    EXPECT_EQ(range.ops, metis.ops) << "same updates, different layout";
+    // Better placement must not increase cross-unit traffic.
+    EXPECT_LE(metis.stats.bytesAcrossUnits,
+              range.stats.bytesAcrossUnits);
+}
+
+TEST(Runner, TimeSeriesRunReportsOccupancy)
+{
+    SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 4, 4);
+    auto out = runTimeSeries(cfg, "air", 0.3);
+    EXPECT_GT(out.ops, 0u);
+    EXPECT_GT(out.stMaxFrac, 0.0);
+    EXPECT_LE(out.stMaxFrac, 1.0);
+    EXPECT_GT(out.stAvgFrac, 0.0);
+}
+
+TEST(Runner, DeterministicAcrossInvocations)
+{
+    SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 2, 4);
+    auto a = runDataStructure(cfg, DsKind::HashTable, 64, 6);
+    auto b = runDataStructure(cfg, DsKind::HashTable, 64, 6);
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.stats.syncLocalMsgs, b.stats.syncLocalMsgs);
+    EXPECT_EQ(a.stats.dramReads, b.stats.dramReads);
+}
+
+} // namespace
+} // namespace syncron::harness

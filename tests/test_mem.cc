@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the DRAM timing model and the partitioned address
+ * space: technology parameters, row-buffer behaviour, bank queueing,
+ * and allocation invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/allocator.hh"
+#include "mem/dram.hh"
+
+namespace syncron::mem {
+namespace {
+
+TEST(DramParams, TechnologiesMatchTable5)
+{
+    const DramParams hbm = DramParams::hbm();
+    EXPECT_EQ(hbm.tRcdRead, 7000u);
+    EXPECT_EQ(hbm.tRas, 17000u);
+    EXPECT_EQ(hbm.channels, 8u);
+    EXPECT_DOUBLE_EQ(hbm.pjPerBit, 7.0);
+
+    const DramParams hmc = DramParams::hmc();
+    EXPECT_EQ(hmc.tRcdRead, 17000u);
+    EXPECT_EQ(hmc.channels, 32u);
+
+    const DramParams ddr4 = DramParams::ddr4();
+    EXPECT_EQ(ddr4.tRas, 39000u);
+    EXPECT_EQ(ddr4.channels, 1u);
+}
+
+TEST(Dram, RowHitIsFasterThanRowMiss)
+{
+    SystemStats stats;
+    Dram dram(DramParams::hbm(), stats);
+    const Tick missDone = dram.access(0, 0x1000, false, 8);
+    // Same row, bank now open (and idle after the first access).
+    const Tick hitStart = missDone;
+    const Tick hitDone = dram.access(hitStart, 0x1000, false, 8);
+    EXPECT_GT(missDone - 0, hitDone - hitStart);
+    EXPECT_EQ(stats.dramRowMisses, 1u);
+    EXPECT_EQ(stats.dramRowHits, 1u);
+}
+
+TEST(Dram, BankConflictsSerialize)
+{
+    SystemStats stats;
+    Dram dram(DramParams::hbm(), stats);
+    // Two simultaneous requests to the same line queue behind each other.
+    const Tick t1 = dram.access(0, 0x2000, false, 8);
+    const Tick t2 = dram.access(0, 0x2000, false, 8);
+    EXPECT_GT(t2, t1);
+}
+
+TEST(Dram, TechnologiesOrderByLatency)
+{
+    SystemStats s1, s2, s3;
+    Dram hbm(DramParams::hbm(), s1);
+    Dram hmc(DramParams::hmc(), s2);
+    Dram ddr4(DramParams::ddr4(), s3);
+    const Tick a = hbm.access(0, 0x40, false, 8);
+    const Tick b = hmc.access(0, 0x40, false, 8);
+    const Tick c = ddr4.access(0, 0x40, false, 8);
+    EXPECT_LT(a, b); // HBM faster than HMC
+    EXPECT_LT(b, c); // HMC faster than DDR4
+}
+
+TEST(Dram, WritesIncludeRecovery)
+{
+    SystemStats stats;
+    Dram dram(DramParams::hbm(), stats);
+    const Tick r = dram.access(0, 0x40, false, 8);
+    SystemStats stats2;
+    Dram dram2(DramParams::hbm(), stats2);
+    const Tick w = dram2.access(0, 0x40, true, 8);
+    EXPECT_GT(w, r); // nWR makes writes occupy the bank longer
+}
+
+TEST(Dram, MultiLineAccessTouchesAllLines)
+{
+    SystemStats stats;
+    Dram dram(DramParams::hbm(), stats);
+    dram.access(0, 0x40, false, 256); // 4 lines
+    EXPECT_EQ(stats.dramReads, 4u);
+}
+
+TEST(AddressSpace, UnitsOwnDisjointWindows)
+{
+    AddressSpace space(4);
+    const Addr a0 = space.allocIn(0, 64);
+    const Addr a1 = space.allocIn(1, 64);
+    const Addr a3 = space.allocIn(3, 64);
+    EXPECT_EQ(unitOfAddr(a0), 0u);
+    EXPECT_EQ(unitOfAddr(a1), 1u);
+    EXPECT_EQ(unitOfAddr(a3), 3u);
+    EXPECT_NE(a0, 0u); // address 0 is reserved as "null"
+}
+
+TEST(AddressSpace, AllocationsDoNotOverlapAndAlign)
+{
+    AddressSpace space(2);
+    Addr prevEnd = 0;
+    for (int i = 0; i < 100; ++i) {
+        const Addr a = space.allocIn(0, 24, 16);
+        EXPECT_EQ(a % 16, 0u);
+        EXPECT_GE(a, prevEnd);
+        prevEnd = a + 24;
+    }
+    EXPECT_EQ(space.usedIn(1), 0u);
+    EXPECT_GT(space.usedIn(0), 100u * 24);
+}
+
+TEST(AddressSpace, InterleavedRoundRobins)
+{
+    AddressSpace space(4);
+    UnitId expect = 0;
+    for (int i = 0; i < 8; ++i) {
+        const Addr a = space.allocInterleaved(8);
+        EXPECT_EQ(unitOfAddr(a), expect);
+        expect = (expect + 1) % 4;
+    }
+}
+
+} // namespace
+} // namespace syncron::mem

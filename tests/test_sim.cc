@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event ordering, coroutine
+ * processes, delays, and completion gates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/process.hh"
+
+namespace syncron::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickEventsRunFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NestedSchedulingFromCallbacks)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        eq.scheduleIn(5, [&] { fired = 2; });
+        fired = 1;
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 15u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(30, [&] { ++count; });
+    eq.run(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.empty());
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), std::logic_error);
+}
+
+Process
+delayTwice(EventQueue &eq, std::vector<Tick> &trace)
+{
+    trace.push_back(eq.now());
+    co_await Delay{eq, 100};
+    trace.push_back(eq.now());
+    co_await Delay{eq, 250};
+    trace.push_back(eq.now());
+}
+
+TEST(Process, DelaysAdvanceSimulatedTime)
+{
+    EventQueue eq;
+    std::vector<Tick> trace;
+    Process p = delayTwice(eq, trace);
+    EXPECT_FALSE(p.done());
+    p.start(eq);
+    eq.run();
+    EXPECT_TRUE(p.done());
+    EXPECT_EQ(trace, (std::vector<Tick>{0, 100, 350}));
+}
+
+Process
+waitOnGate(EventQueue &eq, Gate &gate, std::uint64_t &got, Tick &when)
+{
+    got = co_await gate;
+    when = eq.now();
+}
+
+TEST(Gate, OpenAfterAwaitResumesWaiter)
+{
+    EventQueue eq;
+    Gate gate(eq);
+    std::uint64_t got = 0;
+    Tick when = 0;
+    Process p = waitOnGate(eq, gate, got, when);
+    p.start(eq);
+    eq.schedule(500, [&] { gate.open(42, 25); });
+    eq.run();
+    EXPECT_TRUE(p.done());
+    EXPECT_EQ(got, 42u);
+    EXPECT_EQ(when, 525u);
+}
+
+TEST(Gate, OpenBeforeAwaitCompletesImmediately)
+{
+    EventQueue eq;
+    Gate gate(eq);
+    gate.open(7, 0);
+    std::uint64_t got = 0;
+    Tick when = 1234;
+    Process p = waitOnGate(eq, gate, got, when);
+    p.start(eq);
+    eq.run();
+    EXPECT_TRUE(p.done());
+    EXPECT_EQ(got, 7u);
+    EXPECT_EQ(when, 0u);
+}
+
+TEST(Gate, DoubleOpenPanics)
+{
+    EventQueue eq;
+    Gate gate(eq);
+    gate.open(1);
+    EXPECT_THROW(gate.open(2), std::logic_error);
+}
+
+Process
+spawnChildren(EventQueue &eq, int &counter)
+{
+    // A process that completes without any awaits still works.
+    ++counter;
+    co_await Delay{eq, 0};
+    ++counter;
+}
+
+TEST(Process, ZeroDelayAndImmediateCompletion)
+{
+    EventQueue eq;
+    int counter = 0;
+    Process p = spawnChildren(eq, counter);
+    p.start(eq);
+    eq.run();
+    EXPECT_TRUE(p.done());
+    EXPECT_EQ(counter, 2);
+}
+
+TEST(Process, MoveTransfersOwnership)
+{
+    EventQueue eq;
+    int counter = 0;
+    Process p = spawnChildren(eq, counter);
+    Process q = std::move(p);
+    EXPECT_FALSE(p.valid());
+    q.start(eq);
+    eq.run();
+    EXPECT_TRUE(q.done());
+}
+
+} // namespace
+} // namespace syncron::sim

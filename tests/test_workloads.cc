@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Workload correctness tests: the simulated kernels must produce the
+ * same results as host-side reference implementations on every
+ * synchronization scheme (schemes may only change timing, never
+ * results), and the data structures must preserve their invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "system/system.hh"
+#include "workloads/datastructures/structures.hh"
+#include "workloads/graph/kernels.hh"
+#include "workloads/timeseries/scrimp.hh"
+
+namespace syncron {
+namespace {
+
+using workloads::Graph;
+using workloads::GraphApp;
+
+SystemConfig
+smallCfg(Scheme scheme)
+{
+    return SystemConfig::make(scheme, 4, 4);
+}
+
+class WorkloadSchemeTest : public ::testing::TestWithParam<Scheme>
+{
+};
+
+TEST_P(WorkloadSchemeTest, BfsMatchesHostReference)
+{
+    NdpSystem sys(smallCfg(GetParam()));
+    Graph g = workloads::generatePowerLaw(300, 6, 42);
+    auto part = workloads::rangePartition(g, 4);
+    Graph gCopy = g;
+    workloads::PlacedGraph placed(sys, std::move(g), std::move(part));
+
+    auto result = workloads::runGraphApp(sys, placed, GraphApp::Bfs);
+
+    std::uint32_t src = 0;
+    for (std::uint32_t v = 0; v < gCopy.numVertices; ++v) {
+        if (gCopy.degree(v) > gCopy.degree(src))
+            src = v;
+    }
+    EXPECT_EQ(result.values, workloads::hostBfs(gCopy, src));
+    EXPECT_GT(result.updates, 0u);
+}
+
+TEST_P(WorkloadSchemeTest, CcMatchesHostReference)
+{
+    NdpSystem sys(smallCfg(GetParam()));
+    Graph g = workloads::generateUniform(240, 4, 7);
+    auto part = workloads::rangePartition(g, 4);
+    Graph gCopy = g;
+    workloads::PlacedGraph placed(sys, std::move(g), std::move(part));
+
+    auto result = workloads::runGraphApp(sys, placed, GraphApp::Cc);
+    EXPECT_EQ(result.values, workloads::hostCc(gCopy));
+}
+
+TEST_P(WorkloadSchemeTest, SsspMatchesHostReference)
+{
+    NdpSystem sys(smallCfg(GetParam()));
+    Graph g = workloads::generatePowerLaw(260, 5, 13);
+    auto part = workloads::rangePartition(g, 4);
+    Graph gCopy = g;
+    workloads::PlacedGraph placed(sys, std::move(g), std::move(part));
+
+    auto result = workloads::runGraphApp(sys, placed, GraphApp::Sssp);
+
+    std::uint32_t src = 0;
+    for (std::uint32_t v = 0; v < gCopy.numVertices; ++v) {
+        if (gCopy.degree(v) > gCopy.degree(src))
+            src = v;
+    }
+    EXPECT_EQ(result.values, workloads::hostSssp(gCopy, src));
+}
+
+TEST_P(WorkloadSchemeTest, TfMatchesHostReference)
+{
+    NdpSystem sys(smallCfg(GetParam()));
+    Graph g = workloads::generatePowerLaw(280, 6, 99);
+    auto part = workloads::rangePartition(g, 4);
+    Graph gCopy = g;
+    workloads::PlacedGraph placed(sys, std::move(g), std::move(part));
+
+    auto result = workloads::runGraphApp(sys, placed, GraphApp::Tf);
+    EXPECT_EQ(result.values, workloads::hostTf(gCopy));
+}
+
+TEST_P(WorkloadSchemeTest, ScrimpMatchesHostReference)
+{
+    NdpSystem sys(smallCfg(GetParam()));
+    workloads::ScrimpWorkload ts(sys, "air", 0.4);
+    ts.run();
+    const auto ref = ts.hostProfile();
+    ASSERT_EQ(ts.profile().size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_DOUBLE_EQ(ts.profile()[i], ref[i]) << "at " << i;
+    EXPECT_GT(ts.updates(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, WorkloadSchemeTest,
+    ::testing::Values(Scheme::Ideal, Scheme::Central, Scheme::Hier,
+                      Scheme::SynCron, Scheme::SynCronFlat),
+    [](const ::testing::TestParamInfo<Scheme> &info) {
+        std::string n = schemeName(info.param);
+        for (char &ch : n) {
+            if (ch == '-' || ch == '_')
+                ch = 'x';
+        }
+        return n;
+    });
+
+// ----------------------------------------------------------------------
+// Data-structure invariants (run on SynCron; semantics already
+// cross-checked per scheme by test_backends)
+// ----------------------------------------------------------------------
+
+TEST(DataStructures, StackGrowsByPushCount)
+{
+    NdpSystem sys(smallCfg(Scheme::SynCron));
+    workloads::SimStack stack(sys, 100);
+    const unsigned ops = 7;
+    for (unsigned i = 0; i < sys.numClientCores(); ++i)
+        sys.spawn(stack.worker(sys.clientCore(i), ops));
+    sys.run();
+    EXPECT_EQ(stack.size(), 100 + sys.numClientCores() * ops);
+}
+
+TEST(DataStructures, QueuePopsAreBounded)
+{
+    NdpSystem sys(smallCfg(Scheme::SynCron));
+    workloads::SimQueue queue(sys, 64);
+    const unsigned ops = 10;
+    for (unsigned i = 0; i < sys.numClientCores(); ++i)
+        sys.spawn(queue.worker(sys.clientCore(i), ops));
+    sys.run();
+    // 16 cores x 10 pops on 64 elements: exactly 96 empty pops.
+    EXPECT_EQ(queue.emptyPops(),
+              sys.numClientCores() * ops - 64u);
+}
+
+TEST(DataStructures, PriorityQueuePopsInOrder)
+{
+    NdpSystem sys(smallCfg(Scheme::SynCron));
+    workloads::SimPriorityQueue pq(sys, 500);
+    for (unsigned i = 0; i < sys.numClientCores(); ++i)
+        sys.spawn(pq.worker(sys.clientCore(i), 8));
+    sys.run();
+    EXPECT_TRUE(pq.popsWereOrdered());
+    EXPECT_EQ(pq.size(), 500 - sys.numClientCores() * 8);
+}
+
+TEST(DataStructures, SkipListShrinksOnDeletions)
+{
+    NdpSystem sys(smallCfg(Scheme::SynCron));
+    workloads::SimSkipList sl(sys, 400);
+    for (unsigned i = 0; i < sys.numClientCores(); ++i)
+        sys.spawn(sl.worker(sys.clientCore(i), 5));
+    sys.run();
+    // Concurrent deleters may collide on a victim (the optimistic retry
+    // then backs off), so at most cores*ops are removed.
+    EXPECT_LT(sl.size(), 400u);
+    EXPECT_GE(sl.size(), 400u - sys.numClientCores() * 5);
+}
+
+TEST(DataStructures, HashTableLookupsComplete)
+{
+    NdpSystem sys(smallCfg(Scheme::SynCron));
+    workloads::SimHashTable ht(sys, 128);
+    for (unsigned i = 0; i < sys.numClientCores(); ++i)
+        sys.spawn(ht.worker(sys.clientCore(i), 12));
+    sys.run();
+    EXPECT_GT(ht.hits(), 0u);
+}
+
+TEST(DataStructures, LinkedListAndBstsComplete)
+{
+    NdpSystem sys(smallCfg(Scheme::SynCron));
+    workloads::SimLinkedList ll(sys, 64);
+    workloads::SimBstFg bst(sys, 256);
+    for (unsigned i = 0; i < sys.numClientCores() / 2; ++i)
+        sys.spawn(ll.worker(sys.clientCore(i), 3));
+    for (unsigned i = sys.numClientCores() / 2;
+         i < sys.numClientCores(); ++i)
+        sys.spawn(bst.worker(sys.clientCore(i), 5));
+    sys.run();
+    EXPECT_GT(sys.stats().syncOps, 0u);
+}
+
+TEST(DataStructures, BstDrachslerDeletes)
+{
+    NdpSystem sys(smallCfg(Scheme::SynCron));
+    workloads::SimBstDrachsler bst(sys, 300);
+    for (unsigned i = 0; i < sys.numClientCores(); ++i)
+        sys.spawn(bst.worker(sys.clientCore(i), 4));
+    sys.run();
+    EXPECT_LT(bst.size(), 300u);
+}
+
+// ----------------------------------------------------------------------
+// Graph substrate properties
+// ----------------------------------------------------------------------
+
+TEST(GraphSubstrate, GeneratorsProduceConnectedSizedGraphs)
+{
+    Graph pl = workloads::generatePowerLaw(500, 8, 1);
+    EXPECT_EQ(pl.numVertices, 500u);
+    EXPECT_GT(pl.numEdges(), 500u);
+    auto cc = workloads::hostCc(pl);
+    for (std::int64_t label : cc)
+        EXPECT_EQ(label, cc[0]); // preferential attachment: connected
+
+    Graph uni = workloads::generateUniform(400, 10, 2);
+    auto cc2 = workloads::hostCc(uni);
+    for (std::int64_t label : cc2)
+        EXPECT_EQ(label, cc2[0]); // ring backbone: connected
+}
+
+TEST(GraphSubstrate, GreedyPartitionCutsFewerEdgesThanRange)
+{
+    Graph g = workloads::generatePowerLaw(1200, 8, 3);
+    const auto range = workloads::rangePartition(g, 4);
+    const auto greedy = workloads::greedyPartition(g, 4);
+    const std::uint64_t rangeCut = workloads::crossingEdges(g, range);
+    const std::uint64_t greedyCut = workloads::crossingEdges(g, greedy);
+    EXPECT_LT(greedyCut, rangeCut)
+        << "the METIS stand-in must reduce crossing edges";
+}
+
+TEST(GraphSubstrate, ProxyInputsHaveDistinctScales)
+{
+    Graph wk = workloads::makeProxyInput("wk", 0.2);
+    Graph co = workloads::makeProxyInput("co", 0.2);
+    EXPECT_GT(wk.numVertices, 64u);
+    // co is the denser input.
+    const double wkDeg =
+        static_cast<double>(wk.numEdges()) / wk.numVertices;
+    const double coDeg =
+        static_cast<double>(co.numEdges()) / co.numVertices;
+    EXPECT_GT(coDeg, wkDeg);
+}
+
+} // namespace
+} // namespace syncron
