@@ -29,40 +29,44 @@ struct Pipeline
 
 sim::Process
 producer(core::Core &c, sync::SyncApi &api, Pipeline &p,
-         sync::SyncVar slots, sync::SyncVar items, sync::SyncVar lock,
+         sync::Semaphore slots, sync::Semaphore items, sync::Lock lock,
          unsigned count)
 {
     for (unsigned i = 0; i < count; ++i) {
         co_await c.compute(120); // produce an item
-        co_await api.semWait(c, slots, p.capacity); // free slot
-        co_await api.lockAcquire(c, lock);
-        const std::uint64_t item = c.id() * 1000 + i;
-        p.buffer.push_back(item);
-        ++p.produced;
-        co_await c.store(p.ringAddr + (p.produced % p.capacity) * 8, 8,
-                         core::MemKind::SharedRW);
-        co_await api.lockRelease(c, lock);
-        co_await api.semPost(c, items); // item available
+        co_await api.wait(c, slots); // free slot
+        {
+            sync::ScopedLock guard = co_await api.scoped(c, lock);
+            const std::uint64_t item = c.id() * 1000 + i;
+            p.buffer.push_back(item);
+            ++p.produced;
+            co_await c.store(p.ringAddr + (p.produced % p.capacity) * 8,
+                             8, core::MemKind::SharedRW);
+            co_await guard.unlock();
+        }
+        co_await api.post(c, items); // item available
     }
 }
 
 sim::Process
 consumer(core::Core &c, sync::SyncApi &api, Pipeline &p,
-         sync::SyncVar slots, sync::SyncVar items, sync::SyncVar lock,
+         sync::Semaphore slots, sync::Semaphore items, sync::Lock lock,
          unsigned count)
 {
     for (unsigned i = 0; i < count; ++i) {
-        co_await api.semWait(c, items, 0); // wait for an item
-        co_await api.lockAcquire(c, lock);
-        const std::uint64_t item = p.buffer.front();
-        p.buffer.pop_front();
-        ++p.consumed;
-        p.checksum += item;
-        co_await c.load(p.ringAddr + (p.consumed % p.capacity) * 8, 8,
-                        core::MemKind::SharedRW);
-        co_await api.lockRelease(c, lock);
-        co_await api.semPost(c, slots); // slot freed
-        co_await c.compute(150);        // consume the item
+        co_await api.wait(c, items); // wait for an item
+        {
+            sync::ScopedLock guard = co_await api.scoped(c, lock);
+            const std::uint64_t item = p.buffer.front();
+            p.buffer.pop_front();
+            ++p.consumed;
+            p.checksum += item;
+            co_await c.load(p.ringAddr + (p.consumed % p.capacity) * 8,
+                            8, core::MemKind::SharedRW);
+            co_await guard.unlock();
+        }
+        co_await api.post(c, slots); // slot freed
+        co_await c.compute(150);     // consume the item
     }
 }
 
@@ -76,9 +80,9 @@ main()
 
     Pipeline p;
     p.ringAddr = sys.machine().addrSpace().allocIn(0, p.capacity * 8, 8);
-    sync::SyncVar slots = sys.api().createSyncVar(0);
-    sync::SyncVar items = sys.api().createSyncVar(0);
-    sync::SyncVar lock = sys.api().createSyncVar(0);
+    sync::Semaphore slots = sys.api().createSemaphore(0, p.capacity);
+    sync::Semaphore items = sys.api().createSemaphore(0, 0);
+    sync::Lock lock = sys.api().createLock(0);
 
     const unsigned perCore = 12;
     const unsigned n = sys.numClientCores();

@@ -30,12 +30,12 @@ struct Shared
 };
 
 sim::Process
-worker(core::Core &core, sync::SyncApi &api, sync::SyncVar lock,
+worker(core::Core &core, sync::SyncApi &api, sync::Lock lock,
        Shared &shared, int increments)
 {
     for (int i = 0; i < increments; ++i) {
         co_await core.compute(100); // some private work
-        co_await api.lockAcquire(core, lock);
+        sync::ScopedLock guard = co_await api.scoped(core, lock);
         // Critical section: read-modify-write the shared counter in the
         // owning unit's memory (shared read-write => uncacheable).
         co_await core.load(shared.counterAddr, 8,
@@ -43,7 +43,7 @@ worker(core::Core &core, sync::SyncApi &api, sync::SyncVar lock,
         ++shared.counter;
         co_await core.store(shared.counterAddr, 8,
                             core::MemKind::SharedRW);
-        co_await api.lockRelease(core, lock);
+        co_await guard.unlock();
     }
 }
 
@@ -57,7 +57,7 @@ main()
 
     Shared shared;
     shared.counterAddr = sys.machine().addrSpace().allocIn(0, 8, 8);
-    sync::SyncVar lock = sys.api().createSyncVar(/*unit=*/0);
+    sync::Lock lock = sys.api().createLock(/*unit=*/0);
 
     const int increments = 20;
     for (unsigned i = 0; i < sys.numClientCores(); ++i) {

@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "common/units.hh"
 #include "core/core.hh"
+#include "sync/registry.hh"
 #include "sync/syncvar.hh"
 
 namespace syncron::baselines {
@@ -18,10 +19,10 @@ CentralBackend::CentralBackend(Machine &machine, UnitId serverUnit)
 }
 
 void
-CentralBackend::request(core::Core &requester, sync::OpKind kind, Addr var,
-                        std::uint64_t info, sim::Gate *gate)
+CentralBackend::request(core::Core &requester,
+                        const sync::SyncRequest &req, sim::Gate *gate)
 {
-    const bool acquire = sync::isAcquireType(kind);
+    const bool acquire = req.acquireType();
     if (!acquire) {
         // req_async: commit once the message has been issued.
         gate->open(0, requester.cyclePeriod());
@@ -37,9 +38,9 @@ CentralBackend::request(core::Core &requester, sync::OpKind kind, Addr var,
 
     const CoreId core = requester.id();
     sim::Gate *acquireGate = acquire ? gate : nullptr;
-    machine_.eq().schedule(arrival, [this, kind, core, var, info,
-                                     acquireGate] {
-        process(kind, core, var, info, acquireGate);
+    ++pending_[req.var()];
+    machine_.eq().schedule(arrival, [this, req, core, acquireGate] {
+        process(req, core, acquireGate);
     });
 }
 
@@ -66,20 +67,24 @@ CentralBackend::varAccess(Tick start, Addr var)
 }
 
 void
-CentralBackend::process(sync::OpKind kind, CoreId core, Addr var,
-                        std::uint64_t info, sim::Gate *gate)
+CentralBackend::process(const sync::SyncRequest &req, CoreId core,
+                        sim::Gate *gate)
 {
     const SystemConfig &cfg = machine_.config();
     const Tick start = std::max(machine_.eq().now(), busyUntil_);
     Tick done = start
                 + static_cast<Tick>(cfg.serverSwOverheadCycles)
                       * kCoreClock.period();
-    done = varAccess(done, var);
+    done = varAccess(done, req.var());
     busyUntil_ = done;
 
-    machine_.eq().schedule(done, [this, kind, core, var, info, gate] {
+    machine_.eq().schedule(done, [this, req, core, gate] {
         const Tick when = machine_.eq().now();
-        auto grants = state_.apply(kind, core, var, info, gate);
+        auto grants = state_.apply(req, core, gate);
+        if (auto it = pending_.find(req.var());
+            it != pending_.end() && --it->second == 0) {
+            pending_.erase(it);
+        }
         for (const sync::SyncGrant &g : grants) {
             const UnitId unit = g.core / machine_.config().coresPerUnit;
             const Tick arrival = machine_.routeMessage(
@@ -93,5 +98,9 @@ CentralBackend::process(sync::OpKind kind, CoreId core, Addr var,
         }
     });
 }
+
+SYNCRON_REGISTER_BACKEND("Central", [](Machine &m) {
+    return std::make_unique<CentralBackend>(m);
+});
 
 } // namespace syncron::baselines

@@ -14,6 +14,7 @@
 #define SYNCRON_BASELINES_CENTRAL_HH
 
 #include <memory>
+#include <unordered_map>
 
 #include "cache/cache.hh"
 #include "sync/backend.hh"
@@ -32,15 +33,23 @@ class CentralBackend : public sync::SyncBackend
      */
     explicit CentralBackend(Machine &machine, UnitId serverUnit = 0);
 
-    void request(core::Core &requester, sync::OpKind kind, Addr var,
-                 std::uint64_t info, sim::Gate *gate) override;
+    void request(core::Core &requester, const sync::SyncRequest &req,
+                 sim::Gate *gate) override;
+
+    bool
+    idleVar(Addr var) const override
+    {
+        return pending_.count(var) == 0 && state_.idle(var);
+    }
+
+    void releaseVar(Addr var) override { state_.destroy(var); }
 
     const char *name() const override { return "Central"; }
 
   private:
     /** Runs at the server when a request message arrives. */
-    void process(sync::OpKind kind, CoreId core, Addr var,
-                 std::uint64_t info, sim::Gate *gate);
+    void process(const sync::SyncRequest &req, CoreId core,
+                 sim::Gate *gate);
 
     /** Timed software RMW of @p var through the server's L1. */
     Tick varAccess(Tick start, Addr var);
@@ -50,6 +59,9 @@ class CentralBackend : public sync::SyncBackend
     sync::FlatSyncState state_;
     UnitId serverUnit_;
     Tick busyUntil_ = 0;
+    /// Requests issued but not yet applied at the server, per variable
+    /// (keeps idleVar() honest about messages still in flight).
+    std::unordered_map<Addr, std::uint32_t> pending_;
 };
 
 } // namespace syncron::baselines

@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "core/core.hh"
 #include "mem/allocator.hh"
+#include "sync/registry.hh"
 #include "sync/syncvar.hh"
 
 namespace syncron::baselines {
@@ -14,14 +15,14 @@ FlatSynCronBackend::FlatSynCronBackend(Machine &machine)
 {}
 
 void
-FlatSynCronBackend::request(core::Core &requester, sync::OpKind kind,
-                            Addr var, std::uint64_t info, sim::Gate *gate)
+FlatSynCronBackend::request(core::Core &requester,
+                            const sync::SyncRequest &req, sim::Gate *gate)
 {
-    const bool acquire = sync::isAcquireType(kind);
+    const bool acquire = req.acquireType();
     if (!acquire)
         gate->open(0, requester.cyclePeriod());
 
-    const UnitId master = mem::unitOfAddr(var);
+    const UnitId master = mem::unitOfAddr(req.var());
     const Tick arrival = machine_.routeMessage(
         machine_.eq().now(), requester.unit(), master, sync::kSyncReqBits);
     if (requester.unit() == master)
@@ -31,15 +32,16 @@ FlatSynCronBackend::request(core::Core &requester, sync::OpKind kind,
 
     const CoreId core = requester.id();
     sim::Gate *acquireGate = acquire ? gate : nullptr;
-    machine_.eq().schedule(arrival, [this, master, kind, core, var, info,
+    ++pending_[req.var()];
+    machine_.eq().schedule(arrival, [this, master, req, core,
                                      acquireGate] {
-        process(master, kind, core, var, info, acquireGate);
+        process(master, req, core, acquireGate);
     });
 }
 
 void
-FlatSynCronBackend::process(UnitId se, sync::OpKind kind, CoreId core,
-                            Addr var, std::uint64_t info, sim::Gate *gate)
+FlatSynCronBackend::process(UnitId se, const sync::SyncRequest &req,
+                            CoreId core, sim::Gate *gate)
 {
     const SystemConfig &cfg = machine_.config();
     const Tick start = std::max(machine_.eq().now(), busyUntil_[se]);
@@ -50,9 +52,13 @@ FlatSynCronBackend::process(UnitId se, sync::OpKind kind, CoreId core,
                             * cfg.seCyclePeriod;
     busyUntil_[se] = done;
 
-    machine_.eq().schedule(done, [this, se, kind, core, var, info, gate] {
+    machine_.eq().schedule(done, [this, se, req, core, gate] {
         const Tick when = machine_.eq().now();
-        auto grants = state_.apply(kind, core, var, info, gate);
+        auto grants = state_.apply(req, core, gate);
+        if (auto it = pending_.find(req.var());
+            it != pending_.end() && --it->second == 0) {
+            pending_.erase(it);
+        }
         for (const sync::SyncGrant &g : grants) {
             const UnitId unit = g.core / machine_.config().coresPerUnit;
             const Tick arrival = machine_.routeMessage(
@@ -66,5 +72,9 @@ FlatSynCronBackend::process(UnitId se, sync::OpKind kind, CoreId core,
         }
     });
 }
+
+SYNCRON_REGISTER_BACKEND("SynCron-flat", [](Machine &m) {
+    return std::make_unique<FlatSynCronBackend>(m);
+});
 
 } // namespace syncron::baselines

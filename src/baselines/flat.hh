@@ -12,6 +12,7 @@
 #ifndef SYNCRON_BASELINES_FLAT_HH
 #define SYNCRON_BASELINES_FLAT_HH
 
+#include <unordered_map>
 #include <vector>
 
 #include "sync/backend.hh"
@@ -26,18 +27,29 @@ class FlatSynCronBackend : public sync::SyncBackend
   public:
     explicit FlatSynCronBackend(Machine &machine);
 
-    void request(core::Core &requester, sync::OpKind kind, Addr var,
-                 std::uint64_t info, sim::Gate *gate) override;
+    void request(core::Core &requester, const sync::SyncRequest &req,
+                 sim::Gate *gate) override;
+
+    bool
+    idleVar(Addr var) const override
+    {
+        return pending_.count(var) == 0 && state_.idle(var);
+    }
+
+    void releaseVar(Addr var) override { state_.destroy(var); }
 
     const char *name() const override { return "SynCron-flat"; }
 
   private:
-    void process(UnitId se, sync::OpKind kind, CoreId core, Addr var,
-                 std::uint64_t info, sim::Gate *gate);
+    void process(UnitId se, const sync::SyncRequest &req, CoreId core,
+                 sim::Gate *gate);
 
     Machine &machine_;
     sync::FlatSyncState state_;
     std::vector<Tick> busyUntil_; ///< per-unit SE SPU
+    /// Requests issued but not yet applied at their Master SE, per
+    /// variable (keeps idleVar() honest about in-flight messages).
+    std::unordered_map<Addr, std::uint32_t> pending_;
 };
 
 } // namespace syncron::baselines

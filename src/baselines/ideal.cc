@@ -1,20 +1,25 @@
 #include "baselines/ideal.hh"
 
 #include "core/core.hh"
+#include "sync/registry.hh"
 
 namespace syncron::baselines {
 
 void
-IdealBackend::request(core::Core &requester, sync::OpKind kind, Addr var,
-                      std::uint64_t info, sim::Gate *gate)
+IdealBackend::request(core::Core &requester, const sync::SyncRequest &req,
+                      sim::Gate *gate)
 {
-    const bool acquire = sync::isAcquireType(kind);
-    auto grants = state_.apply(kind, requester.id(), var, info,
+    const bool acquire = req.acquireType();
+    auto grants = state_.apply(req, requester.id(),
                                acquire ? gate : nullptr);
     if (!acquire)
         gate->open(0, 0);
     for (const sync::SyncGrant &g : grants)
         g.gate->open(0, 0);
 }
+
+SYNCRON_REGISTER_BACKEND("Ideal", [](Machine &m) {
+    return std::make_unique<IdealBackend>(m);
+});
 
 } // namespace syncron::baselines

@@ -24,8 +24,11 @@ class IdealBackend : public sync::SyncBackend
   public:
     explicit IdealBackend(Machine &machine) : machine_(machine) {}
 
-    void request(core::Core &requester, sync::OpKind kind, Addr var,
-                 std::uint64_t info, sim::Gate *gate) override;
+    void request(core::Core &requester, const sync::SyncRequest &req,
+                 sim::Gate *gate) override;
+
+    bool idleVar(Addr var) const override { return state_.idle(var); }
+    void releaseVar(Addr var) override { state_.destroy(var); }
 
     const char *name() const override { return "Ideal"; }
 

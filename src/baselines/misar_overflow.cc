@@ -3,5 +3,16 @@
 // Thin configurations of engine::SynCronBackend; the MiSAR-style abort
 // and switch-back machinery lives in syncron/overflow.cc.
 
+#include "sync/registry.hh"
+
 namespace syncron::baselines {
+
+SYNCRON_REGISTER_BACKEND("SynCron_CentralOvrfl", [](Machine &m) {
+    return std::make_unique<CentralOvrflBackend>(m);
+});
+
+SYNCRON_REGISTER_BACKEND("SynCron_DistribOvrfl", [](Machine &m) {
+    return std::make_unique<DistribOvrflBackend>(m);
+});
+
 } // namespace syncron::baselines

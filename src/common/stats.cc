@@ -1,6 +1,58 @@
 #include "common/stats.hh"
 
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+
 namespace syncron {
+
+void
+SyncOpLatency::record(Tick latency)
+{
+    if (count == 0 || latency < minTicks)
+        minTicks = latency;
+    if (latency > maxTicks)
+        maxTicks = latency;
+    ++count;
+    totalTicks += static_cast<std::uint64_t>(latency);
+    const unsigned bucket =
+        latency <= 0
+            ? 0u
+            : std::bit_width(static_cast<std::uint64_t>(latency));
+    ++hist[std::min(bucket, kSyncLatencyBuckets - 1)];
+}
+
+double
+SyncOpLatency::avgTicks() const
+{
+    if (count == 0)
+        return 0.0;
+    return static_cast<double>(totalTicks) / static_cast<double>(count);
+}
+
+SyncOpLatency &
+SyncOpLatency::operator+=(const SyncOpLatency &other)
+{
+    if (other.count != 0) {
+        if (count == 0 || other.minTicks < minTicks)
+            minTicks = other.minTicks;
+        maxTicks = std::max(maxTicks, other.maxTicks);
+    }
+    count += other.count;
+    totalTicks += other.totalTicks;
+    for (unsigned b = 0; b < kSyncLatencyBuckets; ++b)
+        hist[b] += other.hist[b];
+    return *this;
+}
+
+void
+SystemStats::recordSyncLatency(unsigned opKindIndex, Tick latency)
+{
+    SYNCRON_ASSERT(opKindIndex < kNumSyncOpKinds,
+                   "sync latency for unknown op kind " << opKindIndex);
+    syncLatency[opKindIndex].record(latency);
+}
 
 void
 SystemStats::forEach(
@@ -31,6 +83,15 @@ SystemStats::forEach(
     fn("stMaxOccupied", static_cast<double>(stMaxOccupied));
     fn("stOccupancyIntegral", stOccupancyIntegral);
     fn("stOccupancyTime", static_cast<double>(stOccupancyTime));
+    for (unsigned k = 0; k < kNumSyncOpKinds; ++k) {
+        const SyncOpLatency &lat = syncLatency[k];
+        if (lat.count == 0)
+            continue;
+        const std::string prefix = "syncLat." + std::to_string(k);
+        fn(prefix + ".count", static_cast<double>(lat.count));
+        fn(prefix + ".avgTicks", lat.avgTicks());
+        fn(prefix + ".maxTicks", static_cast<double>(lat.maxTicks));
+    }
 }
 
 void
@@ -64,6 +125,8 @@ SystemStats::operator+=(const SystemStats &other)
     stAllocs += other.stAllocs;
     stOverflowEvents += other.stOverflowEvents;
     stRequests += other.stRequests;
+    for (unsigned k = 0; k < kNumSyncOpKinds; ++k)
+        syncLatency[k] += other.syncLatency[k];
     if (other.stMaxOccupied > stMaxOccupied)
         stMaxOccupied = other.stMaxOccupied;
     stOccupancyIntegral += other.stOccupancyIntegral;

@@ -13,6 +13,7 @@
 #ifndef SYNCRON_COMMON_STATS_HH
 #define SYNCRON_COMMON_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -20,6 +21,37 @@
 #include "common/types.hh"
 
 namespace syncron {
+
+/** Number of API-level synchronization operation kinds (sync::OpKind). */
+inline constexpr unsigned kNumSyncOpKinds = 9;
+
+/** Log2 latency-histogram buckets (bucket b: 2^(b-1) <= ticks < 2^b). */
+inline constexpr unsigned kSyncLatencyBuckets = 32;
+
+/**
+ * Latency accounting for one API-level synchronization operation kind,
+ * recorded at the backend boundary: issue timestamp when the request is
+ * handed to the SyncBackend, completion timestamp when the core observes
+ * the gate open. Every scheme feeds the same counters, so per-primitive
+ * latency distributions are comparable across backends for free.
+ */
+struct SyncOpLatency
+{
+    std::uint64_t count = 0;
+    std::uint64_t totalTicks = 0;
+    Tick minTicks = 0;
+    Tick maxTicks = 0;
+    std::array<std::uint64_t, kSyncLatencyBuckets> hist{};
+
+    /** Records one completed operation of @p latency ticks. */
+    void record(Tick latency);
+
+    /** Average latency in ticks (0 when nothing was recorded). */
+    double avgTicks() const;
+
+    /** Merges another kind-bucket into this one. */
+    SyncOpLatency &operator+=(const SyncOpLatency &other);
+};
 
 /**
  * All event counters for one simulated system instance.
@@ -69,6 +101,12 @@ struct SystemStats
     std::uint64_t syncGlobalMsgs = 0;   ///< SE <-> Master SE (cross-unit)
     std::uint64_t syncOverflowMsgs = 0; ///< overflow-opcode messages
     std::uint64_t syncMemAccesses = 0;  ///< syncronVar DRAM accesses
+
+    /// Per-OpKind latency distributions, indexed by sync::OpKind.
+    std::array<SyncOpLatency, kNumSyncOpKinds> syncLatency{};
+
+    /** Records one completed sync op at the backend boundary. */
+    void recordSyncLatency(unsigned opKindIndex, Tick latency);
 
     // -- Synchronization Table
     std::uint64_t stAllocs = 0;          ///< entries ever reserved

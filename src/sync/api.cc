@@ -4,6 +4,38 @@
 
 namespace syncron::sync {
 
+// The stats layer sizes its per-OpKind latency table without seeing the
+// enum (common/ cannot depend on sync/); keep the two in lockstep.
+static_assert(kNumSyncOpKinds
+                  == static_cast<unsigned>(OpKind::CondBroadcast) + 1,
+              "kNumSyncOpKinds must match the sync::OpKind enumerators");
+
+// --------------------------------------------------------------------
+// ScopedLock
+// --------------------------------------------------------------------
+
+ScopedLock::~ScopedLock()
+{
+    if (!engaged_)
+        return;
+    engaged_ = false;
+    api_->issueDetached(*core_, lock_.var,
+                        SyncRequest::lockRelease(lock_.var.addr));
+}
+
+SyncOp
+ScopedLock::unlock()
+{
+    SYNCRON_ASSERT(engaged_, "unlock() on a guard that no longer owns "
+                             "the lock");
+    engaged_ = false;
+    return api_->release(*core_, lock_);
+}
+
+// --------------------------------------------------------------------
+// SyncApi
+// --------------------------------------------------------------------
+
 SyncApi::SyncApi(Machine &machine, SyncBackend &backend)
     : machine_(machine), backend_(backend),
       freeLists_(machine.config().numUnits)
@@ -17,14 +49,14 @@ SyncApi::createSyncVar(UnitId unit)
     if (!freeLists_[unit].empty()) {
         Addr addr = freeLists_[unit].back();
         freeLists_[unit].pop_back();
-        return SyncVar{addr};
+        return SyncVar{addr, generations_[addr]};
     }
     // The driver allocates each syncronVar on its own cache line so that
     // distinct variables never false-share and the 8-LSB line index used
     // by the indexing counters is meaningful.
     Addr addr = machine_.addrSpace().allocIn(unit, kCacheLineBytes,
                                              kCacheLineBytes);
-    return SyncVar{addr};
+    return SyncVar{addr, 0};
 }
 
 SyncVar
@@ -36,73 +68,221 @@ SyncApi::createSyncVarInterleaved()
 }
 
 void
+SyncApi::checkLive(const SyncVar &var) const
+{
+    SYNCRON_ASSERT(var.valid(), "operation on invalid sync var");
+    auto it = generations_.find(var.addr);
+    const std::uint32_t current = it == generations_.end() ? 0 : it->second;
+    SYNCRON_ASSERT(var.gen == current,
+                   "stale sync var handle @" << var.addr << " (gen "
+                       << var.gen << ", line is at gen " << current
+                       << "): handle used after destroy_syncvar()");
+}
+
+void
 SyncApi::destroySyncVar(SyncVar var)
 {
-    SYNCRON_ASSERT(var.valid(), "destroy of invalid sync var");
+    checkLive(var);
+    SYNCRON_ASSERT(backend_.idleVar(var.addr),
+                   "destroy_syncvar @" << var.addr << " while backend "
+                       << backend_.name()
+                       << " still tracks state for it");
+    backend_.releaseVar(var.addr);
+    ++generations_[var.addr];
     freeLists_[var.home()].push_back(var.addr);
 }
 
 SyncOp
-SyncApi::makeOp(core::Core &c, OpKind kind, SyncVar v, std::uint64_t info)
+SyncApi::makeOp(core::Core &c, const SyncVar &v, const SyncRequest &req)
 {
+    checkLive(v);
     ++machine_.stats().syncOps;
-    return SyncOp{c, backend_, kind, v.addr, info};
+    return SyncOp{c, backend_, req};
 }
+
+void
+SyncApi::issueDetached(core::Core &c, const SyncVar &v,
+                       const SyncRequest &req)
+{
+    SYNCRON_ASSERT(req.releaseType(),
+                   "detached issue of acquire-type "
+                       << opKindName(req.kind()));
+    checkLive(v);
+    ++machine_.stats().syncOps;
+    sim::Gate gate(machine_.eq());
+    const Tick issued = machine_.eq().now();
+    backend_.request(c, req, &gate);
+    SYNCRON_ASSERT(gate.opened(),
+                   "backend " << backend_.name() << " did not commit "
+                              << opKindName(req.kind()) << " at issue");
+    machine_.stats().recordSyncLatency(
+        static_cast<unsigned>(req.kind()),
+        machine_.eq().now() + c.cyclePeriod() - issued);
+}
+
+// -- Typed primitive creation ------------------------------------------
+
+Lock
+SyncApi::createLock(UnitId unit)
+{
+    return Lock{createSyncVar(unit)};
+}
+
+Lock
+SyncApi::createLockInterleaved()
+{
+    return Lock{createSyncVarInterleaved()};
+}
+
+Barrier
+SyncApi::createBarrier(UnitId unit, std::uint32_t participants,
+                       BarrierScope scope)
+{
+    SYNCRON_ASSERT(participants >= 1,
+                   "barrier with zero participants");
+    return Barrier{createSyncVar(unit), participants, scope};
+}
+
+Semaphore
+SyncApi::createSemaphore(UnitId unit, std::uint32_t initialResources)
+{
+    return Semaphore{createSyncVar(unit), initialResources};
+}
+
+CondVar
+SyncApi::createCondVar(UnitId unit)
+{
+    return CondVar{createSyncVar(unit)};
+}
+
+// -- Typed Table 2 operations ------------------------------------------
+
+SyncOp
+SyncApi::acquire(core::Core &c, const Lock &lock)
+{
+    return makeOp(c, lock.var, SyncRequest::lockAcquire(lock.var.addr));
+}
+
+SyncOp
+SyncApi::release(core::Core &c, const Lock &lock)
+{
+    return makeOp(c, lock.var, SyncRequest::lockRelease(lock.var.addr));
+}
+
+ScopedLockOp
+SyncApi::scoped(core::Core &c, const Lock &lock)
+{
+    checkLive(lock.var);
+    ++machine_.stats().syncOps;
+    return ScopedLockOp{*this, c, lock, backend_};
+}
+
+SyncOp
+SyncApi::wait(core::Core &c, const Barrier &barrier)
+{
+    SYNCRON_ASSERT(barrier.valid(), "wait on invalid barrier");
+    return makeOp(c, barrier.var,
+                  SyncRequest::barrierWait(barrier.var.addr, barrier.scope,
+                                           barrier.participants));
+}
+
+SyncOp
+SyncApi::wait(core::Core &c, const Semaphore &sem)
+{
+    return makeOp(c, sem.var,
+                  SyncRequest::semWait(sem.var.addr,
+                                       sem.initialResources));
+}
+
+SyncOp
+SyncApi::post(core::Core &c, const Semaphore &sem)
+{
+    return makeOp(c, sem.var, SyncRequest::semPost(sem.var.addr));
+}
+
+SyncOp
+SyncApi::wait(core::Core &c, const CondVar &cond, const Lock &lock)
+{
+    checkLive(lock.var);
+    return makeOp(c, cond.var,
+                  SyncRequest::condWait(cond.var.addr, lock.var.addr));
+}
+
+SyncOp
+SyncApi::signal(core::Core &c, const CondVar &cond)
+{
+    return makeOp(c, cond.var, SyncRequest::condSignal(cond.var.addr));
+}
+
+SyncOp
+SyncApi::broadcast(core::Core &c, const CondVar &cond)
+{
+    return makeOp(c, cond.var, SyncRequest::condBroadcast(cond.var.addr));
+}
+
+// -- Deprecated SyncVar-based shims ------------------------------------
 
 SyncOp
 SyncApi::lockAcquire(core::Core &c, SyncVar v)
 {
-    return makeOp(c, OpKind::LockAcquire, v, 0);
+    return makeOp(c, v, SyncRequest::lockAcquire(v.addr));
 }
 
 SyncOp
 SyncApi::lockRelease(core::Core &c, SyncVar v)
 {
-    return makeOp(c, OpKind::LockRelease, v, 0);
+    return makeOp(c, v, SyncRequest::lockRelease(v.addr));
 }
 
 SyncOp
 SyncApi::barrierWaitWithinUnit(core::Core &c, SyncVar v,
                                std::uint32_t initialCores)
 {
-    return makeOp(c, OpKind::BarrierWaitWithinUnit, v, initialCores);
+    return makeOp(c, v,
+                  SyncRequest::barrierWait(v.addr,
+                                           BarrierScope::WithinUnit,
+                                           initialCores));
 }
 
 SyncOp
 SyncApi::barrierWaitAcrossUnits(core::Core &c, SyncVar v,
                                 std::uint32_t initialCores)
 {
-    return makeOp(c, OpKind::BarrierWaitAcrossUnits, v, initialCores);
+    return makeOp(c, v,
+                  SyncRequest::barrierWait(v.addr,
+                                           BarrierScope::AcrossUnits,
+                                           initialCores));
 }
 
 SyncOp
 SyncApi::semWait(core::Core &c, SyncVar v, std::uint32_t initialResources)
 {
-    return makeOp(c, OpKind::SemWait, v, initialResources);
+    return makeOp(c, v, SyncRequest::semWait(v.addr, initialResources));
 }
 
 SyncOp
 SyncApi::semPost(core::Core &c, SyncVar v)
 {
-    return makeOp(c, OpKind::SemPost, v, 0);
+    return makeOp(c, v, SyncRequest::semPost(v.addr));
 }
 
 SyncOp
 SyncApi::condWait(core::Core &c, SyncVar cond, SyncVar lock)
 {
-    return makeOp(c, OpKind::CondWait, cond, lock.addr);
+    checkLive(lock);
+    return makeOp(c, cond, SyncRequest::condWait(cond.addr, lock.addr));
 }
 
 SyncOp
 SyncApi::condSignal(core::Core &c, SyncVar cond)
 {
-    return makeOp(c, OpKind::CondSignal, cond, 0);
+    return makeOp(c, cond, SyncRequest::condSignal(cond.addr));
 }
 
 SyncOp
 SyncApi::condBroadcast(core::Core &c, SyncVar cond)
 {
-    return makeOp(c, OpKind::CondBroadcast, cond, 0);
+    return makeOp(c, cond, SyncRequest::condBroadcast(cond.addr));
 }
 
 } // namespace syncron::sync

@@ -3,17 +3,32 @@
  * SynCron's programming interface (paper Table 2), independent of the
  * backend actually providing synchronization.
  *
- * Workload coroutines use it as:
+ * v2 typed API: primitives are first-class handles created by the api —
+ * Lock, Barrier (participant count + scope fixed at creation), Semaphore
+ * (initial resources fixed at creation), CondVar — and operations are
+ * awaitables built from those handles:
  *
- *   sync::SyncVar lock = api.createSyncVar(homeUnit);
- *   co_await api.lockAcquire(core, lock);
+ *   sync::Lock lock = api.createLock(homeUnit);
+ *   co_await api.acquire(core, lock);
  *   ... critical section ...
- *   co_await api.lockRelease(core, lock);
+ *   co_await api.release(core, lock);
+ *
+ * or, with the RAII guard:
+ *
+ *   {
+ *       sync::ScopedLock guard = co_await api.scoped(core, lock);
+ *       ... critical section ...
+ *       co_await guard.unlock();     // timed release (preferred)
+ *   }                                // or: scope exit releases
  *
  * Acquire-type operations map to the req_sync ISA instruction (commit
  * when the response returns); release-type operations map to req_async
  * (commit once issued). Both are realized as awaitables whose completion
- * gate the backend opens.
+ * gate the backend opens; co_await returns a SyncResponse carrying the
+ * issue/completion timestamps and the backend's gate payload.
+ *
+ * The SyncVar-based operation methods at the bottom are thin deprecated
+ * shims kept while remaining call sites migrate to the typed handles.
  */
 
 #ifndef SYNCRON_SYNC_API_HH
@@ -21,28 +36,34 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/core.hh"
 #include "sim/process.hh"
 #include "sync/backend.hh"
+#include "sync/primitives.hh"
+#include "sync/request.hh"
 #include "sync/syncvar.hh"
 #include "system/machine.hh"
 
 namespace syncron::sync {
 
+class SyncApi;
+
 /**
  * Awaitable synchronization operation. The request is issued to the
  * backend when the coroutine suspends; the backend opens the gate when
  * the operation completes (immediately for release-type operations).
+ * co_await yields the operation's SyncResponse and records the observed
+ * latency in the machine's per-OpKind statistics.
  */
 class SyncOp
 {
   public:
-    SyncOp(core::Core &core, SyncBackend &backend, OpKind kind, Addr var,
-           std::uint64_t info)
+    SyncOp(core::Core &core, SyncBackend &backend, const SyncRequest &req)
         : core_(core), backend_(backend), gate_(core.machine().eq()),
-          var_(var), info_(info), kind_(kind)
+          req_(req)
     {}
 
     SyncOp(const SyncOp &) = delete;
@@ -53,64 +74,210 @@ class SyncOp
     void
     await_suspend(std::coroutine_handle<> h)
     {
-        backend_.request(core_, kind_, var_, info_, &gate_);
+        issuedAt_ = core_.machine().eq().now();
+        backend_.request(core_, req_, &gate_);
         // The gate handles both orders: backend already opened it
         // (schedule resume) or will open it later (park the handle).
         gate_.await_suspend(h);
     }
 
-    std::uint64_t await_resume() const noexcept
+    SyncResponse
+    await_resume()
     {
-        return gate_.await_resume();
+        SyncResponse resp;
+        resp.kind = req_.kind();
+        resp.issuedAt = issuedAt_;
+        resp.completedAt = core_.machine().eq().now();
+        resp.payload = gate_.await_resume();
+        core_.machine().stats().recordSyncLatency(
+            static_cast<unsigned>(resp.kind), resp.latency());
+        return resp;
     }
 
   private:
     core::Core &core_;
     SyncBackend &backend_;
     sim::Gate gate_;
-    Addr var_;
-    std::uint64_t info_;
-    OpKind kind_;
+    SyncRequest req_;
+    Tick issuedAt_ = 0;
 };
 
-/** Factory for synchronization variables + the Table 2 operations. */
+/**
+ * Move-only lock guard. Obtained by co_await-ing SyncApi::scoped();
+ * releases the lock on scope exit unless unlock() already did. The
+ * scope-exit release is issued fire-and-forget (legal for req_async
+ * operations, which commit at issue); prefer co_await guard.unlock()
+ * when the workload should observe the release's issue cycle.
+ */
+class ScopedLock
+{
+  public:
+    ScopedLock(ScopedLock &&other) noexcept
+        : api_(other.api_), core_(other.core_), lock_(other.lock_),
+          engaged_(other.engaged_)
+    {
+        other.engaged_ = false;
+    }
+
+    ScopedLock &operator=(ScopedLock &&) = delete;
+    ScopedLock(const ScopedLock &) = delete;
+    ScopedLock &operator=(const ScopedLock &) = delete;
+
+    ~ScopedLock();
+
+    /** Awaitable explicit release; the guard disengages immediately. */
+    SyncOp unlock();
+
+    /** True while this guard still owns the lock. */
+    bool owns() const { return engaged_; }
+
+  private:
+    friend class ScopedLockOp;
+
+    ScopedLock(SyncApi &api, core::Core &core, const Lock &lock)
+        : api_(&api), core_(&core), lock_(lock)
+    {}
+
+    SyncApi *api_;
+    core::Core *core_;
+    Lock lock_;
+    bool engaged_ = true;
+};
+
+/** Awaitable lock acquisition yielding a ScopedLock guard. */
+class ScopedLockOp
+{
+  public:
+    ScopedLockOp(SyncApi &api, core::Core &core, const Lock &lock,
+                 SyncBackend &backend)
+        : api_(api), core_(core), lock_(lock),
+          inner_(core, backend, SyncRequest::lockAcquire(lock.var.addr))
+    {}
+
+    ScopedLockOp(const ScopedLockOp &) = delete;
+    ScopedLockOp &operator=(const ScopedLockOp &) = delete;
+
+    bool await_ready() const noexcept { return inner_.await_ready(); }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        inner_.await_suspend(h);
+    }
+
+    ScopedLock
+    await_resume()
+    {
+        inner_.await_resume();
+        return ScopedLock{api_, core_, lock_};
+    }
+
+  private:
+    SyncApi &api_;
+    core::Core &core_;
+    Lock lock_;
+    SyncOp inner_;
+};
+
+/** Factory for synchronization primitives + the Table 2 operations. */
 class SyncApi
 {
   public:
     SyncApi(Machine &machine, SyncBackend &backend);
 
+    // -- Typed primitive creation (v2) ---------------------------------
+    /** Allocates a lock homed in @p unit. */
+    Lock createLock(UnitId unit);
+    /** Allocates a lock round-robin across units. */
+    Lock createLockInterleaved();
+    /** Allocates a barrier for @p participants cores. */
+    Barrier createBarrier(UnitId unit, std::uint32_t participants,
+                          BarrierScope scope = BarrierScope::AcrossUnits);
+    /** Allocates a counting semaphore with @p initialResources. */
+    Semaphore createSemaphore(UnitId unit,
+                              std::uint32_t initialResources);
+    /** Allocates a condition variable. */
+    CondVar createCondVar(UnitId unit);
+
+    void destroy(const Lock &lock) { destroySyncVar(lock.var); }
+    void destroy(const Barrier &barrier) { destroySyncVar(barrier.var); }
+    void destroy(const Semaphore &sem) { destroySyncVar(sem.var); }
+    void destroy(const CondVar &cond) { destroySyncVar(cond.var); }
+
+    // -- Typed Table 2 operations (v2) ---------------------------------
+    SyncOp acquire(core::Core &c, const Lock &lock);
+    SyncOp release(core::Core &c, const Lock &lock);
+    /** Acquires @p lock and yields a scope-exit-releasing guard. */
+    ScopedLockOp scoped(core::Core &c, const Lock &lock);
+    SyncOp wait(core::Core &c, const Barrier &barrier);
+    SyncOp wait(core::Core &c, const Semaphore &sem);
+    SyncOp post(core::Core &c, const Semaphore &sem);
+    SyncOp wait(core::Core &c, const CondVar &cond, const Lock &lock);
+    SyncOp signal(core::Core &c, const CondVar &cond);
+    SyncOp broadcast(core::Core &c, const CondVar &cond);
+
+    // -- Raw variable management ---------------------------------------
     /** create_syncvar(): allocates a variable homed in @p unit. */
     SyncVar createSyncVar(UnitId unit);
 
     /** Allocates a variable round-robin across units. */
     SyncVar createSyncVarInterleaved();
 
-    /** destroy_syncvar(): releases the variable's line for reuse. */
+    /**
+     * destroy_syncvar(): releases the variable's line for reuse. Panics
+     * when the backend still tracks state for the variable, and bumps
+     * the line's generation so stale handles are caught on use.
+     */
     void destroySyncVar(SyncVar var);
 
-    // -- Table 2 operations --------------------------------------------
+    // -- Deprecated SyncVar-based operations (v1 shims) ----------------
+    /** @deprecated Use acquire(c, Lock). */
     SyncOp lockAcquire(core::Core &c, SyncVar v);
+    /** @deprecated Use release(c, Lock). */
     SyncOp lockRelease(core::Core &c, SyncVar v);
+    /** @deprecated Use wait(c, Barrier) with BarrierScope::WithinUnit. */
     SyncOp barrierWaitWithinUnit(core::Core &c, SyncVar v,
                                  std::uint32_t initialCores);
+    /** @deprecated Use wait(c, Barrier). */
     SyncOp barrierWaitAcrossUnits(core::Core &c, SyncVar v,
                                   std::uint32_t initialCores);
+    /** @deprecated Use wait(c, Semaphore). */
     SyncOp semWait(core::Core &c, SyncVar v,
                    std::uint32_t initialResources);
+    /** @deprecated Use post(c, Semaphore). */
     SyncOp semPost(core::Core &c, SyncVar v);
+    /** @deprecated Use wait(c, CondVar, Lock). */
     SyncOp condWait(core::Core &c, SyncVar cond, SyncVar lock);
+    /** @deprecated Use signal(c, CondVar). */
     SyncOp condSignal(core::Core &c, SyncVar cond);
+    /** @deprecated Use broadcast(c, CondVar). */
     SyncOp condBroadcast(core::Core &c, SyncVar cond);
 
     SyncBackend &backend() { return backend_; }
 
   private:
-    SyncOp makeOp(core::Core &c, OpKind kind, SyncVar v,
-                  std::uint64_t info);
+    friend class ScopedLock;
+
+    SyncOp makeOp(core::Core &c, const SyncVar &v,
+                  const SyncRequest &req);
+
+    /** Panics when @p var is stale (destroyed or recycled). */
+    void checkLive(const SyncVar &var) const;
+
+    /**
+     * Issues a release-type request without an awaiting coroutine (the
+     * ScopedLock scope-exit path). Legal only because req_async
+     * operations commit at issue: the backend must open the gate before
+     * request() returns.
+     */
+    void issueDetached(core::Core &c, const SyncVar &v,
+                       const SyncRequest &req);
 
     Machine &machine_;
     SyncBackend &backend_;
     std::vector<std::vector<Addr>> freeLists_; ///< per-unit recycled vars
+    /// Current allocation generation per line (absent = 0).
+    std::unordered_map<Addr, std::uint32_t> generations_;
     unsigned rr_ = 0;
 };
 

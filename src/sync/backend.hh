@@ -6,26 +6,28 @@
  * SynCron-flat, and the MiSAR-style overflow variants — implements this
  * interface, so workloads run unmodified on every scheme (exactly how the
  * paper's evaluation holds the main kernel constant and swaps the
- * synchronization mechanism).
+ * synchronization mechanism). Concrete backends self-register with
+ * sync::BackendRegistry under their scheme name, so systems select them
+ * by string at run time.
  *
  * Contract:
- *  - request() is called at the requesting core's current time with the
- *    gate the core will co_await.
+ *  - request() is called at the requesting core's current time with a
+ *    typed SyncRequest descriptor and the gate the core will co_await.
  *  - Acquire-type operations (req_sync semantics, Section 4.1.1) open the
  *    gate when the operation is granted.
  *  - Release-type operations (req_async semantics) open the gate as soon
  *    as the message has been issued to the network; the protocol
  *    continues in the background.
+ *  - idleVar()/releaseVar() let SyncApi verify a variable holds no live
+ *    backend state before its line is recycled by destroy_syncvar().
  */
 
 #ifndef SYNCRON_SYNC_BACKEND_HH
 #define SYNCRON_SYNC_BACKEND_HH
 
-#include <cstdint>
-
 #include "common/types.hh"
 #include "sim/process.hh"
-#include "sync/opcodes.hh"
+#include "sync/request.hh"
 
 namespace syncron::core {
 class Core;
@@ -43,15 +45,25 @@ class SyncBackend
      * Issues a synchronization operation.
      *
      * @param requester the issuing NDP core
-     * @param kind      API-level operation
-     * @param var       synchronization-variable address
-     * @param info      MessageInfo: barrier participant count, semaphore
-     *                  initial resources, or associated lock address for
-     *                  cond_wait (paper Fig. 5)
+     * @param req       typed request descriptor
      * @param gate      completion gate the core awaits
      */
-    virtual void request(core::Core &requester, OpKind kind, Addr var,
-                         std::uint64_t info, sim::Gate *gate) = 0;
+    virtual void request(core::Core &requester, const SyncRequest &req,
+                         sim::Gate *gate) = 0;
+
+    /**
+     * True when the backend tracks no live state for @p var — owners,
+     * waiters, ST entries, in-memory records, or in-flight protocol
+     * messages. destroy_syncvar() refuses to recycle a line that is not
+     * idle.
+     */
+    virtual bool idleVar(Addr var) const = 0;
+
+    /**
+     * Drops any residual bookkeeping for the given variable; called by
+     * destroy_syncvar() after the idleVar() check passes.
+     */
+    virtual void releaseVar(Addr) {}
 
     /** Scheme name for reports. */
     virtual const char *name() const = 0;

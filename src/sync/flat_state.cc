@@ -47,13 +47,13 @@ FlatSyncState::lockRelease(Addr var, CoreId core,
 }
 
 std::vector<SyncGrant>
-FlatSyncState::apply(OpKind kind, CoreId core, Addr var,
-                     std::uint64_t info, sim::Gate *gate)
+FlatSyncState::apply(const SyncRequest &req, CoreId core, sim::Gate *gate)
 {
     std::vector<SyncGrant> out;
+    const Addr var = req.var();
     VarState &st = state(var);
 
-    switch (kind) {
+    switch (req.kind()) {
       case OpKind::LockAcquire:
         lockAcquire(st, core, gate, out);
         break;
@@ -64,10 +64,9 @@ FlatSyncState::apply(OpKind kind, CoreId core, Addr var,
 
       case OpKind::BarrierWaitWithinUnit:
       case OpKind::BarrierWaitAcrossUnits: {
-        SYNCRON_ASSERT(info >= 1, "barrier with zero participants");
         ++st.barrierArrived;
         st.barrierWaiters.push_back(SyncGrant{core, gate});
-        if (st.barrierArrived >= info) {
+        if (st.barrierArrived >= req.participants()) {
             out = std::move(st.barrierWaiters);
             st.barrierWaiters.clear();
             st.barrierArrived = 0; // barrier is reusable
@@ -78,7 +77,7 @@ FlatSyncState::apply(OpKind kind, CoreId core, Addr var,
       case OpKind::SemWait: {
         if (!st.semInitialized) {
             st.semInitialized = true;
-            st.semCount = static_cast<std::int64_t>(info);
+            st.semCount = static_cast<std::int64_t>(req.resources());
         }
         if (st.semCount > 0) {
             --st.semCount;
@@ -105,7 +104,7 @@ FlatSyncState::apply(OpKind kind, CoreId core, Addr var,
       }
 
       case OpKind::CondWait: {
-        const Addr lockAddr = static_cast<Addr>(info);
+        const Addr lockAddr = req.condLock();
         // Atomically: queue on the condition, then release the lock.
         st.condWaiters.push_back(CondWaiter{core, gate, lockAddr});
         lockRelease(lockAddr, core, out);

@@ -25,6 +25,7 @@
 #include "common/types.hh"
 #include "sim/process.hh"
 #include "sync/opcodes.hh"
+#include "sync/request.hh"
 
 namespace syncron::sync {
 
@@ -44,15 +45,13 @@ class FlatSyncState
      * (possibly including the requester, e.g. an uncontended
      * lock_acquire).
      *
-     * @param kind operation
+     * @param req  typed request descriptor
      * @param core requesting core (system-wide id)
-     * @param var  variable address
-     * @param info barrier count / sem initial resources / cond lock addr
      * @param gate requester's gate for acquire-type ops; nullptr for
      *             release-type ops (their gate opens at issue)
      */
-    std::vector<SyncGrant> apply(OpKind kind, CoreId core, Addr var,
-                                 std::uint64_t info, sim::Gate *gate);
+    std::vector<SyncGrant> apply(const SyncRequest &req, CoreId core,
+                                 sim::Gate *gate);
 
     /** True when @p var has no owner, waiters, or residual state. */
     bool idle(Addr var) const;

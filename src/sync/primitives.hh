@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Typed synchronization-primitive handles — the v2 programming
+ * interface's first-class objects.
+ *
+ * Each handle wraps the opaque SyncVar of the paper's create_syncvar()
+ * (Table 2) and carries the parameters that belong to the primitive
+ * rather than to every operation on it: a Barrier knows its participant
+ * count and scope, a Semaphore its initial resources. SyncApi's typed
+ * operations consume these handles, so a lock can no longer be posted
+ * like a semaphore and a barrier's headcount cannot silently change
+ * between waits.
+ */
+
+#ifndef SYNCRON_SYNC_PRIMITIVES_HH
+#define SYNCRON_SYNC_PRIMITIVES_HH
+
+#include <cstdint>
+
+#include "sync/request.hh"
+#include "sync/syncvar.hh"
+
+namespace syncron::sync {
+
+/** Mutual-exclusion lock handle. */
+struct Lock
+{
+    SyncVar var{};
+
+    bool valid() const { return var.valid(); }
+    UnitId home() const { return var.home(); }
+};
+
+/** Barrier handle; participant count and scope fixed at creation. */
+struct Barrier
+{
+    SyncVar var{};
+    std::uint32_t participants = 0;
+    BarrierScope scope = BarrierScope::AcrossUnits;
+
+    bool valid() const { return var.valid() && participants >= 1; }
+    UnitId home() const { return var.home(); }
+};
+
+/** Counting-semaphore handle; initial resources fixed at creation. */
+struct Semaphore
+{
+    SyncVar var{};
+    std::uint32_t initialResources = 0;
+
+    bool valid() const { return var.valid(); }
+    UnitId home() const { return var.home(); }
+};
+
+/** Condition-variable handle; waits name the associated Lock. */
+struct CondVar
+{
+    SyncVar var{};
+
+    bool valid() const { return var.valid(); }
+    UnitId home() const { return var.home(); }
+};
+
+} // namespace syncron::sync
+
+#endif // SYNCRON_SYNC_PRIMITIVES_HH

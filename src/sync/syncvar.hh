@@ -25,6 +25,14 @@ struct SyncVar
 {
     Addr addr = 0;
 
+    /**
+     * Allocation generation of the backing line. destroy_syncvar() bumps
+     * the line's generation before recycling it, so a stale handle held
+     * across a destroy/create cycle is detectable (SyncApi panics instead
+     * of silently aliasing the new variable's state).
+     */
+    std::uint32_t gen = 0;
+
     /** NDP unit owning the variable; its SE is the Master SE. */
     UnitId home() const { return mem::unitOfAddr(addr); }
 
@@ -56,6 +64,16 @@ struct SyncMessage
     Op opcode{};            ///< message opcode (Table 3)
     std::uint32_t coreId = 0; ///< local core id, or global SE id
     std::uint64_t info = 0;   ///< MessageInfo (Fig. 5)
+
+    // -- Typed MessageInfo views (meaning fixed by the opcode) ----------
+    /** Lock address associated with a cond_wait-family message. */
+    Addr condLockAddr() const { return static_cast<Addr>(info); }
+
+    /** Barrier participant total carried by barrier-wait messages. */
+    std::uint64_t barrierTotal() const { return info; }
+
+    /** Semaphore initial-resource count carried by sem_wait messages. */
+    std::uint64_t semResources() const { return info; }
 };
 
 } // namespace syncron::sync

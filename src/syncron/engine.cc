@@ -5,12 +5,14 @@
 #include "common/bits.hh"
 #include "common/log.hh"
 #include "common/units.hh"
+#include "sync/registry.hh"
 
 namespace syncron::engine {
 
 using sync::Op;
 using sync::OpKind;
 using sync::SyncMessage;
+using sync::SyncRequest;
 
 namespace {
 
@@ -114,17 +116,41 @@ SynCronBackend::counterValue(UnitId unit, Addr var) const
     return stations_.at(unit)->counters.value(var);
 }
 
+bool
+SynCronBackend::idleVar(Addr var) const
+{
+    if (inFlightLocal_.count(var) != 0 || memVars_.count(var) != 0
+        || misarVars_.count(var) != 0 || misarPending_.count(var) != 0
+        || !misarState_.idle(var)) {
+        return false;
+    }
+    for (const auto &s : stations_) {
+        if (s->table.entries().count(var) != 0 || s->hasRedirected(var))
+            return false;
+    }
+    return true;
+}
+
+void
+SynCronBackend::releaseVar(Addr var)
+{
+    // Hardware state frees itself when a variable goes idle (ST entries
+    // are released, in-memory records cleaned up); nothing to drop, but
+    // a destroy of a still-tracked variable is a program error.
+    SYNCRON_ASSERT(idleVar(var), "releaseVar @" << var
+                                     << " with live engine state");
+}
+
 // --------------------------------------------------------------------
 // Request issue and transport
 // --------------------------------------------------------------------
 
 void
-SynCronBackend::request(core::Core &requester, OpKind kind, Addr var,
-                        std::uint64_t info, sim::Gate *gate)
+SynCronBackend::request(core::Core &requester, const SyncRequest &req,
+                        sim::Gate *gate)
 {
     ++totalReqs_;
-    const bool acquire = sync::isAcquireType(kind);
-    if (acquire) {
+    if (req.acquireType()) {
         SYNCRON_ASSERT(gates_[requester.id()] == nullptr,
                        "core " << requester.id()
                                << " has two pending sync ops");
@@ -135,21 +161,24 @@ SynCronBackend::request(core::Core &requester, OpKind kind, Addr var,
     }
 
     // MiSAR ablation: variables in software mode bypass the SEs.
-    if (misarActive() && misarVars_.count(var) != 0) {
-        misarRequest(requester, kind, var, info, gate);
+    if (misarActive() && misarVars_.count(req.var()) != 0) {
+        misarRequest(requester, req, gate);
         return;
     }
 
+    // The sole spot where a typed request becomes a Fig. 5 hardware
+    // message; MessageInfo is the request payload's wire encoding.
     SyncMessage msg;
-    msg.addr = var;
-    msg.opcode = localOpcodeFor(kind);
+    msg.addr = req.var();
+    msg.opcode = localOpcodeFor(req.kind());
     msg.coreId = requester.localId();
-    msg.info = info;
+    msg.info = req.messageInfo();
 
     const UnitId unit = requester.unit();
     const Tick arrival = machine_.routeMessage(machine_.eq().now(), unit,
                                                unit, sync::kSyncReqBits);
     ++machine_.stats().syncLocalMsgs;
+    ++inFlightLocal_[req.var()];
     machine_.eq().schedule(arrival,
                            [this, unit, msg] { receive(unit, msg); });
 }
@@ -259,6 +288,17 @@ SynCronBackend::handle(Station &s, SyncMessage msg)
 {
     const Tick now = machine_.eq().now();
     Tick done = now + baseServiceTicks(s, msg.addr);
+
+    // Local-opcode messages come only from cores via request(); once the
+    // station consumes one, the variable's state is resident somewhere
+    // (ST entry, in-memory record, or the misar pending counter).
+    if (!sync::isGlobalOp(msg.opcode)) {
+        auto it = inFlightLocal_.find(msg.addr);
+        SYNCRON_ASSERT(it != inFlightLocal_.end() && it->second > 0,
+                       "local message with no in-flight accounting");
+        if (--it->second == 0)
+            inFlightLocal_.erase(it);
+    }
 
     // MiSAR ablation: local operations on a variable in software mode
     // divert before touching any hardware state (condition variables
@@ -754,7 +794,7 @@ SynCronBackend::onBarrierWaitLocal(Station &s, const SyncMessage &m,
 
     if (withinUnit) {
         // Coordinated entirely by the local SE.
-        if (e.barrierArrived == m.info) {
+        if (e.barrierArrived == m.barrierTotal()) {
             e.barrierArrived = 0;
             departLocalWaiters(s, e, done);
             maybeFree(s, e, machine_.eq().now());
@@ -763,12 +803,12 @@ SynCronBackend::onBarrierWaitLocal(Station &s, const SyncMessage &m,
     }
 
     if (isMaster(s, m.addr)) {
-        masterBarrierCheck(s, e, m.info, done);
+        masterBarrierCheck(s, e, m.barrierTotal(), done);
         return;
     }
 
     const bool hier =
-        m.info == cfg.totalClientCores() && cfg.numUnits > 1;
+        m.barrierTotal() == cfg.totalClientCores() && cfg.numUnits > 1;
     if (hier) {
         // Two-level: one aggregated message once every local core of
         // this unit has arrived (Section 3.2).
@@ -808,14 +848,14 @@ SynCronBackend::onBarrierWaitGlobal(Station &s, const SyncMessage &m,
     StEntry &e = *entryOf(s, m.addr);
     const SystemConfig &cfg = machine_.config();
     const bool hier =
-        m.info == cfg.totalClientCores() && cfg.numUnits > 1;
+        m.barrierTotal() == cfg.totalClientCores() && cfg.numUnits > 1;
 
     e.globalWaitBits = withBit(e.globalWaitBits, m.coreId);
     if (hier)
         ++e.barrierUnitsArrived;
     else
         ++e.barrierArrived;
-    masterBarrierCheck(s, e, m.info, done);
+    masterBarrierCheck(s, e, m.barrierTotal(), done);
 }
 
 void
@@ -883,7 +923,7 @@ SynCronBackend::onSemWaitLocal(Station &s, const SyncMessage &m, Tick done)
 
     StEntry &e = *entryOf(s, m.addr);
     if (isMaster(s, m.addr)) {
-        initSem(e, m.info);
+        initSem(e, m.semResources());
         if (e.semAvail > 0) {
             --e.semAvail;
             grantCore(s.unit, globalCoreId(s.unit, m.coreId), done);
@@ -959,7 +999,7 @@ SynCronBackend::onSemWaitGlobal(Station &s, const SyncMessage &m,
         return;
     }
     StEntry &e = *entryOf(s, m.addr);
-    initSem(e, m.info);
+    initSem(e, m.semResources());
     if (e.semAvail > 0) {
         // Batched grant: hand the requesting SE up to a unit's worth of
         // resources in one message (MessageInfo carries the count); the
@@ -1084,7 +1124,7 @@ SynCronBackend::onCondWaitLocal(Station &s, const SyncMessage &m,
     if (route == Route::Redirect) {
         redirectOverflow(s, m, done);
         // Still release the lock locally on the core's behalf.
-        internalLockRelease(s, m.coreId, static_cast<Addr>(m.info), done);
+        internalLockRelease(s, m.coreId, m.condLockAddr(), done);
         return;
     }
     if (route == Route::Memory) {
@@ -1095,13 +1135,12 @@ SynCronBackend::onCondWaitLocal(Station &s, const SyncMessage &m,
                         .first->second;
         memCondOp(s, v, m, OpKind::CondWait, s.unit,
                   static_cast<int>(m.coreId), false, done);
-        internalLockRelease(s, m.coreId, static_cast<Addr>(m.info), done);
+        internalLockRelease(s, m.coreId, m.condLockAddr(), done);
         return;
     }
 
     StEntry &e = *entryOf(s, m.addr);
-    SYNCRON_ASSERT(e.tableInfo == 0
-                       || e.tableInfo == static_cast<std::uint64_t>(m.info),
+    SYNCRON_ASSERT(e.tableInfo == 0 || e.tableInfo == m.condLockAddr(),
                    "condition variable used with two different locks");
     e.tableInfo = m.info;
     e.localWaitBits = withBit(e.localWaitBits, m.coreId);
@@ -1116,7 +1155,7 @@ SynCronBackend::onCondWaitLocal(Station &s, const SyncMessage &m,
         sendToStation(s.unit, masterOf(m.addr), wait, done);
     }
     // Queue first, then release the associated lock — no missed wakeups.
-    internalLockRelease(s, m.coreId, static_cast<Addr>(m.info), done);
+    internalLockRelease(s, m.coreId, m.condLockAddr(), done);
 
     // Consume a signal that raced ahead of this wait (master role only;
     // must happen after the lock release above so the woken core can
@@ -1216,7 +1255,7 @@ SynCronBackend::onCondGrantGlobal(Station &s, const SyncMessage &m, bool,
     StEntry *e = s.table.find(m.addr);
     SYNCRON_ASSERT(e != nullptr, "cond grant with no ST entry");
     const bool broadcast = m.opcode == Op::CondBroadGlobal;
-    const Addr lockAddr = static_cast<Addr>(m.info);
+    const Addr lockAddr = m.condLockAddr();
 
     if (e->localWaitBits == 0) {
         // All local waiters were woken by locally-combined signals in
@@ -1253,5 +1292,9 @@ SynCronBackend::onCondGrantGlobal(Station &s, const SyncMessage &m, bool,
         maybeFree(s, *e, machine_.eq().now());
     }
 }
+
+SYNCRON_REGISTER_BACKEND("SynCron", [](Machine &m) {
+    return std::make_unique<SynCronBackend>(m);
+});
 
 } // namespace syncron::engine

@@ -78,8 +78,11 @@ class SynCronBackend : public sync::SyncBackend
     SynCronBackend(Machine &machine, EngineOptions opts = {});
     ~SynCronBackend() override;
 
-    void request(core::Core &requester, sync::OpKind kind, Addr var,
-                 std::uint64_t info, sim::Gate *gate) override;
+    void request(core::Core &requester, const sync::SyncRequest &req,
+                 sim::Gate *gate) override;
+
+    bool idleVar(Addr var) const override;
+    void releaseVar(Addr var) override;
 
     const char *name() const override { return name_; }
 
@@ -279,10 +282,10 @@ class SynCronBackend : public sync::SyncBackend
     /** Diverts a local-opcode message to the software fallback. */
     void misarDivertLocal(Station &s, const sync::SyncMessage &m,
                           Tick done);
-    void misarRequest(core::Core &core, sync::OpKind kind, Addr var,
-                      std::uint64_t info, sim::Gate *gate);
-    void misarProcess(SoftServer &server, sync::OpKind kind, CoreId core,
-                      Addr var, std::uint64_t info, sim::Gate *gate);
+    void misarRequest(core::Core &core, const sync::SyncRequest &req,
+                      sim::Gate *gate);
+    void misarProcess(SoftServer &server, const sync::SyncRequest &req,
+                      CoreId core, sim::Gate *gate);
     void misarMaybeExit(Addr var, Tick when);
     SoftServer &softServerFor(Addr var);
 
@@ -298,6 +301,10 @@ class SynCronBackend : public sync::SyncBackend
     std::vector<std::unique_ptr<Station>> stations_;
     std::unordered_map<Addr, MemVar> memVars_;
     std::vector<sim::Gate *> gates_; ///< pending gate per global core id
+    /// Core requests issued but not yet consumed by their local station
+    /// (keeps idleVar() honest about messages still in flight; once a
+    /// station handles a message the variable has resident state).
+    std::unordered_map<Addr, std::uint32_t> inFlightLocal_;
     std::uint64_t overflowedReqs_ = 0;
     std::uint64_t totalReqs_ = 0;
 

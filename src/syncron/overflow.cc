@@ -28,6 +28,7 @@ namespace syncron::engine {
 using sync::Op;
 using sync::OpKind;
 using sync::SyncMessage;
+using sync::SyncRequest;
 
 namespace {
 
@@ -128,10 +129,10 @@ SynCronBackend::misarDivertLocal(Station &s, const SyncMessage &m,
                                                sync::kSyncReqBits);
     ++machine_.stats().syncOverflowMsgs;
     ++misarPending_[var];
-    const std::uint64_t info = m.info;
-    machine_.eq().schedule(arrival, [this, &server, kind, core, var, info,
-                                     gate] {
-        misarProcess(server, kind, core, var, info, gate);
+    // Re-type the in-flight hardware message for the software fallback.
+    const SyncRequest req = SyncRequest::fromMessageInfo(kind, var, m.info);
+    machine_.eq().schedule(arrival, [this, &server, req, core, gate] {
+        misarProcess(server, req, core, gate);
     });
 }
 
@@ -647,7 +648,7 @@ SynCronBackend::onOverflowGrant(Station &s, const SyncMessage &m,
         s.counters.decrement(m.addr);
         s.redirectedDec(m.addr);
         // Re-acquire the associated lock before cond_wait returns.
-        internalLockAcquire(s, core, static_cast<Addr>(m.info), done);
+        internalLockAcquire(s, core, m.condLockAddr(), done);
         break;
       default:
         SYNCRON_PANIC("unexpected grant opcode " << opName(m.opcode));
@@ -696,32 +697,33 @@ SynCronBackend::misarEnter(Addr var, Tick when)
 }
 
 void
-SynCronBackend::misarRequest(core::Core &core, OpKind kind, Addr var,
-                             std::uint64_t info, sim::Gate *gate)
+SynCronBackend::misarRequest(core::Core &core, const SyncRequest &req,
+                             sim::Gate *gate)
 {
     // Cores in software mode bypass the SEs entirely.
     sim::Gate *acquireGate = nullptr;
-    if (sync::isAcquireType(kind)) {
+    if (req.acquireType()) {
         acquireGate = gates_[core.id()];
         gates_[core.id()] = nullptr;
         SYNCRON_ASSERT(acquireGate == gate, "gate bookkeeping mismatch");
     }
-    SoftServer &server = softServerFor(var);
+    SoftServer &server = softServerFor(req.var());
     const Tick arrival = machine_.routeMessage(
         machine_.eq().now(), core.unit(), server.unit, sync::kSyncReqBits);
     ++machine_.stats().syncOverflowMsgs;
-    ++misarPending_[var];
+    ++misarPending_[req.var()];
     const CoreId coreId = core.id();
-    machine_.eq().schedule(arrival, [this, &server, kind, coreId, var,
-                                     info, acquireGate] {
-        misarProcess(server, kind, coreId, var, info, acquireGate);
+    machine_.eq().schedule(arrival, [this, &server, req, coreId,
+                                     acquireGate] {
+        misarProcess(server, req, coreId, acquireGate);
     });
 }
 
 void
-SynCronBackend::misarProcess(SoftServer &server, OpKind kind, CoreId core,
-                             Addr var, std::uint64_t info, sim::Gate *gate)
+SynCronBackend::misarProcess(SoftServer &server, const SyncRequest &req,
+                             CoreId core, sim::Gate *gate)
 {
+    const Addr var = req.var();
     const SystemConfig &cfg = machine_.config();
     const Tick now = machine_.eq().now();
     Tick start = std::max(now, server.busyUntil);
@@ -748,10 +750,9 @@ SynCronBackend::misarProcess(SoftServer &server, OpKind kind, CoreId core,
     done += hit;
     server.busyUntil = done;
 
-    machine_.eq().schedule(done, [this, &server, kind, core, var, info,
-                                  gate] {
+    machine_.eq().schedule(done, [this, &server, req, core, var, gate] {
         const Tick when = machine_.eq().now();
-        auto grants = misarState_.apply(kind, core, var, info, gate);
+        auto grants = misarState_.apply(req, core, gate);
         for (const sync::SyncGrant &g : grants) {
             const UnitId coreUnit = g.core / machine_.config().coresPerUnit;
             const Tick arrival = machine_.routeMessage(

@@ -19,6 +19,21 @@ schemeName(Scheme scheme)
     return "?";
 }
 
+bool
+schemeFromName(std::string_view name, Scheme &out)
+{
+    for (Scheme s : {Scheme::Ideal, Scheme::Central, Scheme::Hier,
+                     Scheme::SynCron, Scheme::SynCronFlat,
+                     Scheme::SynCronCentralOvrfl,
+                     Scheme::SynCronDistribOvrfl}) {
+        if (name == schemeName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 SystemConfig::validate() const
 {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "cache/cache.hh"
 #include "common/types.hh"
@@ -37,6 +38,12 @@ enum class Scheme
 
 /** Short scheme name for table output. */
 const char *schemeName(Scheme scheme);
+
+/**
+ * Inverse of schemeName(): parses a scheme from its string name.
+ * @return false when @p name matches no scheme (out is untouched)
+ */
+bool schemeFromName(std::string_view name, Scheme &out);
 
 /** Full system configuration (defaults = Table 5, 2.5D HBM config). */
 struct SystemConfig
@@ -96,6 +103,15 @@ struct SystemConfig
 
     // -- Scheme / workload
     Scheme scheme = Scheme::SynCron;
+
+    /**
+     * Backend selected by registry name; empty = derive from scheme.
+     * Lets harnesses/CLIs/configs select any backend registered with
+     * sync::BackendRegistry, including out-of-tree ones with no Scheme
+     * enumerator.
+     */
+    std::string backendName;
+
     std::uint64_t seed = 1;
 
     /** Total number of client cores in the system. */

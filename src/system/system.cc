@@ -1,44 +1,22 @@
 #include "system/system.hh"
 
-#include "baselines/central.hh"
-#include "baselines/flat.hh"
-#include "baselines/hier.hh"
-#include "baselines/ideal.hh"
-#include "baselines/misar_overflow.hh"
 #include "common/log.hh"
+#include "sync/registry.hh"
 
 namespace syncron {
-
-namespace {
-
-std::unique_ptr<sync::SyncBackend>
-makeBackend(Machine &machine)
-{
-    switch (machine.config().scheme) {
-      case Scheme::Ideal:
-        return std::make_unique<baselines::IdealBackend>(machine);
-      case Scheme::Central:
-        return std::make_unique<baselines::CentralBackend>(machine);
-      case Scheme::Hier:
-        return std::make_unique<baselines::HierBackend>(machine);
-      case Scheme::SynCron:
-        return std::make_unique<engine::SynCronBackend>(machine);
-      case Scheme::SynCronFlat:
-        return std::make_unique<baselines::FlatSynCronBackend>(machine);
-      case Scheme::SynCronCentralOvrfl:
-        return std::make_unique<baselines::CentralOvrflBackend>(machine);
-      case Scheme::SynCronDistribOvrfl:
-        return std::make_unique<baselines::DistribOvrflBackend>(machine);
-    }
-    SYNCRON_PANIC("unknown scheme");
-}
-
-} // namespace
 
 NdpSystem::NdpSystem(const SystemConfig &cfg)
     : machine_(std::make_unique<Machine>(cfg))
 {
-    backend_ = makeBackend(*machine_);
+    // Backend selection is fully name-driven: the registry instantiates
+    // whatever backend is registered under the configured name (by
+    // default the scheme's canonical name), so new schemes plug in
+    // without touching this file.
+    const SystemConfig &conf = machine_->config();
+    const std::string name = conf.backendName.empty()
+                                 ? schemeName(conf.scheme)
+                                 : conf.backendName;
+    backend_ = sync::BackendRegistry::instance().create(name, *machine_);
     engineView_ = dynamic_cast<engine::SynCronBackend *>(backend_.get());
     api_ = std::make_unique<sync::SyncApi>(*machine_, *backend_);
 

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for the v2 typed synchronization API: typed primitive handles,
+ * the ScopedLock guard, per-op latency observability, the
+ * generation-tagged destroy_syncvar() safety net, and the string-keyed
+ * BackendRegistry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sync/registry.hh"
+#include "system/system.hh"
+
+namespace syncron {
+namespace {
+
+using core::Core;
+using sync::BackendRegistry;
+using sync::BarrierScope;
+using sync::SyncApi;
+
+// ----------------------------------------------------------------------
+// Typed handles
+// ----------------------------------------------------------------------
+
+struct Counter
+{
+    int value = 0;
+    bool inCritical = false;
+    bool violated = false;
+};
+
+sim::Process
+typedLockWorker(Core &c, SyncApi &api, sync::Lock lock, int iters,
+                Counter &shared)
+{
+    for (int i = 0; i < iters; ++i) {
+        co_await api.acquire(c, lock);
+        if (shared.inCritical)
+            shared.violated = true;
+        shared.inCritical = true;
+        co_await c.compute(10);
+        ++shared.value;
+        shared.inCritical = false;
+        co_await api.release(c, lock);
+    }
+}
+
+TEST(TypedApi, LockHandleEnforcesMutualExclusion)
+{
+    NdpSystem sys(SystemConfig::make(Scheme::SynCron, 2, 4));
+    sync::Lock lock = sys.api().createLock(1);
+    EXPECT_TRUE(lock.valid());
+    EXPECT_EQ(lock.home(), 1u);
+
+    Counter shared;
+    for (unsigned i = 0; i < sys.numClientCores(); ++i) {
+        sys.spawn(typedLockWorker(sys.clientCore(i), sys.api(), lock, 5,
+                                  shared));
+    }
+    sys.run();
+    EXPECT_FALSE(shared.violated);
+    EXPECT_EQ(shared.value,
+              static_cast<int>(sys.numClientCores()) * 5);
+}
+
+sim::Process
+typedBarrierWorker(Core &c, SyncApi &api, sync::Barrier bar, int phases,
+                   std::vector<int> &phase, unsigned idx, bool &violated)
+{
+    for (int p = 0; p < phases; ++p) {
+        co_await c.compute(10 + c.rng().below(100));
+        phase[idx] = p;
+        co_await api.wait(c, bar);
+        for (int other : phase) {
+            if (other < p)
+                violated = true;
+        }
+    }
+}
+
+TEST(TypedApi, BarrierHandleCarriesParticipantCount)
+{
+    NdpSystem sys(SystemConfig::make(Scheme::SynCron, 2, 4));
+    const unsigned n = sys.numClientCores();
+    sync::Barrier bar = sys.api().createBarrier(0, n);
+    EXPECT_EQ(bar.participants, n);
+
+    std::vector<int> phase(n, -1);
+    bool violated = false;
+    for (unsigned i = 0; i < n; ++i) {
+        sys.spawn(typedBarrierWorker(sys.clientCore(i), sys.api(), bar, 4,
+                                     phase, i, violated));
+    }
+    sys.run();
+    EXPECT_FALSE(violated);
+}
+
+sim::Process
+typedSemProducer(Core &c, SyncApi &api, sync::Semaphore items, int iters)
+{
+    for (int i = 0; i < iters; ++i) {
+        co_await c.compute(30);
+        co_await api.post(c, items);
+    }
+}
+
+sim::Process
+typedSemConsumer(Core &c, SyncApi &api, sync::Semaphore items, int iters,
+                 int &consumed)
+{
+    for (int i = 0; i < iters; ++i) {
+        co_await api.wait(c, items);
+        ++consumed;
+    }
+}
+
+TEST(TypedApi, SemaphoreHandleFixesInitialResources)
+{
+    NdpSystem sys(SystemConfig::make(Scheme::Ideal, 2, 4));
+    sync::Semaphore items = sys.api().createSemaphore(0, 0);
+    int consumed = 0;
+    const int iters = 6;
+    const unsigned n = sys.numClientCores();
+    for (unsigned i = 0; i < n / 2; ++i)
+        sys.spawn(typedSemConsumer(sys.clientCore(i), sys.api(), items,
+                                   iters, consumed));
+    for (unsigned i = n / 2; i < n; ++i)
+        sys.spawn(typedSemProducer(sys.clientCore(i), sys.api(), items,
+                                   iters));
+    sys.run();
+    EXPECT_EQ(consumed, static_cast<int>(n / 2) * iters);
+}
+
+sim::Process
+typedCondConsumer(Core &c, SyncApi &api, sync::CondVar cond,
+                  sync::Lock lock, int want, int &items, int &consumed)
+{
+    int got = 0;
+    while (got < want) {
+        co_await api.acquire(c, lock);
+        while (items == 0)
+            co_await api.wait(c, cond, lock);
+        --items;
+        ++consumed;
+        ++got;
+        co_await api.release(c, lock);
+    }
+}
+
+sim::Process
+typedCondProducer(Core &c, SyncApi &api, sync::CondVar cond,
+                  sync::Lock lock, int iters, int &items)
+{
+    for (int i = 0; i < iters; ++i) {
+        co_await c.compute(40);
+        co_await api.acquire(c, lock);
+        ++items;
+        co_await api.signal(c, cond);
+        co_await api.release(c, lock);
+    }
+}
+
+TEST(TypedApi, CondVarHandleNamesItsLock)
+{
+    NdpSystem sys(SystemConfig::make(Scheme::SynCron, 2, 4));
+    sync::Lock lock = sys.api().createLock(0);
+    sync::CondVar cond = sys.api().createCondVar(1);
+    int items = 0, consumed = 0;
+    const int iters = 4;
+    const unsigned n = sys.numClientCores();
+    for (unsigned i = 0; i < n / 2; ++i)
+        sys.spawn(typedCondConsumer(sys.clientCore(i), sys.api(), cond,
+                                    lock, iters, items, consumed));
+    for (unsigned i = n / 2; i < n; ++i)
+        sys.spawn(typedCondProducer(sys.clientCore(i), sys.api(), cond,
+                                    lock, iters, items));
+    sys.run();
+    EXPECT_EQ(consumed, static_cast<int>(n / 2) * iters);
+    EXPECT_EQ(items, 0);
+}
+
+// ----------------------------------------------------------------------
+// ScopedLock
+// ----------------------------------------------------------------------
+
+sim::Process
+scopedWorker(Core &c, SyncApi &api, sync::Lock lock, int iters,
+             Counter &shared, bool explicitUnlock)
+{
+    for (int i = 0; i < iters; ++i) {
+        sync::ScopedLock guard = co_await api.scoped(c, lock);
+        EXPECT_TRUE(guard.owns());
+        if (shared.inCritical)
+            shared.violated = true;
+        shared.inCritical = true;
+        co_await c.compute(10);
+        ++shared.value;
+        shared.inCritical = false;
+        if (explicitUnlock) {
+            co_await guard.unlock();
+            EXPECT_FALSE(guard.owns());
+        }
+        // Otherwise: scope exit releases.
+    }
+}
+
+TEST(ScopedLockTest, ReleasesOnScopeExit)
+{
+    NdpSystem sys(SystemConfig::make(Scheme::SynCron, 2, 4));
+    sync::Lock lock = sys.api().createLock(0);
+    Counter shared;
+    for (unsigned i = 0; i < sys.numClientCores(); ++i) {
+        sys.spawn(scopedWorker(sys.clientCore(i), sys.api(), lock, 5,
+                               shared, /*explicitUnlock=*/i % 2 == 0));
+    }
+    sys.run(); // would deadlock if a scope exit ever leaked the lock
+    EXPECT_FALSE(shared.violated);
+    EXPECT_EQ(shared.value,
+              static_cast<int>(sys.numClientCores()) * 5);
+    // Every critical section entered and left => lock is free again.
+    EXPECT_TRUE(sys.backend().idleVar(lock.var.addr));
+}
+
+// ----------------------------------------------------------------------
+// Per-op latency observability
+// ----------------------------------------------------------------------
+
+TEST(SyncLatency, EverySchemeRecordsPerOpLatencies)
+{
+    for (Scheme s : {Scheme::Ideal, Scheme::Central, Scheme::Hier,
+                     Scheme::SynCron, Scheme::SynCronFlat}) {
+        NdpSystem sys(SystemConfig::make(s, 2, 4));
+        sync::Lock lock = sys.api().createLock(0);
+        Counter shared;
+        const int iters = 5;
+        for (unsigned i = 0; i < sys.numClientCores(); ++i) {
+            sys.spawn(typedLockWorker(sys.clientCore(i), sys.api(), lock,
+                                      iters, shared));
+        }
+        sys.run();
+
+        const unsigned acq =
+            static_cast<unsigned>(sync::OpKind::LockAcquire);
+        const unsigned rel =
+            static_cast<unsigned>(sync::OpKind::LockRelease);
+        const SyncOpLatency &acqLat = sys.stats().syncLatency[acq];
+        const SyncOpLatency &relLat = sys.stats().syncLatency[rel];
+        const std::uint64_t ops =
+            static_cast<std::uint64_t>(sys.numClientCores()) * iters;
+        EXPECT_EQ(acqLat.count, ops) << schemeName(s);
+        EXPECT_EQ(relLat.count, ops) << schemeName(s);
+        if (s != Scheme::Ideal) {
+            EXPECT_GT(acqLat.totalTicks, 0u) << schemeName(s);
+            // Acquires block until granted; releases commit at issue.
+            EXPECT_GT(acqLat.avgTicks(), relLat.avgTicks())
+                << schemeName(s);
+        }
+    }
+}
+
+TEST(SyncLatency, HistogramBucketsAndMergeAreConsistent)
+{
+    SyncOpLatency a;
+    a.record(0);
+    a.record(1);
+    a.record(1000);
+    EXPECT_EQ(a.count, 3u);
+    EXPECT_EQ(a.minTicks, 0);
+    EXPECT_EQ(a.maxTicks, 1000);
+    EXPECT_EQ(a.hist[0], 1u);  // 0 ticks
+    EXPECT_EQ(a.hist[1], 1u);  // 1 tick
+    EXPECT_EQ(a.hist[10], 1u); // 512 <= 1000 < 1024
+
+    SyncOpLatency b;
+    b.record(4);
+    b += a;
+    EXPECT_EQ(b.count, 4u);
+    EXPECT_EQ(b.minTicks, 0);
+    EXPECT_EQ(b.maxTicks, 1000);
+    EXPECT_DOUBLE_EQ(b.avgTicks(), (0.0 + 1 + 1000 + 4) / 4);
+}
+
+// ----------------------------------------------------------------------
+// destroy_syncvar safety
+// ----------------------------------------------------------------------
+
+TEST(DestroySyncVar, RecycledLineGetsNewGeneration)
+{
+    NdpSystem sys(SystemConfig::make(Scheme::Ideal, 2, 4));
+    sync::Lock a = sys.api().createLock(1);
+    sys.api().destroy(a);
+    sync::Lock b = sys.api().createLock(1);
+    EXPECT_EQ(b.var.addr, a.var.addr); // line recycled...
+    EXPECT_NE(b.var.gen, a.var.gen);   // ...under a fresh generation
+}
+
+TEST(DestroySyncVar, StaleHandleUseIsCaught)
+{
+    NdpSystem sys(SystemConfig::make(Scheme::Ideal, 2, 4));
+    sync::Lock a = sys.api().createLock(0);
+    sys.api().destroy(a);
+    // The stale handle must not alias the recycled line's new user.
+    EXPECT_THROW(sys.api().acquire(sys.clientCore(0), a),
+                 std::logic_error);
+    EXPECT_THROW(sys.api().destroy(a), std::logic_error);
+}
+
+sim::Process
+holdLock(Core &c, SyncApi &api, sync::Lock lock)
+{
+    co_await api.acquire(c, lock);
+    // Never released: the variable stays live in the backend.
+}
+
+TEST(DestroySyncVar, RefusedWhileBackendTracksState)
+{
+    for (Scheme s : {Scheme::Ideal, Scheme::SynCron}) {
+        NdpSystem sys(SystemConfig::make(s, 2, 4));
+        sync::Lock lock = sys.api().createLock(0);
+        sys.spawn(holdLock(sys.clientCore(0), sys.api(), lock));
+        sys.run();
+        EXPECT_FALSE(sys.backend().idleVar(lock.var.addr))
+            << schemeName(s);
+        EXPECT_THROW(sys.api().destroy(lock), std::logic_error)
+            << schemeName(s);
+    }
+}
+
+// ----------------------------------------------------------------------
+// BackendRegistry
+// ----------------------------------------------------------------------
+
+TEST(Registry, AllSevenSchemesConstructibleByName)
+{
+    for (Scheme s : {Scheme::Ideal, Scheme::Central, Scheme::Hier,
+                     Scheme::SynCron, Scheme::SynCronFlat,
+                     Scheme::SynCronCentralOvrfl,
+                     Scheme::SynCronDistribOvrfl}) {
+        const std::string name = schemeName(s);
+        EXPECT_TRUE(BackendRegistry::instance().contains(name)) << name;
+
+        // Round trip: name -> create -> name().
+        SystemConfig cfg = SystemConfig::make(s, 2, 4);
+        Machine machine(cfg);
+        auto backend =
+            BackendRegistry::instance().tryCreate(name, machine);
+        ASSERT_NE(backend, nullptr) << name;
+        EXPECT_EQ(backend->name(), name);
+    }
+}
+
+TEST(Registry, UnknownNamesAreRejected)
+{
+    SystemConfig cfg = SystemConfig::make(Scheme::Ideal, 2, 4);
+    Machine machine(cfg);
+    EXPECT_EQ(BackendRegistry::instance().tryCreate("NoSuchScheme",
+                                                    machine),
+              nullptr);
+    EXPECT_THROW(BackendRegistry::instance().create("NoSuchScheme",
+                                                    machine),
+                 std::runtime_error);
+
+    cfg.backendName = "NoSuchScheme";
+    EXPECT_THROW(NdpSystem sys(cfg), std::runtime_error);
+}
+
+TEST(Registry, ConfigBackendNameOverridesScheme)
+{
+    SystemConfig cfg = SystemConfig::make(Scheme::Ideal, 2, 4);
+    cfg.backendName = "SynCron";
+    NdpSystem sys(cfg);
+    EXPECT_STREQ(sys.backend().name(), "SynCron");
+    EXPECT_NE(sys.syncronBackend(), nullptr);
+}
+
+TEST(Registry, SchemeFromNameIsInverseOfSchemeName)
+{
+    for (Scheme s : {Scheme::Ideal, Scheme::Central, Scheme::Hier,
+                     Scheme::SynCron, Scheme::SynCronFlat,
+                     Scheme::SynCronCentralOvrfl,
+                     Scheme::SynCronDistribOvrfl}) {
+        Scheme parsed{};
+        EXPECT_TRUE(schemeFromName(schemeName(s), parsed));
+        EXPECT_EQ(parsed, s);
+    }
+    Scheme parsed{};
+    EXPECT_FALSE(schemeFromName("NoSuchScheme", parsed));
+}
+
+} // namespace
+} // namespace syncron
