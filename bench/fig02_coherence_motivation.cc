@@ -15,9 +15,13 @@
  */
 
 #include <deque>
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "coherence/mesi.hh"
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 #include "mem/allocator.hh"
@@ -103,8 +107,14 @@ stackWorker(MesiSystem &mesi, StackState &stack, unsigned core,
     }
 }
 
+struct StackRunResult
+{
+    Tick time = 0;
+    std::uint64_t pushes = 0;
+};
+
 /** One configuration's runtime with the chosen lock. */
-Tick
+StackRunResult
 runStack(unsigned numUnits, unsigned coresPerUnit, unsigned totalCores,
          unsigned ops, bool useMesiLock)
 {
@@ -135,7 +145,7 @@ runStack(unsigned numUnits, unsigned coresPerUnit, unsigned totalCores,
         if (!p.done())
             SYNCRON_FATAL("fig02: worker deadlocked");
     }
-    return machine.eq().now();
+    return StackRunResult{machine.eq().now(), pushes};
 }
 
 } // namespace
@@ -144,18 +154,44 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig02_coherence_motivation", opts);
     const unsigned ops =
         static_cast<unsigned>(12 * opts.effectiveScale());
+    const unsigned coreCounts[] = {15, 30, 45, 60};
+    const unsigned unitCounts[] = {1, 2, 3, 4};
 
+    // (a) cells (ideal, mesi per core count), then (b) cells.
+    std::vector<std::function<StackRunResult()>> tasks;
+    for (unsigned cores : coreCounts) {
+        for (bool mesiLock : {false, true}) {
+            tasks.push_back([cores, ops, mesiLock] {
+                return runStack(1, cores, cores, ops, mesiLock);
+            });
+        }
+    }
+    for (unsigned units : unitCounts) {
+        for (bool mesiLock : {false, true}) {
+            tasks.push_back([units, ops, mesiLock] {
+                return runStack(units, 60 / units, 60, ops, mesiLock);
+            });
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
+
+    std::size_t i = 0;
     harness::TablePrinter a(
         "Fig. 2a: stack slowdown, mesi-lock vs ideal-lock, one NDP unit",
         {"cores", "ideal-lock", "mesi-lock slowdown"});
-    for (unsigned cores : {15u, 30u, 45u, 60u}) {
-        const Tick ideal = runStack(1, cores, cores, ops, false);
-        const Tick mesi = runStack(1, cores, cores, ops, true);
+    for (unsigned cores : coreCounts) {
+        const StackRunResult ideal = results[i++];
+        const StackRunResult mesi = results[i++];
+        report.addScalar(std::to_string(cores) + "cores/ideal-lock",
+                         ideal.time, ideal.pushes);
+        report.addScalar(std::to_string(cores) + "cores/mesi-lock",
+                         mesi.time, mesi.pushes);
         a.addRow({std::to_string(cores), fmt(1.0, 2),
-                  fmt(static_cast<double>(mesi)
-                          / static_cast<double>(ideal),
+                  fmt(static_cast<double>(mesi.time)
+                          / static_cast<double>(ideal.time),
                       2)});
     }
     a.addNote("paper: 2.03x slowdown at 60 cores");
@@ -164,16 +200,20 @@ main(int argc, char **argv)
     harness::TablePrinter b(
         "Fig. 2b: stack slowdown at 60 cores, varying NDP units",
         {"units", "ideal-lock", "mesi-lock slowdown"});
-    for (unsigned units : {1u, 2u, 3u, 4u}) {
-        const unsigned perUnit = 60 / units;
-        const Tick ideal = runStack(units, perUnit, 60, ops, false);
-        const Tick mesi = runStack(units, perUnit, 60, ops, true);
+    for (unsigned units : unitCounts) {
+        const StackRunResult ideal = results[i++];
+        const StackRunResult mesi = results[i++];
+        report.addScalar(std::to_string(units) + "units/ideal-lock",
+                         ideal.time, ideal.pushes);
+        report.addScalar(std::to_string(units) + "units/mesi-lock",
+                         mesi.time, mesi.pushes);
         b.addRow({std::to_string(units), fmt(1.0, 2),
-                  fmt(static_cast<double>(mesi)
-                          / static_cast<double>(ideal),
+                  fmt(static_cast<double>(mesi.time)
+                          / static_cast<double>(ideal.time),
                       2)});
     }
     b.addNote("paper: slowdown grows to 2.66x at 4 units");
     b.print(std::cout);
+    report.finish(std::cout);
     return 0;
 }

@@ -10,8 +10,12 @@
  * Hier; BST_Drachsler is insensitive to the scheme.
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -22,9 +26,38 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig11_data_structures", opts);
     const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
                               Scheme::SynCron, Scheme::Ideal};
 
+    struct Cell
+    {
+        harness::DsKind kind;
+        unsigned units;
+        Scheme scheme;
+    };
+    std::vector<Cell> cells;
+    for (harness::DsKind kind : harness::kAllDsKinds) {
+        for (unsigned units = 1; units <= 4; ++units) {
+            for (Scheme scheme : schemes)
+                cells.push_back({kind, units, scheme});
+        }
+    }
+
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    tasks.reserve(cells.size());
+    for (const Cell &c : cells) {
+        tasks.push_back([&opts, c] {
+            const harness::DsParams params =
+                harness::dsDefaults(c.kind, opts.effectiveScale());
+            return harness::runDataStructure(
+                opts.makeConfig(c.scheme, c.units, 15), c.kind,
+                params.initialSize, params.opsPerCore);
+        });
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
+
+    std::size_t i = 0;
     for (harness::DsKind kind : harness::kAllDsKinds) {
         const harness::DsParams params =
             harness::dsDefaults(kind, opts.effectiveScale());
@@ -38,14 +71,17 @@ main(int argc, char **argv)
             std::vector<std::string> row{
                 std::to_string(units * 15)};
             for (Scheme scheme : schemes) {
-                SystemConfig cfg = SystemConfig::make(scheme, units, 15);
-                auto out = harness::runDataStructure(
-                    cfg, kind, params.initialSize, params.opsPerCore);
+                const harness::RunOutput &out = results[i++];
                 row.push_back(fmt(out.opsPerMs(), 1));
+                report.add(std::string(harness::dsName(kind)) + "/"
+                               + std::to_string(units * 15) + "cores/"
+                               + schemeName(scheme),
+                           out);
             }
             table.addRow(std::move(row));
         }
         table.print(std::cout);
     }
+    report.finish(std::cout);
     return 0;
 }

@@ -10,8 +10,12 @@
  */
 
 #include <cmath>
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -22,6 +26,7 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig12_real_apps", opts);
     // Graphs are already scaled-down proxies; keep default runs brisk.
     const double scale = 0.35 * opts.effectiveScale();
 
@@ -31,15 +36,30 @@ main(int argc, char **argv)
 
     const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
                               Scheme::SynCron, Scheme::Ideal};
+    const auto appInputs = harness::allAppInputs();
+
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (const harness::AppInput &ai : appInputs) {
+        for (Scheme scheme : schemes) {
+            tasks.push_back([&opts, ai, scheme, scale] {
+                return harness::runAppInput(
+                    opts.makeConfig(scheme, 4, 15), ai, scale);
+            });
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
+
     double geoHier = 0, geoSynCron = 0, geoIdeal = 0;
     int n = 0;
+    std::size_t i = 0;
 
-    for (const harness::AppInput &ai : harness::allAppInputs()) {
+    for (const harness::AppInput &ai : appInputs) {
         double time[4];
-        for (int s = 0; s < 4; ++s) {
-            SystemConfig cfg = SystemConfig::make(schemes[s], 4, 15);
-            auto out = harness::runAppInput(cfg, ai, scale);
-            time[s] = static_cast<double>(out.time);
+        for (int s = 0; s < 4; ++s, ++i) {
+            time[s] = static_cast<double>(results[i].time);
+            report.add(ai.app + "." + ai.input + "/"
+                           + schemeName(schemes[s]),
+                       results[i]);
         }
         table.addRow({ai.app + "." + ai.input, fmtX(1.0),
                       fmtX(time[0] / time[1]), fmtX(time[0] / time[2]),
@@ -63,5 +83,6 @@ main(int argc, char **argv)
                                      / std::exp(geoSynCron / n)
                                  - 1.0)
               << " (paper: 9.5%)\n";
+    report.finish(std::cout);
     return 0;
 }

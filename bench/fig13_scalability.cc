@@ -9,8 +9,12 @@
  */
 
 #include <cmath>
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -21,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig13_scalability", opts);
     const double scale = 0.35 * opts.effectiveScale();
 
     const harness::AppInput combos[] = {
@@ -28,19 +33,32 @@ main(int argc, char **argv)
         {"tf", "sl"},  {"tc", "sx"},  {"ts", "air"},  {"ts", "pow"},
     };
 
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (const harness::AppInput &ai : combos) {
+        for (unsigned units = 1; units <= 4; ++units) {
+            tasks.push_back([&opts, ai, units, scale] {
+                return harness::runAppInput(
+                    opts.makeConfig(Scheme::SynCron, units, 15), ai,
+                    scale);
+            });
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
+
     harness::TablePrinter table(
         "Fig. 13: SynCron scalability (speedup vs 1 NDP unit)",
         {"app.input", "1 unit", "2 units", "3 units", "4 units"});
 
     double geo4 = 0;
     int n = 0;
+    std::size_t i = 0;
     for (const harness::AppInput &ai : combos) {
         double time[4];
-        for (unsigned units = 1; units <= 4; ++units) {
-            SystemConfig cfg =
-                SystemConfig::make(Scheme::SynCron, units, 15);
-            auto out = harness::runAppInput(cfg, ai, scale);
-            time[units - 1] = static_cast<double>(out.time);
+        for (unsigned units = 1; units <= 4; ++units, ++i) {
+            time[units - 1] = static_cast<double>(results[i].time);
+            report.add(ai.app + "." + ai.input + "/"
+                           + std::to_string(units * 15) + "cores",
+                       results[i]);
         }
         table.addRow({ai.app + "." + ai.input, fmtX(1.0),
                       fmtX(time[0] / time[1]), fmtX(time[0] / time[2]),
@@ -52,5 +70,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "geomean 4-unit scaling: " << fmtX(std::exp(geo4 / n))
               << "\n";
+    report.finish(std::cout);
     return 0;
 }

@@ -9,8 +9,12 @@
  * dominates Central's overhead.
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -21,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig14_energy_breakdown", opts);
     const double scale = 0.35 * opts.effectiveScale();
 
     const harness::AppInput combos[] = {
@@ -31,19 +36,32 @@ main(int argc, char **argv)
                               Scheme::SynCron, Scheme::Ideal};
     const char *tag[] = {"C", "H", "SC", "I"};
 
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (const harness::AppInput &ai : combos) {
+        for (Scheme scheme : schemes) {
+            tasks.push_back([&opts, ai, scheme, scale] {
+                return harness::runAppInput(
+                    opts.makeConfig(scheme, 4, 15), ai, scale);
+            });
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
+
     harness::TablePrinter table(
         "Fig. 14: energy breakdown normalized to Central's total",
         {"app.input", "scheme", "cache", "network", "memory", "total"});
 
     double sumCentralOverSynCron = 0, sumHierOverSynCron = 0;
     int n = 0;
+    std::size_t i = 0;
 
     for (const harness::AppInput &ai : combos) {
         EnergyBreakdown e[4];
-        for (int s = 0; s < 4; ++s) {
-            SystemConfig cfg = SystemConfig::make(schemes[s], 4, 15);
-            auto out = harness::runAppInput(cfg, ai, scale);
-            e[s] = out.energy;
+        for (int s = 0; s < 4; ++s, ++i) {
+            e[s] = results[i].energy;
+            report.add(ai.app + "." + ai.input + "/"
+                           + schemeName(schemes[s]),
+                       results[i]);
         }
         const double base = e[0].total();
         for (int s = 0; s < 4; ++s) {
@@ -65,5 +83,6 @@ main(int argc, char **argv)
               << harness::fmtX(sumCentralOverSynCron / n)
               << ", Hier/SynCron "
               << harness::fmtX(sumHierOverSynCron / n) << "\n";
+    report.finish(std::cout);
     return 0;
 }

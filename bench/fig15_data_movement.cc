@@ -8,8 +8,12 @@
  * average; Central is dominated by cross-unit traffic.
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -20,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig15_data_movement", opts);
     const double scale = 0.35 * opts.effectiveScale();
 
     const harness::AppInput combos[] = {
@@ -30,6 +35,17 @@ main(int argc, char **argv)
                               Scheme::SynCron, Scheme::Ideal};
     const char *tag[] = {"C", "H", "SC", "I"};
 
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (const harness::AppInput &ai : combos) {
+        for (Scheme scheme : schemes) {
+            tasks.push_back([&opts, ai, scheme, scale] {
+                return harness::runAppInput(
+                    opts.makeConfig(scheme, 4, 15), ai, scale);
+            });
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
+
     harness::TablePrinter table(
         "Fig. 15: data movement normalized to Central's total",
         {"app.input", "scheme", "inside units", "across units",
@@ -37,13 +53,17 @@ main(int argc, char **argv)
 
     double sumCentralOverSynCron = 0;
     int n = 0;
+    std::size_t i = 0;
     for (const harness::AppInput &ai : combos) {
         double inside[4], across[4];
-        for (int s = 0; s < 4; ++s) {
-            SystemConfig cfg = SystemConfig::make(schemes[s], 4, 15);
-            auto out = harness::runAppInput(cfg, ai, scale);
-            inside[s] = static_cast<double>(out.stats.bytesInsideUnits);
-            across[s] = static_cast<double>(out.stats.bytesAcrossUnits);
+        for (int s = 0; s < 4; ++s, ++i) {
+            inside[s] =
+                static_cast<double>(results[i].stats.bytesInsideUnits);
+            across[s] =
+                static_cast<double>(results[i].stats.bytesAcrossUnits);
+            report.add(ai.app + "." + ai.input + "/"
+                           + schemeName(schemes[s]),
+                       results[i]);
         }
         const double base = inside[0] + across[0];
         for (int s = 0; s < 4; ++s) {
@@ -60,5 +80,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "movement reduction Central/SynCron: "
               << harness::fmtX(sumCentralOverSynCron / n) << "\n";
+    report.finish(std::cout);
     return 0;
 }

@@ -9,8 +9,12 @@
  * ahead of Hier (paper: 1.06x / 1.04x).
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -21,14 +25,35 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig16_high_contention_links", opts);
     const double latenciesUs[] = {0.04, 0.1, 0.2, 0.5, 1, 2, 4.5, 9};
     const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
                               Scheme::SynCron, Scheme::Ideal};
+    const harness::DsKind kinds[] = {harness::DsKind::Stack,
+                                     harness::DsKind::PriorityQueue};
 
-    for (harness::DsKind kind :
-         {harness::DsKind::Stack, harness::DsKind::PriorityQueue}) {
-        const harness::DsParams params =
-            harness::dsDefaults(kind, opts.effectiveScale());
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (harness::DsKind kind : kinds) {
+        for (double us : latenciesUs) {
+            for (Scheme scheme : schemes) {
+                tasks.push_back([&opts, kind, us, scheme] {
+                    const harness::DsParams params =
+                        harness::dsDefaults(kind,
+                                            opts.effectiveScale());
+                    SystemConfig cfg = opts.makeConfig(scheme, 4, 15);
+                    cfg.link.flightTicks =
+                        static_cast<Tick>(us * kTicksPerUs);
+                    return harness::runDataStructure(
+                        cfg, kind, params.initialSize,
+                        params.opsPerCore);
+                });
+            }
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
+
+    std::size_t i = 0;
+    for (harness::DsKind kind : kinds) {
         harness::TablePrinter table(
             std::string("Fig. 16 (") + harness::dsName(kind)
                 + "): throughput [ops/ms] vs link transfer latency",
@@ -37,12 +62,12 @@ main(int argc, char **argv)
         for (double us : latenciesUs) {
             std::vector<std::string> row{fmt(us, 2)};
             for (Scheme scheme : schemes) {
-                SystemConfig cfg = SystemConfig::make(scheme, 4, 15);
-                cfg.link.flightTicks =
-                    static_cast<Tick>(us * kTicksPerUs);
-                auto out = harness::runDataStructure(
-                    cfg, kind, params.initialSize, params.opsPerCore);
+                const harness::RunOutput &out = results[i++];
                 row.push_back(fmt(out.opsPerMs(), 1));
+                report.add(std::string(harness::dsName(kind)) + "/"
+                               + fmt(us, 2) + "us/"
+                               + schemeName(scheme),
+                           out);
             }
             table.addRow(std::move(row));
         }
@@ -50,5 +75,6 @@ main(int argc, char **argv)
                       "collapses");
         table.print(std::cout);
     }
+    report.finish(std::cout);
     return 0;
 }

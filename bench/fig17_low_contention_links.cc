@@ -9,8 +9,12 @@
  *   Central 1.61/1.87/2.23/2.67.
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -21,23 +25,39 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig17_low_contention_links", opts);
     const double scale = 0.35 * opts.effectiveScale();
     const unsigned latenciesNs[] = {40, 100, 200, 500};
     const Scheme schemes[] = {Scheme::Ideal, Scheme::SynCron,
                               Scheme::Hier, Scheme::Central};
 
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (unsigned ns : latenciesNs) {
+        for (Scheme scheme : schemes) {
+            tasks.push_back([&opts, ns, scheme, scale] {
+                SystemConfig cfg = opts.makeConfig(scheme, 4, 15);
+                cfg.link.flightTicks =
+                    static_cast<Tick>(ns) * kTicksPerNs;
+                return harness::runGraph(cfg, "wk",
+                                         workloads::GraphApp::Pr,
+                                         scale);
+            });
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
+
     harness::TablePrinter table(
         "Fig. 17 (pr.wk): slowdown vs Ideal at the same link latency",
         {"latency[ns]", "Ideal", "SynCron", "Hier", "Central"});
 
+    std::size_t i = 0;
     for (unsigned ns : latenciesNs) {
         double time[4];
-        for (int s = 0; s < 4; ++s) {
-            SystemConfig cfg = SystemConfig::make(schemes[s], 4, 15);
-            cfg.link.flightTicks = static_cast<Tick>(ns) * kTicksPerNs;
-            auto out = harness::runGraph(cfg, "wk",
-                                         workloads::GraphApp::Pr, scale);
-            time[s] = static_cast<double>(out.time);
+        for (int s = 0; s < 4; ++s, ++i) {
+            time[s] = static_cast<double>(results[i].time);
+            report.add("pr.wk/" + std::to_string(ns) + "ns/"
+                           + schemeName(schemes[s]),
+                       results[i]);
         }
         table.addRow({std::to_string(ns), fmt(1.0, 2),
                       fmt(time[1] / time[0], 2),
@@ -46,5 +66,6 @@ main(int argc, char **argv)
     }
     table.addNote("paper @500ns: SynCron 1.17, Hier 1.37, Central 2.67");
     table.print(std::cout);
+    report.finish(std::cout);
     return 0;
 }

@@ -10,8 +10,12 @@
  * DDR4).
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -22,6 +26,7 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig18_memory_technologies", opts);
     const double scale = 0.35 * opts.effectiveScale();
 
     const harness::AppInput combos[] = {
@@ -32,19 +37,35 @@ main(int argc, char **argv)
     const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
                               Scheme::SynCron, Scheme::Ideal};
 
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (const harness::AppInput &ai : combos) {
+        for (mem::DramTech tech : techs) {
+            for (Scheme scheme : schemes) {
+                tasks.push_back([&opts, ai, tech, scheme, scale] {
+                    SystemConfig cfg = opts.makeConfig(scheme, 4, 15);
+                    cfg.dramTech = tech;
+                    return harness::runAppInput(cfg, ai, scale);
+                });
+            }
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
+
     harness::TablePrinter table(
         "Fig. 18: speedup vs Central per memory technology",
         {"app.input", "memory", "Hier", "SynCron", "Ideal",
          "SynCron/Hier"});
 
+    std::size_t i = 0;
     for (const harness::AppInput &ai : combos) {
         for (mem::DramTech tech : techs) {
             double time[4];
-            for (int s = 0; s < 4; ++s) {
-                SystemConfig cfg = SystemConfig::make(schemes[s], 4, 15);
-                cfg.dramTech = tech;
-                auto out = harness::runAppInput(cfg, ai, scale);
-                time[s] = static_cast<double>(out.time);
+            for (int s = 0; s < 4; ++s, ++i) {
+                time[s] = static_cast<double>(results[i].time);
+                report.add(ai.app + "." + ai.input + "/"
+                               + mem::dramTechName(tech) + "/"
+                               + schemeName(schemes[s]),
+                           results[i]);
             }
             table.addRow({ai.app + "." + ai.input,
                           mem::dramTechName(tech),
@@ -57,5 +78,6 @@ main(int argc, char **argv)
     table.addNote("paper ts.pow SynCron/Hier: HBM 1.41x, DDR4 2.49x — "
                   "the gap widens with slower memory");
     table.print(std::cout);
+    report.finish(std::cout);
     return 0;
 }

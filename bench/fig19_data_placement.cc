@@ -8,8 +8,12 @@
  * fewer variables need both a local-SE and a Master-SE entry.
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -21,9 +25,25 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig19_data_placement", opts);
     const double scale = 0.35 * opts.effectiveScale();
     const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
                               Scheme::SynCron, Scheme::Ideal};
+    const char *inputs[] = {"wk", "sl", "sx", "co"};
+
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (const char *input : inputs) {
+        for (bool metis : {false, true}) {
+            for (Scheme scheme : schemes) {
+                tasks.push_back([&opts, input, metis, scheme, scale] {
+                    return harness::runGraph(
+                        opts.makeConfig(scheme, 4, 15), input,
+                        workloads::GraphApp::Pr, scale, metis);
+                });
+            }
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
 
     harness::TablePrinter speed(
         "Fig. 19: pr speedup vs Central/no-partitioning",
@@ -32,19 +52,20 @@ main(int argc, char **argv)
         "Fig. 19 (bottom): SynCron max ST occupancy",
         {"input", "no partition", "partitioned"});
 
-    for (const char *input : {"wk", "sl", "sx", "co"}) {
+    std::size_t i = 0;
+    for (const char *input : inputs) {
         double base = 0;
         double occNo = 0, occYes = 0;
         for (bool metis : {false, true}) {
             double time[4];
-            for (int s = 0; s < 4; ++s) {
-                SystemConfig cfg = SystemConfig::make(schemes[s], 4, 15);
-                auto out = harness::runGraph(
-                    cfg, input, workloads::GraphApp::Pr, scale, metis);
-                time[s] = static_cast<double>(out.time);
-                if (schemes[s] == Scheme::SynCron) {
-                    (metis ? occYes : occNo) = out.stMaxFrac;
-                }
+            for (int s = 0; s < 4; ++s, ++i) {
+                time[s] = static_cast<double>(results[i].time);
+                if (schemes[s] == Scheme::SynCron)
+                    (metis ? occYes : occNo) = results[i].stMaxFrac;
+                report.add(std::string("pr.") + input + "/"
+                               + (metis ? "greedy" : "range") + "/"
+                               + schemeName(schemes[s]),
+                           results[i]);
             }
             if (!metis)
                 base = time[0];
@@ -59,5 +80,6 @@ main(int argc, char **argv)
     speed.print(std::cout);
     occ.addNote("paper: max ST occupancy drops (e.g. pr.wk 62% -> 39%)");
     occ.print(std::cout);
+    report.finish(std::cout);
     return 0;
 }

@@ -10,8 +10,12 @@
  */
 
 #include <cmath>
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -22,7 +26,27 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig20_flat_low_contention", opts);
     const double scale = 0.35 * opts.effectiveScale();
+    const Scheme schemes[] = {Scheme::SynCronFlat, Scheme::SynCron};
+
+    // Fig. 20 is the 24 graph combinations (no ts rows).
+    std::vector<harness::AppInput> combos;
+    for (const harness::AppInput &ai : harness::allAppInputs()) {
+        if (ai.app != "ts")
+            combos.push_back(ai);
+    }
+
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (const harness::AppInput &ai : combos) {
+        for (Scheme scheme : schemes) {
+            tasks.push_back([&opts, ai, scheme, scale] {
+                return harness::runAppInput(
+                    opts.makeConfig(scheme, 4, 15), ai, scale);
+            });
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
 
     harness::TablePrinter table(
         "Fig. 20: SynCron speedup normalized to flat (40 ns links)",
@@ -30,14 +54,12 @@ main(int argc, char **argv)
 
     double geo = 0;
     int n = 0;
-    for (const harness::AppInput &ai : harness::allAppInputs()) {
-        if (ai.app == "ts")
-            continue; // Fig. 20 is the 24 graph combinations
-        SystemConfig flatCfg = SystemConfig::make(Scheme::SynCronFlat,
-                                                  4, 15);
-        SystemConfig hierCfg = SystemConfig::make(Scheme::SynCron, 4, 15);
-        auto flat = harness::runAppInput(flatCfg, ai, scale);
-        auto hier = harness::runAppInput(hierCfg, ai, scale);
+    std::size_t i = 0;
+    for (const harness::AppInput &ai : combos) {
+        const harness::RunOutput &flat = results[i++];
+        const harness::RunOutput &hier = results[i++];
+        report.add(ai.app + "." + ai.input + "/SynCron-flat", flat);
+        report.add(ai.app + "." + ai.input + "/SynCron", hier);
         const double ratio = static_cast<double>(flat.time)
                              / static_cast<double>(hier.time);
         table.addRow({ai.app + "." + ai.input, fmt(ratio, 3)});
@@ -48,5 +70,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "geomean SynCron/flat: " << fmt(std::exp(geo / n), 3)
               << "\n";
+    report.finish(std::cout);
     return 0;
 }

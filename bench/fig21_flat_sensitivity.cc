@@ -10,8 +10,12 @@
  * (paper: up to 2.14x at 500 ns / 60 cores).
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -22,27 +26,62 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig21_flat_sensitivity", opts);
     const unsigned latenciesNs[] = {40, 100, 200, 500};
+    const Scheme schemes[] = {Scheme::SynCronFlat, Scheme::SynCron};
+    const char *inputs[] = {"air", "pow"};
+    const unsigned unitCounts[] = {2, 4};
 
-    // (a) time series, 4 units.
+    // (a) time series cells, then (b) queue cells, flat before hier.
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (const char *input : inputs) {
+        for (unsigned ns : latenciesNs) {
+            for (Scheme scheme : schemes) {
+                tasks.push_back([&opts, input, ns, scheme] {
+                    SystemConfig cfg = opts.makeConfig(scheme, 4, 15);
+                    cfg.link.flightTicks =
+                        static_cast<Tick>(ns) * kTicksPerNs;
+                    return harness::runTimeSeries(
+                        cfg, input, 0.35 * opts.effectiveScale());
+                });
+            }
+        }
+    }
+    for (unsigned units : unitCounts) {
+        for (unsigned ns : latenciesNs) {
+            for (Scheme scheme : schemes) {
+                tasks.push_back([&opts, units, ns, scheme] {
+                    const harness::DsParams params =
+                        harness::dsDefaults(harness::DsKind::Queue,
+                                            opts.effectiveScale());
+                    SystemConfig cfg =
+                        opts.makeConfig(scheme, units, 15);
+                    cfg.link.flightTicks =
+                        static_cast<Tick>(ns) * kTicksPerNs;
+                    return harness::runDataStructure(
+                        cfg, harness::DsKind::Queue,
+                        params.initialSize, params.opsPerCore);
+                });
+            }
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
+
+    std::size_t i = 0;
     harness::TablePrinter a(
         "Fig. 21a (ts): SynCron speedup normalized to flat",
         {"input", "40ns", "100ns", "200ns", "500ns"});
-    for (const char *input : {"air", "pow"}) {
+    for (const char *input : inputs) {
         std::vector<std::string> row{input};
         for (unsigned ns : latenciesNs) {
-            SystemConfig flatCfg =
-                SystemConfig::make(Scheme::SynCronFlat, 4, 15);
-            SystemConfig hierCfg =
-                SystemConfig::make(Scheme::SynCron, 4, 15);
-            flatCfg.link.flightTicks =
-                static_cast<Tick>(ns) * kTicksPerNs;
-            hierCfg.link.flightTicks =
-                static_cast<Tick>(ns) * kTicksPerNs;
-            auto flat = harness::runTimeSeries(
-                flatCfg, input, 0.35 * opts.effectiveScale());
-            auto hier = harness::runTimeSeries(
-                hierCfg, input, 0.35 * opts.effectiveScale());
+            const harness::RunOutput &flat = results[i++];
+            const harness::RunOutput &hier = results[i++];
+            report.add(std::string("ts.") + input + "/"
+                           + std::to_string(ns) + "ns/SynCron-flat",
+                       flat);
+            report.add(std::string("ts.") + input + "/"
+                           + std::to_string(ns) + "ns/SynCron",
+                       hier);
             row.push_back(fmt(static_cast<double>(flat.time)
                                   / static_cast<double>(hier.time),
                               3));
@@ -52,29 +91,20 @@ main(int argc, char **argv)
     a.addNote("paper: SynCron 7.3% worse at 40ns, 3.6% worse at 500ns");
     a.print(std::cout);
 
-    // (b) queue under high contention, 2 and 4 units.
     harness::TablePrinter b(
         "Fig. 21b (queue): SynCron speedup normalized to flat",
         {"cores", "40ns", "100ns", "200ns", "500ns"});
-    for (unsigned units : {2u, 4u}) {
+    for (unsigned units : unitCounts) {
         std::vector<std::string> row{std::to_string(units * 15)};
-        const harness::DsParams params = harness::dsDefaults(
-            harness::DsKind::Queue, opts.effectiveScale());
         for (unsigned ns : latenciesNs) {
-            SystemConfig flatCfg =
-                SystemConfig::make(Scheme::SynCronFlat, units, 15);
-            SystemConfig hierCfg =
-                SystemConfig::make(Scheme::SynCron, units, 15);
-            flatCfg.link.flightTicks =
-                static_cast<Tick>(ns) * kTicksPerNs;
-            hierCfg.link.flightTicks =
-                static_cast<Tick>(ns) * kTicksPerNs;
-            auto flat = harness::runDataStructure(
-                flatCfg, harness::DsKind::Queue, params.initialSize,
-                params.opsPerCore);
-            auto hier = harness::runDataStructure(
-                hierCfg, harness::DsKind::Queue, params.initialSize,
-                params.opsPerCore);
+            const harness::RunOutput &flat = results[i++];
+            const harness::RunOutput &hier = results[i++];
+            report.add("queue/" + std::to_string(units * 15) + "cores/"
+                           + std::to_string(ns) + "ns/SynCron-flat",
+                       flat);
+            report.add("queue/" + std::to_string(units * 15) + "cores/"
+                           + std::to_string(ns) + "ns/SynCron",
+                       hier);
             row.push_back(fmt(static_cast<double>(flat.time)
                                   / static_cast<double>(hier.time),
                               2));
@@ -84,5 +114,6 @@ main(int argc, char **argv)
     b.addNote("paper: 30 cores 1.23x-1.76x; 60 cores up to 2.14x at "
               "500ns");
     b.print(std::cout);
+    report.finish(std::cout);
     return 0;
 }

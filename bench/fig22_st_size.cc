@@ -10,8 +10,12 @@
  * down gracefully (integrated overflow).
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -23,32 +27,49 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig22_st_size", opts);
     const double scale = 0.35 * opts.effectiveScale();
     const unsigned sizes[] = {64, 48, 32, 16, 8};
     const harness::AppInput combos[] = {
         {"cc", "wk"}, {"pr", "wk"}, {"ts", "air"}, {"ts", "pow"}};
+
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (const harness::AppInput &ai : combos) {
+        for (unsigned entries : sizes) {
+            tasks.push_back([&opts, ai, entries, scale] {
+                SystemConfig cfg =
+                    opts.makeConfig(Scheme::SynCron, 4, 15);
+                cfg.stEntries = entries;
+                return harness::runAppInput(cfg, ai, scale);
+            });
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
 
     harness::TablePrinter table(
         "Fig. 22: slowdown vs 64-entry ST (overflowed requests in "
         "parentheses)",
         {"app.input", "ST_64", "ST_48", "ST_32", "ST_16", "ST_8"});
 
+    std::size_t i = 0;
     for (const harness::AppInput &ai : combos) {
         std::vector<std::string> row{ai.app + "." + ai.input};
         double base = 0;
         for (unsigned entries : sizes) {
-            SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 4, 15);
-            cfg.stEntries = entries;
-            auto out = harness::runAppInput(cfg, ai, scale);
+            const harness::RunOutput &out = results[i++];
             if (entries == 64)
                 base = static_cast<double>(out.time);
             row.push_back(fmt(static_cast<double>(out.time) / base, 2)
                           + " (" + fmtPct(out.overflowFrac()) + ")");
+            report.add(ai.app + "." + ai.input + "/ST_"
+                           + std::to_string(entries),
+                       out);
         }
         table.addRow(std::move(row));
     }
     table.addNote("paper: 64-entry ST never overflows; ts.pow reaches "
                   "83.7% overflowed requests at ST_8");
     table.print(std::cout);
+    report.finish(std::cout);
     return 0;
 }

@@ -10,8 +10,12 @@
  * ~10-12% (paper, at 30.5% overflowed requests with a 64-entry ST).
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -23,6 +27,7 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("fig23_overflow", opts);
     const unsigned sizes[] = {16, 32, 48, 64, 128, 256};
     const Scheme schemes[] = {Scheme::SynCron,
                               Scheme::SynCronCentralOvrfl,
@@ -31,24 +36,38 @@ main(int argc, char **argv)
     const harness::DsParams params = harness::dsDefaults(
         harness::DsKind::BstFg, opts.effectiveScale());
 
+    std::vector<std::function<harness::RunOutput()>> tasks;
+    for (unsigned entries : sizes) {
+        for (Scheme scheme : schemes) {
+            tasks.push_back([&opts, entries, scheme, params] {
+                SystemConfig cfg = opts.makeConfig(scheme, 4, 15);
+                cfg.stEntries = entries;
+                return harness::runDataStructure(
+                    cfg, harness::DsKind::BstFg, params.initialSize,
+                    params.opsPerCore);
+            });
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
+
     harness::TablePrinter table(
         "Fig. 23 (BST_FG): throughput [ops/ms] per overflow scheme",
         {"ST size", "overflowed", "SynCron", "CentralOvrfl",
          "DistribOvrfl"});
 
+    std::size_t i = 0;
     for (unsigned entries : sizes) {
         std::vector<std::string> row{std::to_string(entries)};
         double overflowFrac = 0;
         std::vector<std::string> cells;
         for (Scheme scheme : schemes) {
-            SystemConfig cfg = SystemConfig::make(scheme, 4, 15);
-            cfg.stEntries = entries;
-            auto out = harness::runDataStructure(
-                cfg, harness::DsKind::BstFg, params.initialSize,
-                params.opsPerCore);
+            const harness::RunOutput &out = results[i++];
             if (scheme == Scheme::SynCron)
                 overflowFrac = out.overflowFrac();
             cells.push_back(fmt(out.opsPerMs(), 1));
+            report.add("BST_FG/ST_" + std::to_string(entries) + "/"
+                           + schemeName(scheme),
+                       out);
         }
         row.push_back(fmtPct(overflowFrac));
         row.insert(row.end(), cells.begin(), cells.end());
@@ -57,5 +76,6 @@ main(int argc, char **argv)
     table.addNote("paper @64 entries: 30.5% overflowed; integrated "
                   "-3.2% vs CentralOvrfl -12.3% / DistribOvrfl -10.4%");
     table.print(std::cout);
+    report.finish(std::cout);
     return 0;
 }

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Kernel microbenchmark: host-side events/sec of the timing-wheel
+ * simulation kernel (sim::EventQueue) against the seed kernel it
+ * replaced — std::function callbacks in a binary-heap
+ * std::priority_queue, reimplemented here verbatim as LegacyEventQueue
+ * so the comparison stays honest as the real kernel evolves.
+ *
+ * Three scenarios bracket the kernel's real workload:
+ *   resume  — 8-byte captures (a coroutine handle), the common case for
+ *             core resumes; fits the legacy std::function's SSO, so the
+ *             delta is pure queue-structure cost.
+ *   device  — 56-byte captures (engine/overflow-style callbacks: this,
+ *             station, typed request, gate); the legacy kernel heap-
+ *             allocates every one of these.
+ *   far     — half the events land beyond the near wheel's horizon,
+ *             exercising the overflow heap and epoch promotion.
+ *
+ * The overall events/sec ratio is the PR-gating number (>= 2x).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "harness/json.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "sim/event_queue.hh"
+
+using namespace syncron;
+using harness::fmt;
+using harness::fmtX;
+
+namespace {
+
+/** The seed kernel, kept as the measurement baseline. */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Tick now() const { return now_; }
+
+    void
+    schedule(Tick when, Callback cb)
+    {
+        events_.push(Event{when, nextSeq_++, std::move(cb)});
+    }
+
+    void scheduleIn(Tick delta, Callback cb) { schedule(now_ + delta, std::move(cb)); }
+
+    Tick
+    run(Tick until = kTickNever)
+    {
+        while (!events_.empty() && events_.top().when <= until) {
+            Event ev = std::move(const_cast<Event &>(events_.top()));
+            events_.pop();
+            now_ = ev.when;
+            ev.cb();
+        }
+        return now_;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+/** 8-byte capture: the shape of a coroutine-resume event. */
+template <typename Q>
+struct ResumeState
+{
+    Q *q;
+    std::uint64_t *remaining;
+    Tick delta;
+};
+
+template <typename Q>
+void
+resumeEvent(ResumeState<Q> *s)
+{
+    if (*s->remaining == 0)
+        return;
+    --*s->remaining;
+    s->q->scheduleIn(s->delta, [s] { resumeEvent(s); });
+}
+
+/** 56-byte capture: the shape of an engine/overflow device callback. */
+struct DevicePayload
+{
+    std::uint64_t words[4];
+};
+
+template <typename Q>
+void
+deviceEvent(Q &q, std::uint64_t &remaining, Tick delta,
+            DevicePayload payload)
+{
+    if (remaining == 0)
+        return;
+    --remaining;
+    payload.words[0] += payload.words[1] ^ q.now();
+    q.scheduleIn(delta, [&q, &remaining, delta, payload] {
+        deviceEvent(q, remaining, delta, payload);
+    });
+}
+
+struct ScenarioResult
+{
+    std::uint64_t events = 0;
+    double seconds = 0.0;
+
+    double
+    eventsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(events) / seconds
+                             : 0.0;
+    }
+};
+
+/** Concurrent event population (heap depth / wheel load). */
+constexpr unsigned kDevices = 1024;
+
+/** Device-model latencies in ticks (core cycle, SPU cycle, xbar hop,
+ *  pipelined DRAM, row miss); all within the near wheel's horizon. */
+constexpr Tick kNearDeltas[] = {400, 1000, 1600, 2800, 12000};
+
+/** Beyond the 2^16-tick near horizon: overflow-heap territory. */
+constexpr Tick kFarDelta = 300000;
+
+template <typename Q, typename Seed>
+ScenarioResult
+runScenario(std::uint64_t events, Seed seed)
+{
+    Q q;
+    std::uint64_t remaining = events;
+    seed(q, remaining);
+    const auto start = std::chrono::steady_clock::now();
+    q.run();
+    const auto stop = std::chrono::steady_clock::now();
+    SYNCRON_ASSERT(remaining == 0, "scenario ended early");
+
+    ScenarioResult r;
+    r.events = events;
+    r.seconds =
+        std::chrono::duration<double>(stop - start).count();
+    return r;
+}
+
+template <typename Q>
+ScenarioResult
+runResume(std::uint64_t events)
+{
+    std::vector<ResumeState<Q>> states(kDevices);
+    return runScenario<Q>(events, [&](Q &q, std::uint64_t &remaining) {
+        for (unsigned i = 0; i < kDevices; ++i) {
+            states[i] = ResumeState<Q>{
+                &q, &remaining,
+                kNearDeltas[i % std::size(kNearDeltas)]};
+            resumeEvent(&states[i]);
+        }
+    });
+}
+
+template <typename Q>
+ScenarioResult
+runDevice(std::uint64_t events)
+{
+    return runScenario<Q>(events, [&](Q &q, std::uint64_t &remaining) {
+        for (unsigned i = 0; i < kDevices; ++i) {
+            deviceEvent(q, remaining,
+                        kNearDeltas[i % std::size(kNearDeltas)],
+                        DevicePayload{{i, i + 1, i + 2, i + 3}});
+        }
+    });
+}
+
+template <typename Q>
+ScenarioResult
+runFar(std::uint64_t events)
+{
+    return runScenario<Q>(events, [&](Q &q, std::uint64_t &remaining) {
+        for (unsigned i = 0; i < kDevices; ++i) {
+            const Tick delta =
+                i % 2 == 0 ? kNearDeltas[i % std::size(kNearDeltas)]
+                           : kFarDelta + 1000 * (i % 7);
+            deviceEvent(q, remaining, delta,
+                        DevicePayload{{i, i + 1, i + 2, i + 3}});
+        }
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = harness::BenchOptions::parse(argc, argv);
+    const auto events = static_cast<std::uint64_t>(
+        2'000'000 * opts.effectiveScale());
+
+    struct Scenario
+    {
+        const char *name;
+        ScenarioResult (*legacy)(std::uint64_t);
+        ScenarioResult (*wheel)(std::uint64_t);
+    };
+    const Scenario scenarios[] = {
+        {"resume (8B capture)", runResume<LegacyEventQueue>,
+         runResume<sim::EventQueue>},
+        {"device (56B capture)", runDevice<LegacyEventQueue>,
+         runDevice<sim::EventQueue>},
+        {"far (overflow heap)", runFar<LegacyEventQueue>,
+         runFar<sim::EventQueue>},
+    };
+
+    harness::TablePrinter table(
+        "kernel_micro: host events/sec, seed kernel vs timing wheel",
+        {"scenario", "legacy [Mev/s]", "wheel [Mev/s]", "speedup"});
+
+    struct Row
+    {
+        const char *name;
+        ScenarioResult legacy, wheel;
+    };
+    std::vector<Row> rows;
+    double legacySec = 0, wheelSec = 0;
+    std::uint64_t totalEvents = 0;
+
+    for (const Scenario &s : scenarios) {
+        // Warm each kernel once (page-faults, pool growth), then time.
+        s.legacy(events / 10);
+        s.wheel(events / 10);
+        const ScenarioResult l = s.legacy(events);
+        const ScenarioResult w = s.wheel(events);
+        rows.push_back(Row{s.name, l, w});
+        legacySec += l.seconds;
+        wheelSec += w.seconds;
+        totalEvents += events;
+        table.addRow({s.name, fmt(l.eventsPerSec() / 1e6, 2),
+                      fmt(w.eventsPerSec() / 1e6, 2),
+                      fmtX(l.seconds / w.seconds)});
+    }
+
+    const double legacyRate =
+        static_cast<double>(totalEvents) / legacySec;
+    const double wheelRate = static_cast<double>(totalEvents) / wheelSec;
+    table.addNote("overall: legacy " + fmt(legacyRate / 1e6, 2)
+                  + " Mev/s, wheel " + fmt(wheelRate / 1e6, 2)
+                  + " Mev/s");
+    table.print(std::cout);
+    std::cout << "kernel_micro overall speedup: "
+              << fmtX(wheelRate / legacyRate) << " (gate: >= 2.00x)\n";
+
+    if (!opts.json.empty()) {
+        std::ofstream f(opts.json);
+        if (!f)
+            SYNCRON_FATAL("cannot write --json file '" << opts.json
+                                                       << "'");
+        harness::JsonWriter j(f);
+        j.beginObject();
+        j.field("bench", "kernel_micro");
+        j.key("options");
+        j.beginObject()
+            .field("scale", opts.scale)
+            .field("full", opts.full)
+            .endObject();
+        j.field("eventsPerScenario", events);
+        j.key("scenarios");
+        j.beginArray();
+        for (const Row &r : rows) {
+            j.beginObject()
+                .field("name", r.name)
+                .field("legacyEventsPerSec", r.legacy.eventsPerSec())
+                .field("wheelEventsPerSec", r.wheel.eventsPerSec())
+                .field("speedup", r.legacy.seconds / r.wheel.seconds)
+                .endObject();
+        }
+        j.endArray();
+        j.key("overall");
+        j.beginObject()
+            .field("legacyEventsPerSec", legacyRate)
+            .field("wheelEventsPerSec", wheelRate)
+            .field("speedup", wheelRate / legacyRate)
+            .endObject();
+        j.endObject();
+        f << "\n";
+        std::cout << "wrote " << opts.json << "\n";
+    }
+    return wheelRate / legacyRate >= 2.0 ? 0 : 1;
+}

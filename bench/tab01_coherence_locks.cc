@@ -12,9 +12,13 @@
  *      socket (non-uniform lock-line transfers).
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "coherence/mesi.hh"
+#include "harness/grid.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 #include "mem/allocator.hh"
@@ -28,7 +32,9 @@ namespace {
 
 struct LockBenchResult
 {
-    double mopsPerSec;
+    double mopsPerSec = 0.0;
+    Tick time = 0;
+    std::uint64_t acquired = 0;
 };
 
 /**
@@ -68,6 +74,8 @@ runLockBench(bool ttas, unsigned threads, bool sameSocket, unsigned ops)
 
     const double seconds = ticksToSeconds(machine.eq().now());
     LockBenchResult r;
+    r.time = machine.eq().now();
+    r.acquired = acquired;
     r.mopsPerSec = static_cast<double>(acquired) / seconds / 1e6;
     return r;
 }
@@ -78,8 +86,32 @@ int
 main(int argc, char **argv)
 {
     const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("tab01_coherence_locks", opts);
     const unsigned ops =
         static_cast<unsigned>(60 * opts.effectiveScale());
+
+    struct Cell
+    {
+        const char *label;
+        unsigned threads;
+        bool sameSocket;
+    };
+    const Cell variants[] = {
+        {"1thr", 1, true},
+        {"14thr-same-socket", 14, true},
+        {"2thr-same-socket", 2, true},
+        {"2thr-diff-socket", 2, false},
+    };
+
+    std::vector<std::function<LockBenchResult()>> tasks;
+    for (bool ttas : {true, false}) {
+        for (const Cell &c : variants) {
+            tasks.push_back([ttas, c, ops] {
+                return runLockBench(ttas, c.threads, c.sameSocket, ops);
+            });
+        }
+    }
+    const auto results = harness::runGrid(std::move(tasks), opts.jobs);
 
     harness::TablePrinter table(
         "Table 1 (simulated substitute): coherence-lock throughput "
@@ -87,21 +119,22 @@ main(int argc, char **argv)
         {"lock", "1 thread", "14 thr same-socket", "2 thr same-socket",
          "2 thr diff-socket"});
 
+    std::size_t i = 0;
     for (bool ttas : {true, false}) {
-        const double one = runLockBench(ttas, 1, true, ops).mopsPerSec;
-        const double fourteen =
-            runLockBench(ttas, 14, true, ops).mopsPerSec;
-        const double twoSame =
-            runLockBench(ttas, 2, true, ops).mopsPerSec;
-        const double twoDiff =
-            runLockBench(ttas, 2, false, ops).mopsPerSec;
-        table.addRow({ttas ? "TTAS" : "Hier. Ticket", fmt(one, 2),
-                      fmt(fourteen, 2), fmt(twoSame, 2),
-                      fmt(twoDiff, 2)});
+        std::vector<std::string> row{ttas ? "TTAS" : "Hier. Ticket"};
+        for (const Cell &c : variants) {
+            const LockBenchResult &r = results[i++];
+            row.push_back(fmt(r.mopsPerSec, 2));
+            report.addScalar(std::string(ttas ? "TTAS" : "HTL") + "/"
+                                 + c.label,
+                             r.time, r.acquired);
+        }
+        table.addRow(std::move(row));
     }
     table.addNote("paper (real Xeon): TTAS 8.92 / 2.28 / 9.91 / 4.32; "
                   "HTL 8.06 / 2.91 / 9.01 / 6.79 — shape, not absolute "
                   "values, is the target");
     table.print(std::cout);
+    report.finish(std::cout);
     return 0;
 }

@@ -5,10 +5,14 @@
  * compared against an ARM Cortex-A7, plus the Table 4 qualitative
  * comparison with prior hardware synchronization mechanisms. Also
  * reports the model's scaling across the Fig. 22/23 ST sizes.
+ *
+ * Purely analytic — no simulations run, so --jobs has nothing to
+ * parallelize; --json still emits the (empty-config) bench record.
  */
 
 #include <iostream>
 
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 #include "syncron/area_model.hh"
@@ -19,7 +23,8 @@ using harness::fmt;
 int
 main(int argc, char **argv)
 {
-    harness::BenchOptions::parse(argc, argv);
+    const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("tab08_area_power", opts);
 
     std::cout << engine::formatAreaPowerTable(engine::seAreaPower())
               << "\n";
@@ -47,5 +52,6 @@ main(int argc, char **argv)
                 "partially integrated", "handled by programmer",
                 "fully integrated"});
     cmp.print(std::cout);
+    report.finish(std::cout);
     return 0;
 }

@@ -1,0 +1,187 @@
+#include "harness/json.hh"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace syncron::harness {
+
+JsonWriter::JsonWriter(std::ostream &os) : os_(os) {}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // value completes a "key": pair, no comma/newline
+    }
+    if (!hasItem_.empty()) {
+        if (hasItem_.back())
+            os_ << ",";
+        hasItem_.back() = true;
+        os_ << "\n";
+        indent();
+    }
+}
+
+void
+JsonWriter::indent()
+{
+    for (std::size_t i = 0; i < hasItem_.size(); ++i)
+        os_ << "  ";
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << "{";
+    hasItem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    SYNCRON_ASSERT(!hasItem_.empty() && !pendingKey_,
+                   "endObject with no open object");
+    const bool any = hasItem_.back();
+    hasItem_.pop_back();
+    if (any) {
+        os_ << "\n";
+        indent();
+    }
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << "[";
+    hasItem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    SYNCRON_ASSERT(!hasItem_.empty() && !pendingKey_,
+                   "endArray with no open array");
+    const bool any = hasItem_.back();
+    hasItem_.pop_back();
+    if (any) {
+        os_ << "\n";
+        indent();
+    }
+    os_ << "]";
+    return *this;
+}
+
+namespace {
+
+void
+writeEscaped(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const char hex[] = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    SYNCRON_ASSERT(!pendingKey_, "two keys in a row");
+    separate();
+    writeEscaped(os_, name);
+    os_ << ": ";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    separate();
+    writeEscaped(os_, s);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string_view{s});
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    separate();
+    if (!std::isfinite(d)) {
+        os_ << "null"; // JSON has no inf/nan
+        return *this;
+    }
+    std::ostringstream tmp;
+    tmp.precision(15);
+    tmp << d;
+    os_ << tmp.str();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t u)
+{
+    separate();
+    os_ << u;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t i)
+{
+    separate();
+    os_ << i;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned u)
+{
+    return value(static_cast<std::uint64_t>(u));
+}
+
+JsonWriter &
+JsonWriter::value(int i)
+{
+    return value(static_cast<std::int64_t>(i));
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    separate();
+    os_ << (b ? "true" : "false");
+    return *this;
+}
+
+} // namespace syncron::harness

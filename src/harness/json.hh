@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the bench harness's machine-readable
+ * perf records (BENCH_*.json). No DOM, no dependencies: the writer
+ * tracks nesting and comma state so callers emit well-formed JSON with
+ * begin/end/key/value calls in document order.
+ */
+
+#ifndef SYNCRON_HARNESS_JSON_HH
+#define SYNCRON_HARNESS_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace syncron::harness {
+
+/** Streaming JSON emitter with comma/nesting bookkeeping. */
+class JsonWriter
+{
+  public:
+    /** Writes to @p os; the stream must outlive the writer. */
+    explicit JsonWriter(std::ostream &os);
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emits an object key; the next emitted value is its value. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double d);
+    JsonWriter &value(std::uint64_t u);
+    JsonWriter &value(std::int64_t i);
+    JsonWriter &value(unsigned u);
+    JsonWriter &value(int i);
+    JsonWriter &value(bool b);
+
+    /** Shorthand for key(name) followed by value(v). */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view name, T &&v)
+    {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+  private:
+    void separate();
+    void indent();
+
+    std::ostream &os_;
+    std::vector<bool> hasItem_; ///< per nesting level: item emitted yet?
+    bool pendingKey_ = false;
+};
+
+} // namespace syncron::harness
+
+#endif // SYNCRON_HARNESS_JSON_HH

@@ -1,0 +1,175 @@
+#include "harness/report.hh"
+
+#include <array>
+#include <fstream>
+#include <ostream>
+
+#include "common/log.hh"
+#include "common/units.hh"
+#include "harness/json.hh"
+#include "harness/table.hh"
+#include "sync/opcodes.hh"
+
+namespace syncron::harness {
+
+BenchReport::BenchReport(std::string name, const BenchOptions &opts)
+    : name_(std::move(name)), opts_(opts)
+{}
+
+void
+BenchReport::add(std::string label, const RunOutput &out)
+{
+    records_.push_back(Record{std::move(label), out});
+}
+
+void
+BenchReport::addScalar(std::string label, Tick simTime,
+                       std::uint64_t ops)
+{
+    RunOutput out;
+    out.time = simTime;
+    out.ops = ops;
+    records_.push_back(Record{std::move(label), std::move(out)});
+}
+
+void
+BenchReport::finish(std::ostream &os)
+{
+    wallNs_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+
+    // -- Aggregated per-OpKind latency distribution over all configs
+    std::array<SyncOpLatency, kNumSyncOpKinds> agg{};
+    for (const Record &r : records_) {
+        for (unsigned k = 0; k < kNumSyncOpKinds; ++k)
+            agg[k] += r.out.stats.syncLatency[k];
+    }
+    std::uint64_t total = 0;
+    for (const SyncOpLatency &l : agg)
+        total += l.count;
+    if (total > 0) {
+        TablePrinter t("sync-op latency, aggregated over "
+                           + std::to_string(records_.size())
+                           + " configs",
+                       {"op", "count", "avg[ns]", "min[ns]", "max[ns]"});
+        for (unsigned k = 0; k < kNumSyncOpKinds; ++k) {
+            if (agg[k].count == 0)
+                continue;
+            t.addRow({sync::opKindName(static_cast<sync::OpKind>(k)),
+                      std::to_string(agg[k].count),
+                      fmt(agg[k].avgTicks()
+                              / static_cast<double>(kTicksPerNs),
+                          1),
+                      fmt(ticksToNs(agg[k].minTicks), 1),
+                      fmt(ticksToNs(agg[k].maxTicks), 1)});
+        }
+        t.print(os);
+    }
+
+    // -- Host-side perf summary
+    std::uint64_t events = 0;
+    for (const Record &r : records_)
+        events += r.out.hostEvents;
+    const double wallSec = static_cast<double>(wallNs_) * 1e-9;
+    os << "harness: " << records_.size() << " configs, jobs="
+       << opts_.jobs << ", host " << fmt(wallSec, 2) << " s";
+    if (events > 0 && wallSec > 0.0) {
+        os << ", " << events << " kernel events ("
+           << fmt(static_cast<double>(events) / wallSec / 1e6, 2)
+           << " M events/s)";
+    }
+    os << "\n";
+
+    if (!opts_.json.empty()) {
+        writeJson();
+        os << "wrote " << opts_.json << "\n";
+    }
+}
+
+void
+BenchReport::writeJson() const
+{
+    std::ofstream f(opts_.json);
+    if (!f)
+        SYNCRON_FATAL("cannot write --json file '" << opts_.json << "'");
+
+    std::uint64_t events = 0;
+    for (const Record &r : records_)
+        events += r.out.hostEvents;
+    const double wallSec = static_cast<double>(wallNs_) * 1e-9;
+
+    JsonWriter j(f);
+    j.beginObject();
+    j.field("bench", name_);
+    j.key("options");
+    j.beginObject()
+        .field("scale", opts_.scale)
+        .field("full", opts_.full)
+        .field("jobs", opts_.jobs)
+        .field("backend", opts_.backend)
+        .endObject();
+    j.key("host");
+    j.beginObject()
+        .field("wallMs", static_cast<double>(wallNs_) * 1e-6)
+        .field("events", events)
+        .field("eventsPerSec",
+               wallSec > 0.0 ? static_cast<double>(events) / wallSec
+                             : 0.0)
+        .endObject();
+    j.key("configs");
+    j.beginArray();
+    for (const Record &r : records_) {
+        j.beginObject();
+        j.field("label", r.label);
+        j.field("simTicks", r.out.time);
+        j.field("ops", r.out.ops);
+        j.field("opsPerMs", r.out.opsPerMs());
+        j.field("hostMs", static_cast<double>(r.out.hostNs) * 1e-6);
+        j.field("events", r.out.hostEvents);
+        j.field("eventsPerSec", r.out.hostEventsPerSec());
+        if (r.out.totalReqs > 0)
+            j.field("overflowFrac", r.out.overflowFrac());
+
+        // Per-OpKind latency histograms (log2 ns buckets, trailing
+        // zeros trimmed), only for kinds the run actually exercised.
+        bool anyLatency = false;
+        for (const SyncOpLatency &l : r.out.stats.syncLatency)
+            anyLatency = anyLatency || l.count > 0;
+        if (anyLatency) {
+            j.key("syncLatency");
+            j.beginArray();
+            for (unsigned k = 0; k < kNumSyncOpKinds; ++k) {
+                const SyncOpLatency &l = r.out.stats.syncLatency[k];
+                if (l.count == 0)
+                    continue;
+                j.beginObject();
+                j.field("op",
+                        sync::opKindName(static_cast<sync::OpKind>(k)));
+                j.field("count", l.count);
+                j.field("avgTicks", l.avgTicks());
+                j.field("minTicks", l.minTicks);
+                j.field("maxTicks", l.maxTicks);
+                j.key("histLog2Ticks");
+                j.beginArray();
+                unsigned last = 0;
+                for (unsigned b = 0; b < kSyncLatencyBuckets; ++b) {
+                    if (l.hist[b] != 0)
+                        last = b + 1;
+                }
+                for (unsigned b = 0; b < last; ++b)
+                    j.value(l.hist[b]);
+                j.endArray();
+                j.endObject();
+            }
+            j.endArray();
+        }
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    f << "\n";
+}
+
+} // namespace syncron::harness

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-bench result collection: every bench binary funnels its finished
+ * grid cells through a BenchReport, which
+ *
+ *   - prints the aggregated per-OpKind synchronization-latency table
+ *     (SystemStats::syncLatency surfaced on the terminal),
+ *   - prints a host-side perf summary (kernel events/sec — the number
+ *     the fast-kernel work optimizes), and
+ *   - optionally (--json=<path>) writes a machine-readable BENCH_*.json
+ *     record with per-config simulated results, host perf, and latency
+ *     histograms, starting the perf trajectory across PRs.
+ */
+
+#ifndef SYNCRON_HARNESS_REPORT_HH
+#define SYNCRON_HARNESS_REPORT_HH
+
+#include <chrono>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace syncron::harness {
+
+/** Collects labeled RunOutputs and renders the perf/latency epilogue. */
+class BenchReport
+{
+  public:
+    /** @p name is the bench identity recorded in the JSON ("fig11"). */
+    BenchReport(std::string name, const BenchOptions &opts);
+
+    /** Adds one completed grid cell. */
+    void add(std::string label, const RunOutput &out);
+
+    /** Adds a cell that only has simulated time/ops (coherence benches
+     *  and other runs without a full RunOutput). */
+    void addScalar(std::string label, Tick simTime, std::uint64_t ops);
+
+    /**
+     * Prints the latency table and host perf summary to @p os and, when
+     * --json was given, writes the JSON record. Call once, last.
+     */
+    void finish(std::ostream &os);
+
+  private:
+    struct Record
+    {
+        std::string label;
+        RunOutput out;
+    };
+
+    void writeJson() const;
+
+    std::string name_;
+    const BenchOptions &opts_;
+    std::vector<Record> records_;
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+    std::uint64_t wallNs_ = 0; ///< set by finish()
+};
+
+} // namespace syncron::harness
+
+#endif // SYNCRON_HARNESS_REPORT_HH

@@ -1,9 +1,14 @@
 #include "harness/runner.hh"
 
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 
 #include "common/log.hh"
+#include "sync/registry.hh"
 #include "system/system.hh"
 #include "workloads/datastructures/structures.hh"
 #include "workloads/timeseries/scrimp.hh"
@@ -12,26 +17,99 @@ namespace syncron::harness {
 
 using workloads::DsResult;
 
+const char *
+BenchOptions::usage()
+{
+    return "options:\n"
+           "  --full             approach paper-scale inputs (scale x8)\n"
+           "  --scale=<f>        input-size multiplier (f > 0)\n"
+           "  --jobs=<n>         parallel grid workers (1..256)\n"
+           "  --json=<path>      write a machine-readable BENCH_*.json\n"
+           "  --backend=<name>   select a registered sync backend by "
+           "name";
+}
+
+namespace {
+
+/** Value of "--opt=value"-style @p arg, or nullptr if no match. */
+const char *
+optValue(const char *arg, const char *prefix)
+{
+    const std::size_t n = std::strlen(prefix);
+    if (std::strncmp(arg, prefix, n) != 0)
+        return nullptr;
+    return arg + n;
+}
+
+} // namespace
+
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
     BenchOptions opts;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
+        const char *val = nullptr;
         if (std::strcmp(arg, "--full") == 0) {
             opts.full = true;
-        } else if (std::strncmp(arg, "--scale=", 8) == 0) {
-            opts.scale = std::atof(arg + 8);
-            if (opts.scale <= 0.0)
-                SYNCRON_FATAL("bad --scale value");
+        } else if ((val = optValue(arg, "--scale="))) {
+            char *end = nullptr;
+            errno = 0;
+            opts.scale = std::strtod(val, &end);
+            if (*val == '\0' || end == nullptr || *end != '\0'
+                || errno != 0 || !std::isfinite(opts.scale)
+                || !(opts.scale > 0.0) || opts.scale > kMaxScale) {
+                SYNCRON_FATAL("bad --scale value '"
+                              << val << "' (need a number in (0, "
+                              << kMaxScale << "])\n"
+                              << usage());
+            }
+        } else if ((val = optValue(arg, "--jobs="))) {
+            char *end = nullptr;
+            errno = 0;
+            const long jobs = std::strtol(val, &end, 10);
+            if (*val == '\0' || end == nullptr || *end != '\0'
+                || errno != 0 || jobs < 1
+                || jobs > static_cast<long>(kMaxJobs)) {
+                SYNCRON_FATAL("bad --jobs value '"
+                              << val << "' (need 1.." << kMaxJobs
+                              << ")\n"
+                              << usage());
+            }
+            opts.jobs = static_cast<unsigned>(jobs);
+        } else if ((val = optValue(arg, "--json="))) {
+            if (*val == '\0')
+                SYNCRON_FATAL("--json needs a path\n" << usage());
+            opts.json = val;
+        } else if ((val = optValue(arg, "--backend="))) {
+            if (*val == '\0'
+                || !sync::BackendRegistry::instance().contains(val)) {
+                SYNCRON_FATAL(
+                    "unknown --backend '"
+                    << val << "' (known: "
+                    << sync::BackendRegistry::instance().knownNames()
+                    << ")\n"
+                    << usage());
+            }
+            opts.backend = val;
         } else if (std::strncmp(arg, "--benchmark", 11) == 0) {
             // Tolerate google-benchmark's standard flags.
         } else {
-            SYNCRON_FATAL("unknown argument '"
-                          << arg << "' (use --full or --scale=<f>)");
+            SYNCRON_FATAL("unknown argument '" << arg << "'\n"
+                                               << usage());
         }
     }
     return opts;
+}
+
+SystemConfig
+BenchOptions::makeConfig(Scheme scheme, unsigned numUnits,
+                         unsigned clientCoresPerUnit) const
+{
+    SystemConfig cfg =
+        SystemConfig::make(scheme, numUnits, clientCoresPerUnit);
+    cfg.backendName = backend;
+    return cfg;
 }
 
 const char *
@@ -91,12 +169,40 @@ RunOutput::overflowFrac() const
            / static_cast<double>(totalReqs);
 }
 
+double
+RunOutput::hostEventsPerSec() const
+{
+    if (hostNs == 0)
+        return 0.0;
+    return static_cast<double>(hostEvents)
+           / (static_cast<double>(hostNs) * 1e-9);
+}
+
 namespace {
+
+/** Wall-clock of one run, feeding RunOutput's host perf fields. */
+class HostTimer
+{
+  public:
+    std::uint64_t
+    elapsedNs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+};
 
 /** Fills the scheme-independent tail of a RunOutput. */
 void
 finishOutput(RunOutput &out, NdpSystem &sys)
 {
+    out.hostEvents = sys.machine().eq().executed();
     out.stats = sys.stats();
     out.energy = computeEnergy(sys.stats(), sys.config());
     if (engine::SynCronBackend *eng = sys.syncronBackend()) {
@@ -115,6 +221,7 @@ RunOutput
 runDataStructure(const SystemConfig &cfg, DsKind kind,
                  unsigned initialSize, unsigned opsPerCore)
 {
+    HostTimer timer;
     NdpSystem sys(cfg);
     const unsigned n = sys.numClientCores();
 
@@ -194,6 +301,25 @@ runDataStructure(const SystemConfig &cfg, DsKind kind,
     out.time = sys.elapsed();
     out.ops = static_cast<std::uint64_t>(n) * opsPerCore;
     finishOutput(out, sys);
+    out.hostNs = timer.elapsedNs();
+    return out;
+}
+
+RunOutput
+runPrimitive(const SystemConfig &cfg, workloads::Primitive primitive,
+             unsigned interval, unsigned opsPerCore)
+{
+    HostTimer timer;
+    NdpSystem sys(cfg);
+    workloads::PrimitiveWorkload workload(sys, primitive, interval,
+                                          opsPerCore);
+    sys.run();
+
+    RunOutput out;
+    out.time = sys.elapsed();
+    out.ops = sys.stats().syncOps;
+    finishOutput(out, sys);
+    out.hostNs = timer.elapsedNs();
     return out;
 }
 
@@ -201,6 +327,7 @@ RunOutput
 runGraph(const SystemConfig &cfg, const std::string &input,
          workloads::GraphApp app, double scale, bool metisPartition)
 {
+    HostTimer timer;
     NdpSystem sys(cfg);
     workloads::Graph g = workloads::makeProxyInput(input, scale);
     std::vector<UnitId> part =
@@ -215,6 +342,7 @@ runGraph(const SystemConfig &cfg, const std::string &input,
     out.time = r.time;
     out.ops = r.updates;
     finishOutput(out, sys);
+    out.hostNs = timer.elapsedNs();
     return out;
 }
 
@@ -222,6 +350,7 @@ RunOutput
 runTimeSeries(const SystemConfig &cfg, const std::string &input,
               double scale)
 {
+    HostTimer timer;
     NdpSystem sys(cfg);
     workloads::ScrimpWorkload ts(sys, input, scale);
     const Tick time = ts.run();
@@ -230,6 +359,7 @@ runTimeSeries(const SystemConfig &cfg, const std::string &input,
     out.time = time;
     out.ops = ts.updates();
     finishOutput(out, sys);
+    out.hostNs = timer.elapsedNs();
     return out;
 }
 

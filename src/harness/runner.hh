@@ -18,20 +18,40 @@
 #include "system/config.hh"
 #include "system/energy.hh"
 #include "workloads/graph/kernels.hh"
+#include "workloads/micro/primitives.hh"
 
 namespace syncron::harness {
 
 /** Command-line options common to all bench binaries. */
 struct BenchOptions
 {
-    bool full = false;   ///< --full: approach paper-scale inputs
-    double scale = 1.0;  ///< --scale=<f>: input size multiplier
+    bool full = false;    ///< --full: approach paper-scale inputs
+    double scale = 1.0;   ///< --scale=<f>: input size multiplier
+    unsigned jobs = 1;    ///< --jobs=<n>: parallel grid workers
+    std::string json;     ///< --json=<path>: machine-readable record
+    std::string backend;  ///< --backend=<name>: registry override
 
-    /** Parses argv; unknown arguments are fatal. */
+    /** Maximum accepted --jobs value. */
+    static constexpr unsigned kMaxJobs = 256;
+
+    /** Maximum accepted --scale value (paper scale is 8.0). */
+    static constexpr double kMaxScale = 1e6;
+
+    /** Parses argv; bad/unknown arguments are fatal and print usage. */
     static BenchOptions parse(int argc, char **argv);
+
+    /** The usage text printed on argument errors. */
+    static const char *usage();
 
     /** Effective workload scale (full implies a larger multiplier). */
     double effectiveScale() const { return full ? scale * 8.0 : scale; }
+
+    /**
+     * SystemConfig::make plus the CLI-wide settings (--backend) every
+     * grid cell must inherit; benches build their configs through this.
+     */
+    SystemConfig makeConfig(Scheme scheme, unsigned numUnits = 4,
+                            unsigned clientCoresPerUnit = 15) const;
 };
 
 /** The nine Table 6 data structures. */
@@ -80,15 +100,26 @@ struct RunOutput
     std::uint64_t overflowedReqs = 0;
     std::uint64_t totalReqs = 0;
 
+    // -- Host-side perf accounting (the simulator's own speed)
+    std::uint64_t hostEvents = 0; ///< kernel events executed by the run
+    std::uint64_t hostNs = 0;     ///< host wall-clock of the run
+
     /** Fig. 11 metric. */
     double opsPerMs() const;
     /** Fraction of requests serviced via memory (Fig. 22/23). */
     double overflowFrac() const;
+    /** Host simulation speed (events per host second). */
+    double hostEventsPerSec() const;
 };
 
 /** Runs one data-structure benchmark. */
 RunOutput runDataStructure(const SystemConfig &cfg, DsKind kind,
                            unsigned initialSize, unsigned opsPerCore);
+
+/** Runs one Fig. 10 primitive microbenchmark. */
+RunOutput runPrimitive(const SystemConfig &cfg,
+                       workloads::Primitive primitive, unsigned interval,
+                       unsigned opsPerCore);
 
 /** Runs one graph application on a proxy input. */
 RunOutput runGraph(const SystemConfig &cfg, const std::string &input,

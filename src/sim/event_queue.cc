@@ -1,10 +1,203 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "common/log.hh"
 
 namespace syncron::sim {
+
+namespace {
+
+/** All-ones from bit @p b upward; 0 when @p b >= 64 (shift-safe). */
+inline std::uint64_t
+maskFrom(unsigned b)
+{
+    return b >= 64 ? 0 : (~std::uint64_t{0} << b);
+}
+
+} // namespace
+
+EventQueue::EventQueue()
+    : slots_(kWheelSlots), bitsL0_(kWheelSlots / 64, 0)
+{
+    pool_.reserve(256);
+    heap_.reserve(64);
+}
+
+// --------------------------------------------------------------------
+// Node pool
+// --------------------------------------------------------------------
+
+std::uint32_t
+EventQueue::allocNode(Tick when, Callback cb)
+{
+    std::uint32_t idx;
+    if (freeHead_ != kNilIdx) {
+        idx = freeHead_;
+        freeHead_ = pool_[idx].next;
+        pool_[idx].cb = std::move(cb);
+    } else {
+        idx = static_cast<std::uint32_t>(pool_.size());
+        pool_.push_back(Event{std::move(cb), 0, 0, kNilIdx});
+    }
+    pool_[idx].when = when;
+    pool_[idx].next = kNilIdx;
+    return idx;
+}
+
+void
+EventQueue::freeNode(std::uint32_t idx)
+{
+    pool_[idx].next = freeHead_;
+    freeHead_ = idx;
+}
+
+// --------------------------------------------------------------------
+// Near wheel
+// --------------------------------------------------------------------
+
+void
+EventQueue::markSlot(std::size_t slot)
+{
+    const std::size_t word = slot >> 6;
+    bitsL0_[word] |= std::uint64_t{1} << (slot & 63);
+    bitsL1_[word >> 6] |= std::uint64_t{1} << (word & 63);
+    bitsL2_ |= std::uint64_t{1} << (word >> 6);
+}
+
+void
+EventQueue::clearSlot(std::size_t slot)
+{
+    const std::size_t word = slot >> 6;
+    bitsL0_[word] &= ~(std::uint64_t{1} << (slot & 63));
+    if (bitsL0_[word] == 0) {
+        bitsL1_[word >> 6] &= ~(std::uint64_t{1} << (word & 63));
+        if (bitsL1_[word >> 6] == 0)
+            bitsL2_ &= ~(std::uint64_t{1} << (word >> 6));
+    }
+}
+
+void
+EventQueue::pushSlot(std::uint32_t idx)
+{
+    const std::size_t slot =
+        static_cast<std::size_t>(pool_[idx].when & kSlotMask);
+    Slot &s = slots_[slot];
+    if (s.head == kNilIdx) {
+        s.head = s.tail = idx;
+        markSlot(slot);
+    } else {
+        pool_[s.tail].next = idx;
+        s.tail = idx;
+    }
+    ++wheelCount_;
+}
+
+std::uint32_t
+EventQueue::popSlot(std::size_t slot)
+{
+    Slot &s = slots_[slot];
+    const std::uint32_t idx = s.head;
+    s.head = pool_[idx].next;
+    if (s.head == kNilIdx) {
+        s.tail = kNilIdx;
+        clearSlot(slot);
+    }
+    --wheelCount_;
+    return idx;
+}
+
+std::size_t
+EventQueue::nextSlotFrom(std::size_t from) const
+{
+    if (from >= kWheelSlots)
+        return kWheelSlots;
+    std::size_t word = from >> 6;
+    std::uint64_t w = bitsL0_[word] & maskFrom(from & 63);
+    if (w == 0) {
+        // Climb the summary levels to the next non-empty L0 word.
+        std::size_t l1w = word >> 6;
+        std::uint64_t u =
+            bitsL1_[l1w] & maskFrom(static_cast<unsigned>(word & 63) + 1);
+        if (u == 0) {
+            const std::uint64_t v =
+                bitsL2_ & maskFrom(static_cast<unsigned>(l1w) + 1);
+            if (v == 0)
+                return kWheelSlots;
+            l1w = static_cast<std::size_t>(std::countr_zero(v));
+            u = bitsL1_[l1w];
+        }
+        word = l1w * 64
+               + static_cast<std::size_t>(std::countr_zero(u));
+        w = bitsL0_[word];
+    }
+    return word * 64 + static_cast<std::size_t>(std::countr_zero(w));
+}
+
+// --------------------------------------------------------------------
+// Overflow heap and epoch promotion
+// --------------------------------------------------------------------
+
+void
+EventQueue::promoteNextEpoch()
+{
+    SYNCRON_ASSERT(wheelCount_ == 0 && !heap_.empty(),
+                   "promotion with events still in the wheel");
+    epoch_ = heap_.front().when >> kWheelBits;
+    // Heap pops come out ordered by (when, seq), so same-tick events
+    // append to their slot in seq order — FIFO is preserved, and any
+    // event scheduled after this promotion has a larger seq and lands
+    // behind them.
+    while (!heap_.empty() && (heap_.front().when >> kWheelBits) == epoch_) {
+        std::pop_heap(heap_.begin(), heap_.end());
+        const HeapEntry e = heap_.back();
+        heap_.pop_back();
+        pushSlot(e.idx);
+    }
+}
+
+Tick
+EventQueue::nextEventTime() const
+{
+    if (wheelCount_ > 0) {
+        // All wheel events live in epoch_, which now_ has entered (or
+        // not reached yet, right after construction / a promotion).
+        const std::size_t from =
+            (now_ >> kWheelBits) == epoch_
+                ? static_cast<std::size_t>(now_ & kSlotMask)
+                : 0;
+        const std::size_t slot = nextSlotFrom(from);
+        SYNCRON_ASSERT(slot < kWheelSlots,
+                       "wheel count/bitmap disagree");
+        return (Tick{epoch_} << kWheelBits) + slot;
+    }
+    if (!heap_.empty())
+        return heap_.front().when;
+    return kTickNever;
+}
+
+void
+EventQueue::popAndRun(Tick when)
+{
+    if (wheelCount_ == 0)
+        promoteNextEpoch();
+    const std::uint32_t idx =
+        popSlot(static_cast<std::size_t>(when & kSlotMask));
+    now_ = when;
+    --pending_;
+    ++executed_;
+    // Move the callback out and recycle the node before invoking it, so
+    // the callback may schedule (and reuse the node) freely.
+    Callback cb = std::move(pool_[idx].cb);
+    freeNode(idx);
+    cb();
+}
+
+// --------------------------------------------------------------------
+// Public interface
+// --------------------------------------------------------------------
 
 void
 EventQueue::schedule(Tick when, Callback cb)
@@ -12,28 +205,38 @@ EventQueue::schedule(Tick when, Callback cb)
     SYNCRON_ASSERT(when >= now_,
                    "scheduling into the past: when=" << when
                        << " now=" << now_);
-    events_.push(Event{when, nextSeq_++, std::move(cb)});
+    const std::uint32_t idx = allocNode(when, std::move(cb));
+    pool_[idx].seq = nextSeq_++;
+    if ((when >> kWheelBits) == epoch_) {
+        pushSlot(idx);
+    } else {
+        // Whenever user code runs, now_ is inside epoch_, so when >=
+        // now_ puts later epochs (never earlier ones) in the heap.
+        heap_.push_back(HeapEntry{when, pool_[idx].seq, idx});
+        std::push_heap(heap_.begin(), heap_.end());
+    }
+    ++pending_;
 }
 
 bool
 EventQueue::runOne()
 {
-    if (events_.empty())
+    const Tick t = nextEventTime();
+    if (t == kTickNever)
         return false;
-    // std::priority_queue::top() returns const&; the callback must be
-    // moved out before pop, so copy the metadata and steal the callback.
-    Event ev = std::move(const_cast<Event &>(events_.top()));
-    events_.pop();
-    now_ = ev.when;
-    ev.cb();
+    popAndRun(t);
     return true;
 }
 
 Tick
 EventQueue::run(Tick until)
 {
-    while (!events_.empty() && events_.top().when <= until)
-        runOne();
+    for (;;) {
+        const Tick t = nextEventTime();
+        if (t == kTickNever || t > until)
+            break;
+        popAndRun(t);
+    }
     return now_;
 }
 

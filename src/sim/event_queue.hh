@@ -10,16 +10,35 @@
  *
  * Events at the same tick execute in scheduling order (FIFO), which makes
  * every simulation deterministic and reproducible.
+ *
+ * Implementation: a hierarchical timer — a near wheel at 1-tick
+ * granularity plus an overflow min-heap for far-future events — backed
+ * by a free-list node pool, so schedule()/pop are O(1) for the short
+ * link/DRAM/SE latencies that dominate and never allocate in steady
+ * state. Callbacks are stored inline (common/inplace_callback.hh), so
+ * scheduling a coroutine resume or a device callback performs zero heap
+ * allocations.
+ *
+ * Wheel layout: simulated time is divided into epochs of 2^kWheelBits
+ * ticks. The wheel holds exactly the pending events of the current
+ * epoch (slot = when mod 2^kWheelBits, one FIFO list per slot, with a
+ * three-level bitmap for O(1) next-slot scans); all later events wait
+ * in the overflow heap, ordered by (when, seq). When the current epoch
+ * drains, the queue jumps to the epoch of the heap's minimum and
+ * promotes that epoch's events into the wheel in (when, seq) order —
+ * same-tick FIFO survives promotion because heap order extends the
+ * slot-append order (see runOne()).
  */
 
 #ifndef SYNCRON_SIM_EVENT_QUEUE_HH
 #define SYNCRON_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstddef>
-#include <functional>
-#include <queue>
+#include <cstdint>
 #include <vector>
 
+#include "common/inplace_callback.hh"
 #include "common/types.hh"
 
 namespace syncron::sim {
@@ -28,9 +47,17 @@ namespace syncron::sim {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Inline capacity for event callbacks. 64 bytes holds every capture
+     * in the tree — coroutine resumes (one handle) and the largest
+     * device callbacks (engine/overflow: this + station ref + typed
+     * request + core/var/gate) — with headroom; larger captures fail to
+     * compile (capture pointers instead).
+     */
+    static constexpr std::size_t kCallbackBytes = 64;
+    using Callback = common::InplaceCallback<kCallbackBytes>;
 
-    EventQueue() = default;
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -53,33 +80,98 @@ class EventQueue
     Tick run(Tick until = kTickNever);
 
     /** True when no events are pending. */
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return pending_ == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t pending() const { return pending_; }
+
+    /** Host-side count of events executed so far (perf accounting). */
+    std::uint64_t executed() const { return executed_; }
 
   private:
+    // -- Geometry ------------------------------------------------------
+    /** log2 of the near-wheel slot count: one epoch = 65536 ticks
+     *  (65.5 ns), which covers the common device latencies (core cycle
+     *  0.4 ns, SPU cycle 1 ns, links 40 ns, DRAM tens of ns). */
+    static constexpr unsigned kWheelBits = 16;
+    static constexpr std::size_t kWheelSlots = std::size_t{1} << kWheelBits;
+    static constexpr Tick kSlotMask = Tick{kWheelSlots - 1};
+
+    static constexpr std::uint32_t kNilIdx = ~std::uint32_t{0};
+
+    /** Pooled event node; FIFO-chained per wheel slot via `next`. */
     struct Event
     {
-        Tick when;
-        std::uint64_t seq; ///< tie-breaker: FIFO among same-tick events
         Callback cb;
+        Tick when = 0;
+        std::uint64_t seq = 0; ///< tie-breaker: FIFO among same ticks
+        std::uint32_t next = kNilIdx;
     };
 
-    struct Later
+    /** One near-wheel slot: intrusive FIFO list of pool indices. */
+    struct Slot
     {
+        std::uint32_t head = kNilIdx;
+        std::uint32_t tail = kNilIdx;
+    };
+
+    /** Overflow-heap entry (min-heap on (when, seq)). */
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t idx; ///< pool index
+
         bool
-        operator()(const Event &a, const Event &b) const
+        operator<(const HeapEntry &o) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            // std::push_heap builds a max-heap; invert for a min-heap.
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    // -- Pool ----------------------------------------------------------
+    std::uint32_t allocNode(Tick when, Callback cb);
+    void freeNode(std::uint32_t idx);
+
+    // -- Wheel ---------------------------------------------------------
+    void pushSlot(std::uint32_t idx);
+    std::uint32_t popSlot(std::size_t slot);
+    /** First non-empty slot index >= @p from, or kWheelSlots. */
+    std::size_t nextSlotFrom(std::size_t from) const;
+    void markSlot(std::size_t slot);
+    void clearSlot(std::size_t slot);
+
+    /** Jumps to the overflow heap's first epoch and promotes its events
+     *  into the (drained) wheel. Precondition: wheel empty, heap not. */
+    void promoteNextEpoch();
+
+    /** Tick of the next pending event, or kTickNever. Pure: performs no
+     *  promotion, so stopping early (run(until)) never strands state. */
+    Tick nextEventTime() const;
+
+    /** Pops and runs the event at @p when (the nextEventTime()). */
+    void popAndRun(Tick when);
+
+    std::vector<Event> pool_;
+    std::uint32_t freeHead_ = kNilIdx;
+
+    std::vector<Slot> slots_;
+    /** Three-level occupancy bitmap over slots_ (64^3 >= 2^16). */
+    std::vector<std::uint64_t> bitsL0_;          ///< 1 bit per slot
+    std::array<std::uint64_t, 16> bitsL1_{};     ///< 1 bit per L0 word
+    std::uint64_t bitsL2_ = 0;                   ///< 1 bit per L1 word
+
+    std::vector<HeapEntry> heap_; ///< far-future events (later epochs)
+
     Tick now_ = 0;
+    std::uint64_t epoch_ = 0; ///< epoch currently mapped onto the wheel
+    std::size_t wheelCount_ = 0;
+    std::size_t pending_ = 0;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
 };
 
 } // namespace syncron::sim

@@ -43,16 +43,22 @@ BackendRegistry::create(std::string_view name, Machine &machine) const
 {
     std::unique_ptr<SyncBackend> backend = tryCreate(name, machine);
     if (!backend) {
-        detail::MsgBuilder known;
-        const char *sep = "";
-        for (const std::string &n : names()) {
-            known << sep << n;
-            sep = ", ";
-        }
         SYNCRON_FATAL("unknown synchronization backend '"
-                      << name << "' (known: " << known.str() << ")");
+                      << name << "' (known: " << knownNames() << ")");
     }
     return backend;
+}
+
+std::string
+BackendRegistry::knownNames() const
+{
+    std::string out;
+    for (const std::string &n : names()) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
 }
 
 std::vector<std::string>

@@ -62,6 +62,9 @@ class BackendRegistry
     /** All registered names, sorted. */
     std::vector<std::string> names() const;
 
+    /** Registered names joined as "a, b, c" (for error messages). */
+    std::string knownNames() const;
+
   private:
     BackendRegistry() = default;
 

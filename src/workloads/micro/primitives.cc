@@ -55,23 +55,18 @@ semPostLoop(NdpSystem &sys, Core &c, sync::SyncVar sem, unsigned interval,
     }
 }
 
-struct CondShared
-{
-    std::int64_t tokens = 0;
-};
-
 sim::Process
 condWaitLoop(NdpSystem &sys, Core &c, sync::SyncVar cond,
              sync::SyncVar lock, unsigned interval, unsigned ops,
-             CondShared &shared)
+             std::int64_t &tokens)
 {
     sync::SyncApi &api = sys.api();
     for (unsigned i = 0; i < ops; ++i) {
         co_await c.compute(interval);
         co_await api.lockAcquire(c, lock);
-        while (shared.tokens == 0)
+        while (tokens == 0)
             co_await api.condWait(c, cond, lock);
-        --shared.tokens;
+        --tokens;
         co_await api.lockRelease(c, lock);
     }
 }
@@ -79,13 +74,13 @@ condWaitLoop(NdpSystem &sys, Core &c, sync::SyncVar cond,
 sim::Process
 condSignalLoop(NdpSystem &sys, Core &c, sync::SyncVar cond,
                sync::SyncVar lock, unsigned interval, unsigned ops,
-               CondShared &shared)
+               std::int64_t &tokens)
 {
     sync::SyncApi &api = sys.api();
     for (unsigned i = 0; i < ops; ++i) {
         co_await c.compute(interval);
         co_await api.lockAcquire(c, lock);
-        ++shared.tokens;
+        ++tokens;
         co_await api.condSignal(c, cond);
         co_await api.lockRelease(c, lock);
     }
@@ -105,18 +100,13 @@ primitiveName(Primitive p)
     return "?";
 }
 
-MicroResult
-runPrimitiveBench(Scheme scheme, Primitive primitive, unsigned interval,
-                  unsigned opsPerCore, unsigned numUnits,
-                  unsigned clientsPerUnit)
+PrimitiveWorkload::PrimitiveWorkload(NdpSystem &sys, Primitive primitive,
+                                     unsigned interval,
+                                     unsigned opsPerCore)
 {
-    SystemConfig cfg = SystemConfig::make(scheme, numUnits,
-                                          clientsPerUnit);
-    NdpSystem sys(cfg);
     const unsigned n = sys.numClientCores();
     sync::SyncVar var = sys.api().createSyncVar(0);
     sync::SyncVar lock = sys.api().createSyncVar(0);
-    CondShared shared;
 
     switch (primitive) {
       case Primitive::Lock:
@@ -148,17 +138,29 @@ runPrimitiveBench(Scheme scheme, Primitive primitive, unsigned interval,
         for (unsigned i = 0; i < n; ++i) {
             if (i % 2 == 0) {
                 sys.spawn(condWaitLoop(sys, sys.clientCore(i), var, lock,
-                                       interval, opsPerCore, shared));
+                                       interval, opsPerCore,
+                                       condTokens_));
             } else {
                 sys.spawn(condSignalLoop(sys, sys.clientCore(i), var,
                                          lock, interval, opsPerCore,
-                                         shared));
+                                         condTokens_));
             }
         }
         break;
     }
+}
 
+MicroResult
+runPrimitiveBench(Scheme scheme, Primitive primitive, unsigned interval,
+                  unsigned opsPerCore, unsigned numUnits,
+                  unsigned clientsPerUnit)
+{
+    SystemConfig cfg = SystemConfig::make(scheme, numUnits,
+                                          clientsPerUnit);
+    NdpSystem sys(cfg);
+    PrimitiveWorkload workload(sys, primitive, interval, opsPerCore);
     sys.run();
+
     MicroResult result;
     result.time = sys.elapsed();
     result.syncOps = sys.stats().syncOps;

@@ -16,8 +16,12 @@
 
 #include <cstdint>
 
-#include "system/config.hh"
 #include "common/types.hh"
+#include "system/config.hh"
+
+namespace syncron {
+class NdpSystem;
+} // namespace syncron
 
 namespace syncron::workloads {
 
@@ -27,6 +31,28 @@ enum class Primitive { Lock, Barrier, Semaphore, CondVar };
 /** Printable name. */
 const char *primitiveName(Primitive p);
 
+/**
+ * The Fig. 10 microbenchmark on an externally-built system: creates the
+ * synchronization variables and spawns one worker per client core. The
+ * object must outlive the run (it owns shared workload state).
+ *
+ *   NdpSystem sys(cfg);
+ *   PrimitiveWorkload w(sys, Primitive::Lock, 200, 16);
+ *   sys.run();
+ */
+class PrimitiveWorkload
+{
+  public:
+    PrimitiveWorkload(NdpSystem &sys, Primitive primitive,
+                      unsigned interval, unsigned opsPerCore);
+
+    PrimitiveWorkload(const PrimitiveWorkload &) = delete;
+    PrimitiveWorkload &operator=(const PrimitiveWorkload &) = delete;
+
+  private:
+    std::int64_t condTokens_ = 0; ///< CondVar producer/consumer balance
+};
+
 /** Result of one microbenchmark run. */
 struct MicroResult
 {
@@ -35,14 +61,10 @@ struct MicroResult
 };
 
 /**
- * Runs the Fig. 10 microbenchmark.
- *
- * @param scheme      synchronization scheme under test
- * @param primitive   which primitive
- * @param interval    compute instructions between synchronization points
- * @param opsPerCore  synchronization episodes per core
- * @param numUnits    NDP units (default: paper's 4)
- * @param clientsPerUnit client cores per unit (default: paper's 15)
+ * Convenience wrapper: builds the system for @p scheme, runs the
+ * microbenchmark, and reports simulated time. Prefer
+ * harness::runPrimitive() in benches (full RunOutput, backend
+ * selection).
  */
 MicroResult runPrimitiveBench(Scheme scheme, Primitive primitive,
                               unsigned interval, unsigned opsPerCore,

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for the timing-wheel event queue: same-tick FIFO determinism,
+ * wheel/overflow-heap promotion at far-future horizons, run(until)
+ * boundary semantics, allocation-freedom of steady-state scheduling
+ * (via a counting global operator new), and serial-vs-parallel grid
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "harness/grid.hh"
+#include "harness/runner.hh"
+#include "sim/event_queue.hh"
+#include "sim/process.hh"
+
+// -- Counting allocator ------------------------------------------------
+// Counts every global allocation in this test binary; the steady-state
+// test asserts the delta across a schedule/run region is zero. Atomic
+// because the grid test runs worker threads in the same process.
+//
+// GCC cannot see that this operator new (malloc) pairs with this
+// operator delete (free) and warns at every inlined call site.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<std::uint64_t> gAllocCount{0};
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace syncron::sim {
+namespace {
+
+// The wheel covers 2^16 ticks; anything further sits in the overflow
+// heap until its epoch is promoted.
+constexpr Tick kHorizon = Tick{1} << 16;
+
+TEST(TimingWheel, SameTickFifoAcrossManyEvents)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(5000, [&order, i] { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[i], i);
+    EXPECT_EQ(eq.now(), 5000u);
+}
+
+TEST(TimingWheel, SameTickFifoSurvivesHeapPromotion)
+{
+    EventQueue eq;
+    const Tick far = 10 * kHorizon + 123; // several epochs out
+    std::vector<int> order;
+
+    // 1 and 2 are scheduled while `far` is beyond the wheel horizon
+    // (overflow heap); 3 is scheduled at the same tick from a callback
+    // running after promotion (directly into the wheel).
+    eq.schedule(far, [&] {
+        order.push_back(1);
+        eq.schedule(far, [&] { order.push_back(3); });
+    });
+    eq.schedule(far, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), far);
+}
+
+TEST(TimingWheel, OrderHoldsAcrossEpochBoundaries)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    const Tick ticks[] = {kHorizon + 1, kHorizon,     kHorizon - 1,
+                          3 * kHorizon, 2 * kHorizon, 7,
+                          5 * kHorizon + 99};
+    for (Tick t : ticks)
+        eq.schedule(t, [&fired, t] { fired.push_back(t); });
+    eq.run();
+    EXPECT_EQ(fired,
+              (std::vector<Tick>{7, kHorizon - 1, kHorizon, kHorizon + 1,
+                                 2 * kHorizon, 3 * kHorizon,
+                                 5 * kHorizon + 99}));
+}
+
+TEST(TimingWheel, RandomizedOrderMatchesWhenSeqSort)
+{
+    // Deterministic LCG spray over several epochs; execution order must
+    // equal (when, schedule-order) lexicographic order.
+    EventQueue eq;
+    std::uint64_t lcg = 12345;
+    auto next = [&lcg] {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        return lcg >> 33;
+    };
+    struct Ref
+    {
+        Tick when;
+        int seq;
+    };
+    std::vector<Ref> refs;
+    std::vector<int> fired;
+    for (int i = 0; i < 2000; ++i) {
+        const Tick when = next() % (5 * kHorizon);
+        refs.push_back(Ref{when, i});
+        eq.schedule(when, [&fired, i] { fired.push_back(i); });
+    }
+    eq.run();
+    std::stable_sort(refs.begin(), refs.end(),
+                     [](const Ref &a, const Ref &b) {
+                         return a.when < b.when;
+                     });
+    ASSERT_EQ(fired.size(), refs.size());
+    for (std::size_t i = 0; i < refs.size(); ++i)
+        EXPECT_EQ(fired[i], refs[i].seq) << "at position " << i;
+}
+
+TEST(TimingWheel, RunUntilBoundarySemantics)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(21, [&] { ++count; });
+    eq.schedule(3 * kHorizon, [&] { ++count; });
+
+    // Events at exactly `until` run; later ones do not. now() is the
+    // last executed tick, not `until`.
+    EXPECT_EQ(eq.run(20), 20u);
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 2u);
+
+    // Stopping early must not disturb later scheduling or promotion:
+    // a fresh event between now and the far event still runs first.
+    eq.schedule(50, [&] { ++count; });
+    EXPECT_EQ(eq.run(2 * kHorizon), 50u);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.run(), 3 * kHorizon);
+    EXPECT_EQ(count, 6);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(TimingWheel, PendingAndExecutedCounters)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    eq.schedule(5, [] {});
+    eq.schedule(5 + 2 * kHorizon, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+// -- Allocation-freedom ------------------------------------------------
+
+/** Self-rescheduling event with a coroutine-resume-sized capture. */
+struct ResumeState
+{
+    EventQueue *q;
+    std::uint64_t *remaining;
+    Tick delta;
+};
+
+void
+resumeEvent(ResumeState *s)
+{
+    if (*s->remaining == 0)
+        return;
+    --*s->remaining;
+    s->q->scheduleIn(s->delta, [s] { resumeEvent(s); });
+}
+
+TEST(TimingWheelAlloc, SteadyStateSchedulingIsAllocationFree)
+{
+    EventQueue eq;
+    std::array<ResumeState, 64> states;
+    std::uint64_t remaining = 0;
+
+    auto seed = [&](std::uint64_t events) {
+        remaining = events;
+        for (std::size_t i = 0; i < states.size(); ++i) {
+            // Mix near deltas with far ones that traverse the overflow
+            // heap, so both paths are exercised.
+            const Tick delta =
+                i % 4 == 3 ? 3 * kHorizon + 17 : 400 * (1 + i % 5);
+            states[i] = ResumeState{&eq, &remaining, delta};
+            resumeEvent(&states[i]);
+        }
+        eq.run();
+        EXPECT_EQ(remaining, 0u);
+    };
+
+    // Warm-up grows the node pool and overflow heap to working size.
+    seed(20000);
+
+    const std::uint64_t before =
+        gAllocCount.load(std::memory_order_relaxed);
+    seed(20000);
+    const std::uint64_t after =
+        gAllocCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "schedule()/scheduleIn()/run() allocated in steady state";
+}
+
+sim::Process
+delayTicker(EventQueue &eq, unsigned n, unsigned &count)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        co_await Delay{eq, 400};
+        ++count;
+    }
+}
+
+TEST(TimingWheelAlloc, CoroutineResumeSchedulingIsAllocationFree)
+{
+    EventQueue eq;
+    // Warm the pool with plain events.
+    for (int i = 0; i < 64; ++i)
+        eq.schedule(eq.now() + i, [] {});
+    eq.run();
+
+    // Coroutine frames allocate at creation time — before the measured
+    // region. Resuming through Delay must not allocate.
+    unsigned count = 0;
+    std::array<sim::Process, 8> procs;
+    for (auto &p : procs)
+        p = delayTicker(eq, 1000, count);
+
+    const std::uint64_t before =
+        gAllocCount.load(std::memory_order_relaxed);
+    for (auto &p : procs)
+        p.start(eq);
+    eq.run();
+    const std::uint64_t after =
+        gAllocCount.load(std::memory_order_relaxed);
+
+    for (auto &p : procs)
+        EXPECT_TRUE(p.done());
+    EXPECT_EQ(count, 8u * 1000u);
+    EXPECT_EQ(after - before, 0u)
+        << "coroutine resume scheduling allocated";
+}
+
+} // namespace
+} // namespace syncron::sim
+
+// -- Grid determinism --------------------------------------------------
+
+namespace syncron::harness {
+namespace {
+
+std::vector<std::function<RunOutput()>>
+smallGrid()
+{
+    const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
+                              Scheme::SynCron, Scheme::Ideal};
+    const DsKind kinds[] = {DsKind::Stack, DsKind::HashTable};
+    std::vector<std::function<RunOutput()>> tasks;
+    for (DsKind kind : kinds) {
+        for (Scheme scheme : schemes) {
+            tasks.push_back([kind, scheme] {
+                SystemConfig cfg = SystemConfig::make(scheme, 2, 4);
+                return runDataStructure(cfg, kind, 32, 4);
+            });
+        }
+    }
+    return tasks;
+}
+
+TEST(Grid, ParallelRunsMatchSerialExactly)
+{
+    const auto serial = runGrid(smallGrid(), 1);
+    const auto parallel = runGrid(smallGrid(), 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].time, parallel[i].time) << "config " << i;
+        EXPECT_EQ(serial[i].ops, parallel[i].ops) << "config " << i;
+        EXPECT_EQ(serial[i].stats.syncOps, parallel[i].stats.syncOps);
+        EXPECT_EQ(serial[i].stats.dramReads,
+                  parallel[i].stats.dramReads);
+        EXPECT_EQ(serial[i].stats.syncLocalMsgs,
+                  parallel[i].stats.syncLocalMsgs);
+        EXPECT_EQ(serial[i].hostEvents, parallel[i].hostEvents);
+    }
+}
+
+TEST(Grid, TaskExceptionsPropagate)
+{
+    std::vector<std::function<int()>> tasks;
+    tasks.push_back([] { return 1; });
+    tasks.push_back([]() -> int {
+        throw std::runtime_error("boom");
+    });
+    tasks.push_back([] { return 3; });
+    EXPECT_THROW(runGrid(tasks, 2), std::runtime_error);
+    EXPECT_THROW(runGrid(tasks, 1), std::runtime_error);
+}
+
+TEST(Grid, ResultsKeepSubmissionOrder)
+{
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 40; ++i)
+        tasks.push_back([i] { return i; });
+    const auto out = runGrid(tasks, 8);
+    ASSERT_EQ(out.size(), 40u);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(out[i], i);
+}
+
+} // namespace
+} // namespace syncron::harness

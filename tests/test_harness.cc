@@ -55,6 +55,51 @@ TEST(BenchOptions, ParsesFlags)
     const char *argv3[] = {"bench", "--bogus"};
     EXPECT_THROW(BenchOptions::parse(2, const_cast<char **>(argv3)),
                  std::runtime_error);
+
+    const char *argv4[] = {"bench", "--jobs=8", "--json=out.json",
+                           "--backend=Hier"};
+    auto o4 = BenchOptions::parse(4, const_cast<char **>(argv4));
+    EXPECT_EQ(o4.jobs, 8u);
+    EXPECT_EQ(o4.json, "out.json");
+    EXPECT_EQ(o4.backend, "Hier");
+    EXPECT_EQ(o4.makeConfig(Scheme::SynCron).backendName, "Hier");
+}
+
+TEST(BenchOptions, RejectsMalformedValues)
+{
+    auto parse1 = [](const char *arg) {
+        const char *argv[] = {"bench", arg};
+        return BenchOptions::parse(2, const_cast<char **>(argv));
+    };
+    // --scale with no/garbage/non-positive value.
+    EXPECT_THROW(parse1("--scale="), std::runtime_error);
+    EXPECT_THROW(parse1("--scale=abc"), std::runtime_error);
+    EXPECT_THROW(parse1("--scale=1.5x"), std::runtime_error);
+    EXPECT_THROW(parse1("--scale=0"), std::runtime_error);
+    EXPECT_THROW(parse1("--scale=-1"), std::runtime_error);
+    EXPECT_THROW(parse1("--scale=inf"), std::runtime_error);
+    EXPECT_THROW(parse1("--scale=nan"), std::runtime_error);
+    EXPECT_THROW(parse1("--scale=1e30"), std::runtime_error);
+    // --jobs out of range or non-numeric.
+    EXPECT_THROW(parse1("--jobs="), std::runtime_error);
+    EXPECT_THROW(parse1("--jobs=0"), std::runtime_error);
+    EXPECT_THROW(parse1("--jobs=-3"), std::runtime_error);
+    EXPECT_THROW(parse1("--jobs=9999"), std::runtime_error);
+    EXPECT_THROW(parse1("--jobs=four"), std::runtime_error);
+    // --json/--backend need values; backends must be registered.
+    EXPECT_THROW(parse1("--json="), std::runtime_error);
+    EXPECT_THROW(parse1("--backend="), std::runtime_error);
+    EXPECT_THROW(parse1("--backend=NoSuchBackend"), std::runtime_error);
+
+    // Unknown arguments report the usage text, not just the token.
+    try {
+        parse1("--definitely-unknown");
+        FAIL() << "expected fatal";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("--jobs=<n>"),
+                  std::string::npos)
+            << "error should include usage: " << e.what();
+    }
 }
 
 TEST(Runner, DsDefaultsCoverAllStructures)
