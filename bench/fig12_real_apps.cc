@@ -37,13 +37,15 @@ main(int argc, char **argv)
     const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
                               Scheme::SynCron, Scheme::Ideal};
     const auto appInputs = harness::allAppInputs();
+    harness::SharedInputs inputs;
+    inputs.prepare(appInputs, scale);
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : appInputs) {
         for (Scheme scheme : schemes) {
-            tasks.push_back([&opts, ai, scheme, scale] {
+            tasks.push_back([&opts, &inputs, ai, scheme] {
                 return harness::runAppInput(
-                    opts.makeConfig(scheme, 4, 15), ai, scale);
+                    opts.makeConfig(scheme, 4, 15), ai, inputs);
             });
         }
     }

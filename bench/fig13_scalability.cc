@@ -28,18 +28,20 @@ main(int argc, char **argv)
     harness::BenchReport report("fig13_scalability", opts);
     const double scale = 0.35 * opts.effectiveScale();
 
-    const harness::AppInput combos[] = {
+    const std::vector<harness::AppInput> combos = {
         {"bfs", "sl"}, {"cc", "sx"},  {"sssp", "co"}, {"pr", "wk"},
         {"tf", "sl"},  {"tc", "sx"},  {"ts", "air"},  {"ts", "pow"},
     };
+    harness::SharedInputs inputs;
+    inputs.prepare(combos, scale);
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : combos) {
         for (unsigned units = 1; units <= 4; ++units) {
-            tasks.push_back([&opts, ai, units, scale] {
+            tasks.push_back([&opts, &inputs, ai, units] {
                 return harness::runAppInput(
                     opts.makeConfig(Scheme::SynCron, units, 15), ai,
-                    scale);
+                    inputs);
             });
         }
     }

@@ -27,20 +27,22 @@ main(int argc, char **argv)
     harness::BenchReport report("fig15_data_movement", opts);
     const double scale = 0.35 * opts.effectiveScale();
 
-    const harness::AppInput combos[] = {
+    const std::vector<harness::AppInput> combos = {
         {"bfs", "sl"}, {"cc", "sx"},  {"sssp", "co"}, {"pr", "wk"},
         {"tf", "sl"},  {"tc", "sx"},  {"ts", "air"},  {"ts", "pow"},
     };
     const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
                               Scheme::SynCron, Scheme::Ideal};
     const char *tag[] = {"C", "H", "SC", "I"};
+    harness::SharedInputs inputs;
+    inputs.prepare(combos, scale);
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : combos) {
         for (Scheme scheme : schemes) {
-            tasks.push_back([&opts, ai, scheme, scale] {
+            tasks.push_back([&opts, &inputs, ai, scheme] {
                 return harness::runAppInput(
-                    opts.makeConfig(scheme, 4, 15), ai, scale);
+                    opts.makeConfig(scheme, 4, 15), ai, inputs);
             });
         }
     }

@@ -31,16 +31,18 @@ main(int argc, char **argv)
     const Scheme schemes[] = {Scheme::Ideal, Scheme::SynCron,
                               Scheme::Hier, Scheme::Central};
 
+    harness::SharedInputs inputs;
+    inputs.prepareGraph("wk", scale);
+
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (unsigned ns : latenciesNs) {
         for (Scheme scheme : schemes) {
-            tasks.push_back([&opts, ns, scheme, scale] {
+            tasks.push_back([&opts, &inputs, ns, scheme] {
                 SystemConfig cfg = opts.makeConfig(scheme, 4, 15);
                 cfg.link.flightTicks =
                     static_cast<Tick>(ns) * kTicksPerNs;
-                return harness::runGraph(cfg, "wk",
-                                         workloads::GraphApp::Pr,
-                                         scale);
+                return harness::runGraph(cfg, inputs.graph("wk"),
+                                         workloads::GraphApp::Pr);
             });
         }
     }

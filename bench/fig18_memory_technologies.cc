@@ -29,7 +29,7 @@ main(int argc, char **argv)
     harness::BenchReport report("fig18_memory_technologies", opts);
     const double scale = 0.35 * opts.effectiveScale();
 
-    const harness::AppInput combos[] = {
+    const std::vector<harness::AppInput> combos = {
         {"cc", "wk"}, {"pr", "wk"}, {"ts", "pow"}};
     const mem::DramTech techs[] = {mem::DramTech::Hbm,
                                    mem::DramTech::Hmc,
@@ -37,14 +37,17 @@ main(int argc, char **argv)
     const Scheme schemes[] = {Scheme::Central, Scheme::Hier,
                               Scheme::SynCron, Scheme::Ideal};
 
+    harness::SharedInputs inputs;
+    inputs.prepare(combos, scale);
+
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : combos) {
         for (mem::DramTech tech : techs) {
             for (Scheme scheme : schemes) {
-                tasks.push_back([&opts, ai, tech, scheme, scale] {
+                tasks.push_back([&opts, &inputs, ai, tech, scheme] {
                     SystemConfig cfg = opts.makeConfig(scheme, 4, 15);
                     cfg.dramTech = tech;
-                    return harness::runAppInput(cfg, ai, scale);
+                    return harness::runAppInput(cfg, ai, inputs);
                 });
             }
         }

@@ -31,14 +31,19 @@ main(int argc, char **argv)
                               Scheme::SynCron, Scheme::Ideal};
     const char *inputs[] = {"wk", "sl", "sx", "co"};
 
+    harness::SharedInputs shared;
+    for (const char *input : inputs)
+        shared.prepareGraph(input, scale);
+
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const char *input : inputs) {
         for (bool metis : {false, true}) {
             for (Scheme scheme : schemes) {
-                tasks.push_back([&opts, input, metis, scheme, scale] {
+                tasks.push_back([&opts, &shared, input, metis, scheme] {
                     return harness::runGraph(
-                        opts.makeConfig(scheme, 4, 15), input,
-                        workloads::GraphApp::Pr, scale, metis);
+                        opts.makeConfig(scheme, 4, 15),
+                        shared.graph(input), workloads::GraphApp::Pr,
+                        metis);
                 });
             }
         }

@@ -37,12 +37,15 @@ main(int argc, char **argv)
             combos.push_back(ai);
     }
 
+    harness::SharedInputs inputs;
+    inputs.prepare(combos, scale);
+
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : combos) {
         for (Scheme scheme : schemes) {
-            tasks.push_back([&opts, ai, scheme, scale] {
+            tasks.push_back([&opts, &inputs, ai, scheme] {
                 return harness::runAppInput(
-                    opts.makeConfig(scheme, 4, 15), ai, scale);
+                    opts.makeConfig(scheme, 4, 15), ai, inputs);
             });
         }
     }

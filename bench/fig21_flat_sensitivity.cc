@@ -32,17 +32,21 @@ main(int argc, char **argv)
     const char *inputs[] = {"air", "pow"};
     const unsigned unitCounts[] = {2, 4};
 
+    harness::SharedInputs shared;
+    for (const char *input : inputs)
+        shared.prepareSeries(input, 0.35 * opts.effectiveScale());
+
     // (a) time series cells, then (b) queue cells, flat before hier.
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const char *input : inputs) {
         for (unsigned ns : latenciesNs) {
             for (Scheme scheme : schemes) {
-                tasks.push_back([&opts, input, ns, scheme] {
+                tasks.push_back([&opts, &shared, input, ns, scheme] {
                     SystemConfig cfg = opts.makeConfig(scheme, 4, 15);
                     cfg.link.flightTicks =
                         static_cast<Tick>(ns) * kTicksPerNs;
-                    return harness::runTimeSeries(
-                        cfg, input, 0.35 * opts.effectiveScale());
+                    return harness::runTimeSeries(cfg,
+                                                  shared.series(input));
                 });
             }
         }

@@ -30,17 +30,19 @@ main(int argc, char **argv)
     harness::BenchReport report("fig22_st_size", opts);
     const double scale = 0.35 * opts.effectiveScale();
     const unsigned sizes[] = {64, 48, 32, 16, 8};
-    const harness::AppInput combos[] = {
+    const std::vector<harness::AppInput> combos = {
         {"cc", "wk"}, {"pr", "wk"}, {"ts", "air"}, {"ts", "pow"}};
+    harness::SharedInputs inputs;
+    inputs.prepare(combos, scale);
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : combos) {
         for (unsigned entries : sizes) {
-            tasks.push_back([&opts, ai, entries, scale] {
+            tasks.push_back([&opts, &inputs, ai, entries] {
                 SystemConfig cfg =
                     opts.makeConfig(Scheme::SynCron, 4, 15);
                 cfg.stEntries = entries;
-                return harness::runAppInput(cfg, ai, scale);
+                return harness::runAppInput(cfg, ai, inputs);
             });
         }
     }

@@ -27,12 +27,14 @@ main(int argc, char **argv)
     harness::BenchReport report("tab07_st_occupancy", opts);
     const double scale = 0.35 * opts.effectiveScale();
     const auto appInputs = harness::allAppInputs();
+    harness::SharedInputs inputs;
+    inputs.prepare(appInputs, scale);
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : appInputs) {
-        tasks.push_back([&opts, ai, scale] {
+        tasks.push_back([&opts, &inputs, ai] {
             return harness::runAppInput(
-                opts.makeConfig(Scheme::SynCron, 4, 15), ai, scale);
+                opts.makeConfig(Scheme::SynCron, 4, 15), ai, inputs);
         });
     }
     const auto results = harness::runGrid(std::move(tasks), opts.jobs);

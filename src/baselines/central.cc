@@ -6,7 +6,7 @@
 #include "common/units.hh"
 #include "core/core.hh"
 #include "sync/registry.hh"
-#include "sync/syncvar.hh"
+#include "sync/message.hh"
 
 namespace syncron::baselines {
 

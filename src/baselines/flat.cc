@@ -6,7 +6,7 @@
 #include "core/core.hh"
 #include "mem/allocator.hh"
 #include "sync/registry.hh"
-#include "sync/syncvar.hh"
+#include "sync/message.hh"
 
 namespace syncron::baselines {
 

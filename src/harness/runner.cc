@@ -323,13 +323,58 @@ runPrimitive(const SystemConfig &cfg, workloads::Primitive primitive,
     return out;
 }
 
+void
+SharedInputs::prepare(const std::vector<AppInput> &combos, double scale)
+{
+    for (const AppInput &ai : combos) {
+        if (ai.app == "ts")
+            prepareSeries(ai.input, scale);
+        else
+            prepareGraph(ai.input, scale);
+    }
+}
+
+void
+SharedInputs::prepareGraph(const std::string &input, double scale)
+{
+    if (!graphs_.count(input))
+        graphs_.emplace(input, workloads::makeProxyInput(input, scale));
+}
+
+void
+SharedInputs::prepareSeries(const std::string &input, double scale)
+{
+    if (!series_.count(input))
+        series_.emplace(input, workloads::makeProxySeries(input, scale));
+}
+
+const workloads::Graph &
+SharedInputs::graph(const std::string &input) const
+{
+    auto it = graphs_.find(input);
+    if (it == graphs_.end())
+        SYNCRON_FATAL("graph input '" << input << "' was not prepared");
+    return it->second;
+}
+
+const workloads::ProxySeries &
+SharedInputs::series(const std::string &input) const
+{
+    auto it = series_.find(input);
+    if (it == series_.end())
+        SYNCRON_FATAL("series input '" << input << "' was not prepared");
+    return it->second;
+}
+
+namespace {
+
+/** Shared body of the runGraph overloads; owns (and moves) the graph. */
 RunOutput
-runGraph(const SystemConfig &cfg, const std::string &input,
-         workloads::GraphApp app, double scale, bool metisPartition)
+runGraphOwned(const SystemConfig &cfg, workloads::Graph g,
+              workloads::GraphApp app, bool metisPartition)
 {
     HostTimer timer;
     NdpSystem sys(cfg);
-    workloads::Graph g = workloads::makeProxyInput(input, scale);
     std::vector<UnitId> part =
         metisPartition ? workloads::greedyPartition(g, cfg.numUnits)
                        : workloads::rangePartition(g, cfg.numUnits);
@@ -346,13 +391,30 @@ runGraph(const SystemConfig &cfg, const std::string &input,
     return out;
 }
 
+} // namespace
+
 RunOutput
-runTimeSeries(const SystemConfig &cfg, const std::string &input,
-              double scale)
+runGraph(const SystemConfig &cfg, const workloads::Graph &g,
+         workloads::GraphApp app, bool metisPartition)
+{
+    return runGraphOwned(cfg, g, app, metisPartition);
+}
+
+RunOutput
+runGraph(const SystemConfig &cfg, const std::string &input,
+         workloads::GraphApp app, double scale, bool metisPartition)
+{
+    return runGraphOwned(cfg, workloads::makeProxyInput(input, scale),
+                         app, metisPartition);
+}
+
+RunOutput
+runTimeSeries(const SystemConfig &cfg,
+              const workloads::ProxySeries &input)
 {
     HostTimer timer;
     NdpSystem sys(cfg);
-    workloads::ScrimpWorkload ts(sys, input, scale);
+    workloads::ScrimpWorkload ts(sys, input);
     const Tick time = ts.run();
 
     RunOutput out;
@@ -361,6 +423,13 @@ runTimeSeries(const SystemConfig &cfg, const std::string &input,
     finishOutput(out, sys);
     out.hostNs = timer.elapsedNs();
     return out;
+}
+
+RunOutput
+runTimeSeries(const SystemConfig &cfg, const std::string &input,
+              double scale)
+{
+    return runTimeSeries(cfg, workloads::makeProxySeries(input, scale));
 }
 
 std::vector<AppInput>
@@ -377,13 +446,22 @@ allAppInputs()
 }
 
 RunOutput
+runAppInput(const SystemConfig &cfg, const AppInput &ai,
+            const SharedInputs &inputs, bool metisPartition)
+{
+    if (ai.app == "ts")
+        return runTimeSeries(cfg, inputs.series(ai.input));
+    return runGraph(cfg, inputs.graph(ai.input),
+                    workloads::graphAppFromName(ai.app), metisPartition);
+}
+
+RunOutput
 runAppInput(const SystemConfig &cfg, const AppInput &ai, double scale,
             bool metisPartition)
 {
-    if (ai.app == "ts")
-        return runTimeSeries(cfg, ai.input, scale);
-    return runGraph(cfg, ai.input, workloads::graphAppFromName(ai.app),
-                    scale, metisPartition);
+    SharedInputs inputs;
+    inputs.prepare({ai}, scale);
+    return runAppInput(cfg, ai, inputs, metisPartition);
 }
 
 } // namespace syncron::harness

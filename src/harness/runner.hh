@@ -11,6 +11,7 @@
 #define SYNCRON_HARNESS_RUNNER_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "system/energy.hh"
 #include "workloads/graph/kernels.hh"
 #include "workloads/micro/primitives.hh"
+#include "workloads/timeseries/scrimp.hh"
 
 namespace syncron::harness {
 
@@ -121,15 +123,6 @@ RunOutput runPrimitive(const SystemConfig &cfg,
                        workloads::Primitive primitive, unsigned interval,
                        unsigned opsPerCore);
 
-/** Runs one graph application on a proxy input. */
-RunOutput runGraph(const SystemConfig &cfg, const std::string &input,
-                   workloads::GraphApp app, double scale,
-                   bool metisPartition = false);
-
-/** Runs time-series analysis (SCRIMP) on a proxy input. */
-RunOutput runTimeSeries(const SystemConfig &cfg,
-                        const std::string &input, double scale);
-
 /** The 26 real application-input combinations of Fig. 12. */
 struct AppInput
 {
@@ -138,7 +131,60 @@ struct AppInput
 };
 std::vector<AppInput> allAppInputs();
 
-/** Runs one Fig. 12 combination. */
+/**
+ * Proxy inputs generated once per bench and shared read-only by every
+ * grid cell. Benches prepare() the inputs they sweep before building
+ * their runGrid() tasks; the cells then receive const references
+ * instead of regenerating the same CSR/series per cell. Preparation is
+ * not thread-safe (call it from the main thread, before runGrid());
+ * the lookups are const and safe from any number of grid workers.
+ */
+class SharedInputs
+{
+  public:
+    /** Generates the graph/series of every combination, once each. */
+    void prepare(const std::vector<AppInput> &combos, double scale);
+
+    /** Generates (if absent) the named proxy graph. */
+    void prepareGraph(const std::string &input, double scale);
+
+    /** Generates (if absent) the named proxy series. */
+    void prepareSeries(const std::string &input, double scale);
+
+    /** Prepared graph; fatal when prepare was never called for it. */
+    const workloads::Graph &graph(const std::string &input) const;
+
+    /** Prepared series; fatal when prepare was never called for it. */
+    const workloads::ProxySeries &series(const std::string &input) const;
+
+  private:
+    std::map<std::string, workloads::Graph> graphs_;
+    std::map<std::string, workloads::ProxySeries> series_;
+};
+
+/** Runs one graph application on a pre-generated (shared) input. */
+RunOutput runGraph(const SystemConfig &cfg, const workloads::Graph &g,
+                   workloads::GraphApp app, bool metisPartition = false);
+
+/** Convenience: generates the proxy input, then runs on it. */
+RunOutput runGraph(const SystemConfig &cfg, const std::string &input,
+                   workloads::GraphApp app, double scale,
+                   bool metisPartition = false);
+
+/** Runs SCRIMP on a pre-generated (shared) series. */
+RunOutput runTimeSeries(const SystemConfig &cfg,
+                        const workloads::ProxySeries &input);
+
+/** Convenience: generates the proxy series, then runs on it. */
+RunOutput runTimeSeries(const SystemConfig &cfg,
+                        const std::string &input, double scale);
+
+/** Runs one Fig. 12 combination on prepared shared inputs. */
+RunOutput runAppInput(const SystemConfig &cfg, const AppInput &ai,
+                      const SharedInputs &inputs,
+                      bool metisPartition = false);
+
+/** Convenience: generates the combination's input, then runs on it. */
 RunOutput runAppInput(const SystemConfig &cfg, const AppInput &ai,
                       double scale, bool metisPartition = false);
 

@@ -14,13 +14,33 @@ static_assert(kNumSyncOpKinds
 // ScopedLock
 // --------------------------------------------------------------------
 
-ScopedLock::~ScopedLock()
+void
+ScopedLock::releaseDetached()
 {
     if (!engaged_)
         return;
     engaged_ = false;
-    api_->issueDetached(*core_, lock_.var,
-                        SyncRequest::lockRelease(lock_.var.addr));
+    api_->issueDetached(*core_, lock_,
+                        SyncRequest::lockRelease(lock_.addr));
+}
+
+ScopedLock::~ScopedLock()
+{
+    releaseDetached();
+}
+
+ScopedLock &
+ScopedLock::operator=(ScopedLock &&other) noexcept
+{
+    if (this != &other) {
+        releaseDetached();
+        api_ = other.api_;
+        core_ = other.core_;
+        lock_ = other.lock_;
+        engaged_ = other.engaged_;
+        other.engaged_ = false;
+    }
+    return *this;
 }
 
 SyncOp
@@ -41,73 +61,74 @@ SyncApi::SyncApi(Machine &machine, SyncBackend &backend)
       freeLists_(machine.config().numUnits)
 {}
 
-SyncVar
-SyncApi::createSyncVar(UnitId unit)
+SyncPrimitive
+SyncApi::allocVar(UnitId unit)
 {
     SYNCRON_ASSERT(unit < freeLists_.size(),
-                   "createSyncVar in unknown unit " << unit);
+                   "primitive creation in unknown unit " << unit);
     if (!freeLists_[unit].empty()) {
         Addr addr = freeLists_[unit].back();
         freeLists_[unit].pop_back();
-        return SyncVar{addr, generations_[addr]};
+        return SyncPrimitive{addr, generations_[addr]};
     }
     // The driver allocates each syncronVar on its own cache line so that
     // distinct variables never false-share and the 8-LSB line index used
     // by the indexing counters is meaningful.
     Addr addr = machine_.addrSpace().allocIn(unit, kCacheLineBytes,
                                              kCacheLineBytes);
-    return SyncVar{addr, 0};
+    return SyncPrimitive{addr, 0};
 }
 
-SyncVar
-SyncApi::createSyncVarInterleaved()
+SyncPrimitive
+SyncApi::allocVarInterleaved()
 {
-    SyncVar v = createSyncVar(rr_);
+    SyncPrimitive prim = allocVar(rr_);
     rr_ = (rr_ + 1) % machine_.config().numUnits;
-    return v;
+    return prim;
 }
 
 void
-SyncApi::checkLive(const SyncVar &var) const
+SyncApi::checkLive(const SyncPrimitive &prim) const
 {
-    SYNCRON_ASSERT(var.valid(), "operation on invalid sync var");
-    auto it = generations_.find(var.addr);
+    SYNCRON_ASSERT(prim.valid(), "operation on invalid primitive handle");
+    auto it = generations_.find(prim.addr);
     const std::uint32_t current = it == generations_.end() ? 0 : it->second;
-    SYNCRON_ASSERT(var.gen == current,
-                   "stale sync var handle @" << var.addr << " (gen "
-                       << var.gen << ", line is at gen " << current
-                       << "): handle used after destroy_syncvar()");
+    SYNCRON_ASSERT(prim.gen == current,
+                   "stale primitive handle @" << prim.addr << " (gen "
+                       << prim.gen << ", line is at gen " << current
+                       << "): handle used after destroy()");
 }
 
 void
-SyncApi::destroySyncVar(SyncVar var)
+SyncApi::destroyPrimitive(const SyncPrimitive &prim)
 {
-    checkLive(var);
-    SYNCRON_ASSERT(backend_.idleVar(var.addr),
-                   "destroy_syncvar @" << var.addr << " while backend "
+    checkLive(prim);
+    SYNCRON_ASSERT(backend_.idleVar(prim.addr),
+                   "destroy @" << prim.addr << " while backend "
                        << backend_.name()
                        << " still tracks state for it");
-    backend_.releaseVar(var.addr);
-    ++generations_[var.addr];
-    freeLists_[var.home()].push_back(var.addr);
+    backend_.releaseVar(prim.addr);
+    ++generations_[prim.addr];
+    freeLists_[prim.home()].push_back(prim.addr);
 }
 
 SyncOp
-SyncApi::makeOp(core::Core &c, const SyncVar &v, const SyncRequest &req)
+SyncApi::makeOp(core::Core &c, const SyncPrimitive &prim,
+                const SyncRequest &req)
 {
-    checkLive(v);
+    checkLive(prim);
     ++machine_.stats().syncOps;
     return SyncOp{c, backend_, req};
 }
 
 void
-SyncApi::issueDetached(core::Core &c, const SyncVar &v,
+SyncApi::issueDetached(core::Core &c, const SyncPrimitive &prim,
                        const SyncRequest &req)
 {
     SYNCRON_ASSERT(req.releaseType(),
                    "detached issue of acquire-type "
                        << opKindName(req.kind()));
-    checkLive(v);
+    checkLive(prim);
     ++machine_.stats().syncOps;
     sim::Gate gate(machine_.eq());
     const Tick issued = machine_.eq().now();
@@ -125,13 +146,13 @@ SyncApi::issueDetached(core::Core &c, const SyncVar &v,
 Lock
 SyncApi::createLock(UnitId unit)
 {
-    return Lock{createSyncVar(unit)};
+    return Lock{allocVar(unit)};
 }
 
 Lock
 SyncApi::createLockInterleaved()
 {
-    return Lock{createSyncVarInterleaved()};
+    return Lock{allocVarInterleaved()};
 }
 
 Barrier
@@ -140,19 +161,53 @@ SyncApi::createBarrier(UnitId unit, std::uint32_t participants,
 {
     SYNCRON_ASSERT(participants >= 1,
                    "barrier with zero participants");
-    return Barrier{createSyncVar(unit), participants, scope};
+    return Barrier{allocVar(unit), participants, scope};
 }
 
 Semaphore
 SyncApi::createSemaphore(UnitId unit, std::uint32_t initialResources)
 {
-    return Semaphore{createSyncVar(unit), initialResources};
+    return Semaphore{allocVar(unit), initialResources};
 }
 
 CondVar
 SyncApi::createCondVar(UnitId unit)
 {
-    return CondVar{createSyncVar(unit)};
+    return CondVar{allocVar(unit)};
+}
+
+LockSet
+SyncApi::createLockSet(std::size_t count,
+                       const std::vector<UnitId> &homes)
+{
+    const unsigned units = machine_.config().numUnits;
+    std::vector<Lock> locks;
+    locks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const UnitId unit = homes.empty()
+                                ? static_cast<UnitId>(i % units)
+                                : homes[i % homes.size()];
+        locks.push_back(createLock(unit));
+    }
+    return LockSet{std::move(locks)};
+}
+
+LockSet
+SyncApi::createLockSetByAddr(const std::vector<Addr> &protectedAddrs)
+{
+    std::vector<Lock> locks;
+    locks.reserve(protectedAddrs.size());
+    for (Addr addr : protectedAddrs)
+        locks.push_back(createLock(mem::unitOfAddr(addr)));
+    return LockSet{std::move(locks)};
+}
+
+void
+SyncApi::destroy(LockSet &set)
+{
+    for (const Lock &lock : set)
+        destroyPrimitive(lock);
+    set.locks_.clear();
 }
 
 // -- Typed Table 2 operations ------------------------------------------
@@ -160,19 +215,19 @@ SyncApi::createCondVar(UnitId unit)
 SyncOp
 SyncApi::acquire(core::Core &c, const Lock &lock)
 {
-    return makeOp(c, lock.var, SyncRequest::lockAcquire(lock.var.addr));
+    return makeOp(c, lock, SyncRequest::lockAcquire(lock.addr));
 }
 
 SyncOp
 SyncApi::release(core::Core &c, const Lock &lock)
 {
-    return makeOp(c, lock.var, SyncRequest::lockRelease(lock.var.addr));
+    return makeOp(c, lock, SyncRequest::lockRelease(lock.addr));
 }
 
 ScopedLockOp
 SyncApi::scoped(core::Core &c, const Lock &lock)
 {
-    checkLive(lock.var);
+    checkLive(lock);
     ++machine_.stats().syncOps;
     return ScopedLockOp{*this, c, lock, backend_};
 }
@@ -181,106 +236,40 @@ SyncOp
 SyncApi::wait(core::Core &c, const Barrier &barrier)
 {
     SYNCRON_ASSERT(barrier.valid(), "wait on invalid barrier");
-    return makeOp(c, barrier.var,
-                  SyncRequest::barrierWait(barrier.var.addr, barrier.scope,
+    return makeOp(c, barrier,
+                  SyncRequest::barrierWait(barrier.addr, barrier.scope,
                                            barrier.participants));
 }
 
 SyncOp
 SyncApi::wait(core::Core &c, const Semaphore &sem)
 {
-    return makeOp(c, sem.var,
-                  SyncRequest::semWait(sem.var.addr,
-                                       sem.initialResources));
+    return makeOp(c, sem,
+                  SyncRequest::semWait(sem.addr, sem.initialResources));
 }
 
 SyncOp
 SyncApi::post(core::Core &c, const Semaphore &sem)
 {
-    return makeOp(c, sem.var, SyncRequest::semPost(sem.var.addr));
+    return makeOp(c, sem, SyncRequest::semPost(sem.addr));
 }
 
 SyncOp
 SyncApi::wait(core::Core &c, const CondVar &cond, const Lock &lock)
 {
-    checkLive(lock.var);
-    return makeOp(c, cond.var,
-                  SyncRequest::condWait(cond.var.addr, lock.var.addr));
+    checkLive(lock);
+    return makeOp(c, cond,
+                  SyncRequest::condWait(cond.addr, lock.addr));
 }
 
 SyncOp
 SyncApi::signal(core::Core &c, const CondVar &cond)
 {
-    return makeOp(c, cond.var, SyncRequest::condSignal(cond.var.addr));
-}
-
-SyncOp
-SyncApi::broadcast(core::Core &c, const CondVar &cond)
-{
-    return makeOp(c, cond.var, SyncRequest::condBroadcast(cond.var.addr));
-}
-
-// -- Deprecated SyncVar-based shims ------------------------------------
-
-SyncOp
-SyncApi::lockAcquire(core::Core &c, SyncVar v)
-{
-    return makeOp(c, v, SyncRequest::lockAcquire(v.addr));
-}
-
-SyncOp
-SyncApi::lockRelease(core::Core &c, SyncVar v)
-{
-    return makeOp(c, v, SyncRequest::lockRelease(v.addr));
-}
-
-SyncOp
-SyncApi::barrierWaitWithinUnit(core::Core &c, SyncVar v,
-                               std::uint32_t initialCores)
-{
-    return makeOp(c, v,
-                  SyncRequest::barrierWait(v.addr,
-                                           BarrierScope::WithinUnit,
-                                           initialCores));
-}
-
-SyncOp
-SyncApi::barrierWaitAcrossUnits(core::Core &c, SyncVar v,
-                                std::uint32_t initialCores)
-{
-    return makeOp(c, v,
-                  SyncRequest::barrierWait(v.addr,
-                                           BarrierScope::AcrossUnits,
-                                           initialCores));
-}
-
-SyncOp
-SyncApi::semWait(core::Core &c, SyncVar v, std::uint32_t initialResources)
-{
-    return makeOp(c, v, SyncRequest::semWait(v.addr, initialResources));
-}
-
-SyncOp
-SyncApi::semPost(core::Core &c, SyncVar v)
-{
-    return makeOp(c, v, SyncRequest::semPost(v.addr));
-}
-
-SyncOp
-SyncApi::condWait(core::Core &c, SyncVar cond, SyncVar lock)
-{
-    checkLive(lock);
-    return makeOp(c, cond, SyncRequest::condWait(cond.addr, lock.addr));
-}
-
-SyncOp
-SyncApi::condSignal(core::Core &c, SyncVar cond)
-{
     return makeOp(c, cond, SyncRequest::condSignal(cond.addr));
 }
 
 SyncOp
-SyncApi::condBroadcast(core::Core &c, SyncVar cond)
+SyncApi::broadcast(core::Core &c, const CondVar &cond)
 {
     return makeOp(c, cond, SyncRequest::condBroadcast(cond.addr));
 }

@@ -3,10 +3,10 @@
  * SynCron's programming interface (paper Table 2), independent of the
  * backend actually providing synchronization.
  *
- * v2 typed API: primitives are first-class handles created by the api —
- * Lock, Barrier (participant count + scope fixed at creation), Semaphore
- * (initial resources fixed at creation), CondVar — and operations are
- * awaitables built from those handles:
+ * Primitives are first-class handles created by the api — Lock, Barrier
+ * (participant count + scope fixed at creation), Semaphore (initial
+ * resources fixed at creation), CondVar — and operations are awaitables
+ * built from those handles:
  *
  *   sync::Lock lock = api.createLock(homeUnit);
  *   co_await api.acquire(core, lock);
@@ -21,14 +21,18 @@
  *       co_await guard.unlock();     // timed release (preferred)
  *   }                                // or: scope exit releases
  *
+ * Handle creation through this api is the only way to mint a primitive:
+ * there is no raw-variable surface, and every handle is generation-
+ * tagged so use after destroy() panics instead of aliasing the recycled
+ * line. Fine-grained workloads create their whole lock population at
+ * once with createLockSet() (explicit home units or homed with the
+ * protected data's addresses).
+ *
  * Acquire-type operations map to the req_sync ISA instruction (commit
  * when the response returns); release-type operations map to req_async
  * (commit once issued). Both are realized as awaitables whose completion
  * gate the backend opens; co_await returns a SyncResponse carrying the
  * issue/completion timestamps and the backend's gate payload.
- *
- * The SyncVar-based operation methods at the bottom are thin deprecated
- * shims kept while remaining call sites migrate to the typed handles.
  */
 
 #ifndef SYNCRON_SYNC_API_HH
@@ -44,7 +48,6 @@
 #include "sync/backend.hh"
 #include "sync/primitives.hh"
 #include "sync/request.hh"
-#include "sync/syncvar.hh"
 #include "system/machine.hh"
 
 namespace syncron::sync {
@@ -108,6 +111,17 @@ class SyncOp
  * scope-exit release is issued fire-and-forget (legal for req_async
  * operations, which commit at issue); prefer co_await guard.unlock()
  * when the workload should observe the release's issue cycle.
+ *
+ * Move assignment releases the currently held lock (if any) before
+ * adopting the other guard, so hand-over-hand traversals are guard
+ * chains:
+ *
+ *   sync::ScopedLock held = co_await api.scoped(core, first);
+ *   for (...) {
+ *       sync::ScopedLock next = co_await api.scoped(core, child);
+ *       co_await held.unlock();
+ *       held = std::move(next);
+ *   }
  */
 class ScopedLock
 {
@@ -119,7 +133,9 @@ class ScopedLock
         other.engaged_ = false;
     }
 
-    ScopedLock &operator=(ScopedLock &&) = delete;
+    /** Releases the held lock (fire-and-forget), then adopts @p other. */
+    ScopedLock &operator=(ScopedLock &&other) noexcept;
+
     ScopedLock(const ScopedLock &) = delete;
     ScopedLock &operator=(const ScopedLock &) = delete;
 
@@ -138,6 +154,9 @@ class ScopedLock
         : api_(&api), core_(&core), lock_(lock)
     {}
 
+    /** Issues the fire-and-forget release if still engaged. */
+    void releaseDetached();
+
     SyncApi *api_;
     core::Core *core_;
     Lock lock_;
@@ -151,7 +170,7 @@ class ScopedLockOp
     ScopedLockOp(SyncApi &api, core::Core &core, const Lock &lock,
                  SyncBackend &backend)
         : api_(api), core_(core), lock_(lock),
-          inner_(core, backend, SyncRequest::lockAcquire(lock.var.addr))
+          inner_(core, backend, SyncRequest::lockAcquire(lock.addr))
     {}
 
     ScopedLockOp(const ScopedLockOp &) = delete;
@@ -185,7 +204,7 @@ class SyncApi
   public:
     SyncApi(Machine &machine, SyncBackend &backend);
 
-    // -- Typed primitive creation (v2) ---------------------------------
+    // -- Typed primitive creation --------------------------------------
     /** Allocates a lock homed in @p unit. */
     Lock createLock(UnitId unit);
     /** Allocates a lock round-robin across units. */
@@ -199,12 +218,35 @@ class SyncApi
     /** Allocates a condition variable. */
     CondVar createCondVar(UnitId unit);
 
-    void destroy(const Lock &lock) { destroySyncVar(lock.var); }
-    void destroy(const Barrier &barrier) { destroySyncVar(barrier.var); }
-    void destroy(const Semaphore &sem) { destroySyncVar(sem.var); }
-    void destroy(const CondVar &cond) { destroySyncVar(cond.var); }
+    /**
+     * Allocates @p count fine-grained locks. Lock i is homed in
+     * homes[i % homes.size()]; an empty @p homes distributes the locks
+     * round-robin across all units.
+     */
+    LockSet createLockSet(std::size_t count,
+                          const std::vector<UnitId> &homes = {});
 
-    // -- Typed Table 2 operations (v2) ---------------------------------
+    /**
+     * Allocates one lock per protected datum, homed in the unit that
+     * owns the datum's address — the distribute-by-address placement
+     * used by per-node/per-element locking (the lock always lives with
+     * the data it protects, so its Master SE is the data's local SE).
+     */
+    LockSet createLockSetByAddr(const std::vector<Addr> &protectedAddrs);
+
+    /**
+     * Releases a primitive's line for reuse. Panics when the backend
+     * still tracks state for it, and bumps the line's generation so
+     * stale handles are caught on use.
+     */
+    void destroy(const Lock &lock) { destroyPrimitive(lock); }
+    void destroy(const Barrier &barrier) { destroyPrimitive(barrier); }
+    void destroy(const Semaphore &sem) { destroyPrimitive(sem); }
+    void destroy(const CondVar &cond) { destroyPrimitive(cond); }
+    /** Destroys every lock in the set and empties it. */
+    void destroy(LockSet &set);
+
+    // -- Typed Table 2 operations --------------------------------------
     SyncOp acquire(core::Core &c, const Lock &lock);
     SyncOp release(core::Core &c, const Lock &lock);
     /** Acquires @p lock and yields a scope-exit-releasing guard. */
@@ -216,53 +258,24 @@ class SyncApi
     SyncOp signal(core::Core &c, const CondVar &cond);
     SyncOp broadcast(core::Core &c, const CondVar &cond);
 
-    // -- Raw variable management ---------------------------------------
-    /** create_syncvar(): allocates a variable homed in @p unit. */
-    SyncVar createSyncVar(UnitId unit);
-
-    /** Allocates a variable round-robin across units. */
-    SyncVar createSyncVarInterleaved();
-
-    /**
-     * destroy_syncvar(): releases the variable's line for reuse. Panics
-     * when the backend still tracks state for the variable, and bumps
-     * the line's generation so stale handles are caught on use.
-     */
-    void destroySyncVar(SyncVar var);
-
-    // -- Deprecated SyncVar-based operations (v1 shims) ----------------
-    /** @deprecated Use acquire(c, Lock). */
-    SyncOp lockAcquire(core::Core &c, SyncVar v);
-    /** @deprecated Use release(c, Lock). */
-    SyncOp lockRelease(core::Core &c, SyncVar v);
-    /** @deprecated Use wait(c, Barrier) with BarrierScope::WithinUnit. */
-    SyncOp barrierWaitWithinUnit(core::Core &c, SyncVar v,
-                                 std::uint32_t initialCores);
-    /** @deprecated Use wait(c, Barrier). */
-    SyncOp barrierWaitAcrossUnits(core::Core &c, SyncVar v,
-                                  std::uint32_t initialCores);
-    /** @deprecated Use wait(c, Semaphore). */
-    SyncOp semWait(core::Core &c, SyncVar v,
-                   std::uint32_t initialResources);
-    /** @deprecated Use post(c, Semaphore). */
-    SyncOp semPost(core::Core &c, SyncVar v);
-    /** @deprecated Use wait(c, CondVar, Lock). */
-    SyncOp condWait(core::Core &c, SyncVar cond, SyncVar lock);
-    /** @deprecated Use signal(c, CondVar). */
-    SyncOp condSignal(core::Core &c, SyncVar cond);
-    /** @deprecated Use broadcast(c, CondVar). */
-    SyncOp condBroadcast(core::Core &c, SyncVar cond);
-
     SyncBackend &backend() { return backend_; }
 
   private:
     friend class ScopedLock;
 
-    SyncOp makeOp(core::Core &c, const SyncVar &v,
+    /** Allocates a fresh (or recycled) line homed in @p unit. */
+    SyncPrimitive allocVar(UnitId unit);
+
+    /** Allocates a line round-robin across units. */
+    SyncPrimitive allocVarInterleaved();
+
+    void destroyPrimitive(const SyncPrimitive &prim);
+
+    SyncOp makeOp(core::Core &c, const SyncPrimitive &prim,
                   const SyncRequest &req);
 
-    /** Panics when @p var is stale (destroyed or recycled). */
-    void checkLive(const SyncVar &var) const;
+    /** Panics when @p prim is stale (destroyed or recycled). */
+    void checkLive(const SyncPrimitive &prim) const;
 
     /**
      * Issues a release-type request without an awaiting coroutine (the
@@ -270,12 +283,12 @@ class SyncApi
      * operations commit at issue: the backend must open the gate before
      * request() returns.
      */
-    void issueDetached(core::Core &c, const SyncVar &v,
+    void issueDetached(core::Core &c, const SyncPrimitive &prim,
                        const SyncRequest &req);
 
     Machine &machine_;
     SyncBackend &backend_;
-    std::vector<std::vector<Addr>> freeLists_; ///< per-unit recycled vars
+    std::vector<std::vector<Addr>> freeLists_; ///< per-unit recycled lines
     /// Current allocation generation per line (absent = 0).
     std::unordered_map<Addr, std::uint32_t> generations_;
     unsigned rr_ = 0;

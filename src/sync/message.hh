@@ -1,45 +1,19 @@
 /**
  * @file
- * Synchronization-variable handles and the message format exchanged
- * between NDP cores and Synchronization Engines (paper Fig. 5).
- *
- * A SyncVar is the opaque handle returned by create_syncvar() (Table 2):
- * programmers never dereference it; its address determines the Master SE
- * (Section 3.1) and backs the in-memory syncronVar record under ST
- * overflow (Fig. 9).
+ * The message format exchanged between NDP cores and Synchronization
+ * Engines (paper Fig. 5), and the wire-size constants of the modeled
+ * hardware datapath.
  */
 
-#ifndef SYNCRON_SYNC_SYNCVAR_HH
-#define SYNCRON_SYNC_SYNCVAR_HH
+#ifndef SYNCRON_SYNC_MESSAGE_HH
+#define SYNCRON_SYNC_MESSAGE_HH
 
 #include <cstdint>
 
 #include "common/types.hh"
-#include "mem/allocator.hh"
 #include "sync/opcodes.hh"
 
 namespace syncron::sync {
-
-/** Opaque handle to a synchronization variable. */
-struct SyncVar
-{
-    Addr addr = 0;
-
-    /**
-     * Allocation generation of the backing line. destroy_syncvar() bumps
-     * the line's generation before recycling it, so a stale handle held
-     * across a destroy/create cycle is detectable (SyncApi panics instead
-     * of silently aliasing the new variable's state).
-     */
-    std::uint32_t gen = 0;
-
-    /** NDP unit owning the variable; its SE is the Master SE. */
-    UnitId home() const { return mem::unitOfAddr(addr); }
-
-    bool valid() const { return addr != 0; }
-
-    friend bool operator==(const SyncVar &, const SyncVar &) = default;
-};
 
 /**
  * Size of the in-memory syncronVar record (Fig. 9):
@@ -53,6 +27,9 @@ constexpr std::uint32_t kSyncReqBits = 140;
 
 /** Response-message size (Fig. 6 datapath: 149 bits). */
 constexpr std::uint32_t kSyncRespBits = 149;
+
+static_assert(kSyncReqBits == 64 + 6 + 6 + 64,
+              "message encoding must match paper Fig. 5");
 
 /**
  * A synchronization message (Fig. 5). Used between cores and SEs and,
@@ -78,4 +55,4 @@ struct SyncMessage
 
 } // namespace syncron::sync
 
-#endif // SYNCRON_SYNC_SYNCVAR_HH
+#endif // SYNCRON_SYNC_MESSAGE_HH

@@ -1,12 +1,16 @@
 /**
  * @file
- * Typed synchronization-primitive handles — the v2 programming
- * interface's first-class objects.
+ * Typed synchronization-primitive handles — the programming interface's
+ * first-class objects.
  *
- * Each handle wraps the opaque SyncVar of the paper's create_syncvar()
- * (Table 2) and carries the parameters that belong to the primitive
- * rather than to every operation on it: a Barrier knows its participant
- * count and scope, a Semaphore its initial resources. SyncApi's typed
+ * Primitive state is carried directly on the handle: the address of the
+ * backing line (create_syncvar() of the paper's Table 2 — the address
+ * determines the Master SE, Section 3.1, and backs the in-memory
+ * syncronVar record under ST overflow, Fig. 9) plus the allocation
+ * generation that catches stale handles. On top of that shared state,
+ * each handle carries the parameters that belong to the primitive rather
+ * than to every operation on it: a Barrier knows its participant count
+ * and scope, a Semaphore its initial resources. SyncApi's typed
  * operations consume these handles, so a lock can no longer be posted
  * like a semaphore and a barrier's headcount cannot silently change
  * between waits.
@@ -15,50 +19,101 @@
 #ifndef SYNCRON_SYNC_PRIMITIVES_HH
 #define SYNCRON_SYNC_PRIMITIVES_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
+#include "common/log.hh"
+#include "common/types.hh"
+#include "mem/allocator.hh"
 #include "sync/request.hh"
-#include "sync/syncvar.hh"
 
 namespace syncron::sync {
 
-/** Mutual-exclusion lock handle. */
-struct Lock
+/**
+ * State shared by every primitive handle: the backing cache line and its
+ * allocation generation. Programmers never dereference the address;
+ * SyncApi::destroy() bumps the line's generation before recycling it, so
+ * a stale handle held across a destroy/create cycle is detectable
+ * (SyncApi panics instead of silently aliasing the new primitive's
+ * state).
+ */
+struct SyncPrimitive
 {
-    SyncVar var{};
+    Addr addr = 0;
+    std::uint32_t gen = 0;
 
-    bool valid() const { return var.valid(); }
-    UnitId home() const { return var.home(); }
+    /** NDP unit owning the primitive; its SE is the Master SE. */
+    UnitId home() const { return mem::unitOfAddr(addr); }
+
+    bool valid() const { return addr != 0; }
+
+    friend bool operator==(const SyncPrimitive &,
+                           const SyncPrimitive &) = default;
+};
+
+/** Mutual-exclusion lock handle. */
+struct Lock : SyncPrimitive
+{
 };
 
 /** Barrier handle; participant count and scope fixed at creation. */
-struct Barrier
+struct Barrier : SyncPrimitive
 {
-    SyncVar var{};
     std::uint32_t participants = 0;
     BarrierScope scope = BarrierScope::AcrossUnits;
 
-    bool valid() const { return var.valid() && participants >= 1; }
-    UnitId home() const { return var.home(); }
+    bool valid() const { return SyncPrimitive::valid() && participants >= 1; }
 };
 
 /** Counting-semaphore handle; initial resources fixed at creation. */
-struct Semaphore
+struct Semaphore : SyncPrimitive
 {
-    SyncVar var{};
     std::uint32_t initialResources = 0;
-
-    bool valid() const { return var.valid(); }
-    UnitId home() const { return var.home(); }
 };
 
 /** Condition-variable handle; waits name the associated Lock. */
-struct CondVar
+struct CondVar : SyncPrimitive
 {
-    SyncVar var{};
+};
 
-    bool valid() const { return var.valid(); }
-    UnitId home() const { return var.home(); }
+/**
+ * A pool of fine-grained locks created in one SyncApi call — one per
+ * slot (per node / bucket / vertex / output element). Workloads with
+ * per-element locks (skip list, hash table, the BSTs, graph kernels,
+ * SCRIMP) obtain their whole lock population here instead of
+ * hand-rolling variable placement; see SyncApi::createLockSet() for the
+ * two placement policies (explicit home units, or homed with the
+ * protected datum's address).
+ */
+class LockSet
+{
+  public:
+    LockSet() = default;
+
+    /** Lock protecting slot @p i. */
+    const Lock &
+    operator[](std::size_t i) const
+    {
+        SYNCRON_ASSERT(i < locks_.size(),
+                       "LockSet index " << i << " out of range (size "
+                                        << locks_.size() << ")");
+        return locks_[i];
+    }
+
+    std::size_t size() const { return locks_.size(); }
+    bool empty() const { return locks_.empty(); }
+
+    auto begin() const { return locks_.begin(); }
+    auto end() const { return locks_.end(); }
+
+  private:
+    friend class SyncApi;
+
+    explicit LockSet(std::vector<Lock> locks) : locks_(std::move(locks))
+    {}
+
+    std::vector<Lock> locks_;
 };
 
 } // namespace syncron::sync

@@ -38,7 +38,7 @@
 #include "sim/process.hh"
 #include "sync/backend.hh"
 #include "sync/flat_state.hh"
-#include "sync/syncvar.hh"
+#include "sync/message.hh"
 #include "syncron/indexing_counters.hh"
 #include "syncron/sync_table.hh"
 #include "system/machine.hh"

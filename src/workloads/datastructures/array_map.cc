@@ -6,7 +6,7 @@ using core::Core;
 using core::MemKind;
 
 SimArrayMap::SimArrayMap(NdpSystem &sys, unsigned entries)
-    : sys_(sys), lock_(sys.api().createSyncVar(0)),
+    : sys_(sys), lock_(sys.api().createLock(0)),
       baseAddr_(sys.machine().addrSpace().allocIn(0, entries * 16ULL, 8)),
       entries_(entries)
 {}
@@ -20,14 +20,14 @@ SimArrayMap::worker(Core &c, unsigned ops)
         // coarse lock — the largest critical section of the set, which
         // is why the array map scales worst (Section 6.1.2).
         const std::uint64_t key = c.rng().below(entries_);
-        co_await api.lockAcquire(c, lock_);
+        sync::ScopedLock guard = co_await api.scoped(c, lock_);
         for (unsigned e = 0; e < entries_; ++e) {
             co_await c.load(baseAddr_ + e * 16ULL, 16, MemKind::SharedRW);
             co_await c.compute(2); // key compare
             if (e == key)
                 break;
         }
-        co_await api.lockRelease(c, lock_);
+        co_await guard.unlock();
         co_await c.compute(10);
     }
 }

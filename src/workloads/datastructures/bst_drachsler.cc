@@ -1,6 +1,7 @@
 #include "workloads/datastructures/structures.hh"
 
 #include <bit>
+#include <set>
 
 namespace syncron::workloads {
 
@@ -11,12 +12,20 @@ SimBstDrachsler::SimBstDrachsler(NdpSystem &sys, unsigned initialSize)
     : sys_(sys), heap_(sys, 64, true) // distributed randomly
 {
     Rng rng(sys.config().seed * 41 + 9);
-    while (nodes_.size() < initialSize) {
-        const std::uint64_t key = rng.next() >> 8;
-        if (nodes_.count(key))
-            continue;
-        nodes_.emplace(key, Node{heap_.alloc(),
-                                 sys.api().createSyncVarInterleaved()});
+    std::set<std::uint64_t> keys;
+    while (keys.size() < initialSize)
+        keys.insert(rng.next() >> 8);
+
+    // Nodes distributed randomly; each node's lock homed with it.
+    std::vector<Addr> addrs;
+    addrs.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        addrs.push_back(heap_.alloc());
+    const sync::LockSet locks = sys.api().createLockSetByAddr(addrs);
+    std::size_t i = 0;
+    for (std::uint64_t key : keys) {
+        nodes_.emplace(key, Node{addrs[i], locks[i]});
+        ++i;
     }
 }
 
@@ -60,8 +69,8 @@ SimBstDrachsler::worker(Core &c, unsigned ops)
         co_await c.compute(60); // value processing
 
         if (havePred)
-            co_await api.lockAcquire(c, pred.lock);
-        co_await api.lockAcquire(c, victim.lock);
+            co_await api.acquire(c, pred.lock);
+        co_await api.acquire(c, victim.lock);
         auto found = nodes_.find(key);
         if (found != nodes_.end()
             && found->second.addr == victim.addr) {
@@ -71,9 +80,9 @@ SimBstDrachsler::worker(Core &c, unsigned ops)
             nodes_.erase(found);
             heap_.free(victim.addr);
         }
-        co_await api.lockRelease(c, victim.lock);
+        co_await api.release(c, victim.lock);
         if (havePred)
-            co_await api.lockRelease(c, pred.lock);
+            co_await api.release(c, pred.lock);
         co_await c.compute(10);
     }
 }

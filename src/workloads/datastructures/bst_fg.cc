@@ -8,7 +8,7 @@ using core::Core;
 using core::MemKind;
 
 int
-SimBstFg::insertShadow(std::uint64_t key, Addr addr, sync::SyncVar lock)
+SimBstFg::insertShadow(std::uint64_t key, Addr addr, sync::Lock lock)
 {
     nodes_.push_back(Node{key, addr, lock, -1, -1});
     const int idx = static_cast<int>(nodes_.size()) - 1;
@@ -44,10 +44,15 @@ SimBstFg::SimBstFg(NdpSystem &sys, unsigned initialSize)
     keys.reserve(initialSize);
     for (unsigned i = 0; i < initialSize; ++i)
         keys.push_back(rng.next() >> 8);
-    for (std::uint64_t key : keys) {
-        insertShadow(key, heap_.alloc(),
-                     sys.api().createSyncVarInterleaved());
-    }
+
+    // Per-node locks created as one set homed with each node's memory.
+    std::vector<Addr> addrs;
+    addrs.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        addrs.push_back(heap_.alloc());
+    const sync::LockSet locks = sys.api().createLockSetByAddr(addrs);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        insertShadow(keys[i], addrs[i], locks[i]);
 }
 
 unsigned
@@ -73,11 +78,12 @@ SimBstFg::depth() const
 sim::Process
 SimBstFg::worker(Core &c, unsigned ops)
 {
-    // Fine-grained lookup with lock coupling down the search path: the
-    // core always holds the lock of the node it inspects, acquiring the
-    // child before releasing the parent. Two locks are held at every
-    // step, so with many cores the active-lock working set exceeds small
-    // STs — the Fig. 23 overflow workload.
+    // Fine-grained lookup with lock coupling down the search path as a
+    // ScopedLock chain: the core always holds the guard of the node it
+    // inspects, acquiring the child's guard before releasing the
+    // parent's. Two locks are held at every step, so with many cores the
+    // active-lock working set exceeds small STs — the Fig. 23 overflow
+    // workload.
     sync::SyncApi &api = sys_.api();
     for (unsigned i = 0; i < ops; ++i) {
         if (root_ == -1)
@@ -85,7 +91,7 @@ SimBstFg::worker(Core &c, unsigned ops)
         const std::uint64_t key = c.rng().next() >> 8;
 
         int cur = root_;
-        co_await api.lockAcquire(c, nodes_[cur].lock);
+        sync::ScopedLock held = co_await api.scoped(c, nodes_[cur].lock);
         co_await c.load(nodes_[cur].addr, 24, MemKind::SharedRW);
         for (;;) {
             Node &n = nodes_[cur];
@@ -93,12 +99,14 @@ SimBstFg::worker(Core &c, unsigned ops)
             co_await c.compute(3);
             if (next == -1 || n.key == key)
                 break;
-            co_await api.lockAcquire(c, nodes_[next].lock);
-            co_await api.lockRelease(c, n.lock);
+            sync::ScopedLock child =
+                co_await api.scoped(c, nodes_[next].lock);
+            co_await held.unlock();
+            held = std::move(child);
             co_await c.load(nodes_[next].addr, 24, MemKind::SharedRW);
             cur = next;
         }
-        co_await api.lockRelease(c, nodes_[cur].lock);
+        co_await held.unlock();
         co_await c.compute(10);
     }
 }

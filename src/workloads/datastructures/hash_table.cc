@@ -16,7 +16,7 @@ SimHashTable::SimHashTable(NdpSystem &sys, unsigned initialSize)
     homes.reserve(numBuckets);
     for (std::size_t b = 0; b < numBuckets; ++b)
         homes.push_back(static_cast<UnitId>(b % sys.config().numUnits));
-    bucketLocks_ = std::make_unique<FineLocks>(sys, numBuckets, homes);
+    bucketLocks_ = sys.api().createLockSet(numBuckets, homes);
 
     Rng rng(sys.config().seed * 13 + 3);
     for (unsigned i = 0; i < initialSize; ++i) {
@@ -36,7 +36,7 @@ SimHashTable::worker(Core &c, unsigned ops)
         // 100% lookup: hash, lock the bucket, chase the chain.
         const std::uint64_t key = c.rng().below(keyRange_);
         const std::size_t b = key % buckets_.size();
-        co_await api.lockAcquire(c, bucketLocks_->lock(b));
+        sync::ScopedLock guard = co_await api.scoped(c, bucketLocks_[b]);
         bool found = false;
         for (const auto &[k, addr] : buckets_[b]) {
             co_await c.load(addr, 16, MemKind::SharedRW);
@@ -48,7 +48,7 @@ SimHashTable::worker(Core &c, unsigned ops)
         }
         if (found)
             ++hits_;
-        co_await api.lockRelease(c, bucketLocks_->lock(b));
+        co_await guard.unlock();
         co_await c.compute(10);
     }
 }

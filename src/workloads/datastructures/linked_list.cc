@@ -18,21 +18,27 @@ SimLinkedList::SimLinkedList(NdpSystem &sys, unsigned initialSize)
     std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
 
-    nodes_.reserve(keys.size());
+    // Contiguous key ranges per unit; the per-node locks are one set
+    // homed with each node's memory (distribute-by-address).
+    std::vector<Addr> addrs;
+    addrs.reserve(keys.size());
     for (std::size_t i = 0; i < keys.size(); ++i) {
         const UnitId unit = static_cast<UnitId>(
             (i * sys.config().numUnits) / keys.size());
-        nodes_.push_back(Node{keys[i], heap_.alloc(unit),
-                              sys.api().createSyncVar(unit)});
+        addrs.push_back(heap_.alloc(unit));
     }
+    const sync::LockSet locks = sys.api().createLockSetByAddr(addrs);
+    nodes_.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        nodes_.push_back(Node{keys[i], addrs[i], locks[i]});
 }
 
 sim::Process
 SimLinkedList::worker(Core &c, unsigned ops)
 {
-    // Hand-over-hand (lock-coupling) lookup: at any time the core holds
-    // the lock of the node it reads and acquires the next one before
-    // releasing it — so every core holds up to two locks concurrently,
+    // Hand-over-hand (lock-coupling) lookup as a ScopedLock chain: the
+    // guard of the next node is acquired before the held guard is
+    // released — so every core holds up to two locks concurrently,
     // which is what overflows small STs (Section 6.7.3).
     sync::SyncApi &api = sys_.api();
     for (unsigned i = 0; i < ops; ++i) {
@@ -40,15 +46,17 @@ SimLinkedList::worker(Core &c, unsigned ops)
             break;
         const std::size_t target = c.rng().below(nodes_.size());
 
-        co_await api.lockAcquire(c, nodes_[0].lock);
+        sync::ScopedLock held = co_await api.scoped(c, nodes_[0].lock);
         co_await c.load(nodes_[0].addr, 16, MemKind::SharedRW);
         for (std::size_t pos = 1; pos <= target; ++pos) {
-            co_await api.lockAcquire(c, nodes_[pos].lock);
-            co_await api.lockRelease(c, nodes_[pos - 1].lock);
+            sync::ScopedLock next =
+                co_await api.scoped(c, nodes_[pos].lock);
+            co_await held.unlock();
+            held = std::move(next);
             co_await c.load(nodes_[pos].addr, 16, MemKind::SharedRW);
             co_await c.compute(2);
         }
-        co_await api.lockRelease(c, nodes_[target].lock);
+        co_await held.unlock();
         co_await c.compute(10);
     }
 }

@@ -32,16 +32,4 @@ NodeHeap::free(Addr node)
     freeList_.push_back(node);
 }
 
-FineLocks::FineLocks(NdpSystem &sys, std::size_t count,
-                     const std::vector<UnitId> &home)
-{
-    locks_.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-        const UnitId unit =
-            home.empty() ? static_cast<UnitId>(i % sys.config().numUnits)
-                         : home[i % home.size()];
-        locks_.push_back(sys.api().createSyncVar(unit));
-    }
-}
-
 } // namespace syncron::workloads

@@ -57,27 +57,6 @@ class NodeHeap
     std::vector<Addr> freeList_;
 };
 
-/**
- * A pool of fine-grained locks, one per slot (per node / bucket / output
- * element), each homed in a chosen NDP unit. Used by the fine-grained
- * structures (skip list, hash table, linked list, BSTs) and by the graph
- * and time-series workloads for per-vertex / per-element locks.
- */
-class FineLocks
-{
-  public:
-    FineLocks(NdpSystem &sys, std::size_t count,
-              const std::vector<UnitId> &home);
-
-    /** Lock protecting slot @p i. */
-    sync::SyncVar lock(std::size_t i) const { return locks_[i]; }
-
-    std::size_t size() const { return locks_.size(); }
-
-  private:
-    std::vector<sync::SyncVar> locks_;
-};
-
 /** Throughput result of a data-structure run. */
 struct DsResult
 {

@@ -11,7 +11,7 @@ using core::Core;
 using core::MemKind;
 
 SimPriorityQueue::SimPriorityQueue(NdpSystem &sys, unsigned initialSize)
-    : sys_(sys), lock_(sys.api().createSyncVar(0)),
+    : sys_(sys), lock_(sys.api().createLock(0)),
       baseAddr_(sys.machine().addrSpace().allocIn(
           0, static_cast<std::uint64_t>(initialSize + 1) * 8, 8))
 {
@@ -31,7 +31,7 @@ SimPriorityQueue::worker(Core &c, unsigned ops)
     for (unsigned i = 0; i < ops; ++i) {
         // 100% deleteMin: root removal + sift-down under the coarse
         // lock; every level of the sift is a parent/children access.
-        co_await api.lockAcquire(c, lock_);
+        sync::ScopedLock guard = co_await api.scoped(c, lock_);
         if (!heapShadow_.empty()) {
             const std::uint64_t min = heapShadow_.front();
             if (min < lastPopped_)
@@ -54,7 +54,7 @@ SimPriorityQueue::worker(Core &c, unsigned ops)
                 idx = 2 * idx + 1;
             }
         }
-        co_await api.lockRelease(c, lock_);
+        co_await guard.unlock();
         co_await c.compute(10);
     }
 }

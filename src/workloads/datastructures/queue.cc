@@ -7,8 +7,8 @@ using core::MemKind;
 
 SimQueue::SimQueue(NdpSystem &sys, unsigned initialSize)
     : sys_(sys), heap_(sys, 16, false),
-      headLock_(sys.api().createSyncVar(0)),
-      tailLock_(sys.api().createSyncVar(0)),
+      headLock_(sys.api().createLock(0)),
+      tailLock_(sys.api().createLock(0)),
       headAddr_(sys.machine().addrSpace().allocIn(0, 16, 8))
 {
     for (unsigned i = 0; i < initialSize; ++i)
@@ -22,7 +22,7 @@ SimQueue::worker(Core &c, unsigned ops)
     for (unsigned i = 0; i < ops; ++i) {
         // 100% pop = dequeue through the head lock (Michael-Scott
         // two-lock queue [104]).
-        co_await api.lockAcquire(c, headLock_);
+        sync::ScopedLock guard = co_await api.scoped(c, headLock_);
         co_await c.load(headAddr_, 8, MemKind::SharedRW); // head pointer
         if (headIdx_ < shadow_.size()) {
             const Addr node = shadow_[headIdx_];
@@ -33,7 +33,7 @@ SimQueue::worker(Core &c, unsigned ops)
         } else {
             ++emptyPops_;
         }
-        co_await api.lockRelease(c, headLock_);
+        co_await guard.unlock();
         co_await c.compute(10);
     }
 }

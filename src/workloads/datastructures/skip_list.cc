@@ -16,17 +16,30 @@ SimSkipList::SimSkipList(NdpSystem &sys, unsigned initialSize)
     maxLevel_ = std::max(2u, log2Exact(std::bit_ceil(
                                   std::uint64_t{initialSize} + 1)));
     Rng rng(sys.config().seed * 31 + 7);
-    while (nodes_.size() < initialSize) {
+    std::map<std::uint64_t, unsigned> levels; ///< key -> tower height
+    while (levels.size() < initialSize) {
         const std::uint64_t key = rng.next() >> 8;
-        if (nodes_.count(key))
+        if (levels.count(key))
             continue;
         unsigned level = 1;
         while (level < maxLevel_ && rng.chance(0.5))
             ++level;
-        const UnitId unit =
-            static_cast<UnitId>(key % sys.config().numUnits);
-        nodes_.emplace(key, Node{heap_.alloc(unit),
-                                 sys.api().createSyncVar(unit), level});
+        levels.emplace(key, level);
+    }
+
+    // Nodes are partitioned by key; the per-node locks are created as
+    // one set homed with each node's memory (distribute-by-address).
+    std::vector<Addr> addrs;
+    addrs.reserve(levels.size());
+    for (const auto &[key, level] : levels) {
+        addrs.push_back(heap_.alloc(
+            static_cast<UnitId>(key % sys.config().numUnits)));
+    }
+    const sync::LockSet locks = sys.api().createLockSetByAddr(addrs);
+    std::size_t i = 0;
+    for (const auto &[key, level] : levels) {
+        nodes_.emplace(key, Node{addrs[i], locks[i], level});
+        ++i;
     }
 }
 
@@ -67,8 +80,8 @@ SimSkipList::worker(Core &c, unsigned ops)
 
         // Locked deletion: predecessor + victim, then per-level unlink.
         if (havePred)
-            co_await api.lockAcquire(c, pred.lock);
-        co_await api.lockAcquire(c, victim.lock);
+            co_await api.acquire(c, pred.lock);
+        co_await api.acquire(c, victim.lock);
 
         // Re-validate and unlink under the locks.
         auto found = nodes_.find(key);
@@ -87,9 +100,9 @@ SimSkipList::worker(Core &c, unsigned ops)
             heap_.free(victim.addr);
         }
 
-        co_await api.lockRelease(c, victim.lock);
+        co_await api.release(c, victim.lock);
         if (havePred)
-            co_await api.lockRelease(c, pred.lock);
+            co_await api.release(c, pred.lock);
         // The victim's lock variable is not recycled here: another core
         // may still be queued on it (its retry then revalidates and
         // backs off) — the same reason ASCYLIB defers reclamation.

@@ -6,8 +6,7 @@ using core::Core;
 using core::MemKind;
 
 SimStack::SimStack(NdpSystem &sys, unsigned initialSize)
-    : sys_(sys), heap_(sys, 16, false),
-      lock_(sys.api().createSyncVar(0)),
+    : sys_(sys), heap_(sys, 16, false), lock_(sys.api().createLock(0)),
       topAddr_(sys.machine().addrSpace().allocIn(0, 8, 8))
 {
     // Pre-populated nodes are statically partitioned across units.
@@ -23,12 +22,14 @@ SimStack::worker(Core &c, unsigned ops)
         // 100% push (Table 6).
         const Addr node = heap_.alloc(c.unit());
         co_await c.compute(6); // key/value preparation
-        co_await api.lockAcquire(c, lock_);
-        co_await c.load(topAddr_, 8, MemKind::SharedRW);
-        co_await c.store(node, 8, MemKind::SharedRW); // node->next = top
-        co_await c.store(topAddr_, 8, MemKind::SharedRW); // top = node
-        shadow_.push_back(node);
-        co_await api.lockRelease(c, lock_);
+        {
+            sync::ScopedLock guard = co_await api.scoped(c, lock_);
+            co_await c.load(topAddr_, 8, MemKind::SharedRW);
+            co_await c.store(node, 8, MemKind::SharedRW); // node->next = top
+            co_await c.store(topAddr_, 8, MemKind::SharedRW); // top = node
+            shadow_.push_back(node);
+            co_await guard.unlock();
+        }
         co_await c.compute(10); // caller-side work between operations
     }
 }

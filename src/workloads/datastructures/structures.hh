@@ -6,15 +6,23 @@
  *
  *   Structure        | Config (paper)     | Contention | Locking
  *   -----------------|--------------------|------------|------------------
- *   Stack            | 100 K, 100% push   | high       | one coarse lock
- *   Queue            | 100 K, 100% pop    | high       | head/tail locks
+ *   Stack            | 100 K, 100% push   | high       | one coarse Lock
+ *   Queue            | 100 K, 100% pop    | high       | head/tail Locks
  *   Array Map        | 10, 100% lookup    | high       | coarse, larger CS
  *   Priority Queue   | 20 K, deleteMin    | high       | coarse (heap)
- *   Skip List        | 5 K, deletion      | medium     | per-node
- *   Hash Table       | 1 K, 100% lookup   | medium     | per-bucket
- *   Linked List      | 20 K, lookup       | low        | hand-over-hand
- *   BST_FG           | 20 K, lookup       | low        | hand-over-hand
+ *   Skip List        | 5 K, deletion      | medium     | per-node LockSet
+ *   Hash Table       | 1 K, 100% lookup   | medium     | per-bucket LockSet
+ *   Linked List      | 20 K, lookup       | low        | ScopedLock chain
+ *   BST_FG           | 20 K, lookup       | low        | ScopedLock chain
  *   BST_Drachsler    | 10 K, deletion     | very low   | 2 locks/delete
+ *
+ * All locking goes through the typed handles: coarse structures hold one
+ * sync::Lock, fine-grained structures create their whole per-node /
+ * per-bucket population in one SyncApi::createLockSet[ByAddr]() call
+ * (locks homed with the data they protect), and the hand-over-hand
+ * traversals (linked list, BST_FG) are sync::ScopedLock chains — the
+ * guard of the next node is acquired before the previous guard is
+ * released.
  *
  * Every structure exposes worker(core, ops): a coroutine performing the
  * Table 6 operation mix, plus host-side shadow state for verification.
@@ -27,7 +35,6 @@
 
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <vector>
 
 #include "workloads/datastructures/node_heap.hh"
@@ -46,7 +53,7 @@ class SimStack
   private:
     NdpSystem &sys_;
     NodeHeap heap_;
-    sync::SyncVar lock_;
+    sync::Lock lock_;
     Addr topAddr_;
     std::vector<Addr> shadow_;
 };
@@ -64,8 +71,8 @@ class SimQueue
   private:
     NdpSystem &sys_;
     NodeHeap heap_;
-    sync::SyncVar headLock_;
-    sync::SyncVar tailLock_;
+    sync::Lock headLock_;
+    sync::Lock tailLock_;
     Addr headAddr_;
     std::vector<Addr> shadow_; ///< front = head
     std::size_t headIdx_ = 0;
@@ -82,7 +89,7 @@ class SimArrayMap
 
   private:
     NdpSystem &sys_;
-    sync::SyncVar lock_;
+    sync::Lock lock_;
     Addr baseAddr_;
     unsigned entries_;
 };
@@ -99,7 +106,7 @@ class SimPriorityQueue
 
   private:
     NdpSystem &sys_;
-    sync::SyncVar lock_;
+    sync::Lock lock_;
     Addr baseAddr_;
     std::vector<std::uint64_t> heapShadow_;
     std::uint64_t lastPopped_ = 0;
@@ -119,7 +126,7 @@ class SimSkipList
     struct Node
     {
         Addr addr;
-        sync::SyncVar lock;
+        sync::Lock lock;
         unsigned level;
     };
 
@@ -141,7 +148,7 @@ class SimHashTable
   private:
     NdpSystem &sys_;
     NodeHeap heap_;
-    std::unique_ptr<FineLocks> bucketLocks_;
+    sync::LockSet bucketLocks_;
     std::vector<std::vector<std::pair<std::uint64_t, Addr>>> buckets_;
     std::uint64_t keyRange_;
     std::uint64_t hits_ = 0;
@@ -161,7 +168,7 @@ class SimLinkedList
     {
         std::uint64_t key;
         Addr addr;
-        sync::SyncVar lock;
+        sync::Lock lock;
     };
 
     NdpSystem &sys_;
@@ -184,12 +191,12 @@ class SimBstFg
     {
         std::uint64_t key;
         Addr addr;
-        sync::SyncVar lock;
+        sync::Lock lock;
         int left = -1;
         int right = -1;
     };
 
-    int insertShadow(std::uint64_t key, Addr addr, sync::SyncVar lock);
+    int insertShadow(std::uint64_t key, Addr addr, sync::Lock lock);
 
     NdpSystem &sys_;
     NodeHeap heap_;
@@ -214,7 +221,7 @@ class SimBstDrachsler
     struct Node
     {
         Addr addr;
-        sync::SyncVar lock;
+        sync::Lock lock;
     };
 
     NdpSystem &sys_;

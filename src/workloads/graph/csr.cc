@@ -44,7 +44,8 @@ PlacedGraph::PlacedGraph(NdpSystem &sys, Graph graph,
             std::max<std::uint64_t>(4, graph_.degree(v) * 4ULL);
         adjAddr_[v] = space.allocIn(part_[v], adjBytes, 4);
     }
-    locks_ = std::make_unique<FineLocks>(sys, graph_.numVertices, part_);
+    // One fine-grained lock per vertex, homed with the vertex's data.
+    locks_ = sys.api().createLockSetByAddr(dataAddr_);
 }
 
 std::vector<std::uint32_t>

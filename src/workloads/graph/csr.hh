@@ -18,7 +18,6 @@
 #define SYNCRON_WORKLOADS_GRAPH_CSR_HH
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -90,9 +89,9 @@ class PlacedGraph
     Addr adjBase(std::uint32_t v) const { return adjAddr_[v]; }
 
     /** Per-vertex lock. */
-    sync::SyncVar vertexLock(std::uint32_t v) const
+    const sync::Lock &vertexLock(std::uint32_t v) const
     {
-        return locks_->lock(v);
+        return locks_[v];
     }
 
     /**
@@ -109,7 +108,7 @@ class PlacedGraph
     std::vector<UnitId> part_;
     std::vector<Addr> dataAddr_;
     std::vector<Addr> adjAddr_;
-    std::unique_ptr<FineLocks> locks_;
+    sync::LockSet locks_;
 };
 
 } // namespace syncron::workloads

@@ -22,7 +22,7 @@ struct Ctx
 {
     NdpSystem &sys;
     PlacedGraph &placed;
-    sync::SyncVar bar;
+    sync::Barrier bar;
     // Convergence flags: iteration i sets and reads slot i % 3.
     // Termination uses a double barrier: set -> barrier A -> read ->
     // (worker 0 resets slot (i+1) % 3) -> barrier B -> decide. Barrier A
@@ -79,7 +79,7 @@ bfsWorker(Core &c, Ctx &ctx, unsigned idx)
                 const std::uint32_t u = g.colIdx[e];
                 if (ctx.value[u] != -1)
                     continue;
-                co_await api.lockAcquire(c, ctx.placed.vertexLock(u));
+                co_await api.acquire(c, ctx.placed.vertexLock(u));
                 if (ctx.value[u] == -1) { // re-check under the lock
                     ctx.value[u] = static_cast<std::int64_t>(iter) + 1;
                     co_await c.store(ctx.placed.vertexData(u), 8,
@@ -87,7 +87,7 @@ bfsWorker(Core &c, Ctx &ctx, unsigned idx)
                     ++ctx.updates;
                     changed = true;
                 }
-                co_await api.lockRelease(c, ctx.placed.vertexLock(u));
+                co_await api.release(c, ctx.placed.vertexLock(u));
             }
         }
         if (changed && !ctx.hostFlag[iter % 3]) {
@@ -95,7 +95,7 @@ bfsWorker(Core &c, Ctx &ctx, unsigned idx)
             co_await c.store(ctx.flagAddr[iter % 3], 8,
                              MemKind::SharedRW);
         }
-        co_await api.barrierWaitAcrossUnits(c, ctx.bar, ctx.total);
+        co_await api.wait(c, ctx.bar);
         co_await c.load(ctx.flagAddr[iter % 3], 8, MemKind::SharedRW);
         const bool any = ctx.hostFlag[iter % 3];
         if (idx == 0) {
@@ -104,7 +104,7 @@ bfsWorker(Core &c, Ctx &ctx, unsigned idx)
                              MemKind::SharedRW);
             ctx.iterations = iter + 1;
         }
-        co_await api.barrierWaitAcrossUnits(c, ctx.bar, ctx.total);
+        co_await api.wait(c, ctx.bar);
         if (!any)
             break;
     }
@@ -140,7 +140,7 @@ propagateWorker(Core &c, Ctx &ctx, unsigned idx, bool weighted)
                              : ctx.value[v];
                 if (ctx.value[u] <= cand)
                     continue;
-                co_await api.lockAcquire(c, ctx.placed.vertexLock(u));
+                co_await api.acquire(c, ctx.placed.vertexLock(u));
                 if (ctx.value[u] > cand) {
                     ctx.value[u] = cand;
                     co_await c.store(ctx.placed.vertexData(u), 8,
@@ -148,7 +148,7 @@ propagateWorker(Core &c, Ctx &ctx, unsigned idx, bool weighted)
                     ++ctx.updates;
                     changed = true;
                 }
-                co_await api.lockRelease(c, ctx.placed.vertexLock(u));
+                co_await api.release(c, ctx.placed.vertexLock(u));
             }
         }
         if (changed && !ctx.hostFlag[iter % 3]) {
@@ -156,7 +156,7 @@ propagateWorker(Core &c, Ctx &ctx, unsigned idx, bool weighted)
             co_await c.store(ctx.flagAddr[iter % 3], 8,
                              MemKind::SharedRW);
         }
-        co_await api.barrierWaitAcrossUnits(c, ctx.bar, ctx.total);
+        co_await api.wait(c, ctx.bar);
         co_await c.load(ctx.flagAddr[iter % 3], 8, MemKind::SharedRW);
         const bool any = ctx.hostFlag[iter % 3];
         if (idx == 0) {
@@ -165,7 +165,7 @@ propagateWorker(Core &c, Ctx &ctx, unsigned idx, bool weighted)
                              MemKind::SharedRW);
             ctx.iterations = iter + 1;
         }
-        co_await api.barrierWaitAcrossUnits(c, ctx.bar, ctx.total);
+        co_await api.wait(c, ctx.bar);
         if (!any)
             break;
     }
@@ -196,17 +196,17 @@ prWorker(Core &c, Ctx &ctx, unsigned idx)
             for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1];
                  ++e) {
                 const std::uint32_t u = g.colIdx[e];
-                co_await api.lockAcquire(c, ctx.placed.vertexLock(u));
+                co_await api.acquire(c, ctx.placed.vertexLock(u));
                 co_await c.load(ctx.placed.vertexData(u), 8,
                                 MemKind::SharedRW);
                 ctx.aux[u] += contrib;
                 co_await c.store(ctx.placed.vertexData(u), 8,
                                  MemKind::SharedRW);
                 ++ctx.updates;
-                co_await api.lockRelease(c, ctx.placed.vertexLock(u));
+                co_await api.release(c, ctx.placed.vertexLock(u));
             }
         }
-        co_await api.barrierWaitAcrossUnits(c, ctx.bar, ctx.total);
+        co_await api.wait(c, ctx.bar);
 
         // Gather phase: fold accumulators into ranks (owned data only).
         for (std::uint32_t v : owned) {
@@ -218,7 +218,7 @@ prWorker(Core &c, Ctx &ctx, unsigned idx)
             co_await c.store(ctx.placed.vertexData(v), 8,
                              MemKind::SharedRW);
         }
-        co_await api.barrierWaitAcrossUnits(c, ctx.bar, ctx.total);
+        co_await api.wait(c, ctx.bar);
         if (idx == 0)
             ctx.iterations = iter + 1;
     }
@@ -242,14 +242,14 @@ tfWorker(Core &c, Ctx &ctx, unsigned idx)
         }
         for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
             const std::uint32_t u = g.colIdx[e];
-            co_await api.lockAcquire(c, ctx.placed.vertexLock(u));
+            co_await api.acquire(c, ctx.placed.vertexLock(u));
             co_await c.load(ctx.placed.vertexData(u), 8,
                             MemKind::SharedRW);
             ++ctx.value[u];
             co_await c.store(ctx.placed.vertexData(u), 8,
                              MemKind::SharedRW);
             ++ctx.updates;
-            co_await api.lockRelease(c, ctx.placed.vertexLock(u));
+            co_await api.release(c, ctx.placed.vertexLock(u));
         }
     }
     if (idx == 0)
@@ -301,17 +301,17 @@ tcWorker(Core &c, Ctx &ctx, unsigned idx)
             triangles += common;
         }
         if (triangles != 0) {
-            co_await api.lockAcquire(c, ctx.placed.vertexLock(v));
+            co_await api.acquire(c, ctx.placed.vertexLock(v));
             co_await c.load(ctx.placed.vertexData(v), 8,
                             MemKind::SharedRW);
             ctx.value[v] += triangles;
             co_await c.store(ctx.placed.vertexData(v), 8,
                              MemKind::SharedRW);
             ++ctx.updates;
-            co_await api.lockRelease(c, ctx.placed.vertexLock(v));
+            co_await api.release(c, ctx.placed.vertexLock(v));
         }
     }
-    co_await api.barrierWaitAcrossUnits(c, ctx.bar, ctx.total);
+    co_await api.wait(c, ctx.bar);
     if (idx == 0)
         ctx.iterations = 1;
 }
@@ -363,7 +363,7 @@ runGraphApp(NdpSystem &sys, PlacedGraph &placed, GraphApp app,
     ctx.total = sys.numClientCores();
     ctx.clientsPerUnit = sys.config().clientCoresPerUnit;
     ctx.prIterations = prIterations;
-    ctx.bar = sys.api().createSyncVar(0);
+    ctx.bar = sys.api().createBarrier(0, ctx.total);
     for (Addr &flag : ctx.flagAddr)
         flag = sys.machine().addrSpace().allocIn(0, 8, 8);
 

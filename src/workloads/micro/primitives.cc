@@ -10,79 +10,79 @@ using core::Core;
 namespace {
 
 sim::Process
-lockLoop(NdpSystem &sys, Core &c, sync::SyncVar lock, unsigned interval,
+lockLoop(NdpSystem &sys, Core &c, sync::Lock lock, unsigned interval,
          unsigned ops)
 {
     sync::SyncApi &api = sys.api();
     for (unsigned i = 0; i < ops; ++i) {
         co_await c.compute(interval);
-        co_await api.lockAcquire(c, lock);
+        co_await api.acquire(c, lock);
         // Empty critical section (Fig. 10).
-        co_await api.lockRelease(c, lock);
+        co_await api.release(c, lock);
     }
 }
 
 sim::Process
-barrierLoop(NdpSystem &sys, Core &c, sync::SyncVar bar, unsigned interval,
-            unsigned ops, unsigned total)
-{
-    sync::SyncApi &api = sys.api();
-    for (unsigned i = 0; i < ops; ++i) {
-        co_await c.compute(interval);
-        co_await api.barrierWaitAcrossUnits(c, bar, total);
-    }
-}
-
-sim::Process
-semWaitLoop(NdpSystem &sys, Core &c, sync::SyncVar sem, unsigned interval,
+barrierLoop(NdpSystem &sys, Core &c, sync::Barrier bar, unsigned interval,
             unsigned ops)
 {
     sync::SyncApi &api = sys.api();
     for (unsigned i = 0; i < ops; ++i) {
         co_await c.compute(interval);
-        co_await api.semWait(c, sem, 0);
+        co_await api.wait(c, bar);
     }
 }
 
 sim::Process
-semPostLoop(NdpSystem &sys, Core &c, sync::SyncVar sem, unsigned interval,
-            unsigned ops)
+semWaitLoop(NdpSystem &sys, Core &c, sync::Semaphore sem,
+            unsigned interval, unsigned ops)
 {
     sync::SyncApi &api = sys.api();
     for (unsigned i = 0; i < ops; ++i) {
         co_await c.compute(interval);
-        co_await api.semPost(c, sem);
+        co_await api.wait(c, sem);
     }
 }
 
 sim::Process
-condWaitLoop(NdpSystem &sys, Core &c, sync::SyncVar cond,
-             sync::SyncVar lock, unsigned interval, unsigned ops,
+semPostLoop(NdpSystem &sys, Core &c, sync::Semaphore sem,
+            unsigned interval, unsigned ops)
+{
+    sync::SyncApi &api = sys.api();
+    for (unsigned i = 0; i < ops; ++i) {
+        co_await c.compute(interval);
+        co_await api.post(c, sem);
+    }
+}
+
+sim::Process
+condWaitLoop(NdpSystem &sys, Core &c, sync::CondVar cond,
+             sync::Lock lock, unsigned interval, unsigned ops,
              std::int64_t &tokens)
 {
     sync::SyncApi &api = sys.api();
     for (unsigned i = 0; i < ops; ++i) {
         co_await c.compute(interval);
-        co_await api.lockAcquire(c, lock);
+        co_await api.acquire(c, lock);
         while (tokens == 0)
-            co_await api.condWait(c, cond, lock);
+            co_await api.wait(c, cond, lock);
         --tokens;
-        co_await api.lockRelease(c, lock);
+        co_await api.release(c, lock);
     }
 }
 
 sim::Process
-condSignalLoop(NdpSystem &sys, Core &c, sync::SyncVar cond,
-               sync::SyncVar lock, unsigned interval, unsigned ops,
+condSignalLoop(NdpSystem &sys, Core &c, sync::CondVar cond,
+               sync::Lock lock, unsigned interval, unsigned ops,
                std::int64_t &tokens)
 {
     sync::SyncApi &api = sys.api();
     for (unsigned i = 0; i < ops; ++i) {
         co_await c.compute(interval);
-        co_await api.lockAcquire(c, lock);
+        co_await api.acquire(c, lock);
         ++tokens;
-        co_await api.condSignal(c, cond);
-        co_await api.lockRelease(c, lock);
+        co_await api.signal(c, cond);
+        co_await api.release(c, lock);
     }
 }
 
@@ -105,48 +105,55 @@ PrimitiveWorkload::PrimitiveWorkload(NdpSystem &sys, Primitive primitive,
                                      unsigned opsPerCore)
 {
     const unsigned n = sys.numClientCores();
-    sync::SyncVar var = sys.api().createSyncVar(0);
-    sync::SyncVar lock = sys.api().createSyncVar(0);
 
     switch (primitive) {
-      case Primitive::Lock:
+      case Primitive::Lock: {
+        const sync::Lock lock = sys.api().createLock(0);
         for (unsigned i = 0; i < n; ++i) {
-            sys.spawn(lockLoop(sys, sys.clientCore(i), var, interval,
+            sys.spawn(lockLoop(sys, sys.clientCore(i), lock, interval,
                                opsPerCore));
         }
         break;
-      case Primitive::Barrier:
+      }
+      case Primitive::Barrier: {
+        const sync::Barrier bar = sys.api().createBarrier(0, n);
         for (unsigned i = 0; i < n; ++i) {
-            sys.spawn(barrierLoop(sys, sys.clientCore(i), var, interval,
-                                  opsPerCore, n));
+            sys.spawn(barrierLoop(sys, sys.clientCore(i), bar, interval,
+                                  opsPerCore));
         }
         break;
-      case Primitive::Semaphore:
+      }
+      case Primitive::Semaphore: {
         // Waiters and posters interleave across cores (and therefore
         // across NDP units), as in a real producer/consumer split.
+        const sync::Semaphore sem = sys.api().createSemaphore(0, 0);
         for (unsigned i = 0; i < n; ++i) {
             if (i % 2 == 0) {
-                sys.spawn(semWaitLoop(sys, sys.clientCore(i), var,
+                sys.spawn(semWaitLoop(sys, sys.clientCore(i), sem,
                                       interval, opsPerCore));
             } else {
-                sys.spawn(semPostLoop(sys, sys.clientCore(i), var,
+                sys.spawn(semPostLoop(sys, sys.clientCore(i), sem,
                                       interval, opsPerCore));
             }
         }
         break;
-      case Primitive::CondVar:
+      }
+      case Primitive::CondVar: {
+        const sync::CondVar cond = sys.api().createCondVar(0);
+        const sync::Lock lock = sys.api().createLock(0);
         for (unsigned i = 0; i < n; ++i) {
             if (i % 2 == 0) {
-                sys.spawn(condWaitLoop(sys, sys.clientCore(i), var, lock,
-                                       interval, opsPerCore,
+                sys.spawn(condWaitLoop(sys, sys.clientCore(i), cond,
+                                       lock, interval, opsPerCore,
                                        condTokens_));
             } else {
-                sys.spawn(condSignalLoop(sys, sys.clientCore(i), var,
+                sys.spawn(condSignalLoop(sys, sys.clientCore(i), cond,
                                          lock, interval, opsPerCore,
                                          condTokens_));
             }
         }
         break;
+      }
     }
 }
 

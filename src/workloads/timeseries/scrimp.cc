@@ -12,21 +12,21 @@ namespace syncron::workloads {
 using core::Core;
 using core::MemKind;
 
-ScrimpWorkload::ScrimpWorkload(NdpSystem &sys, const std::string &name,
-                               double scale)
-    : sys_(sys)
+ProxySeries
+makeProxySeries(const std::string &name, double scale)
 {
     unsigned len;
+    unsigned window;
     std::uint64_t seed;
     double freq;
     if (name == "air") {
         len = 288;
-        window_ = 16;
+        window = 16;
         seed = 11;
         freq = 0.13;
     } else if (name == "pow") {
         len = 352;
-        window_ = 24;
+        window = 24;
         seed = 22;
         freq = 0.07;
     } else {
@@ -34,39 +34,55 @@ ScrimpWorkload::ScrimpWorkload(NdpSystem &sys, const std::string &name,
                                                     << "' (air/pow)");
     }
     len = std::max<unsigned>(
-        4 * window_, static_cast<unsigned>(len * scale));
+        4 * window, static_cast<unsigned>(len * scale));
 
     // Sinusoid + noise + two planted motifs.
+    ProxySeries out;
+    out.name = name;
+    out.window = window;
     Rng rng(seed);
-    series_.resize(len);
+    out.values.resize(len);
     for (unsigned t = 0; t < len; ++t) {
-        series_[t] = std::sin(freq * t) + 0.25 * (rng.uniform() - 0.5);
+        out.values[t] =
+            std::sin(freq * t) + 0.25 * (rng.uniform() - 0.5);
     }
-    for (unsigned t = 0; t + window_ < len / 4; ++t)
-        series_[len / 2 + t] = series_[t]; // motif copy
+    for (unsigned t = 0; t + window < len / 4; ++t)
+        out.values[len / 2 + t] = out.values[t]; // motif copy
+    return out;
+}
 
-    const std::size_t np = len - window_ + 1;
+ScrimpWorkload::ScrimpWorkload(NdpSystem &sys, const ProxySeries &input)
+    : sys_(sys), series_(input.values), window_(input.window)
+{
+    SYNCRON_ASSERT(window_ >= 1 && series_.size() >= 4 * window_,
+                   "time series shorter than four windows");
+    const std::size_t np = series_.size() - window_ + 1;
     profile_.assign(np, std::numeric_limits<double>::infinity());
 
     mem::AddressSpace &space = sys.machine().addrSpace();
     const unsigned units = sys.config().numUnits;
 
-    // Output profile partitioned across units; per-element locks.
+    // Output profile partitioned across units; per-element locks homed
+    // with their element (distribute-by-address).
     profileAddr_.resize(np);
-    std::vector<UnitId> homes(np);
     for (std::size_t i = 0; i < np; ++i) {
-        homes[i] = static_cast<UnitId>(i * units / np);
-        profileAddr_[i] = space.allocIn(homes[i], 8, 8);
+        profileAddr_[i] =
+            space.allocIn(static_cast<UnitId>(i * units / np), 8, 8);
     }
-    locks_ = std::make_unique<FineLocks>(sys, np, homes);
+    locks_ = sys.api().createLockSetByAddr(profileAddr_);
 
     // Input series replicated in each unit (Section 5).
     seriesAddr_.resize(units);
     for (unsigned u = 0; u < units; ++u)
-        seriesAddr_[u] = space.allocIn(u, len * 8ULL, 8);
+        seriesAddr_[u] = space.allocIn(u, series_.size() * 8ULL, 8);
 
-    bar_ = sys.api().createSyncVar(0);
+    bar_ = sys.api().createBarrier(0, sys.numClientCores());
 }
+
+ScrimpWorkload::ScrimpWorkload(NdpSystem &sys, const std::string &name,
+                               double scale)
+    : ScrimpWorkload(sys, makeProxySeries(name, scale))
+{}
 
 double
 ScrimpWorkload::cellValue(std::size_t i, std::size_t j) const
@@ -112,7 +128,7 @@ ScrimpWorkload::worker(Core &c, unsigned idx, unsigned total)
 
             // profile[i] = min(profile[i], d) under its lock.
             if (d < profile_[i]) {
-                co_await api.lockAcquire(c, locks_->lock(i));
+                co_await api.acquire(c, locks_[i]);
                 co_await c.load(profileAddr_[i], 8, MemKind::SharedRW);
                 if (d < profile_[i]) {
                     profile_[i] = d;
@@ -120,11 +136,11 @@ ScrimpWorkload::worker(Core &c, unsigned idx, unsigned total)
                                      MemKind::SharedRW);
                     ++updates_;
                 }
-                co_await api.lockRelease(c, locks_->lock(i));
+                co_await api.release(c, locks_[i]);
             }
             // Symmetric update of profile[j].
             if (d < profile_[j]) {
-                co_await api.lockAcquire(c, locks_->lock(j));
+                co_await api.acquire(c, locks_[j]);
                 co_await c.load(profileAddr_[j], 8, MemKind::SharedRW);
                 if (d < profile_[j]) {
                     profile_[j] = d;
@@ -132,11 +148,11 @@ ScrimpWorkload::worker(Core &c, unsigned idx, unsigned total)
                                      MemKind::SharedRW);
                     ++updates_;
                 }
-                co_await api.lockRelease(c, locks_->lock(j));
+                co_await api.release(c, locks_[j]);
             }
         }
     }
-    co_await api.barrierWaitAcrossUnits(c, bar_, total);
+    co_await api.wait(c, bar_);
 }
 
 Tick

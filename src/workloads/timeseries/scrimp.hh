@@ -19,7 +19,6 @@
 #define SYNCRON_WORKLOADS_TIMESERIES_SCRIMP_HH
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,11 +26,31 @@
 
 namespace syncron::workloads {
 
+/**
+ * A generated proxy time series. Benches that sweep a grid generate the
+ * series once with makeProxySeries() and pass it by const-ref into every
+ * grid cell instead of regenerating it per cell.
+ */
+struct ProxySeries
+{
+    std::string name;           ///< "air" or "pow"
+    std::vector<double> values; ///< the series samples
+    unsigned window = 0;        ///< subsequence window length
+};
+
+/** Generates the named dataset proxy ("air"/"pow") at @p scale. */
+ProxySeries makeProxySeries(const std::string &name, double scale = 1.0);
+
 /** One SCRIMP run over a synthetic series. */
 class ScrimpWorkload
 {
   public:
+    /** Runs over a pre-generated (possibly shared) series. */
+    ScrimpWorkload(NdpSystem &sys, const ProxySeries &input);
+
     /**
+     * Convenience: generates the named proxy and runs over it.
+     *
      * @param sys       owning system
      * @param name      dataset proxy: "air" or "pow" (sizes/windows
      *                  differ)
@@ -66,8 +85,8 @@ class ScrimpWorkload
     std::vector<double> profile_;
     std::vector<Addr> profileAddr_;
     std::vector<Addr> seriesAddr_; ///< per-unit replica base
-    std::unique_ptr<FineLocks> locks_;
-    sync::SyncVar bar_;
+    sync::LockSet locks_;
+    sync::Barrier bar_;
     std::uint64_t updates_ = 0;
 };
 

@@ -19,7 +19,6 @@ namespace {
 
 using core::Core;
 using sync::SyncApi;
-using sync::SyncVar;
 
 constexpr Scheme kAllSchemes[] = {
     Scheme::Ideal,   Scheme::Central,
@@ -43,18 +42,18 @@ struct LockShared
 };
 
 sim::Process
-lockWorker(Core &c, SyncApi &api, SyncVar lock, int iters,
+lockWorker(Core &c, SyncApi &api, sync::Lock lock, int iters,
            LockShared &shared)
 {
     for (int i = 0; i < iters; ++i) {
-        co_await api.lockAcquire(c, lock);
+        co_await api.acquire(c, lock);
         if (shared.inCritical)
             shared.violated = true;
         shared.inCritical = true;
         co_await c.compute(10);
         ++shared.counter;
         shared.inCritical = false;
-        co_await api.lockRelease(c, lock);
+        co_await api.release(c, lock);
         co_await c.compute(25);
     }
 }
@@ -63,7 +62,7 @@ TEST_P(BackendTest, LockMutualExclusionAndCount)
 {
     SystemConfig cfg = SystemConfig::make(GetParam(), 4, 4);
     NdpSystem sys(cfg);
-    SyncVar lock = sys.api().createSyncVar(1);
+    sync::Lock lock = sys.api().createLock(1);
     LockShared shared;
 
     const int iters = 8;
@@ -90,13 +89,13 @@ struct BarrierShared
 };
 
 sim::Process
-barrierWorker(Core &c, SyncApi &api, SyncVar bar, int phases,
-              unsigned total, unsigned idx, BarrierShared &shared)
+barrierWorker(Core &c, SyncApi &api, sync::Barrier bar, int phases,
+              unsigned idx, BarrierShared &shared)
 {
     for (int p = 0; p < phases; ++p) {
         co_await c.compute(10 + c.rng().below(200));
         shared.phase[idx] = p;
-        co_await api.barrierWaitAcrossUnits(c, bar, total);
+        co_await api.wait(c, bar);
         for (int other : shared.phase) {
             if (other < p)
                 shared.violated = true;
@@ -108,13 +107,14 @@ TEST_P(BackendTest, BarrierFullParticipation)
 {
     SystemConfig cfg = SystemConfig::make(GetParam(), 4, 4);
     NdpSystem sys(cfg);
-    SyncVar bar = sys.api().createSyncVar(2);
+    sync::Barrier bar =
+        sys.api().createBarrier(2, sys.numClientCores());
     BarrierShared shared;
     shared.phase.assign(sys.numClientCores(), -1);
 
     for (unsigned i = 0; i < sys.numClientCores(); ++i) {
-        sys.spawn(barrierWorker(sys.clientCore(i), sys.api(), bar, 5,
-                                sys.numClientCores(), i, shared));
+        sys.spawn(barrierWorker(sys.clientCore(i), sys.api(), bar, 5, i,
+                                shared));
     }
     sys.run();
     EXPECT_FALSE(shared.violated) << "barrier ordering violated";
@@ -124,15 +124,15 @@ TEST_P(BackendTest, BarrierPartialParticipation)
 {
     SystemConfig cfg = SystemConfig::make(GetParam(), 4, 4);
     NdpSystem sys(cfg);
-    SyncVar bar = sys.api().createSyncVar(0);
     BarrierShared shared;
 
     // Only 6 of the 16 client cores participate (one-level protocol).
     const unsigned participants = 6;
+    sync::Barrier bar = sys.api().createBarrier(0, participants);
     shared.phase.assign(participants, -1);
     for (unsigned i = 0; i < participants; ++i) {
-        sys.spawn(barrierWorker(sys.clientCore(i), sys.api(), bar, 4,
-                                participants, i, shared));
+        sys.spawn(barrierWorker(sys.clientCore(i), sys.api(), bar, 4, i,
+                                shared));
     }
     sys.run();
     EXPECT_FALSE(shared.violated);
@@ -142,28 +142,29 @@ TEST_P(BackendTest, BarrierWithinUnit)
 {
     SystemConfig cfg = SystemConfig::make(GetParam(), 4, 4);
     NdpSystem sys(cfg);
-    SyncVar bar = sys.api().createSyncVar(0);
     BarrierShared shared;
 
     // All four client cores of unit 0 (client indices 0..3).
     const unsigned participants = cfg.clientCoresPerUnit;
+    sync::Barrier bar = sys.api().createBarrier(
+        0, participants, sync::BarrierScope::WithinUnit);
     shared.phase.assign(participants, -1);
     for (unsigned i = 0; i < participants; ++i) {
         Core &c = sys.clientCore(i);
         ASSERT_EQ(c.unit(), 0u);
-        sys.spawn([](Core &core, SyncApi &api, SyncVar var, int phases,
-                     unsigned total, unsigned idx,
+        sys.spawn([](Core &core, SyncApi &api, sync::Barrier var,
+                     int phases, unsigned idx,
                      BarrierShared &sh) -> sim::Process {
             for (int p = 0; p < phases; ++p) {
                 co_await core.compute(10 + core.rng().below(100));
                 sh.phase[idx] = p;
-                co_await api.barrierWaitWithinUnit(core, var, total);
+                co_await api.wait(core, var);
                 for (int other : sh.phase) {
                     if (other < p)
                         sh.violated = true;
                 }
             }
-        }(c, sys.api(), bar, 4, participants, i, shared));
+        }(c, sys.api(), bar, 4, i, shared));
     }
     sys.run();
     EXPECT_FALSE(shared.violated);
@@ -181,11 +182,11 @@ struct SemShared
 };
 
 sim::Process
-semConsumer(Core &c, SyncApi &api, SyncVar sem, int iters,
+semConsumer(Core &c, SyncApi &api, sync::Semaphore sem, int iters,
             SemShared &shared)
 {
     for (int i = 0; i < iters; ++i) {
-        co_await api.semWait(c, sem, 0);
+        co_await api.wait(c, sem);
         --shared.resources;
         if (shared.resources < 0)
             shared.negative = true;
@@ -195,13 +196,13 @@ semConsumer(Core &c, SyncApi &api, SyncVar sem, int iters,
 }
 
 sim::Process
-semProducer(Core &c, SyncApi &api, SyncVar sem, int iters,
+semProducer(Core &c, SyncApi &api, sync::Semaphore sem, int iters,
             SemShared &shared)
 {
     for (int i = 0; i < iters; ++i) {
         co_await c.compute(30);
         ++shared.resources;
-        co_await api.semPost(c, sem);
+        co_await api.post(c, sem);
     }
 }
 
@@ -209,7 +210,7 @@ TEST_P(BackendTest, SemaphoreProducerConsumer)
 {
     SystemConfig cfg = SystemConfig::make(GetParam(), 4, 4);
     NdpSystem sys(cfg);
-    SyncVar sem = sys.api().createSyncVar(3);
+    sync::Semaphore sem = sys.api().createSemaphore(3, 0);
     SemShared shared;
 
     const int iters = 6;
@@ -240,31 +241,33 @@ struct CondShared
 };
 
 sim::Process
-condConsumer(Core &c, SyncApi &api, SyncVar cond, SyncVar lock, int want,
+condConsumer(Core &c, SyncApi &api, sync::CondVar cond,
+             sync::Lock lock, int want,
              CondShared &shared)
 {
     int got = 0;
     while (got < want) {
-        co_await api.lockAcquire(c, lock);
+        co_await api.acquire(c, lock);
         while (shared.items == 0)
-            co_await api.condWait(c, cond, lock);
+            co_await api.wait(c, cond, lock);
         --shared.items;
         ++shared.consumed;
         ++got;
-        co_await api.lockRelease(c, lock);
+        co_await api.release(c, lock);
     }
 }
 
 sim::Process
-condProducer(Core &c, SyncApi &api, SyncVar cond, SyncVar lock, int iters,
+condProducer(Core &c, SyncApi &api, sync::CondVar cond,
+             sync::Lock lock, int iters,
              CondShared &shared)
 {
     for (int i = 0; i < iters; ++i) {
         co_await c.compute(40);
-        co_await api.lockAcquire(c, lock);
+        co_await api.acquire(c, lock);
         ++shared.items;
-        co_await api.condSignal(c, cond);
-        co_await api.lockRelease(c, lock);
+        co_await api.signal(c, cond);
+        co_await api.release(c, lock);
     }
 }
 
@@ -272,8 +275,8 @@ TEST_P(BackendTest, ConditionVariableSignal)
 {
     SystemConfig cfg = SystemConfig::make(GetParam(), 2, 4);
     NdpSystem sys(cfg);
-    SyncVar lock = sys.api().createSyncVar(0);
-    SyncVar cond = sys.api().createSyncVar(1);
+    sync::Lock lock = sys.api().createLock(0);
+    sync::CondVar cond = sys.api().createCondVar(1);
     CondShared shared;
 
     const int iters = 5;
@@ -291,33 +294,35 @@ TEST_P(BackendTest, ConditionVariableSignal)
 }
 
 sim::Process
-condBroadcastWaiter(Core &c, SyncApi &api, SyncVar cond, SyncVar lock,
+condBroadcastWaiter(Core &c, SyncApi &api, sync::CondVar cond,
+                    sync::Lock lock,
                     bool &go, int &woken)
 {
-    co_await api.lockAcquire(c, lock);
+    co_await api.acquire(c, lock);
     while (!go)
-        co_await api.condWait(c, cond, lock);
+        co_await api.wait(c, cond, lock);
     ++woken;
-    co_await api.lockRelease(c, lock);
+    co_await api.release(c, lock);
 }
 
 sim::Process
-condBroadcaster(Core &c, SyncApi &api, SyncVar cond, SyncVar lock,
+condBroadcaster(Core &c, SyncApi &api, sync::CondVar cond,
+                sync::Lock lock,
                 bool &go)
 {
     co_await c.compute(5000); // let the waiters queue up
-    co_await api.lockAcquire(c, lock);
+    co_await api.acquire(c, lock);
     go = true;
-    co_await api.condBroadcast(c, cond);
-    co_await api.lockRelease(c, lock);
+    co_await api.broadcast(c, cond);
+    co_await api.release(c, lock);
 }
 
 TEST_P(BackendTest, ConditionVariableBroadcast)
 {
     SystemConfig cfg = SystemConfig::make(GetParam(), 2, 4);
     NdpSystem sys(cfg);
-    SyncVar lock = sys.api().createSyncVar(0);
-    SyncVar cond = sys.api().createSyncVar(1);
+    sync::Lock lock = sys.api().createLock(0);
+    sync::CondVar cond = sys.api().createCondVar(1);
     bool go = false;
     int woken = 0;
 
@@ -340,7 +345,7 @@ contendedLockTime(Scheme scheme)
 {
     SystemConfig cfg = SystemConfig::make(scheme, 4, 15);
     NdpSystem sys(cfg);
-    SyncVar lock = sys.api().createSyncVar(0);
+    sync::Lock lock = sys.api().createLock(0);
     LockShared shared;
     for (unsigned i = 0; i < sys.numClientCores(); ++i) {
         sys.spawn(lockWorker(sys.clientCore(i), sys.api(), lock, 10,
@@ -367,7 +372,7 @@ TEST(BackendOrdering, EnergyIsNonZeroAndOrdered)
 {
     SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 4, 15);
     NdpSystem sys(cfg);
-    sync::SyncVar lock = sys.api().createSyncVar(0);
+    sync::Lock lock = sys.api().createLock(0);
     LockShared shared;
     for (unsigned i = 0; i < sys.numClientCores(); ++i) {
         sys.spawn(lockWorker(sys.clientCore(i), sys.api(), lock, 5,

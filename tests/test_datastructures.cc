@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Typed-handle coverage for the nine Table 6 data structures: every
+ * structure runs a short burst on two backends (SynCron and Central),
+ * the host-side shadow state must stay consistent, and the per-OpKind
+ * latency histograms must balance — every lock acquire recorded through
+ * the typed handles has a matching release, and each histogram's bucket
+ * sum equals its operation count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "system/system.hh"
+#include "workloads/datastructures/structures.hh"
+
+namespace syncron {
+namespace {
+
+constexpr unsigned kOpsPerCore = 6;
+
+class DsBackendTest : public ::testing::TestWithParam<Scheme>
+{
+  protected:
+    SystemConfig
+    cfg() const
+    {
+        return SystemConfig::make(GetParam(), 4, 4);
+    }
+
+    /**
+     * Checks the per-OpKind accounting after a lock-based run: acquire
+     * and release counts balance at >= @p minEpisodes episodes, no
+     * other operation kind fired, and every histogram is internally
+     * consistent (bucket sum == count, min <= avg <= max).
+     */
+    static void
+    checkLockStats(const NdpSystem &sys, std::uint64_t minEpisodes)
+    {
+        const auto &lat = sys.stats().syncLatency;
+        const SyncOpLatency &acq =
+            lat[static_cast<unsigned>(sync::OpKind::LockAcquire)];
+        const SyncOpLatency &rel =
+            lat[static_cast<unsigned>(sync::OpKind::LockRelease)];
+        EXPECT_EQ(acq.count, rel.count)
+            << "unbalanced lock episodes (leaked guard?)";
+        EXPECT_GE(acq.count, minEpisodes);
+
+        for (unsigned k = 0; k < kNumSyncOpKinds; ++k) {
+            const SyncOpLatency &l = lat[k];
+            if (k != static_cast<unsigned>(sync::OpKind::LockAcquire)
+                && k != static_cast<unsigned>(sync::OpKind::LockRelease)) {
+                EXPECT_EQ(l.count, 0u)
+                    << "unexpected " << sync::opKindName(
+                           static_cast<sync::OpKind>(k));
+                continue;
+            }
+            const std::uint64_t bucketSum = std::accumulate(
+                l.hist.begin(), l.hist.end(), std::uint64_t{0});
+            EXPECT_EQ(bucketSum, l.count);
+            EXPECT_LE(static_cast<double>(l.minTicks), l.avgTicks());
+            EXPECT_LE(l.avgTicks(), static_cast<double>(l.maxTicks));
+        }
+    }
+};
+
+TEST_P(DsBackendTest, Stack)
+{
+    NdpSystem sys(cfg());
+    workloads::SimStack stack(sys, 64);
+    const unsigned n = sys.numClientCores();
+    for (unsigned i = 0; i < n; ++i)
+        sys.spawn(stack.worker(sys.clientCore(i), kOpsPerCore));
+    sys.run();
+    EXPECT_EQ(stack.size(), 64 + n * kOpsPerCore);
+    // One coarse-lock episode per push.
+    checkLockStats(sys, static_cast<std::uint64_t>(n) * kOpsPerCore);
+}
+
+TEST_P(DsBackendTest, Queue)
+{
+    NdpSystem sys(cfg());
+    workloads::SimQueue queue(sys, 48);
+    const unsigned n = sys.numClientCores();
+    for (unsigned i = 0; i < n; ++i)
+        sys.spawn(queue.worker(sys.clientCore(i), kOpsPerCore));
+    sys.run();
+    // Pops beyond the initial population observe an empty queue.
+    EXPECT_EQ(queue.emptyPops(),
+              static_cast<std::uint64_t>(n) * kOpsPerCore - 48);
+    EXPECT_EQ(queue.size(), 48u); // shadow keeps popped entries' history
+    checkLockStats(sys, static_cast<std::uint64_t>(n) * kOpsPerCore);
+}
+
+TEST_P(DsBackendTest, ArrayMap)
+{
+    NdpSystem sys(cfg());
+    workloads::SimArrayMap map(sys, 10);
+    const unsigned n = sys.numClientCores();
+    for (unsigned i = 0; i < n; ++i)
+        sys.spawn(map.worker(sys.clientCore(i), kOpsPerCore));
+    sys.run();
+    checkLockStats(sys, static_cast<std::uint64_t>(n) * kOpsPerCore);
+}
+
+TEST_P(DsBackendTest, PriorityQueue)
+{
+    NdpSystem sys(cfg());
+    workloads::SimPriorityQueue pq(sys, 400);
+    const unsigned n = sys.numClientCores();
+    for (unsigned i = 0; i < n; ++i)
+        sys.spawn(pq.worker(sys.clientCore(i), kOpsPerCore));
+    sys.run();
+    EXPECT_TRUE(pq.popsWereOrdered())
+        << "deleteMin order violated => coarse lock broken";
+    EXPECT_EQ(pq.size(), 400 - n * kOpsPerCore);
+    checkLockStats(sys, static_cast<std::uint64_t>(n) * kOpsPerCore);
+}
+
+TEST_P(DsBackendTest, SkipList)
+{
+    NdpSystem sys(cfg());
+    workloads::SimSkipList sl(sys, 256);
+    const unsigned n = sys.numClientCores();
+    for (unsigned i = 0; i < n; ++i)
+        sys.spawn(sl.worker(sys.clientCore(i), 4));
+    sys.run();
+    // Colliding deleters retry-and-back-off, so at most n*ops removals.
+    EXPECT_LT(sl.size(), 256u);
+    EXPECT_GE(sl.size(), 256u - n * 4);
+    checkLockStats(sys, static_cast<std::uint64_t>(n) * 4);
+}
+
+TEST_P(DsBackendTest, HashTable)
+{
+    NdpSystem sys(cfg());
+    workloads::SimHashTable ht(sys, 128);
+    const unsigned n = sys.numClientCores();
+    for (unsigned i = 0; i < n; ++i)
+        sys.spawn(ht.worker(sys.clientCore(i), kOpsPerCore));
+    sys.run();
+    EXPECT_GT(ht.hits(), 0u);
+    // One per-bucket lock episode per lookup.
+    checkLockStats(sys, static_cast<std::uint64_t>(n) * kOpsPerCore);
+}
+
+TEST_P(DsBackendTest, LinkedList)
+{
+    NdpSystem sys(cfg());
+    workloads::SimLinkedList ll(sys, 48);
+    const unsigned n = sys.numClientCores();
+    for (unsigned i = 0; i < n; ++i)
+        sys.spawn(ll.worker(sys.clientCore(i), 3));
+    sys.run();
+    EXPECT_GT(ll.size(), 0u);
+    // Hand-over-hand: at least one episode per lookup, usually many.
+    checkLockStats(sys, static_cast<std::uint64_t>(n) * 3);
+}
+
+TEST_P(DsBackendTest, BstFg)
+{
+    NdpSystem sys(cfg());
+    workloads::SimBstFg bst(sys, 200);
+    const unsigned n = sys.numClientCores();
+    EXPECT_GE(bst.depth(), 7u); // ~log2(200) at minimum
+    for (unsigned i = 0; i < n; ++i)
+        sys.spawn(bst.worker(sys.clientCore(i), 4));
+    sys.run();
+    EXPECT_EQ(bst.size(), 200u); // lookups never mutate
+    checkLockStats(sys, static_cast<std::uint64_t>(n) * 4);
+}
+
+TEST_P(DsBackendTest, BstDrachsler)
+{
+    NdpSystem sys(cfg());
+    workloads::SimBstDrachsler bst(sys, 200);
+    const unsigned n = sys.numClientCores();
+    for (unsigned i = 0; i < n; ++i)
+        sys.spawn(bst.worker(sys.clientCore(i), 3));
+    sys.run();
+    EXPECT_LT(bst.size(), 200u);
+    EXPECT_GE(bst.size(), 200u - n * 3);
+    // Victim (+ predecessor when present) per successful delete.
+    checkLockStats(sys, static_cast<std::uint64_t>(n) * 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoBackends, DsBackendTest,
+                         ::testing::Values(Scheme::SynCron,
+                                           Scheme::Central),
+                         [](const ::testing::TestParamInfo<Scheme> &info) {
+                             return schemeName(info.param);
+                         });
+
+} // namespace
+} // namespace syncron

@@ -17,16 +17,16 @@ namespace {
 
 using core::Core;
 using sync::SyncApi;
-using sync::SyncVar;
 
 sim::Process
-lockLoop(Core &c, SyncApi &api, SyncVar lock, int iters, int *counter)
+lockLoop(Core &c, SyncApi &api, sync::Lock lock, int iters,
+         int *counter)
 {
     for (int i = 0; i < iters; ++i) {
-        co_await api.lockAcquire(c, lock);
+        co_await api.acquire(c, lock);
         ++*counter;
         co_await c.compute(20);
-        co_await api.lockRelease(c, lock);
+        co_await api.release(c, lock);
         co_await c.compute(30);
     }
 }
@@ -79,7 +79,7 @@ TEST(Engine, HierarchicalAggregationReducesGlobalTraffic)
     // messages must be far fewer than local ones.
     SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 4, 8);
     NdpSystem sys(cfg);
-    SyncVar lock = sys.api().createSyncVar(3); // mastered remotely
+    sync::Lock lock = sys.api().createLock(3); // mastered remotely
     int counter = 0;
     // Clients 0..7 are all in unit 0.
     for (unsigned i = 0; i < 8; ++i)
@@ -97,7 +97,7 @@ TEST(Engine, StEntriesFreedAfterEpisodes)
 {
     SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 2, 4);
     NdpSystem sys(cfg);
-    SyncVar lock = sys.api().createSyncVar(0);
+    sync::Lock lock = sys.api().createLock(0);
     int counter = 0;
     for (unsigned i = 0; i < sys.numClientCores(); ++i)
         sys.spawn(lockLoop(sys.clientCore(i), sys.api(), lock, 5,
@@ -112,17 +112,17 @@ TEST(Engine, StEntriesFreedAfterEpisodes)
 }
 
 sim::Process
-twoLockWorker(Core &c, SyncApi &api, std::vector<SyncVar> &locks,
+twoLockWorker(Core &c, SyncApi &api, const sync::LockSet &locks,
               unsigned ops, int *progress)
 {
     // Hold two locks at once (hand-over-hand style) to pressure the ST.
     for (unsigned i = 0; i < ops; ++i) {
         const std::size_t a = c.rng().below(locks.size() - 1);
-        co_await api.lockAcquire(c, locks[a]);
-        co_await api.lockAcquire(c, locks[a + 1]);
+        co_await api.acquire(c, locks[a]);
+        co_await api.acquire(c, locks[a + 1]);
         co_await c.compute(10);
-        co_await api.lockRelease(c, locks[a + 1]);
-        co_await api.lockRelease(c, locks[a]);
+        co_await api.release(c, locks[a + 1]);
+        co_await api.release(c, locks[a]);
         ++*progress;
     }
 }
@@ -137,9 +137,7 @@ TEST_P(OverflowSchemeTest, TinyStOverflowsButStaysCorrect)
     cfg.stEntries = 4; // force heavy overflow
     NdpSystem sys(cfg);
 
-    std::vector<SyncVar> locks;
-    for (int i = 0; i < 64; ++i)
-        locks.push_back(sys.api().createSyncVarInterleaved());
+    const sync::LockSet locks = sys.api().createLockSet(64);
 
     int progress = 0;
     const unsigned ops = 12;
@@ -177,9 +175,7 @@ TEST(Engine, IntegratedOverflowBeatsMisarStyle)
         SystemConfig cfg = SystemConfig::make(scheme, 4, 8);
         cfg.stEntries = 4;
         NdpSystem sys(cfg);
-        std::vector<SyncVar> locks;
-        for (int i = 0; i < 64; ++i)
-            locks.push_back(sys.api().createSyncVarInterleaved());
+        const sync::LockSet locks = sys.api().createLockSet(64);
         int progress = 0;
         for (unsigned i = 0; i < sys.numClientCores(); ++i)
             sys.spawn(twoLockWorker(sys.clientCore(i), sys.api(), locks,
@@ -200,7 +196,7 @@ TEST(Engine, FairnessThresholdBoundsLocalStreaks)
     SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 2, 6);
     cfg.localGrantThreshold = 3;
     NdpSystem sys(cfg);
-    SyncVar lock = sys.api().createSyncVar(0);
+    sync::Lock lock = sys.api().createLock(0);
     int counter = 0;
     for (unsigned i = 0; i < sys.numClientCores(); ++i)
         sys.spawn(lockLoop(sys.clientCore(i), sys.api(), lock, 8,
@@ -212,7 +208,7 @@ TEST(Engine, FairnessThresholdBoundsLocalStreaks)
     // unbounded-streak default.
     SystemConfig base = SystemConfig::make(Scheme::SynCron, 2, 6);
     NdpSystem sysBase(base);
-    SyncVar lock2 = sysBase.api().createSyncVar(0);
+    sync::Lock lock2 = sysBase.api().createLock(0);
     int counter2 = 0;
     for (unsigned i = 0; i < sysBase.numClientCores(); ++i)
         sysBase.spawn(lockLoop(sysBase.clientCore(i), sysBase.api(),
@@ -227,7 +223,7 @@ TEST(Engine, DeterministicAcrossRuns)
     auto runOnce = [] {
         SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 4, 8);
         NdpSystem sys(cfg);
-        SyncVar lock = sys.api().createSyncVar(1);
+        sync::Lock lock = sys.api().createLock(1);
         int counter = 0;
         for (unsigned i = 0; i < sys.numClientCores(); ++i)
             sys.spawn(lockLoop(sys.clientCore(i), sys.api(), lock, 10,

@@ -10,6 +10,7 @@
 
 #include "harness/runner.hh"
 #include "harness/table.hh"
+#include "sync/registry.hh"
 
 namespace syncron::harness {
 namespace {
@@ -89,7 +90,21 @@ TEST(BenchOptions, RejectsMalformedValues)
     // --json/--backend need values; backends must be registered.
     EXPECT_THROW(parse1("--json="), std::runtime_error);
     EXPECT_THROW(parse1("--backend="), std::runtime_error);
-    EXPECT_THROW(parse1("--backend=NoSuchBackend"), std::runtime_error);
+
+    // Unknown backends are rejected at parse time (not later inside
+    // SystemConfig), and the error lists the registered set.
+    try {
+        parse1("--backend=NoSuchBackend");
+        FAIL() << "expected fatal";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        for (const std::string &name :
+             sync::BackendRegistry::instance().names()) {
+            EXPECT_NE(what.find(name), std::string::npos)
+                << "error should list registered backend '" << name
+                << "': " << what;
+        }
+    }
 
     // Unknown arguments report the usage text, not just the token.
     try {
@@ -168,6 +183,29 @@ TEST(Runner, DeterministicAcrossInvocations)
     EXPECT_EQ(a.time, b.time);
     EXPECT_EQ(a.stats.syncLocalMsgs, b.stats.syncLocalMsgs);
     EXPECT_EQ(a.stats.dramReads, b.stats.dramReads);
+}
+
+TEST(Runner, SharedInputsMatchPerCellGeneration)
+{
+    // A grid cell fed a prepared (shared) input must produce exactly
+    // the result of the regenerate-per-cell path it replaced.
+    SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 4, 4);
+    SharedInputs inputs;
+    inputs.prepare({{"tf", "wk"}, {"ts", "air"}}, 0.1);
+
+    auto tfShared = runAppInput(cfg, {"tf", "wk"}, inputs);
+    auto tfFresh = runGraph(cfg, "wk", workloads::GraphApp::Tf, 0.1);
+    EXPECT_EQ(tfShared.time, tfFresh.time);
+    EXPECT_EQ(tfShared.ops, tfFresh.ops);
+
+    auto tsShared = runAppInput(cfg, {"ts", "air"}, inputs);
+    auto tsFresh = runTimeSeries(cfg, "air", 0.1);
+    EXPECT_EQ(tsShared.time, tsFresh.time);
+    EXPECT_EQ(tsShared.ops, tsFresh.ops);
+
+    // Unprepared inputs are a hard error, not a silent regeneration.
+    EXPECT_THROW(inputs.graph("co"), std::runtime_error);
+    EXPECT_THROW(inputs.series("pow"), std::runtime_error);
 }
 
 } // namespace

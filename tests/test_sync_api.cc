@@ -1,8 +1,8 @@
 /**
  * @file
- * Tests for the v2 typed synchronization API: typed primitive handles,
+ * Tests for the typed synchronization API: typed primitive handles,
  * the ScopedLock guard, per-op latency observability, the
- * generation-tagged destroy_syncvar() safety net, and the string-keyed
+ * generation-tagged destroy() safety net, and the string-keyed
  * BackendRegistry.
  */
 
@@ -222,7 +222,7 @@ TEST(ScopedLockTest, ReleasesOnScopeExit)
     EXPECT_EQ(shared.value,
               static_cast<int>(sys.numClientCores()) * 5);
     // Every critical section entered and left => lock is free again.
-    EXPECT_TRUE(sys.backend().idleVar(lock.var.addr));
+    EXPECT_TRUE(sys.backend().idleVar(lock.addr));
 }
 
 // ----------------------------------------------------------------------
@@ -285,20 +285,20 @@ TEST(SyncLatency, HistogramBucketsAndMergeAreConsistent)
 }
 
 // ----------------------------------------------------------------------
-// destroy_syncvar safety
+// destroy() safety
 // ----------------------------------------------------------------------
 
-TEST(DestroySyncVar, RecycledLineGetsNewGeneration)
+TEST(DestroyPrimitive, RecycledLineGetsNewGeneration)
 {
     NdpSystem sys(SystemConfig::make(Scheme::Ideal, 2, 4));
     sync::Lock a = sys.api().createLock(1);
     sys.api().destroy(a);
     sync::Lock b = sys.api().createLock(1);
-    EXPECT_EQ(b.var.addr, a.var.addr); // line recycled...
-    EXPECT_NE(b.var.gen, a.var.gen);   // ...under a fresh generation
+    EXPECT_EQ(b.addr, a.addr); // line recycled...
+    EXPECT_NE(b.gen, a.gen);   // ...under a fresh generation
 }
 
-TEST(DestroySyncVar, StaleHandleUseIsCaught)
+TEST(DestroyPrimitive, StaleHandleUseIsCaught)
 {
     NdpSystem sys(SystemConfig::make(Scheme::Ideal, 2, 4));
     sync::Lock a = sys.api().createLock(0);
@@ -316,14 +316,14 @@ holdLock(Core &c, SyncApi &api, sync::Lock lock)
     // Never released: the variable stays live in the backend.
 }
 
-TEST(DestroySyncVar, RefusedWhileBackendTracksState)
+TEST(DestroyPrimitive, RefusedWhileBackendTracksState)
 {
     for (Scheme s : {Scheme::Ideal, Scheme::SynCron}) {
         NdpSystem sys(SystemConfig::make(s, 2, 4));
         sync::Lock lock = sys.api().createLock(0);
         sys.spawn(holdLock(sys.clientCore(0), sys.api(), lock));
         sys.run();
-        EXPECT_FALSE(sys.backend().idleVar(lock.var.addr))
+        EXPECT_FALSE(sys.backend().idleVar(lock.addr))
             << schemeName(s);
         EXPECT_THROW(sys.api().destroy(lock), std::logic_error)
             << schemeName(s);

@@ -57,37 +57,68 @@ TEST(NdpSystem, BackendMatchesScheme)
     }
 }
 
-TEST(SyncApi, VariablesAreLineAlignedAndHomed)
+TEST(SyncApi, PrimitivesAreLineAlignedAndHomed)
 {
     NdpSystem sys(SystemConfig::make(Scheme::Ideal, 4, 4));
-    sync::SyncVar a = sys.api().createSyncVar(2);
+    sync::Lock a = sys.api().createLock(2);
     EXPECT_EQ(a.home(), 2u);
     EXPECT_EQ(a.addr % kCacheLineBytes, 0u);
 
     // destroy + create recycles the line.
-    sys.api().destroySyncVar(a);
-    sync::SyncVar b = sys.api().createSyncVar(2);
+    sys.api().destroy(a);
+    sync::Lock b = sys.api().createLock(2);
     EXPECT_EQ(b.addr, a.addr);
 
     // interleaved creation round-robins homes.
     UnitId expect = 0;
     for (int i = 0; i < 8; ++i) {
-        EXPECT_EQ(sys.api().createSyncVarInterleaved().home(), expect);
+        EXPECT_EQ(sys.api().createLockInterleaved().home(), expect);
         expect = (expect + 1) % 4;
     }
 }
 
-sim::Process
-neverGranted(core::Core &c, sync::SyncApi &api, sync::SyncVar lock)
+TEST(SyncApi, LockSetPlacementPolicies)
 {
-    co_await api.lockAcquire(c, lock);
-    co_await api.lockAcquire(c, lock); // self-deadlock: never granted
+    NdpSystem sys(SystemConfig::make(Scheme::Ideal, 4, 4));
+
+    // Empty homes: round-robin across all units.
+    sync::LockSet rr = sys.api().createLockSet(8);
+    ASSERT_EQ(rr.size(), 8u);
+    for (std::size_t i = 0; i < rr.size(); ++i)
+        EXPECT_EQ(rr[i].home(), i % 4);
+
+    // Explicit homes are cycled.
+    sync::LockSet homed = sys.api().createLockSet(4, {3, 1});
+    EXPECT_EQ(homed[0].home(), 3u);
+    EXPECT_EQ(homed[1].home(), 1u);
+    EXPECT_EQ(homed[2].home(), 3u);
+    EXPECT_EQ(homed[3].home(), 1u);
+
+    // By-address: each lock homed with the datum it protects.
+    std::vector<Addr> data;
+    for (UnitId u : {2u, 0u, 3u})
+        data.push_back(sys.machine().addrSpace().allocIn(u, 8, 8));
+    sync::LockSet byAddr = sys.api().createLockSetByAddr(data);
+    ASSERT_EQ(byAddr.size(), 3u);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(byAddr[i].home(), mem::unitOfAddr(data[i]));
+
+    // destroy(LockSet&) releases every line and empties the set.
+    sys.api().destroy(byAddr);
+    EXPECT_TRUE(byAddr.empty());
+}
+
+sim::Process
+neverGranted(core::Core &c, sync::SyncApi &api, sync::Lock lock)
+{
+    co_await api.acquire(c, lock);
+    co_await api.acquire(c, lock); // self-deadlock: never granted
 }
 
 TEST(NdpSystem, DeadlockIsDetectedNotHung)
 {
     NdpSystem sys(SystemConfig::make(Scheme::Ideal, 1, 2));
-    sync::SyncVar lock = sys.api().createSyncVar(0);
+    sync::Lock lock = sys.api().createLock(0);
     sys.spawn(neverGranted(sys.clientCore(0), sys.api(), lock));
     EXPECT_THROW(sys.run(), std::runtime_error);
 }

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json perf records and flag regressions.
+
+Every bench binary writes a machine-readable record with --json=<path>
+(see harness::BenchReport): per-config simulated throughput (opsPerMs),
+host kernel speed (eventsPerSec), and an aggregate host events/sec.
+This tool compares a baseline record against a current one and exits
+non-zero when either metric regresses beyond the threshold:
+
+  - opsPerMs is simulated throughput: deterministic for a given commit,
+    so any drop is a real behavioral/performance change.
+  - eventsPerSec is host simulation speed: the metric the fast-kernel
+    work optimizes, but noisy across machines, so it gets its own
+    (typically looser) threshold.
+
+Usage:
+  perf_trend.py BASELINE.json CURRENT.json [--threshold 0.10]
+                [--host-threshold 0.10] [--allow-missing-baseline]
+
+CI wires this into the bench-perf job against the BENCH_*.json artifact
+of the last successful run on main; --allow-missing-baseline keeps the
+very first run (or a renamed bench) green.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def fmt_delta(base, cur):
+    if base <= 0:
+        return "n/a"
+    return "%+.1f%%" % ((cur - base) / base * 100.0)
+
+
+def compare_metric(name, pairs, threshold, failures):
+    """pairs: list of (label, baseline_value, current_value)."""
+    printed_header = False
+    for label, base, cur in pairs:
+        if base <= 0:
+            continue
+        delta = (cur - base) / base
+        marker = ""
+        if delta < -threshold:
+            marker = "  << REGRESSION"
+            failures.append(
+                "%s '%s': %.3f -> %.3f (%s, threshold -%.0f%%)"
+                % (name, label, base, cur, fmt_delta(base, cur),
+                   threshold * 100))
+        if not printed_header:
+            print("-- %s (fail below -%.0f%%)" % (name, threshold * 100))
+            printed_header = True
+        print("  %-40s %12.3f %12.3f  %s%s"
+              % (label, base, cur, fmt_delta(base, cur), marker))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two BENCH_*.json records, exit non-zero on "
+                    "regression")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max allowed opsPerMs regression "
+                         "(fraction, default 0.10)")
+    ap.add_argument("--host-threshold", type=float, default=0.10,
+                    help="max allowed host events/sec regression "
+                         "(fraction, default 0.10)")
+    ap.add_argument("--allow-missing-baseline", action="store_true",
+                    help="exit 0 when the baseline file is absent")
+    args = ap.parse_args()
+
+    try:
+        base = load(args.baseline)
+    except FileNotFoundError:
+        if args.allow_missing_baseline:
+            print("perf_trend: no baseline at '%s'; skipping comparison"
+                  % args.baseline)
+            return 0
+        print("perf_trend: baseline '%s' not found" % args.baseline,
+              file=sys.stderr)
+        return 2
+    cur = load(args.current)
+
+    if base.get("bench") != cur.get("bench"):
+        print("perf_trend: comparing different benches ('%s' vs '%s')"
+              % (base.get("bench"), cur.get("bench")), file=sys.stderr)
+        return 2
+
+    base_cfgs = {c["label"]: c for c in base.get("configs", [])}
+    cur_cfgs = {c["label"]: c for c in cur.get("configs", [])}
+    shared = [l for l in base_cfgs if l in cur_cfgs]
+    for l in base_cfgs:
+        if l not in cur_cfgs:
+            print("perf_trend: label '%s' only in baseline (renamed "
+                  "config?)" % l)
+    for l in cur_cfgs:
+        if l not in base_cfgs:
+            print("perf_trend: label '%s' is new (no baseline)" % l)
+
+    failures = []
+
+    print("== perf trend: %s (%d shared configs)"
+          % (cur.get("bench"), len(shared)))
+    compare_metric(
+        "ops/ms (simulated)",
+        [(l, base_cfgs[l].get("opsPerMs", 0.0),
+          cur_cfgs[l].get("opsPerMs", 0.0)) for l in shared],
+        args.threshold, failures)
+    compare_metric(
+        "events/sec (host, per config)",
+        [(l, base_cfgs[l].get("eventsPerSec", 0.0),
+          cur_cfgs[l].get("eventsPerSec", 0.0)) for l in shared],
+        args.host_threshold, failures)
+    compare_metric(
+        "events/sec (host, aggregate)",
+        [("<total>", base.get("host", {}).get("eventsPerSec", 0.0),
+          cur.get("host", {}).get("eventsPerSec", 0.0))],
+        args.host_threshold, failures)
+
+    if failures:
+        print("\nperf_trend: %d regression(s):" % len(failures))
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nperf_trend: OK (no metric regressed beyond threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
