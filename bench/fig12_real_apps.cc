@@ -39,6 +39,7 @@ main(int argc, char **argv)
     const auto appInputs = harness::allAppInputs();
     harness::SharedInputs inputs;
     inputs.prepare(appInputs, scale);
+    inputs.preparePartitions(appInputs, 4);
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : appInputs) {

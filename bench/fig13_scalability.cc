@@ -34,6 +34,8 @@ main(int argc, char **argv)
     };
     harness::SharedInputs inputs;
     inputs.prepare(combos, scale);
+    for (unsigned units = 1; units <= 4; ++units)
+        inputs.preparePartitions(combos, units);
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : combos) {

@@ -37,6 +37,7 @@ main(int argc, char **argv)
     const char *tag[] = {"C", "H", "SC", "I"};
     harness::SharedInputs inputs;
     inputs.prepare(combos, scale);
+    inputs.preparePartitions(combos, 4);
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : combos) {

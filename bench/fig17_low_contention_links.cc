@@ -33,6 +33,7 @@ main(int argc, char **argv)
 
     harness::SharedInputs inputs;
     inputs.prepareGraph("wk", scale);
+    inputs.preparePartition("wk", 4);
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (unsigned ns : latenciesNs) {
@@ -42,7 +43,8 @@ main(int argc, char **argv)
                 cfg.link.flightTicks =
                     static_cast<Tick>(ns) * kTicksPerNs;
                 return harness::runGraph(cfg, inputs.graph("wk"),
-                                         workloads::GraphApp::Pr);
+                                         workloads::GraphApp::Pr,
+                                         inputs.partition("wk", 4));
             });
         }
     }

@@ -39,6 +39,7 @@ main(int argc, char **argv)
 
     harness::SharedInputs inputs;
     inputs.prepare(combos, scale);
+    inputs.preparePartitions(combos, 4);
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : combos) {

@@ -32,8 +32,11 @@ main(int argc, char **argv)
     const char *inputs[] = {"wk", "sl", "sx", "co"};
 
     harness::SharedInputs shared;
-    for (const char *input : inputs)
+    for (const char *input : inputs) {
         shared.prepareGraph(input, scale);
+        for (bool metis : {false, true})
+            shared.preparePartition(input, 4, metis);
+    }
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const char *input : inputs) {
@@ -43,7 +46,7 @@ main(int argc, char **argv)
                     return harness::runGraph(
                         opts.makeConfig(scheme, 4, 15),
                         shared.graph(input), workloads::GraphApp::Pr,
-                        metis);
+                        shared.partition(input, 4, metis));
                 });
             }
         }

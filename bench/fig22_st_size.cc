@@ -34,6 +34,7 @@ main(int argc, char **argv)
         {"cc", "wk"}, {"pr", "wk"}, {"ts", "air"}, {"ts", "pow"}};
     harness::SharedInputs inputs;
     inputs.prepare(combos, scale);
+    inputs.preparePartitions(combos, 4);
 
     std::vector<std::function<harness::RunOutput()>> tasks;
     for (const harness::AppInput &ai : combos) {

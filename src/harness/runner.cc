@@ -10,6 +10,7 @@
 #include "common/log.hh"
 #include "sync/registry.hh"
 #include "system/system.hh"
+#include "trace/replay.hh"
 #include "workloads/datastructures/structures.hh"
 #include "workloads/timeseries/scrimp.hh"
 
@@ -26,7 +27,11 @@ BenchOptions::usage()
            "  --jobs=<n>         parallel grid workers (1..256)\n"
            "  --json=<path>      write a machine-readable BENCH_*.json\n"
            "  --backend=<name>   select a registered sync backend by "
-           "name";
+           "name\n"
+           "  --trace-out=<path> capture the sync-op stream to a trace "
+           "file (needs --jobs=1)\n"
+           "  --trace-in=<path>  replay an existing trace file (needs "
+           "--jobs=1)";
 }
 
 namespace {
@@ -92,12 +97,37 @@ BenchOptions::parse(int argc, char **argv)
                     << usage());
             }
             opts.backend = val;
+        } else if ((val = optValue(arg, "--trace-out="))) {
+            if (*val == '\0')
+                SYNCRON_FATAL("--trace-out needs a path\n" << usage());
+            opts.traceOut = val;
+        } else if ((val = optValue(arg, "--trace-in="))) {
+            if (*val == '\0')
+                SYNCRON_FATAL("--trace-in needs a path\n" << usage());
+            opts.traceIn = val;
         } else if (std::strncmp(arg, "--benchmark", 11) == 0) {
             // Tolerate google-benchmark's standard flags.
         } else {
             SYNCRON_FATAL("unknown argument '" << arg << "'\n"
                                                << usage());
         }
+    }
+    // A trace bench either captures or replays a file; combining the
+    // two would silently ignore --trace-out, so reject it.
+    if (!opts.traceOut.empty() && !opts.traceIn.empty()) {
+        SYNCRON_FATAL("--trace-out and --trace-in are mutually "
+                      "exclusive (capture or replay, not both)\n"
+                      << usage());
+    }
+    // Capture (and, for symmetry, replay-from-file) is single-job only:
+    // parallel grid cells all inherit the same tracePath and would race
+    // writing the one file.
+    if ((!opts.traceOut.empty() || !opts.traceIn.empty())
+        && opts.jobs > 1) {
+        SYNCRON_FATAL("--trace-out/--trace-in require --jobs=1 "
+                      "(parallel grid cells would race on the trace "
+                      "file)\n"
+                      << usage());
     }
     return opts;
 }
@@ -109,6 +139,7 @@ BenchOptions::makeConfig(Scheme scheme, unsigned numUnits,
     SystemConfig cfg =
         SystemConfig::make(scheme, numUnits, clientCoresPerUnit);
     cfg.backendName = backend;
+    cfg.tracePath = traceOut;
     return cfg;
 }
 
@@ -348,6 +379,48 @@ SharedInputs::prepareSeries(const std::string &input, double scale)
         series_.emplace(input, workloads::makeProxySeries(input, scale));
 }
 
+namespace {
+
+/** Partition policy selection shared by every compute site. */
+std::vector<UnitId>
+computePartition(const workloads::Graph &g, unsigned numUnits,
+                 bool metisPartition)
+{
+    return metisPartition ? workloads::greedyPartition(g, numUnits)
+                          : workloads::rangePartition(g, numUnits);
+}
+
+} // namespace
+
+std::string
+SharedInputs::partitionKey(const std::string &input, unsigned numUnits,
+                           bool metis)
+{
+    return input + "/" + std::to_string(numUnits)
+           + (metis ? "/greedy" : "/range");
+}
+
+void
+SharedInputs::preparePartition(const std::string &input,
+                               unsigned numUnits, bool metis)
+{
+    const std::string key = partitionKey(input, numUnits, metis);
+    if (partitions_.count(key))
+        return;
+    partitions_.emplace(key,
+                        computePartition(graph(input), numUnits, metis));
+}
+
+void
+SharedInputs::preparePartitions(const std::vector<AppInput> &combos,
+                                unsigned numUnits, bool metis)
+{
+    for (const AppInput &ai : combos) {
+        if (ai.app != "ts")
+            preparePartition(ai.input, numUnits, metis);
+    }
+}
+
 const workloads::Graph &
 SharedInputs::graph(const std::string &input) const
 {
@@ -366,18 +439,45 @@ SharedInputs::series(const std::string &input) const
     return it->second;
 }
 
+const std::vector<UnitId> &
+SharedInputs::partition(const std::string &input, unsigned numUnits,
+                        bool metis) const
+{
+    auto it = partitions_.find(partitionKey(input, numUnits, metis));
+    if (it == partitions_.end()) {
+        SYNCRON_FATAL("partition of '"
+                      << input << "' over " << numUnits << " units ("
+                      << (metis ? "greedy" : "range")
+                      << ") was not prepared");
+    }
+    return it->second;
+}
+
 namespace {
 
-/** Shared body of the runGraph overloads; owns (and moves) the graph. */
+/** Shared body of the runGraph overloads; owns the graph + partition. */
 RunOutput
 runGraphOwned(const SystemConfig &cfg, workloads::Graph g,
-              workloads::GraphApp app, bool metisPartition)
+              workloads::GraphApp app, std::vector<UnitId> part)
 {
+    // Pre-computed (shared) partitions arrive from the caller, so the
+    // old derive-from-cfg invariant no longer holds by construction:
+    // catch a partition prepared for another graph or unit count here
+    // instead of deep inside placement.
+    if (part.size() != g.numVertices)
+        SYNCRON_FATAL("partition covers " << part.size()
+                                          << " vertices, graph has "
+                                          << g.numVertices);
+    for (UnitId u : part) {
+        if (u >= cfg.numUnits)
+            SYNCRON_FATAL("partition places a vertex in unit "
+                          << u << " of a " << cfg.numUnits
+                          << "-unit system (partition prepared for a "
+                             "different unit count?)");
+    }
+
     HostTimer timer;
     NdpSystem sys(cfg);
-    std::vector<UnitId> part =
-        metisPartition ? workloads::greedyPartition(g, cfg.numUnits)
-                       : workloads::rangePartition(g, cfg.numUnits);
     workloads::PlacedGraph placed(sys, std::move(g), std::move(part));
 
     workloads::GraphRunResult r =
@@ -397,15 +497,26 @@ RunOutput
 runGraph(const SystemConfig &cfg, const workloads::Graph &g,
          workloads::GraphApp app, bool metisPartition)
 {
-    return runGraphOwned(cfg, g, app, metisPartition);
+    return runGraphOwned(cfg, g, app,
+                         computePartition(g, cfg.numUnits,
+                                          metisPartition));
+}
+
+RunOutput
+runGraph(const SystemConfig &cfg, const workloads::Graph &g,
+         workloads::GraphApp app, const std::vector<UnitId> &partition)
+{
+    return runGraphOwned(cfg, g, app, partition);
 }
 
 RunOutput
 runGraph(const SystemConfig &cfg, const std::string &input,
          workloads::GraphApp app, double scale, bool metisPartition)
 {
-    return runGraphOwned(cfg, workloads::makeProxyInput(input, scale),
-                         app, metisPartition);
+    workloads::Graph g = workloads::makeProxyInput(input, scale);
+    std::vector<UnitId> part =
+        computePartition(g, cfg.numUnits, metisPartition);
+    return runGraphOwned(cfg, std::move(g), app, std::move(part));
 }
 
 RunOutput
@@ -452,7 +563,9 @@ runAppInput(const SystemConfig &cfg, const AppInput &ai,
     if (ai.app == "ts")
         return runTimeSeries(cfg, inputs.series(ai.input));
     return runGraph(cfg, inputs.graph(ai.input),
-                    workloads::graphAppFromName(ai.app), metisPartition);
+                    workloads::graphAppFromName(ai.app),
+                    inputs.partition(ai.input, cfg.numUnits,
+                                     metisPartition));
 }
 
 RunOutput
@@ -461,7 +574,26 @@ runAppInput(const SystemConfig &cfg, const AppInput &ai, double scale,
 {
     SharedInputs inputs;
     inputs.prepare({ai}, scale);
+    if (ai.app != "ts")
+        inputs.preparePartition(ai.input, cfg.numUnits, metisPartition);
     return runAppInput(cfg, ai, inputs, metisPartition);
+}
+
+RunOutput
+runTrace(const SystemConfig &cfg, const trace::Trace &t)
+{
+    HostTimer timer;
+    NdpSystem sys(cfg);
+    trace::Replayer replayer(t);
+    replayer.install(sys);
+    sys.run();
+
+    RunOutput out;
+    out.time = sys.elapsed();
+    out.ops = replayer.opsReplayed();
+    finishOutput(out, sys);
+    out.hostNs = timer.elapsedNs();
+    return out;
 }
 
 } // namespace syncron::harness

@@ -18,6 +18,7 @@
 #include "common/stats.hh"
 #include "system/config.hh"
 #include "system/energy.hh"
+#include "trace/format.hh"
 #include "workloads/graph/kernels.hh"
 #include "workloads/micro/primitives.hh"
 #include "workloads/timeseries/scrimp.hh"
@@ -32,6 +33,12 @@ struct BenchOptions
     unsigned jobs = 1;    ///< --jobs=<n>: parallel grid workers
     std::string json;     ///< --json=<path>: machine-readable record
     std::string backend;  ///< --backend=<name>: registry override
+    /// --trace-out=<path>: capture the sync-op stream to a trace file.
+    /// Requires --jobs=1 (parallel grid cells would race on the file).
+    std::string traceOut;
+    /// --trace-in=<path>: replay an existing trace file (trace benches).
+    /// Requires --jobs=1 for symmetry with capture.
+    std::string traceIn;
 
     /** Maximum accepted --jobs value. */
     static constexpr unsigned kMaxJobs = 256;
@@ -49,8 +56,9 @@ struct BenchOptions
     double effectiveScale() const { return full ? scale * 8.0 : scale; }
 
     /**
-     * SystemConfig::make plus the CLI-wide settings (--backend) every
-     * grid cell must inherit; benches build their configs through this.
+     * SystemConfig::make plus the CLI-wide settings (--backend,
+     * --trace-out) every grid cell must inherit; benches build their
+     * configs through this.
      */
     SystemConfig makeConfig(Scheme scheme, unsigned numUnits = 4,
                             unsigned clientCoresPerUnit = 15) const;
@@ -133,11 +141,13 @@ std::vector<AppInput> allAppInputs();
 
 /**
  * Proxy inputs generated once per bench and shared read-only by every
- * grid cell. Benches prepare() the inputs they sweep before building
- * their runGrid() tasks; the cells then receive const references
- * instead of regenerating the same CSR/series per cell. Preparation is
- * not thread-safe (call it from the main thread, before runGrid());
- * the lookups are const and safe from any number of grid workers.
+ * grid cell. Benches prepare() the inputs they sweep — and
+ * preparePartitions() the graph partitions their cells place with —
+ * before building their runGrid() tasks; the cells then receive const
+ * references instead of regenerating the same CSR/series/partition per
+ * cell. Preparation is not thread-safe (call it from the main thread,
+ * before runGrid()); the lookups are const and safe from any number of
+ * grid workers.
  */
 class SharedInputs
 {
@@ -151,20 +161,48 @@ class SharedInputs
     /** Generates (if absent) the named proxy series. */
     void prepareSeries(const std::string &input, double scale);
 
+    /**
+     * Computes (if absent) the partition of a prepared graph over
+     * @p numUnits units — rangePartition, or greedyPartition when
+     * @p metis. The graph must be prepared first.
+     */
+    void preparePartition(const std::string &input, unsigned numUnits,
+                          bool metis = false);
+
+    /** preparePartition() for every graph combination (ts skipped). */
+    void preparePartitions(const std::vector<AppInput> &combos,
+                           unsigned numUnits, bool metis = false);
+
     /** Prepared graph; fatal when prepare was never called for it. */
     const workloads::Graph &graph(const std::string &input) const;
 
     /** Prepared series; fatal when prepare was never called for it. */
     const workloads::ProxySeries &series(const std::string &input) const;
 
+    /** Prepared partition; fatal when preparePartition was never
+     *  called for the (input, numUnits, metis) combination. */
+    const std::vector<UnitId> &partition(const std::string &input,
+                                         unsigned numUnits,
+                                         bool metis = false) const;
+
   private:
+    static std::string partitionKey(const std::string &input,
+                                    unsigned numUnits, bool metis);
+
     std::map<std::string, workloads::Graph> graphs_;
     std::map<std::string, workloads::ProxySeries> series_;
+    std::map<std::string, std::vector<UnitId>> partitions_;
 };
 
 /** Runs one graph application on a pre-generated (shared) input. */
 RunOutput runGraph(const SystemConfig &cfg, const workloads::Graph &g,
                    workloads::GraphApp app, bool metisPartition = false);
+
+/** Runs one graph application on a shared input with a pre-computed
+ *  (shared) partition — the zero-recompute grid-cell path. */
+RunOutput runGraph(const SystemConfig &cfg, const workloads::Graph &g,
+                   workloads::GraphApp app,
+                   const std::vector<UnitId> &partition);
 
 /** Convenience: generates the proxy input, then runs on it. */
 RunOutput runGraph(const SystemConfig &cfg, const std::string &input,
@@ -179,7 +217,12 @@ RunOutput runTimeSeries(const SystemConfig &cfg,
 RunOutput runTimeSeries(const SystemConfig &cfg,
                         const std::string &input, double scale);
 
-/** Runs one Fig. 12 combination on prepared shared inputs. */
+/**
+ * Runs one Fig. 12 combination on prepared shared inputs. Graph
+ * combinations use the shared partition for (input, cfg.numUnits,
+ * metisPartition) — fatal when preparePartition was never called for
+ * it, so grid cells can never silently fall back to recomputing.
+ */
 RunOutput runAppInput(const SystemConfig &cfg, const AppInput &ai,
                       const SharedInputs &inputs,
                       bool metisPartition = false);
@@ -187,6 +230,13 @@ RunOutput runAppInput(const SystemConfig &cfg, const AppInput &ai,
 /** Convenience: generates the combination's input, then runs on it. */
 RunOutput runAppInput(const SystemConfig &cfg, const AppInput &ai,
                       double scale, bool metisPartition = false);
+
+/**
+ * Replays a synchronization-operation trace (captured or synthesized)
+ * through @p cfg's backend. The config's machine shape must match the
+ * trace header (see trace::replayConfig()).
+ */
+RunOutput runTrace(const SystemConfig &cfg, const trace::Trace &t);
 
 } // namespace syncron::harness
 

@@ -108,6 +108,8 @@ SyncApi::destroyPrimitive(const SyncPrimitive &prim)
                        << backend_.name()
                        << " still tracks state for it");
     backend_.releaseVar(prim.addr);
+    if (traceSink_ != nullptr)
+        traceSink_->recordDestroy(prim.addr);
     ++generations_[prim.addr];
     freeLists_[prim.home()].push_back(prim.addr);
 }
@@ -118,7 +120,7 @@ SyncApi::makeOp(core::Core &c, const SyncPrimitive &prim,
 {
     checkLive(prim);
     ++machine_.stats().syncOps;
-    return SyncOp{c, backend_, req};
+    return SyncOp{c, backend_, req, traceSink_};
 }
 
 void
@@ -139,6 +141,10 @@ SyncApi::issueDetached(core::Core &c, const SyncPrimitive &prim,
     machine_.stats().recordSyncLatency(
         static_cast<unsigned>(req.kind()),
         machine_.eq().now() + c.cyclePeriod() - issued);
+    if (traceSink_ != nullptr) {
+        traceSink_->record(c.id(), req, issued,
+                           machine_.eq().now() + c.cyclePeriod());
+    }
 }
 
 // -- Typed primitive creation ------------------------------------------
@@ -229,7 +235,7 @@ SyncApi::scoped(core::Core &c, const Lock &lock)
 {
     checkLive(lock);
     ++machine_.stats().syncOps;
-    return ScopedLockOp{*this, c, lock, backend_};
+    return ScopedLockOp{*this, c, lock, backend_, traceSink_};
 }
 
 SyncOp

@@ -48,6 +48,7 @@
 #include "sync/backend.hh"
 #include "sync/primitives.hh"
 #include "sync/request.hh"
+#include "sync/trace_sink.hh"
 #include "system/machine.hh"
 
 namespace syncron::sync {
@@ -64,9 +65,10 @@ class SyncApi;
 class SyncOp
 {
   public:
-    SyncOp(core::Core &core, SyncBackend &backend, const SyncRequest &req)
+    SyncOp(core::Core &core, SyncBackend &backend, const SyncRequest &req,
+           TraceSink *sink = nullptr)
         : core_(core), backend_(backend), gate_(core.machine().eq()),
-          req_(req)
+          req_(req), sink_(sink)
     {}
 
     SyncOp(const SyncOp &) = delete;
@@ -94,6 +96,8 @@ class SyncOp
         resp.payload = gate_.await_resume();
         core_.machine().stats().recordSyncLatency(
             static_cast<unsigned>(resp.kind), resp.latency());
+        if (sink_ != nullptr)
+            sink_->record(core_.id(), req_, issuedAt_, resp.completedAt);
         return resp;
     }
 
@@ -102,6 +106,7 @@ class SyncOp
     SyncBackend &backend_;
     sim::Gate gate_;
     SyncRequest req_;
+    TraceSink *sink_;
     Tick issuedAt_ = 0;
 };
 
@@ -168,9 +173,9 @@ class ScopedLockOp
 {
   public:
     ScopedLockOp(SyncApi &api, core::Core &core, const Lock &lock,
-                 SyncBackend &backend)
+                 SyncBackend &backend, TraceSink *sink)
         : api_(api), core_(core), lock_(lock),
-          inner_(core, backend, SyncRequest::lockAcquire(lock.addr))
+          inner_(core, backend, SyncRequest::lockAcquire(lock.addr), sink)
     {}
 
     ScopedLockOp(const ScopedLockOp &) = delete;
@@ -260,6 +265,17 @@ class SyncApi
 
     SyncBackend &backend() { return backend_; }
 
+    /**
+     * Installs (or, with nullptr, removes) the observer notified of
+     * every completed operation — the capture hook behind
+     * SystemConfig::tracePath. The sink must outlive all operations
+     * issued while it is installed.
+     */
+    void setTraceSink(TraceSink *sink) { traceSink_ = sink; }
+
+    /** The installed operation observer; nullptr when not tracing. */
+    TraceSink *traceSink() const { return traceSink_; }
+
   private:
     friend class ScopedLock;
 
@@ -288,6 +304,7 @@ class SyncApi
 
     Machine &machine_;
     SyncBackend &backend_;
+    TraceSink *traceSink_ = nullptr;
     std::vector<std::vector<Addr>> freeLists_; ///< per-unit recycled lines
     /// Current allocation generation per line (absent = 0).
     std::unordered_map<Addr, std::uint32_t> generations_;

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Observer interface for the synchronization-operation stream.
+ *
+ * SyncApi notifies the installed sink of every completed operation —
+ * awaited ops at gate-open time, detached (fire-and-forget) releases at
+ * issue time — with the typed request and both timestamps. The sink
+ * lives here in sync/ so the api does not depend on the trace
+ * subsystem; trace::TraceCapture is the production implementation.
+ */
+
+#ifndef SYNCRON_SYNC_TRACE_SINK_HH
+#define SYNCRON_SYNC_TRACE_SINK_HH
+
+#include "common/types.hh"
+#include "sync/request.hh"
+
+namespace syncron::sync {
+
+/** Receives every synchronization operation the api issues. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /**
+     * One completed operation.
+     *
+     * @param core      system-wide id of the issuing core
+     * @param req       the typed request as handed to the backend
+     * @param issued    tick the request was issued
+     * @param completed tick the core observed completion
+     */
+    virtual void record(CoreId core, const SyncRequest &req, Tick issued,
+                       Tick completed) = 0;
+
+    /**
+     * The primitive at @p var was destroyed; its line may be recycled
+     * for an unrelated primitive. Lets the sink close the current
+     * logical primitive so the next use of the line opens a fresh one.
+     */
+    virtual void recordDestroy(Addr var) { (void)var; }
+};
+
+} // namespace syncron::sync
+
+#endif // SYNCRON_SYNC_TRACE_SINK_HH

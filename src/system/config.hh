@@ -112,6 +112,14 @@ struct SystemConfig
      */
     std::string backendName;
 
+    /**
+     * When non-empty, the system captures every synchronization
+     * operation (trace::TraceCapture installed on the SyncApi) and
+     * writes the varint trace file here when the run completes.
+     * Benches expose this as --trace-out.
+     */
+    std::string tracePath;
+
     std::uint64_t seed = 1;
 
     /** Total number of client cores in the system. */
@@ -123,6 +131,22 @@ struct SystemConfig
 
     /** Total number of cores (client + reserved). */
     unsigned totalCores() const { return numUnits * coresPerUnit; }
+
+    /**
+     * Dense index (0..totalClientCores()-1, unit-major) of the client
+     * core with system-wide id @p core. Encodes the one core-ID layout
+     * invariant — NdpSystem assigns id `unit * coresPerUnit + local`
+     * to client core `local` of each unit — shared by NdpSystem core
+     * construction, trace capture, and trace replay; keep them in sync
+     * through this helper. Only valid for client cores
+     * (core % coresPerUnit < clientCoresPerUnit).
+     */
+    unsigned
+    denseClientIndex(CoreId core) const
+    {
+        return (core / coresPerUnit) * clientCoresPerUnit
+               + (core % coresPerUnit);
+    }
 
     /** Checks internal consistency; fatal()s on user error. */
     void validate() const;

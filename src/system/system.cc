@@ -2,6 +2,8 @@
 
 #include "common/log.hh"
 #include "sync/registry.hh"
+#include "trace/capture.hh"
+#include "trace/format.hh"
 
 namespace syncron {
 
@@ -19,11 +21,17 @@ NdpSystem::NdpSystem(const SystemConfig &cfg)
     backend_ = sync::BackendRegistry::instance().create(name, *machine_);
     engineView_ = dynamic_cast<engine::SynCronBackend *>(backend_.get());
     api_ = std::make_unique<sync::SyncApi>(*machine_, *backend_);
+    if (!conf.tracePath.empty()) {
+        capture_ = std::make_unique<trace::TraceCapture>(conf);
+        api_->setTraceSink(capture_.get());
+    }
 
     const SystemConfig &c = machine_->config();
     cores_.reserve(c.totalClientCores());
     for (unsigned u = 0; u < c.numUnits; ++u) {
         for (unsigned l = 0; l < c.clientCoresPerUnit; ++l) {
+            // Core-ID layout contract: see
+            // SystemConfig::denseClientIndex(), which inverts this.
             const CoreId id = u * c.coresPerUnit + l;
             cores_.push_back(
                 std::make_unique<core::Core>(*machine_, id, u, l));
@@ -70,6 +78,9 @@ NdpSystem::run()
     }
     if (engineView_ != nullptr)
         engineView_->finalizeStats();
+    if (capture_ != nullptr)
+        trace::writeTraceFile(capture_->trace(),
+                              machine_->config().tracePath);
 }
 
 Tick

@@ -28,6 +28,10 @@
 #include "system/config.hh"
 #include "system/machine.hh"
 
+namespace syncron::trace {
+class TraceCapture;
+} // namespace syncron::trace
+
 namespace syncron {
 
 /** A complete simulated NDP system instance. */
@@ -64,8 +68,16 @@ class NdpSystem
     /**
      * Runs the simulation until every spawned process completes.
      * fatal()s on deadlock (event queue empty, processes pending).
+     * With SystemConfig::tracePath set, writes the captured
+     * synchronization-operation trace there on completion.
      */
     void run();
+
+    /**
+     * The synchronization-operation capture installed when
+     * SystemConfig::tracePath is set; nullptr when not tracing.
+     */
+    trace::TraceCapture *traceCapture() { return capture_.get(); }
 
     /** Simulated time elapsed so far. */
     Tick elapsed() const;
@@ -78,6 +90,7 @@ class NdpSystem
     std::unique_ptr<sync::SyncBackend> backend_;
     engine::SynCronBackend *engineView_ = nullptr;
     std::unique_ptr<sync::SyncApi> api_;
+    std::unique_ptr<trace::TraceCapture> capture_;
     std::vector<std::unique_ptr<core::Core>> cores_; ///< client cores
     std::vector<sim::Process> processes_;
 };

@@ -1,0 +1,77 @@
+#include "trace/capture.hh"
+
+#include "common/log.hh"
+#include "mem/allocator.hh"
+
+namespace syncron::trace {
+
+TraceCapture::TraceCapture(const SystemConfig &cfg) : cfg_(cfg)
+{
+    trace_.numUnits = cfg.numUnits;
+    trace_.clientCoresPerUnit = cfg.clientCoresPerUnit;
+}
+
+std::uint32_t
+TraceCapture::primId(Addr addr, PrimKind kind)
+{
+    auto [it, inserted] = addrToPrim_.try_emplace(
+        addr, static_cast<std::uint32_t>(trace_.primitives.size()));
+    if (!inserted && trace_.primitives[it->second].kind != kind) {
+        // Defensive: generation boundaries normally arrive through
+        // recordDestroy() (which erases the mapping), but a sink that
+        // missed the destroy must still split on a kind flip rather
+        // than conflate two unrelated primitives.
+        it->second =
+            static_cast<std::uint32_t>(trace_.primitives.size());
+        inserted = true;
+    }
+    if (inserted) {
+        TracePrimitive p;
+        p.kind = kind;
+        p.home = mem::unitOfAddr(addr);
+        trace_.primitives.push_back(p);
+    }
+    return it->second;
+}
+
+void
+TraceCapture::record(CoreId core, const sync::SyncRequest &req,
+                     Tick issued, Tick completed)
+{
+    TraceRecord r;
+    r.issued = issued;
+    r.completed = completed;
+    r.kind = req.kind();
+
+    SYNCRON_ASSERT(core % cfg_.coresPerUnit < cfg_.clientCoresPerUnit,
+                   "sync op from non-client core " << core);
+    r.core = cfg_.denseClientIndex(core);
+
+    const PrimKind pk = primKindOf(req.kind());
+    r.prim = primId(req.var(), pk);
+
+    // Primitive parameters ride on the requests that carry them.
+    TracePrimitive &p = trace_.primitives[r.prim];
+    switch (req.kind()) {
+      case sync::OpKind::BarrierWaitWithinUnit:
+        p.param = req.participants();
+        p.scope = sync::BarrierScope::WithinUnit;
+        break;
+      case sync::OpKind::BarrierWaitAcrossUnits:
+        p.param = req.participants();
+        p.scope = sync::BarrierScope::AcrossUnits;
+        break;
+      case sync::OpKind::SemWait:
+        p.param = req.resources();
+        break;
+      case sync::OpKind::CondWait:
+        r.assocPrim = primId(req.condLock(), PrimKind::Lock);
+        break;
+      default:
+        break;
+    }
+
+    trace_.records.push_back(r);
+}
+
+} // namespace syncron::trace

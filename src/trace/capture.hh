@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Capture of a live run's synchronization-operation stream.
+ *
+ * TraceCapture is the sync::TraceSink that NdpSystem installs on its
+ * SyncApi when SystemConfig::tracePath is set (benches reach it through
+ * --trace-out). Every completed operation is appended as a TraceRecord;
+ * the primitive table is learned on the fly from the typed requests
+ * themselves — the first operation on an address mints its table entry
+ * (kind from the OpKind, home from the address, barrier headcount and
+ * semaphore resources from the request payload), so any existing bench,
+ * example, or test emits a replayable trace without code changes.
+ *
+ * Record order is completion order (the order the sink observes), which
+ * per core equals program order: an in-order core's next sync op issues
+ * only after the previous one completed, and detached releases are
+ * recorded at issue. The Replayer relies on exactly this per-core
+ * ordering.
+ */
+
+#ifndef SYNCRON_TRACE_CAPTURE_HH
+#define SYNCRON_TRACE_CAPTURE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sync/trace_sink.hh"
+#include "system/config.hh"
+#include "trace/format.hh"
+
+namespace syncron::trace {
+
+/** Accumulates a Trace from the api's operation stream. */
+class TraceCapture final : public sync::TraceSink
+{
+  public:
+    /** Captures runs of a system built from @p cfg (must outlive us). */
+    explicit TraceCapture(const SystemConfig &cfg);
+
+    void record(CoreId core, const sync::SyncRequest &req, Tick issued,
+                Tick completed) override;
+
+    /**
+     * Closes the line's logical primitive: a recycled line (same
+     * address, new create*) must open a fresh table entry, never merge
+     * two generations whose parameters — or leftover semaphore
+     * balance — could differ.
+     */
+    void recordDestroy(Addr var) override { addrToPrim_.erase(var); }
+
+    /** The trace accumulated so far. */
+    const Trace &trace() const { return trace_; }
+
+  private:
+    /** Table id for @p addr, minting an entry on first sight. */
+    std::uint32_t primId(Addr addr, PrimKind kind);
+
+    Trace trace_;
+    std::unordered_map<Addr, std::uint32_t> addrToPrim_;
+    const SystemConfig &cfg_;
+};
+
+} // namespace syncron::trace
+
+#endif // SYNCRON_TRACE_CAPTURE_HH

@@ -1,0 +1,309 @@
+#include "trace/format.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace syncron::trace {
+
+const char *
+primKindName(PrimKind kind)
+{
+    switch (kind) {
+      case PrimKind::Lock: return "lock";
+      case PrimKind::Barrier: return "barrier";
+      case PrimKind::Semaphore: return "semaphore";
+      case PrimKind::CondVar: return "condvar";
+    }
+    return "?";
+}
+
+PrimKind
+primKindOf(sync::OpKind kind)
+{
+    switch (kind) {
+      case sync::OpKind::LockAcquire:
+      case sync::OpKind::LockRelease:
+        return PrimKind::Lock;
+      case sync::OpKind::BarrierWaitWithinUnit:
+      case sync::OpKind::BarrierWaitAcrossUnits:
+        return PrimKind::Barrier;
+      case sync::OpKind::SemWait:
+      case sync::OpKind::SemPost:
+        return PrimKind::Semaphore;
+      case sync::OpKind::CondWait:
+      case sync::OpKind::CondSignal:
+      case sync::OpKind::CondBroadcast:
+        return PrimKind::CondVar;
+    }
+    SYNCRON_PANIC("unknown OpKind " << static_cast<unsigned>(kind));
+}
+
+std::array<std::uint64_t, kNumSyncOpKinds>
+Trace::opCounts() const
+{
+    std::array<std::uint64_t, kNumSyncOpKinds> counts{};
+    for (const TraceRecord &r : records)
+        ++counts[static_cast<unsigned>(r.kind)];
+    return counts;
+}
+
+double
+Trace::hottestLockShare() const
+{
+    std::vector<std::uint64_t> perPrim(primitives.size(), 0);
+    std::uint64_t lockOps = 0;
+    for (const TraceRecord &r : records) {
+        if (r.kind != sync::OpKind::LockAcquire)
+            continue;
+        ++perPrim[r.prim];
+        ++lockOps;
+    }
+    if (lockOps == 0)
+        return 0.0;
+    std::uint64_t hottest = 0;
+    for (std::uint64_t c : perPrim)
+        hottest = std::max(hottest, c);
+    return static_cast<double>(hottest) / static_cast<double>(lockOps);
+}
+
+namespace {
+
+// -- LEB128 varints ---------------------------------------------------
+
+void
+putVarint(std::ostream &os, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        os.put(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    os.put(static_cast<char>(v));
+}
+
+std::uint64_t
+getVarint(std::istream &is)
+{
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        const int byte = is.get();
+        if (byte == std::istream::traits_type::eof())
+            SYNCRON_FATAL("trace truncated inside a varint");
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return v;
+    }
+    SYNCRON_FATAL("trace varint longer than 64 bits (corrupt stream)");
+}
+
+/** Maps a signed delta onto the varint-friendly zigzag encoding. */
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1)
+           ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1)
+           ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/** Bounds-checks an enum read from the wire. */
+template <typename Enum>
+Enum
+checkedEnum(std::uint64_t raw, std::uint64_t last, const char *what)
+{
+    if (raw > last)
+        SYNCRON_FATAL("trace contains out-of-range " << what << " value "
+                                                     << raw);
+    return static_cast<Enum>(raw);
+}
+
+} // namespace
+
+void
+TraceWriter::write(const Trace &trace)
+{
+    os_.write(kTraceMagic.data(), kTraceMagic.size());
+    putVarint(os_, kTraceVersion);
+    putVarint(os_, trace.numUnits);
+    putVarint(os_, trace.clientCoresPerUnit);
+
+    putVarint(os_, trace.primitives.size());
+    for (const TracePrimitive &p : trace.primitives) {
+        putVarint(os_, static_cast<std::uint64_t>(p.kind));
+        putVarint(os_, p.home);
+        putVarint(os_, p.param);
+        putVarint(os_, static_cast<std::uint64_t>(p.scope));
+    }
+
+    putVarint(os_, trace.records.size());
+    Tick prevIssued = 0;
+    for (const TraceRecord &r : trace.records) {
+        SYNCRON_ASSERT(r.completed >= r.issued,
+                       "record completed before it was issued");
+        putVarint(os_, zigzag(static_cast<std::int64_t>(r.issued)
+                              - static_cast<std::int64_t>(prevIssued)));
+        putVarint(os_, r.completed - r.issued);
+        putVarint(os_, r.core);
+        putVarint(os_, static_cast<std::uint64_t>(r.kind));
+        putVarint(os_, r.prim);
+        putVarint(os_, r.assocPrim);
+        prevIssued = r.issued;
+    }
+
+    if (!os_)
+        SYNCRON_FATAL("stream error while writing trace");
+}
+
+Trace
+TraceReader::read()
+{
+    std::array<char, 8> magic{};
+    is_.read(magic.data(), magic.size());
+    if (is_.gcount() != static_cast<std::streamsize>(magic.size())
+        || magic != kTraceMagic) {
+        SYNCRON_FATAL("not a SynCron trace (bad magic)");
+    }
+    const std::uint64_t version = getVarint(is_);
+    if (version != kTraceVersion) {
+        SYNCRON_FATAL("unsupported trace version " << version
+                                                   << " (this build reads "
+                                                   << kTraceVersion << ")");
+    }
+
+    Trace trace;
+    trace.numUnits = static_cast<std::uint32_t>(getVarint(is_));
+    trace.clientCoresPerUnit =
+        static_cast<std::uint32_t>(getVarint(is_));
+    if (trace.numUnits == 0 || trace.clientCoresPerUnit == 0)
+        SYNCRON_FATAL("trace header describes a machine with no cores");
+
+    // Counts come off the wire unvalidated: cap the reserve so a
+    // corrupt count fails as a clean truncation fatal inside the read
+    // loop, not as a giant up-front allocation.
+    constexpr std::uint64_t kReserveCap = 1 << 16;
+    const std::uint64_t primCount = getVarint(is_);
+    trace.primitives.reserve(
+        static_cast<std::size_t>(std::min(primCount, kReserveCap)));
+    for (std::uint64_t i = 0; i < primCount; ++i) {
+        TracePrimitive p;
+        p.kind = checkedEnum<PrimKind>(
+            getVarint(is_),
+            static_cast<std::uint64_t>(PrimKind::CondVar), "PrimKind");
+        p.home = static_cast<UnitId>(getVarint(is_));
+        if (p.home >= trace.numUnits)
+            SYNCRON_FATAL("trace primitive " << i << " homed in unit "
+                                             << p.home << " of a "
+                                             << trace.numUnits
+                                             << "-unit machine");
+        p.param = static_cast<std::uint32_t>(getVarint(is_));
+        p.scope = checkedEnum<sync::BarrierScope>(
+            getVarint(is_),
+            static_cast<std::uint64_t>(sync::BarrierScope::AcrossUnits),
+            "BarrierScope");
+        trace.primitives.push_back(p);
+    }
+
+    const std::uint64_t recordCount = getVarint(is_);
+    trace.records.reserve(
+        static_cast<std::size_t>(std::min(recordCount, kReserveCap)));
+    Tick prevIssued = 0;
+    for (std::uint64_t i = 0; i < recordCount; ++i) {
+        TraceRecord r;
+        const std::int64_t issued =
+            static_cast<std::int64_t>(prevIssued)
+            + unzigzag(getVarint(is_));
+        if (issued < 0)
+            SYNCRON_FATAL("trace record " << i
+                                          << " has a negative issue tick");
+        r.issued = static_cast<Tick>(issued);
+        r.completed = r.issued + getVarint(is_);
+        r.core = static_cast<std::uint32_t>(getVarint(is_));
+        if (r.core >= trace.numClientCores())
+            SYNCRON_FATAL("trace record " << i << " issued by core "
+                                          << r.core << " of a "
+                                          << trace.numClientCores()
+                                          << "-core machine");
+        r.kind = checkedEnum<sync::OpKind>(
+            getVarint(is_),
+            static_cast<std::uint64_t>(sync::OpKind::CondBroadcast),
+            "OpKind");
+        r.prim = static_cast<std::uint32_t>(getVarint(is_));
+        if (r.prim >= trace.primitives.size())
+            SYNCRON_FATAL("trace record " << i
+                                          << " names unknown primitive "
+                                          << r.prim);
+        if (primKindOf(r.kind) != trace.primitives[r.prim].kind) {
+            SYNCRON_FATAL(
+                "trace record "
+                << i << " applies " << sync::opKindName(r.kind)
+                << " to a "
+                << primKindName(trace.primitives[r.prim].kind));
+        }
+        r.assocPrim = static_cast<std::uint32_t>(getVarint(is_));
+        if (r.kind == sync::OpKind::CondWait
+            && (r.assocPrim >= trace.primitives.size()
+                || trace.primitives[r.assocPrim].kind != PrimKind::Lock)) {
+            SYNCRON_FATAL("trace record "
+                          << i << " is a cond_wait without a valid "
+                                  "associated lock");
+        }
+        trace.records.push_back(r);
+        prevIssued = r.issued;
+    }
+
+    if (is_.peek() != std::istream::traits_type::eof())
+        SYNCRON_FATAL("trailing bytes after the last trace record");
+    return trace;
+}
+
+void
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    // A multi-cell bench run with --trace-out builds one system per
+    // grid cell, and every cell's run() lands here with the same path:
+    // the file then holds only the last cell's stream. That is legal
+    // (and sequential — the --jobs=1 guard rules out races) but easy
+    // to mistake for a whole-bench capture, so the overwrite warns.
+    {
+        static std::mutex mutex;
+        static std::map<std::string, unsigned> writes;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (++writes[path] == 2) {
+            SYNCRON_WARN("rewriting trace file '"
+                         << path
+                         << "' (multi-cell bench? the file keeps only "
+                            "the last run's stream)");
+        }
+    }
+
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        SYNCRON_FATAL("cannot write trace file '" << path << "'");
+    TraceWriter(f).write(trace);
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        SYNCRON_FATAL("cannot read trace file '" << path << "'");
+    // Pull the whole file through a stringstream so peek()-based
+    // trailing-byte detection is cheap and IO errors surface here.
+    std::stringstream buf;
+    buf << f.rdbuf();
+    return TraceReader(buf).read();
+}
+
+} // namespace syncron::trace

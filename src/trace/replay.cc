@@ -1,0 +1,118 @@
+#include "trace/replay.hh"
+
+#include "common/log.hh"
+#include "system/system.hh"
+
+namespace syncron::trace {
+
+SystemConfig
+replayConfig(const Trace &trace, Scheme scheme)
+{
+    return SystemConfig::make(scheme, trace.numUnits,
+                              trace.clientCoresPerUnit);
+}
+
+Replayer::Replayer(const Trace &trace) : trace_(trace) {}
+
+void
+Replayer::install(NdpSystem &sys)
+{
+    const SystemConfig &cfg = sys.config();
+    if (cfg.numUnits != trace_.numUnits
+        || sys.numClientCores() != trace_.numClientCores()) {
+        SYNCRON_FATAL("replay system shape ("
+                      << cfg.numUnits << " units, "
+                      << sys.numClientCores()
+                      << " client cores) does not match the trace ("
+                      << trace_.numUnits << " units, "
+                      << trace_.numClientCores()
+                      << " client cores); build the config with "
+                         "trace::replayConfig()");
+    }
+    SYNCRON_ASSERT(minted_.empty(), "Replayer installed twice");
+
+    sync::SyncApi &api = sys.api();
+    minted_.reserve(trace_.primitives.size());
+    for (const TracePrimitive &p : trace_.primitives) {
+        Minted m;
+        m.kind = p.kind;
+        switch (p.kind) {
+          case PrimKind::Lock:
+            m.lock = api.createLock(p.home);
+            break;
+          case PrimKind::Barrier:
+            m.barrier = api.createBarrier(
+                p.home, p.param == 0 ? 1 : p.param, p.scope);
+            break;
+          case PrimKind::Semaphore:
+            m.sem = api.createSemaphore(p.home, p.param);
+            break;
+          case PrimKind::CondVar:
+            m.cond = api.createCondVar(p.home);
+            break;
+        }
+        minted_.push_back(m);
+    }
+
+    // Group the stream per traced core; stream order is program order.
+    std::vector<std::vector<std::uint32_t>> perCore(
+        trace_.numClientCores());
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(trace_.records.size()); ++i) {
+        perCore[trace_.records[i].core].push_back(i);
+    }
+    for (std::uint32_t c = 0; c < trace_.numClientCores(); ++c) {
+        if (perCore[c].empty())
+            continue;
+        sys.spawn(
+            replayCore(sys, sys.clientCore(c), std::move(perCore[c])));
+    }
+}
+
+sim::Process
+Replayer::replayCore(NdpSystem &sys, core::Core &core,
+                     std::vector<std::uint32_t> recordIdxs)
+{
+    sync::SyncApi &api = sys.api();
+    sim::EventQueue &eq = core.machine().eq();
+    for (const std::uint32_t idx : recordIdxs) {
+        const TraceRecord &r = trace_.records[idx];
+        // Open-loop arrival: wait out the recorded issue tick, unless
+        // the previous op's real completion already passed it.
+        if (r.issued > eq.now())
+            co_await sim::Delay{eq, r.issued - eq.now()};
+
+        const Minted &m = minted_[r.prim];
+        switch (r.kind) {
+          case sync::OpKind::LockAcquire:
+            co_await api.acquire(core, m.lock);
+            break;
+          case sync::OpKind::LockRelease:
+            co_await api.release(core, m.lock);
+            break;
+          case sync::OpKind::BarrierWaitWithinUnit:
+          case sync::OpKind::BarrierWaitAcrossUnits:
+            co_await api.wait(core, m.barrier);
+            break;
+          case sync::OpKind::SemWait:
+            co_await api.wait(core, m.sem);
+            break;
+          case sync::OpKind::SemPost:
+            co_await api.post(core, m.sem);
+            break;
+          case sync::OpKind::CondWait:
+            co_await api.wait(core, m.cond,
+                              minted_[r.assocPrim].lock);
+            break;
+          case sync::OpKind::CondSignal:
+            co_await api.signal(core, m.cond);
+            break;
+          case sync::OpKind::CondBroadcast:
+            co_await api.broadcast(core, m.cond);
+            break;
+        }
+        ++opsReplayed_;
+    }
+}
+
+} // namespace syncron::trace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Trace replay: re-issues a captured or synthesized operation stream
+ * through the typed sync api against any registered backend.
+ *
+ * The Replayer re-mints the trace's primitive population with
+ * SyncApi::create* / createLockSet (same kinds, home units, barrier
+ * headcounts, and semaphore resources as the traced run — but fresh
+ * lines from the replay system's allocator; primitive ids, not
+ * addresses, bridge the two) and spawns one coroutine per traced core
+ * that walks its records in program order:
+ *
+ *   - each op waits until its recorded issue tick (open-loop arrival),
+ *     or issues immediately if the previous op completed later
+ *     (closed-loop dependency), then
+ *   - re-issues the op through SyncApi, so latency, queuing, and
+ *     protocol traffic come entirely from the replay backend.
+ *
+ * Replay is deterministic: the same trace on the same backend yields
+ * identical SystemStats, which the tests enforce. The machine shape
+ * must match the trace header (barrier headcounts and per-core streams
+ * are baked into the records); replayConfig() builds a matching config.
+ */
+
+#ifndef SYNCRON_TRACE_REPLAY_HH
+#define SYNCRON_TRACE_REPLAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/process.hh"
+#include "sync/primitives.hh"
+#include "system/config.hh"
+#include "trace/format.hh"
+
+namespace syncron {
+class NdpSystem;
+namespace core {
+class Core;
+}
+} // namespace syncron
+
+namespace syncron::trace {
+
+/**
+ * A SystemConfig whose machine shape matches @p trace, ready for a
+ * scheme/backend of the caller's choice.
+ */
+SystemConfig replayConfig(const Trace &trace, Scheme scheme);
+
+/** Re-issues a trace's operation stream on a live system. */
+class Replayer
+{
+  public:
+    /** @p trace must outlive the replayer. */
+    explicit Replayer(const Trace &trace);
+
+    Replayer(const Replayer &) = delete;
+    Replayer &operator=(const Replayer &) = delete;
+
+    /**
+     * Mints the primitive population on @p sys and spawns one replay
+     * coroutine per traced core. fatal()s when the system's shape does
+     * not match the trace header. Call once, then sys.run().
+     */
+    void install(NdpSystem &sys);
+
+    /** Operations re-issued so far (== trace records after run()). */
+    std::uint64_t opsReplayed() const { return opsReplayed_; }
+
+  private:
+    /** Handles of one re-minted primitive (kind selects the member). */
+    struct Minted
+    {
+        PrimKind kind = PrimKind::Lock;
+        sync::Lock lock;
+        sync::Barrier barrier;
+        sync::Semaphore sem;
+        sync::CondVar cond;
+    };
+
+    sim::Process replayCore(NdpSystem &sys, core::Core &core,
+                            std::vector<std::uint32_t> recordIdxs);
+
+    const Trace &trace_;
+    std::vector<Minted> minted_;
+    std::uint64_t opsReplayed_ = 0;
+};
+
+} // namespace syncron::trace
+
+#endif // SYNCRON_TRACE_REPLAY_HH

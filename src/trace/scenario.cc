@@ -1,0 +1,313 @@
+#include "trace/scenario.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace syncron::trace {
+
+const char *
+scenarioFamilyName(ScenarioFamily family)
+{
+    switch (family) {
+      case ScenarioFamily::ZipfLock: return "zipf";
+      case ScenarioFamily::BurstyLock: return "bursty";
+      case ScenarioFamily::PhasedBarrierLock: return "phased";
+      case ScenarioFamily::ReaderSemaphore: return "readers";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Nominal per-op service latency stamped on synthetic records. The
+ *  replayed latency comes from the real backend; this only keeps the
+ *  synthetic issue/completion timeline self-consistent. */
+constexpr Tick kNominalLatency = 600;
+
+/** Nominal critical-section / resource hold time. */
+constexpr Tick kNominalHold = 400;
+
+/** Zipf sampler over ranks 0..n-1 (rank 0 hottest). */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(unsigned n, double exponent)
+    {
+        cdf_.reserve(n);
+        double sum = 0.0;
+        for (unsigned r = 0; r < n; ++r) {
+            sum += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+            cdf_.push_back(sum);
+        }
+    }
+
+    unsigned
+    operator()(Rng &rng) const
+    {
+        const double u = rng.uniform() * cdf_.back();
+        const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        return static_cast<unsigned>(it - cdf_.begin());
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/** Builds one scenario trace; shared state for the family emitters. */
+class Builder
+{
+  public:
+    explicit Builder(const ScenarioSpec &spec) : spec_(spec)
+    {
+        trace_.numUnits = spec.numUnits;
+        trace_.clientCoresPerUnit = spec.clientCoresPerUnit;
+    }
+
+    /** Adds @p count locks homed round-robin across units. */
+    std::uint32_t
+    addLocks(unsigned count)
+    {
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(trace_.primitives.size());
+        for (unsigned i = 0; i < count; ++i) {
+            trace_.primitives.push_back(TracePrimitive{
+                PrimKind::Lock, i % spec_.numUnits, 0,
+                sync::BarrierScope::AcrossUnits});
+        }
+        return base;
+    }
+
+    std::uint32_t
+    addBarrier(std::uint32_t participants)
+    {
+        trace_.primitives.push_back(
+            TracePrimitive{PrimKind::Barrier, 0, participants,
+                           sync::BarrierScope::AcrossUnits});
+        return static_cast<std::uint32_t>(trace_.primitives.size() - 1);
+    }
+
+    std::uint32_t
+    addSemaphore(std::uint32_t resources)
+    {
+        trace_.primitives.push_back(
+            TracePrimitive{PrimKind::Semaphore, 0, resources,
+                           sync::BarrierScope::AcrossUnits});
+        return static_cast<std::uint32_t>(trace_.primitives.size() - 1);
+    }
+
+    /** Emits one op; returns its nominal completion tick. */
+    Tick
+    emit(std::uint32_t core, sync::OpKind kind, std::uint32_t prim,
+         Tick issued)
+    {
+        TraceRecord r;
+        r.issued = issued;
+        r.completed = issued + kNominalLatency;
+        r.core = core;
+        r.kind = kind;
+        r.prim = prim;
+        trace_.records.push_back(r);
+        return r.completed;
+    }
+
+    /** Emits an acquire/release pair starting at @p t. */
+    Tick
+    emitLockPair(std::uint32_t core, std::uint32_t lock, Tick t)
+    {
+        const Tick granted =
+            emit(core, sync::OpKind::LockAcquire, lock, t);
+        return emit(core, sync::OpKind::LockRelease, lock,
+                    granted + kNominalHold);
+    }
+
+    /** Time-orders the global stream, keeping per-core program order. */
+    Trace
+    finish()
+    {
+        std::stable_sort(trace_.records.begin(), trace_.records.end(),
+                         [](const TraceRecord &a, const TraceRecord &b) {
+                             return a.issued < b.issued;
+                         });
+        return std::move(trace_);
+    }
+
+    const ScenarioSpec &spec() const { return spec_; }
+
+  private:
+    ScenarioSpec spec_;
+    Trace trace_;
+};
+
+/** Per-core jittered inter-arrival gap around the spec's mean. */
+Tick
+arrivalGap(Rng &rng, Tick mean)
+{
+    return static_cast<Tick>(
+        static_cast<double>(mean) * (0.5 + rng.uniform()));
+}
+
+Trace
+generateZipf(const ScenarioSpec &spec)
+{
+    Builder b(spec);
+    const std::uint32_t locks = b.addLocks(spec.numLocks);
+    const ZipfSampler zipf(spec.numLocks, spec.zipfExponent);
+    for (unsigned core = 0; core < spec.numClientCores(); ++core) {
+        Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + core + 1);
+        Tick t = arrivalGap(rng, spec.meanGap);
+        for (unsigned op = 0; op < spec.opsPerCore; ++op) {
+            t = b.emitLockPair(core, locks + zipf(rng), t);
+            t += arrivalGap(rng, spec.meanGap);
+        }
+    }
+    return b.finish();
+}
+
+Trace
+generateBursty(const ScenarioSpec &spec)
+{
+    Builder b(spec);
+    const std::uint32_t locks = b.addLocks(spec.numLocks);
+    // Within a burst ops arrive nearly back-to-back; bursts are
+    // separated by gaps burstGapFactor times the mean.
+    const Tick intraGap = std::max<Tick>(1, spec.meanGap / 10);
+    for (unsigned core = 0; core < spec.numClientCores(); ++core) {
+        Rng rng(spec.seed * 0x2545f4914f6cdd1dULL + core + 1);
+        Tick t = arrivalGap(rng, spec.meanGap);
+        for (unsigned op = 0; op < spec.opsPerCore; ++op) {
+            if (op != 0 && op % spec.burstLen == 0) {
+                t += static_cast<Tick>(
+                    static_cast<double>(
+                        arrivalGap(rng, spec.meanGap))
+                    * spec.burstGapFactor);
+            }
+            t = b.emitLockPair(
+                core,
+                locks
+                    + static_cast<std::uint32_t>(
+                        rng.below(spec.numLocks)),
+                t);
+            t += arrivalGap(rng, intraGap);
+        }
+    }
+    return b.finish();
+}
+
+Trace
+generatePhased(const ScenarioSpec &spec)
+{
+    SYNCRON_ASSERT(spec.phases >= 1, "phased scenario needs >= 1 phase");
+    Builder b(spec);
+    const std::uint32_t locks = b.addLocks(spec.numLocks);
+    const unsigned cores = spec.numClientCores();
+    std::vector<std::uint32_t> barriers;
+    for (unsigned p = 0; p < spec.phases; ++p)
+        barriers.push_back(b.addBarrier(cores));
+
+    const unsigned opsPerPhase =
+        std::max(1u, spec.opsPerCore / spec.phases);
+    const unsigned locksPerPhase =
+        std::max(1u, spec.numLocks / spec.phases);
+    for (unsigned core = 0; core < cores; ++core) {
+        Rng rng(spec.seed * 0xbf58476d1ce4e5b9ULL + core + 1);
+        Tick t = arrivalGap(rng, spec.meanGap);
+        for (unsigned p = 0; p < spec.phases; ++p) {
+            for (unsigned op = 0; op < opsPerPhase; ++op) {
+                // Each phase works a phase-local slice of the lock
+                // population, so the hot set moves between barriers.
+                const std::uint32_t slot =
+                    (p * locksPerPhase
+                     + static_cast<std::uint32_t>(
+                         rng.below(locksPerPhase)))
+                    % spec.numLocks;
+                t = b.emitLockPair(core, locks + slot, t);
+                t += arrivalGap(rng, spec.meanGap);
+            }
+            t = b.emit(core, sync::OpKind::BarrierWaitAcrossUnits,
+                       barriers[p], t);
+        }
+    }
+    return b.finish();
+}
+
+Trace
+generateReaders(const ScenarioSpec &spec)
+{
+    Builder b(spec);
+    const std::uint32_t sem = b.addSemaphore(spec.semResources);
+    const unsigned writerLocks = std::max(1u, spec.numLocks / 8);
+    const std::uint32_t locks = b.addLocks(writerLocks);
+    const unsigned cores = spec.numClientCores();
+    const unsigned readers = std::min<unsigned>(
+        cores, static_cast<unsigned>(
+                   std::lround(spec.readerFraction * cores)));
+    for (unsigned core = 0; core < cores; ++core) {
+        Rng rng(spec.seed * 0x94d049bb133111ebULL + core + 1);
+        Tick t = arrivalGap(rng, spec.meanGap);
+        for (unsigned op = 0; op < spec.opsPerCore; ++op) {
+            if (core < readers) {
+                // Reader: admit through the semaphore, hold, re-post.
+                const Tick admitted =
+                    b.emit(core, sync::OpKind::SemWait, sem, t);
+                t = b.emit(core, sync::OpKind::SemPost, sem,
+                           admitted + kNominalHold);
+            } else {
+                t = b.emitLockPair(
+                    core,
+                    locks
+                        + static_cast<std::uint32_t>(
+                            rng.below(writerLocks)),
+                    t);
+            }
+            t += arrivalGap(rng, spec.meanGap);
+        }
+    }
+    return b.finish();
+}
+
+} // namespace
+
+ScenarioGenerator::ScenarioGenerator(const ScenarioSpec &spec)
+    : spec_(spec)
+{
+    SYNCRON_ASSERT(spec_.numUnits >= 1 && spec_.clientCoresPerUnit >= 1,
+                   "scenario machine shape must have cores");
+    SYNCRON_ASSERT(spec_.numLocks >= 1, "scenario needs >= 1 lock");
+    SYNCRON_ASSERT(spec_.opsPerCore >= 1, "scenario needs >= 1 op/core");
+    SYNCRON_ASSERT(spec_.burstLen >= 1, "scenario needs burstLen >= 1");
+    SYNCRON_ASSERT(spec_.phases >= 1, "scenario needs phases >= 1");
+}
+
+Trace
+ScenarioGenerator::generate() const
+{
+    switch (spec_.family) {
+      case ScenarioFamily::ZipfLock: return generateZipf(spec_);
+      case ScenarioFamily::BurstyLock: return generateBursty(spec_);
+      case ScenarioFamily::PhasedBarrierLock:
+        return generatePhased(spec_);
+      case ScenarioFamily::ReaderSemaphore:
+        return generateReaders(spec_);
+    }
+    SYNCRON_PANIC("unknown scenario family");
+}
+
+std::vector<ScenarioSpec>
+benchScenarioSpecs(double scale)
+{
+    const unsigned ops = std::max(
+        4u, static_cast<unsigned>(32.0 * scale));
+    std::vector<ScenarioSpec> specs;
+    for (ScenarioFamily family : kAllScenarioFamilies) {
+        ScenarioSpec spec;
+        spec.family = family;
+        spec.opsPerCore = ops;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+} // namespace syncron::trace

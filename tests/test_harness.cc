@@ -6,11 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
+#include "harness/grid.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 #include "sync/registry.hh"
+#include "workloads/graph/csr.hh"
 
 namespace syncron::harness {
 namespace {
@@ -117,6 +122,71 @@ TEST(BenchOptions, RejectsMalformedValues)
     }
 }
 
+TEST(BenchOptions, ParsesTraceFlags)
+{
+    const char *argv[] = {"bench", "--trace-out=cap.trc",
+                          "--jobs=1"};
+    auto o = BenchOptions::parse(3, const_cast<char **>(argv));
+    EXPECT_EQ(o.traceOut, "cap.trc");
+    EXPECT_TRUE(o.traceIn.empty());
+    // --trace-out flows into every grid cell's config as tracePath.
+    EXPECT_EQ(o.makeConfig(Scheme::SynCron).tracePath, "cap.trc");
+
+    const char *argv2[] = {"bench", "--trace-in=old.trc"};
+    auto o2 = BenchOptions::parse(2, const_cast<char **>(argv2));
+    EXPECT_EQ(o2.traceIn, "old.trc");
+    EXPECT_TRUE(o2.makeConfig(Scheme::SynCron).tracePath.empty());
+}
+
+TEST(BenchOptions, RejectsTraceFlagsWithParallelJobs)
+{
+    auto parse2 = [](const char *a, const char *b) {
+        const char *argv[] = {"bench", a, b};
+        return BenchOptions::parse(3, const_cast<char **>(argv));
+    };
+    // Values are required, like every other path option.
+    const char *argvEmpty[] = {"bench", "--trace-out="};
+    EXPECT_THROW(
+        BenchOptions::parse(2, const_cast<char **>(argvEmpty)),
+        std::runtime_error);
+    const char *argvEmpty2[] = {"bench", "--trace-in="};
+    EXPECT_THROW(
+        BenchOptions::parse(2, const_cast<char **>(argvEmpty2)),
+        std::runtime_error);
+
+    // Capture (and replay-from-file) races parallel grid workers on
+    // the one trace file; the error must say so and show usage.
+    for (const char *flag : {"--trace-out=cap.trc",
+                             "--trace-in=cap.trc"}) {
+        try {
+            parse2(flag, "--jobs=2");
+            FAIL() << "expected fatal for " << flag << " --jobs=2";
+        } catch (const std::runtime_error &e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("--jobs=1"), std::string::npos)
+                << what;
+            EXPECT_NE(what.find("--trace-out=<path>"),
+                      std::string::npos)
+                << "error should include usage: " << what;
+        }
+        // Order of flags must not matter.
+        EXPECT_THROW(parse2("--jobs=4", flag), std::runtime_error);
+        // jobs=1 is explicitly fine.
+        EXPECT_NO_THROW(parse2(flag, "--jobs=1"));
+    }
+
+    // Capture and replay-from-file are mutually exclusive; combining
+    // them would silently drop --trace-out.
+    try {
+        parse2("--trace-out=a.trc", "--trace-in=b.trc");
+        FAIL() << "expected fatal";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("mutually exclusive"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(Runner, DsDefaultsCoverAllStructures)
 {
     for (DsKind kind : kAllDsKinds) {
@@ -192,6 +262,7 @@ TEST(Runner, SharedInputsMatchPerCellGeneration)
     SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 4, 4);
     SharedInputs inputs;
     inputs.prepare({{"tf", "wk"}, {"ts", "air"}}, 0.1);
+    inputs.preparePartitions({{"tf", "wk"}, {"ts", "air"}}, 4);
 
     auto tfShared = runAppInput(cfg, {"tf", "wk"}, inputs);
     auto tfFresh = runGraph(cfg, "wk", workloads::GraphApp::Tf, 0.1);
@@ -206,6 +277,80 @@ TEST(Runner, SharedInputsMatchPerCellGeneration)
     // Unprepared inputs are a hard error, not a silent regeneration.
     EXPECT_THROW(inputs.graph("co"), std::runtime_error);
     EXPECT_THROW(inputs.series("pow"), std::runtime_error);
+}
+
+TEST(Runner, SharedInputsCachePartitions)
+{
+    SharedInputs inputs;
+    inputs.prepareGraph("wk", 0.1);
+    inputs.preparePartition("wk", 4);
+    inputs.preparePartition("wk", 4, /*metis=*/true);
+    inputs.preparePartition("wk", 2);
+
+    // The cached partitions are exactly what the per-cell path
+    // computed before.
+    const workloads::Graph &g = inputs.graph("wk");
+    EXPECT_EQ(inputs.partition("wk", 4),
+              workloads::rangePartition(g, 4));
+    EXPECT_EQ(inputs.partition("wk", 4, true),
+              workloads::greedyPartition(g, 4));
+    EXPECT_EQ(inputs.partition("wk", 2),
+              workloads::rangePartition(g, 2));
+
+    // Unprepared (input, units, policy) combinations are a hard
+    // error, not a silent recomputation — including a policy or unit
+    // count that differs from a prepared one.
+    EXPECT_THROW(inputs.partition("wk", 3), std::runtime_error);
+    EXPECT_THROW(inputs.partition("wk", 2, true), std::runtime_error);
+    EXPECT_THROW(inputs.partition("sl", 4), std::runtime_error);
+    // Partitioning an unprepared graph is equally fatal.
+    EXPECT_THROW(inputs.preparePartition("sl", 4),
+                 std::runtime_error);
+
+    // The shared-partition run path matches the compute-per-cell
+    // convenience path bit for bit.
+    SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 4, 4);
+    auto shared = runGraph(cfg, g, workloads::GraphApp::Tf,
+                           inputs.partition("wk", 4, true));
+    auto fresh = runGraph(cfg, g, workloads::GraphApp::Tf,
+                          /*metisPartition=*/true);
+    EXPECT_EQ(shared.time, fresh.time);
+    EXPECT_EQ(shared.ops, fresh.ops);
+    EXPECT_EQ(shared.stats.bytesAcrossUnits,
+              fresh.stats.bytesAcrossUnits);
+}
+
+TEST(Grid, UnevenTasksKeepAllWorkersBusyAndResultsOrdered)
+{
+    // A deliberately lopsided grid (one long task first, a long tail
+    // of short ones) exercises the atomic claim index: any static
+    // split would serialize behind the long cell, and results must
+    // land at their submission index regardless of completion order.
+    std::vector<std::function<int()>> tasks;
+    std::atomic<unsigned> concurrent{0};
+    std::atomic<unsigned> maxConcurrent{0};
+    for (int i = 0; i < 24; ++i) {
+        tasks.push_back([i, &concurrent, &maxConcurrent] {
+            const unsigned now = ++concurrent;
+            unsigned seen = maxConcurrent.load();
+            while (now > seen
+                   && !maxConcurrent.compare_exchange_weak(seen, now)) {
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(i == 0 ? 30 : 1));
+            --concurrent;
+            return i * i;
+        });
+    }
+    const auto parallel = runGrid(tasks, 4);
+    const auto serial = runGrid(tasks, 1);
+    ASSERT_EQ(parallel.size(), 24u);
+    EXPECT_EQ(parallel, serial);
+    for (int i = 0; i < 24; ++i)
+        EXPECT_EQ(parallel[i], i * i);
+    // While task 0 sleeps, the claim index must hand the short cells
+    // to the other workers.
+    EXPECT_GE(maxConcurrent.load(), 2u);
 }
 
 } // namespace
