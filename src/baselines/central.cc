@@ -44,6 +44,57 @@ CentralBackend::request(core::Core &requester,
     });
 }
 
+void
+CentralBackend::requestBatch(core::Core &requester,
+                             std::span<const sync::SyncRequest> reqs,
+                             std::span<sim::Gate *const> gates)
+{
+    SYNCRON_ASSERT(reqs.size() == gates.size(),
+                   "batch of " << reqs.size() << " requests with "
+                               << gates.size() << " gates");
+    // Coalescing eligibility: at least two operations (a 1-op batch is
+    // a plain Fig. 5 message).
+    if (reqs.size() < 2) {
+        for (std::size_t i = 0; i < reqs.size(); ++i)
+            request(requester, reqs[i], gates[i]);
+        return;
+    }
+
+    struct Member
+    {
+        sync::SyncRequest req;
+        sim::Gate *gate; ///< nullptr for release-type members
+    };
+    std::vector<Member> members;
+    members.reserve(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const sync::SyncRequest &req = reqs[i];
+        const bool acquire = req.acquireType();
+        if (!acquire)
+            gates[i]->open(0, requester.cyclePeriod());
+        ++pending_[req.var()];
+        members.push_back(Member{req, acquire ? gates[i] : nullptr});
+    }
+
+    const auto n = static_cast<std::uint32_t>(reqs.size());
+    const Tick arrival = machine_.routeMessage(
+        machine_.eq().now(), requester.unit(), serverUnit_,
+        sync::batchReqBits(reqs));
+    if (requester.unit() == serverUnit_)
+        ++machine_.stats().syncLocalMsgs;
+    else
+        ++machine_.stats().syncGlobalMsgs;
+    machine_.stats().batchedOps += n;
+    machine_.stats().messagesSaved += n - 1;
+
+    const CoreId core = requester.id();
+    machine_.eq().schedule(arrival, [this, core,
+                                     members = std::move(members)] {
+        for (const Member &m : members)
+            process(m.req, core, m.gate);
+    });
+}
+
 Tick
 CentralBackend::varAccess(Tick start, Addr var)
 {

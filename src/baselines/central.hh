@@ -36,6 +36,18 @@ class CentralBackend : public sync::SyncBackend
     void request(core::Core &requester, const sync::SyncRequest &req,
                  sim::Gate *gate) override;
 
+    /**
+     * Batch issue with message coalescing: every operation in the
+     * system targets the single server, so an eligible batch (>= 2 ops)
+     * always shares its destination and travels as one request message
+     * of batchReqBits(n) bits. The server still processes the members
+     * one by one in batch order (per-op software overhead + variable
+     * RMW), and each grant travels as its own response.
+     */
+    void requestBatch(core::Core &requester,
+                      std::span<const sync::SyncRequest> reqs,
+                      std::span<sim::Gate *const> gates) override;
+
     bool
     idleVar(Addr var) const override
     {

@@ -69,14 +69,18 @@ SystemStats::forEach(
     fn("dramRowMisses", static_cast<double>(dramRowMisses));
     fn("xbarMessages", static_cast<double>(xbarMessages));
     fn("xbarBitHops", static_cast<double>(xbarBitHops));
+    fn("xbarFlits", static_cast<double>(xbarFlits));
     fn("linkMessages", static_cast<double>(linkMessages));
     fn("linkBits", static_cast<double>(linkBits));
+    fn("linkFlits", static_cast<double>(linkFlits));
     fn("bytesInsideUnits", static_cast<double>(bytesInsideUnits));
     fn("bytesAcrossUnits", static_cast<double>(bytesAcrossUnits));
     fn("syncLocalMsgs", static_cast<double>(syncLocalMsgs));
     fn("syncGlobalMsgs", static_cast<double>(syncGlobalMsgs));
     fn("syncOverflowMsgs", static_cast<double>(syncOverflowMsgs));
     fn("syncMemAccesses", static_cast<double>(syncMemAccesses));
+    fn("batchedOps", static_cast<double>(batchedOps));
+    fn("messagesSaved", static_cast<double>(messagesSaved));
     fn("stAllocs", static_cast<double>(stAllocs));
     fn("stOverflowEvents", static_cast<double>(stOverflowEvents));
     fn("stRequests", static_cast<double>(stRequests));
@@ -114,14 +118,18 @@ SystemStats::operator+=(const SystemStats &other)
     dramRowMisses += other.dramRowMisses;
     xbarMessages += other.xbarMessages;
     xbarBitHops += other.xbarBitHops;
+    xbarFlits += other.xbarFlits;
     linkMessages += other.linkMessages;
     linkBits += other.linkBits;
+    linkFlits += other.linkFlits;
     bytesInsideUnits += other.bytesInsideUnits;
     bytesAcrossUnits += other.bytesAcrossUnits;
     syncLocalMsgs += other.syncLocalMsgs;
     syncGlobalMsgs += other.syncGlobalMsgs;
     syncOverflowMsgs += other.syncOverflowMsgs;
     syncMemAccesses += other.syncMemAccesses;
+    batchedOps += other.batchedOps;
+    messagesSaved += other.messagesSaved;
     stAllocs += other.stAllocs;
     stOverflowEvents += other.stOverflowEvents;
     stRequests += other.stRequests;

@@ -87,10 +87,12 @@ struct SystemStats
     // -- Intra-unit network (buffered crossbar)
     std::uint64_t xbarMessages = 0;
     std::uint64_t xbarBitHops = 0;
+    std::uint64_t xbarFlits = 0; ///< datapath-width chunks transferred
 
     // -- Inter-unit serial links
     std::uint64_t linkMessages = 0;
     std::uint64_t linkBits = 0;
+    std::uint64_t linkFlits = 0; ///< 128-bit serialization chunks
 
     // -- Data movement (Fig. 15)
     std::uint64_t bytesInsideUnits = 0;
@@ -101,6 +103,8 @@ struct SystemStats
     std::uint64_t syncGlobalMsgs = 0;   ///< SE <-> Master SE (cross-unit)
     std::uint64_t syncOverflowMsgs = 0; ///< overflow-opcode messages
     std::uint64_t syncMemAccesses = 0;  ///< syncronVar DRAM accesses
+    std::uint64_t batchedOps = 0;       ///< ops carried in coalesced msgs
+    std::uint64_t messagesSaved = 0;    ///< request msgs coalescing avoided
 
     /// Per-OpKind latency distributions, indexed by sync::OpKind.
     std::array<SyncOpLatency, kNumSyncOpKinds> syncLatency{};

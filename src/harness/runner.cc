@@ -354,6 +354,23 @@ runPrimitive(const SystemConfig &cfg, workloads::Primitive primitive,
     return out;
 }
 
+RunOutput
+runSemFanout(const SystemConfig &cfg, unsigned width, unsigned rounds,
+             bool contended)
+{
+    HostTimer timer;
+    NdpSystem sys(cfg);
+    workloads::SemFanoutWorkload workload(sys, width, rounds, contended);
+    sys.run();
+
+    RunOutput out;
+    out.time = sys.elapsed();
+    out.ops = sys.stats().syncOps;
+    finishOutput(out, sys);
+    out.hostNs = timer.elapsedNs();
+    return out;
+}
+
 void
 SharedInputs::prepare(const std::vector<AppInput> &combos, double scale)
 {

@@ -131,6 +131,11 @@ RunOutput runPrimitive(const SystemConfig &cfg,
                        workloads::Primitive primitive, unsigned interval,
                        unsigned opsPerCore);
 
+/** Runs the batched semaphore fan-out microbenchmark
+ *  (workloads::SemFanoutWorkload). */
+RunOutput runSemFanout(const SystemConfig &cfg, unsigned width,
+                       unsigned rounds, bool contended);
+
 /** The 26 real application-input combinations of Fig. 12. */
 struct AppInput
 {

@@ -30,6 +30,7 @@ Crossbar::transfer(Tick start, std::uint32_t bits)
 
     ++stats_.xbarMessages;
     stats_.xbarBitHops += static_cast<std::uint64_t>(bits) * params_.hops;
+    stats_.xbarFlits += (bits + params_.flitBits - 1) / params_.flitBits;
     stats_.bytesInsideUnits += (bits + 7) / 8;
 
     Tick arrival = start + queue + traversal;

@@ -36,6 +36,7 @@ LinkFabric::send(Tick start, UnitId from, UnitId to, std::uint32_t bytes)
 
     ++stats_.linkMessages;
     stats_.linkBits += static_cast<std::uint64_t>(bytes) * 8;
+    stats_.linkFlits += (static_cast<std::uint64_t>(bytes) * 8 + 127) / 128;
     stats_.bytesAcrossUnits += bytes;
 
     return busy + params_.flightTicks;

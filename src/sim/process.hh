@@ -167,6 +167,17 @@ class Gate
     /** True once open() has been called. */
     bool opened() const { return opened_; }
 
+    /**
+     * Tick at which the waiter observes the completion (open tick plus
+     * the open() delay). Only meaningful once opened().
+     */
+    Tick
+    readyAt() const
+    {
+        SYNCRON_ASSERT(opened_, "readyAt() on an unopened gate");
+        return readyAt_;
+    }
+
     // -- Awaitable interface -------------------------------------------
     bool
     await_ready() const noexcept

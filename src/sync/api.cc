@@ -10,6 +10,87 @@ static_assert(kNumSyncOpKinds
                   == static_cast<unsigned>(OpKind::CondBroadcast) + 1,
               "kNumSyncOpKinds must match the sync::OpKind enumerators");
 
+namespace detail {
+
+void
+recordCompletion(Machine &machine, CoreId core, const SyncRequest &req,
+                 Tick issued, Tick completed, TraceSink *sink)
+{
+    machine.stats().recordSyncLatency(static_cast<unsigned>(req.kind()),
+                                      completed - issued);
+    if (sink != nullptr)
+        sink->record(core, req, issued, completed);
+}
+
+} // namespace detail
+
+// --------------------------------------------------------------------
+// SyncBatch
+// --------------------------------------------------------------------
+
+SyncBatch &
+SyncBatch::add(const SyncPrimitive &prim, const SyncRequest &req)
+{
+    reqs_.push_back(req);
+    prims_.push_back(prim);
+    return *this;
+}
+
+SyncBatch &
+SyncBatch::acquire(const Lock &lock)
+{
+    return add(lock, SyncRequest::lockAcquire(lock.addr));
+}
+
+SyncBatch &
+SyncBatch::release(const Lock &lock)
+{
+    return add(lock, SyncRequest::lockRelease(lock.addr));
+}
+
+SyncBatch &
+SyncBatch::wait(const Barrier &barrier)
+{
+    SYNCRON_ASSERT(barrier.valid(), "batched wait on invalid barrier");
+    return add(barrier,
+               SyncRequest::barrierWait(barrier.addr, barrier.scope,
+                                        barrier.participants));
+}
+
+SyncBatch &
+SyncBatch::wait(const Semaphore &sem)
+{
+    return add(sem, SyncRequest::semWait(sem.addr, sem.initialResources));
+}
+
+SyncBatch &
+SyncBatch::post(const Semaphore &sem)
+{
+    return add(sem, SyncRequest::semPost(sem.addr));
+}
+
+SyncBatch &
+SyncBatch::signal(const CondVar &cond)
+{
+    return add(cond, SyncRequest::condSignal(cond.addr));
+}
+
+SyncBatch &
+SyncBatch::broadcast(const CondVar &cond)
+{
+    return add(cond, SyncRequest::condBroadcast(cond.addr));
+}
+
+std::vector<SyncFuture>
+SyncBatch::submit()
+{
+    std::vector<SyncFuture> futures =
+        api_->submitBatch(*core_, reqs_, prims_);
+    reqs_.clear();
+    prims_.clear();
+    return futures;
+}
+
 // --------------------------------------------------------------------
 // ScopedLock
 // --------------------------------------------------------------------
@@ -123,6 +204,99 @@ SyncApi::makeOp(core::Core &c, const SyncPrimitive &prim,
     return SyncOp{c, backend_, req, traceSink_};
 }
 
+std::unique_ptr<detail::FutureState>
+SyncApi::makeFutureState(core::Core &c, const SyncRequest &req)
+{
+    SYNCRON_ASSERT(req.kind() != OpKind::CondWait,
+                   "cond_wait cannot be submitted asynchronously; use "
+                   "the blocking SyncApi::wait(core, cond, lock)");
+    ++machine_.stats().syncOps;
+    auto state = std::make_unique<detail::FutureState>(machine_, c.id(),
+                                                       req, traceSink_);
+    state->issuedAt = machine_.eq().now();
+    return state;
+}
+
+SyncFuture
+SyncApi::submit(core::Core &c, const SyncPrimitive &prim,
+                const SyncRequest &req)
+{
+    checkLive(prim);
+    auto state = makeFutureState(c, req);
+    backend_.request(c, req, &state->gate);
+    return SyncFuture{std::move(state)};
+}
+
+std::vector<SyncFuture>
+SyncApi::submitBatch(core::Core &c, std::span<const SyncRequest> reqs,
+                     std::span<const SyncPrimitive> prims)
+{
+    SYNCRON_ASSERT(reqs.size() == prims.size(),
+                   "batch of " << reqs.size() << " requests with "
+                               << prims.size() << " primitive handles");
+    SYNCRON_ASSERT(!reqs.empty(), "submit of an empty batch");
+    for (const SyncPrimitive &prim : prims)
+        checkLive(prim);
+
+    std::vector<SyncFuture> futures;
+    futures.reserve(reqs.size());
+    std::vector<sim::Gate *> gates;
+    gates.reserve(reqs.size());
+    for (const SyncRequest &req : reqs) {
+        auto state = makeFutureState(c, req);
+        gates.push_back(&state->gate);
+        futures.emplace_back(SyncFuture{std::move(state)});
+    }
+    backend_.requestBatch(c, reqs, gates);
+    return futures;
+}
+
+SyncFuture
+SyncApi::submitAcquire(core::Core &c, const Lock &lock)
+{
+    return submit(c, lock, SyncRequest::lockAcquire(lock.addr));
+}
+
+SyncFuture
+SyncApi::submitRelease(core::Core &c, const Lock &lock)
+{
+    return submit(c, lock, SyncRequest::lockRelease(lock.addr));
+}
+
+SyncFuture
+SyncApi::submitWait(core::Core &c, const Barrier &barrier)
+{
+    SYNCRON_ASSERT(barrier.valid(), "submitted wait on invalid barrier");
+    return submit(c, barrier,
+                  SyncRequest::barrierWait(barrier.addr, barrier.scope,
+                                           barrier.participants));
+}
+
+SyncFuture
+SyncApi::submitWait(core::Core &c, const Semaphore &sem)
+{
+    return submit(c, sem,
+                  SyncRequest::semWait(sem.addr, sem.initialResources));
+}
+
+SyncFuture
+SyncApi::submitPost(core::Core &c, const Semaphore &sem)
+{
+    return submit(c, sem, SyncRequest::semPost(sem.addr));
+}
+
+SyncFuture
+SyncApi::submitSignal(core::Core &c, const CondVar &cond)
+{
+    return submit(c, cond, SyncRequest::condSignal(cond.addr));
+}
+
+SyncFuture
+SyncApi::submitBroadcast(core::Core &c, const CondVar &cond)
+{
+    return submit(c, cond, SyncRequest::condBroadcast(cond.addr));
+}
+
 void
 SyncApi::issueDetached(core::Core &c, const SyncPrimitive &prim,
                        const SyncRequest &req)
@@ -141,10 +315,11 @@ SyncApi::issueDetached(core::Core &c, const SyncPrimitive &prim,
     machine_.stats().recordSyncLatency(
         static_cast<unsigned>(req.kind()),
         machine_.eq().now() + c.cyclePeriod() - issued);
-    if (traceSink_ != nullptr) {
-        traceSink_->record(c.id(), req, issued,
-                           machine_.eq().now() + c.cyclePeriod());
-    }
+    // req_async commits at issue and no coroutine ever observes this
+    // operation, so the captured record carries completion == issue
+    // tick; a trace must count every guard-scope-exit release.
+    if (traceSink_ != nullptr)
+        traceSink_->record(c.id(), req, issued, issued);
 }
 
 // -- Typed primitive creation ------------------------------------------
@@ -190,9 +365,17 @@ SyncApi::createLockSet(std::size_t count,
     std::vector<Lock> locks;
     locks.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-        const UnitId unit = homes.empty()
-                                ? static_cast<UnitId>(i % units)
-                                : homes[i % homes.size()];
+        // Sets round-robin on their own cursor (rrSet_), not the
+        // single-primitive cursor rr_: interleaved singles created
+        // before or between sets must not skew set placement, and a
+        // set must not shift where the next single lands.
+        UnitId unit;
+        if (homes.empty()) {
+            unit = static_cast<UnitId>(rrSet_);
+            rrSet_ = (rrSet_ + 1) % units;
+        } else {
+            unit = homes[i % homes.size()];
+        }
         locks.push_back(createLock(unit));
     }
     return LockSet{std::move(locks)};

@@ -21,6 +21,15 @@
  *       co_await guard.unlock();     // timed release (preferred)
  *   }                                // or: scope exit releases
  *
+ * Operations also exist in a split issue/completion form: submit*()
+ * issues the request immediately and returns a move-only SyncFuture, so
+ * a core can keep several operations in flight (hand-over-hand acquire
+ * prefetch, semaphore fan-out) and co_await each future when it needs
+ * the response; SyncBatch collects several requests and issues them in
+ * one backend call, letting opted-in backends coalesce same-destination
+ * members into a single network message. The blocking SyncOp form above
+ * is the one-op special case and remains the default idiom.
+ *
  * Handle creation through this api is the only way to mint a primitive:
  * there is no raw-variable surface, and every handle is generation-
  * tagged so use after destroy() panics instead of aliasing the recycled
@@ -40,7 +49,10 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/core.hh"
@@ -55,12 +67,176 @@ namespace syncron::sync {
 
 class SyncApi;
 
+namespace detail {
+
 /**
- * Awaitable synchronization operation. The request is issued to the
- * backend when the coroutine suspends; the backend opens the gate when
- * the operation completes (immediately for release-type operations).
- * co_await yields the operation's SyncResponse and records the observed
- * latency in the machine's per-OpKind statistics.
+ * Records one completed operation in the machine's per-OpKind latency
+ * statistics and notifies the installed trace sink. Shared by the
+ * blocking SyncOp awaitable and the asynchronous SyncFuture so both
+ * forms are indistinguishable to observers.
+ */
+void recordCompletion(Machine &machine, CoreId core, const SyncRequest &req,
+                      Tick issued, Tick completed, TraceSink *sink);
+
+/**
+ * State of one in-flight asynchronous operation. The backend keeps a
+ * pointer to the gate from submit until it opens it, so the gate needs
+ * a stable address while the owning SyncFuture moves freely — which is
+ * exactly what pinning this state behind a unique_ptr provides.
+ */
+struct FutureState
+{
+    FutureState(Machine &machine, CoreId core, const SyncRequest &req,
+                TraceSink *sink)
+        : machine(machine), gate(machine.eq()), req(req), sink(sink),
+          core(core)
+    {}
+
+    Machine &machine;
+    sim::Gate gate;
+    SyncRequest req;
+    TraceSink *sink;
+    CoreId core;
+    Tick issuedAt = 0;
+    bool recorded = false;
+
+    /** Records latency + sink exactly once. */
+    void
+    finalize(Tick completedAt)
+    {
+        if (recorded)
+            return;
+        recorded = true;
+        recordCompletion(machine, core, req, issuedAt, completedAt, sink);
+    }
+};
+
+} // namespace detail
+
+/**
+ * Handle to one submitted synchronization operation — the split
+ * issue/completion form of the api. SyncApi::submit*() issues the
+ * request to the backend immediately and returns the future; the core
+ * keeps computing (or submits more operations) and co_awaits the future
+ * when it needs the result:
+ *
+ *   sync::SyncFuture next = api.submitAcquire(core, locks[i + 1]);
+ *   co_await core.load(node.addr, 16);   // overlapped with the acquire
+ *   co_await next;                       // yields the SyncResponse
+ *
+ * Move-only. A future must not be destroyed while its operation is
+ * still in flight (that would dangle the backend's completion gate —
+ * the destructor panics); a resolved future may be dropped without
+ * being awaited, in which case its completion is still recorded at the
+ * gate's ready tick (so statistics and captured traces see every
+ * operation exactly once).
+ */
+class SyncFuture
+{
+  public:
+    SyncFuture(SyncFuture &&) noexcept = default;
+
+    SyncFuture &
+    operator=(SyncFuture &&other)
+    {
+        if (this != &other) {
+            finalizeState();
+            state_ = std::move(other.state_);
+        }
+        return *this;
+    }
+
+    SyncFuture(const SyncFuture &) = delete;
+    SyncFuture &operator=(const SyncFuture &) = delete;
+
+    // noexcept: the in-flight panic in finalizeState() terminates (its
+    // message is printed before the throw) — a dropped pending future
+    // would otherwise dangle the backend's gate pointer.
+    ~SyncFuture() { finalizeState(); }
+
+    /** True while this future refers to a submitted operation. */
+    bool valid() const { return state_ != nullptr; }
+
+    /** True once the backend has completed the operation. */
+    bool
+    resolved() const
+    {
+        return state_ != nullptr && state_->gate.opened();
+    }
+
+    /** The request this future completes. */
+    const SyncRequest &
+    request() const
+    {
+        SYNCRON_ASSERT(state_ != nullptr, "request() on an empty future");
+        return state_->req;
+    }
+
+    // -- Awaitable interface -------------------------------------------
+    bool
+    await_ready() const
+    {
+        SYNCRON_ASSERT(state_ != nullptr, "co_await on an empty future");
+        return state_->gate.await_ready();
+    }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        state_->gate.await_suspend(h);
+    }
+
+    SyncResponse
+    await_resume()
+    {
+        SYNCRON_ASSERT(state_ != nullptr, "co_await on an empty future");
+        SyncResponse resp;
+        resp.kind = state_->req.kind();
+        resp.issuedAt = state_->issuedAt;
+        resp.completedAt = state_->machine.eq().now();
+        resp.payload = state_->gate.await_resume();
+        state_->finalize(resp.completedAt);
+        return resp;
+    }
+
+  private:
+    friend class SyncApi;
+
+    explicit SyncFuture(std::unique_ptr<detail::FutureState> state)
+        : state_(std::move(state))
+    {}
+
+    /**
+     * Accounts for a dropped-but-resolved future; panics when the
+     * operation is still in flight (the backend still holds the gate).
+     */
+    void
+    finalizeState()
+    {
+        if (state_ == nullptr)
+            return;
+        SYNCRON_ASSERT(state_->gate.opened(),
+                       "SyncFuture for "
+                           << opKindName(state_->req.kind()) << " @"
+                           << state_->req.var()
+                           << " destroyed while the operation is still "
+                              "in flight");
+        state_->finalize(state_->gate.readyAt());
+        state_.reset();
+    }
+
+    std::unique_ptr<detail::FutureState> state_;
+};
+
+/**
+ * Awaitable synchronization operation — the blocking form of the api,
+ * semantically `co_await api.submit...(...)` in one expression. The
+ * request is issued to the backend when the coroutine suspends; the
+ * backend opens the gate when the operation completes (immediately for
+ * release-type operations). co_await yields the operation's
+ * SyncResponse and records the observed latency in the machine's
+ * per-OpKind statistics. Unlike SyncFuture, the gate lives on the
+ * awaiting coroutine's frame, so the blocking path allocates nothing.
  */
 class SyncOp
 {
@@ -94,10 +270,8 @@ class SyncOp
         resp.issuedAt = issuedAt_;
         resp.completedAt = core_.machine().eq().now();
         resp.payload = gate_.await_resume();
-        core_.machine().stats().recordSyncLatency(
-            static_cast<unsigned>(resp.kind), resp.latency());
-        if (sink_ != nullptr)
-            sink_->record(core_.id(), req_, issuedAt_, resp.completedAt);
+        detail::recordCompletion(core_.machine(), core_.id(), req_,
+                                 issuedAt_, resp.completedAt, sink_);
         return resp;
     }
 
@@ -203,6 +377,59 @@ class ScopedLockOp
     SyncOp inner_;
 };
 
+/**
+ * Builder collecting several synchronization requests issued by one
+ * core in a single SyncApi/backend call:
+ *
+ *   sync::SyncBatch batch(api, core);
+ *   for (const sync::Semaphore &sem : sems)
+ *       batch.post(sem);
+ *   std::vector<sync::SyncFuture> posts = batch.submit();
+ *   ... compute while the posts are in flight ...
+ *   for (sync::SyncFuture &f : posts)
+ *       co_await f;
+ *
+ * Backends that opt into requestBatch() coalesce members targeting the
+ * same station into one network message (the Fig. 5 header is paid once
+ * per batch instead of once per op); every other backend services the
+ * batch as independent requests. submit() clears the builder, so one
+ * SyncBatch can be reused across rounds.
+ *
+ * cond_wait is deliberately absent: its release-the-lock/re-acquire
+ * coupling requires the issuing core to be suspended, so it only exists
+ * in the blocking form (SyncApi::wait).
+ */
+class SyncBatch
+{
+  public:
+    SyncBatch(SyncApi &api, core::Core &core) : api_(&api), core_(&core) {}
+
+    SyncBatch &acquire(const Lock &lock);
+    SyncBatch &release(const Lock &lock);
+    SyncBatch &wait(const Barrier &barrier);
+    SyncBatch &wait(const Semaphore &sem);
+    SyncBatch &post(const Semaphore &sem);
+    SyncBatch &signal(const CondVar &cond);
+    SyncBatch &broadcast(const CondVar &cond);
+
+    std::size_t size() const { return reqs_.size(); }
+    bool empty() const { return reqs_.empty(); }
+
+    /**
+     * Issues every collected request in one backend call and clears the
+     * builder. futures[i] completes the i-th collected request.
+     */
+    std::vector<SyncFuture> submit();
+
+  private:
+    SyncBatch &add(const SyncPrimitive &prim, const SyncRequest &req);
+
+    SyncApi *api_;
+    core::Core *core_;
+    std::vector<SyncRequest> reqs_;
+    std::vector<SyncPrimitive> prims_; ///< handle per request (liveness)
+};
+
 /** Factory for synchronization primitives + the Table 2 operations. */
 class SyncApi
 {
@@ -251,6 +478,34 @@ class SyncApi
     /** Destroys every lock in the set and empties it. */
     void destroy(LockSet &set);
 
+    // -- Asynchronous submission (split issue/completion) --------------
+    /**
+     * Issues @p req against @p prim immediately and returns the future
+     * the core co_awaits for the response — the pipelined form of the
+     * Table 2 operations. Any number of futures may be in flight per
+     * core. cond_wait cannot be submitted (see SyncBatch).
+     */
+    SyncFuture submit(core::Core &c, const SyncPrimitive &prim,
+                      const SyncRequest &req);
+
+    SyncFuture submitAcquire(core::Core &c, const Lock &lock);
+    SyncFuture submitRelease(core::Core &c, const Lock &lock);
+    SyncFuture submitWait(core::Core &c, const Barrier &barrier);
+    SyncFuture submitWait(core::Core &c, const Semaphore &sem);
+    SyncFuture submitPost(core::Core &c, const Semaphore &sem);
+    SyncFuture submitSignal(core::Core &c, const CondVar &cond);
+    SyncFuture submitBroadcast(core::Core &c, const CondVar &cond);
+
+    /**
+     * Issues every request of a batch in one backend call
+     * (SyncBackend::requestBatch); prims[i] is the primitive handle
+     * behind reqs[i], used for liveness checking. Normally reached
+     * through SyncBatch::submit().
+     */
+    std::vector<SyncFuture> submitBatch(core::Core &c,
+                                        std::span<const SyncRequest> reqs,
+                                        std::span<const SyncPrimitive> prims);
+
     // -- Typed Table 2 operations --------------------------------------
     SyncOp acquire(core::Core &c, const Lock &lock);
     SyncOp release(core::Core &c, const Lock &lock);
@@ -290,6 +545,10 @@ class SyncApi
     SyncOp makeOp(core::Core &c, const SyncPrimitive &prim,
                   const SyncRequest &req);
 
+    /** Allocates the pinned state of one submitted operation. */
+    std::unique_ptr<detail::FutureState>
+    makeFutureState(core::Core &c, const SyncRequest &req);
+
     /** Panics when @p prim is stale (destroyed or recycled). */
     void checkLive(const SyncPrimitive &prim) const;
 
@@ -308,7 +567,8 @@ class SyncApi
     std::vector<std::vector<Addr>> freeLists_; ///< per-unit recycled lines
     /// Current allocation generation per line (absent = 0).
     std::unordered_map<Addr, std::uint32_t> generations_;
-    unsigned rr_ = 0;
+    unsigned rr_ = 0;    ///< createLockInterleaved / allocVarInterleaved
+    unsigned rrSet_ = 0; ///< createLockSet's own round-robin cursor
 };
 
 } // namespace syncron::sync

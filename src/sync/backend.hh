@@ -18,13 +18,25 @@
  *  - Release-type operations (req_async semantics) open the gate as soon
  *    as the message has been issued to the network; the protocol
  *    continues in the background.
+ *  - requestBatch() issues several operations from one core in one call.
+ *    The default implementation loops over request(), so backends behave
+ *    identically until they opt in; an overriding backend may coalesce
+ *    batch members that target the same station into a single network
+ *    message (batchReqBits in message.hh), but must preserve per-op
+ *    semantics: one gate per member, member order preserved at the
+ *    servicing station, and per-op protocol records. A core may hold
+ *    any number of operations in flight; backends must not assume one
+ *    pending gate per core.
  *  - idleVar()/releaseVar() let SyncApi verify a variable holds no live
- *    backend state before its line is recycled by destroy_syncvar().
+ *    backend state before its line is recycled by destroy().
  */
 
 #ifndef SYNCRON_SYNC_BACKEND_HH
 #define SYNCRON_SYNC_BACKEND_HH
 
+#include <span>
+
+#include "common/log.hh"
 #include "common/types.hh"
 #include "sim/process.hh"
 #include "sync/request.hh"
@@ -50,6 +62,25 @@ class SyncBackend
      */
     virtual void request(core::Core &requester, const SyncRequest &req,
                          sim::Gate *gate) = 0;
+
+    /**
+     * Issues several synchronization operations submitted by one core in
+     * a single call (SyncApi::SyncBatch). gates[i] completes reqs[i];
+     * the spans must have equal length. The default implementation
+     * preserves existing backend behavior exactly by looping over
+     * request(); backends opt in to same-destination message coalescing
+     * by overriding.
+     */
+    virtual void
+    requestBatch(core::Core &requester, std::span<const SyncRequest> reqs,
+                 std::span<sim::Gate *const> gates)
+    {
+        SYNCRON_ASSERT(reqs.size() == gates.size(),
+                       "batch of " << reqs.size() << " requests with "
+                                   << gates.size() << " gates");
+        for (std::size_t i = 0; i < reqs.size(); ++i)
+            request(requester, reqs[i], gates[i]);
+    }
 
     /**
      * True when the backend tracks no live state for @p var — owners,

@@ -66,7 +66,7 @@ SynCronBackend::SynCronBackend(Machine &machine, EngineOptions opts)
                 std::make_unique<cache::Cache>(cfg.l1, machine.stats());
         }
     }
-    gates_.resize(cfg.totalCores(), nullptr);
+    gates_.resize(cfg.totalCores());
 
     if (misarActive()) {
         const unsigned servers =
@@ -145,16 +145,40 @@ SynCronBackend::releaseVar(Addr var)
 // Request issue and transport
 // --------------------------------------------------------------------
 
+Addr
+SynCronBackend::gateKeyFor(const SyncRequest &req)
+{
+    return req.kind() == OpKind::CondWait ? req.condLock() : req.var();
+}
+
+void
+SynCronBackend::addPendingGate(CoreId core, Addr key, sim::Gate *gate)
+{
+    gates_[core].push_back(PendingGate{key, gate});
+}
+
+sim::Gate *
+SynCronBackend::takePendingGate(CoreId core, Addr key)
+{
+    auto &pending = gates_[core];
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
+        if (it->key == key) {
+            sim::Gate *gate = it->gate;
+            pending.erase(it);
+            return gate;
+        }
+    }
+    SYNCRON_PANIC("core " << core << " has no pending sync op on @"
+                          << key);
+}
+
 void
 SynCronBackend::request(core::Core &requester, const SyncRequest &req,
                         sim::Gate *gate)
 {
     ++totalReqs_;
     if (req.acquireType()) {
-        SYNCRON_ASSERT(gates_[requester.id()] == nullptr,
-                       "core " << requester.id()
-                               << " has two pending sync ops");
-        gates_[requester.id()] = gate;
+        addPendingGate(requester.id(), gateKeyFor(req), gate);
     } else {
         // req_async: commits once the message is issued to the network.
         gate->open(0, requester.cyclePeriod());
@@ -184,6 +208,61 @@ SynCronBackend::request(core::Core &requester, const SyncRequest &req,
 }
 
 void
+SynCronBackend::requestBatch(core::Core &requester,
+                             std::span<const SyncRequest> reqs,
+                             std::span<sim::Gate *const> gates)
+{
+    SYNCRON_ASSERT(reqs.size() == gates.size(),
+                   "batch of " << reqs.size() << " requests with "
+                               << gates.size() << " gates");
+    // Coalescing eligibility: at least two operations, and never under
+    // the MiSAR ablation — software-mode variables bypass the SEs with
+    // per-op abort bookkeeping that a shared message cannot carry.
+    if (reqs.size() < 2 || misarActive()) {
+        for (std::size_t i = 0; i < reqs.size(); ++i)
+            request(requester, reqs[i], gates[i]);
+        return;
+    }
+
+    // Every member's first hop is the requesting core's local SE, so
+    // the whole batch coalesces into a single core -> SE message with
+    // one shared header and per-op records (the SPU still services each
+    // record — and the protocol still forwards/grants each operation —
+    // individually, in batch order).
+    std::vector<SyncMessage> msgs;
+    msgs.reserve(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const SyncRequest &req = reqs[i];
+        ++totalReqs_;
+        if (req.acquireType()) {
+            addPendingGate(requester.id(), gateKeyFor(req), gates[i]);
+        } else {
+            gates[i]->open(0, requester.cyclePeriod());
+        }
+        SyncMessage msg;
+        msg.addr = req.var();
+        msg.opcode = localOpcodeFor(req.kind());
+        msg.coreId = requester.localId();
+        msg.info = req.messageInfo();
+        msgs.push_back(msg);
+        ++inFlightLocal_[req.var()];
+    }
+
+    const UnitId unit = requester.unit();
+    const auto n = static_cast<std::uint32_t>(reqs.size());
+    const Tick arrival = machine_.routeMessage(
+        machine_.eq().now(), unit, unit, sync::batchReqBits(reqs));
+    ++machine_.stats().syncLocalMsgs;
+    machine_.stats().batchedOps += n;
+    machine_.stats().messagesSaved += n - 1;
+    machine_.eq().schedule(arrival, [this, unit,
+                                     msgs = std::move(msgs)] {
+        for (const SyncMessage &m : msgs)
+            receive(unit, m);
+    });
+}
+
+void
 SynCronBackend::sendToStation(UnitId from, UnitId to, SyncMessage msg,
                               Tick depart)
 {
@@ -200,17 +279,15 @@ SynCronBackend::sendToStation(UnitId from, UnitId to, SyncMessage msg,
 }
 
 void
-SynCronBackend::grantCore(UnitId seUnit, CoreId core, Tick depart)
+SynCronBackend::grantCore(UnitId seUnit, CoreId core, Addr var,
+                          Tick depart)
 {
     SYNCRON_ASSERT(core / machine_.config().coresPerUnit == seUnit,
                    "grant must come from the core's own unit");
     const Tick arrival = machine_.routeMessage(depart, seUnit, seUnit,
                                                sync::kSyncRespBits);
     ++machine_.stats().syncLocalMsgs;
-    sim::Gate *gate = gates_[core];
-    SYNCRON_ASSERT(gate != nullptr, "grant to core " << core
-                                        << " with no pending gate");
-    gates_[core] = nullptr;
+    sim::Gate *gate = takePendingGate(core, var);
     gate->open(0, arrival - machine_.eq().now());
 }
 
@@ -468,7 +545,7 @@ SynCronBackend::localGrantNext(Station &s, StEntry &e, Tick done)
     e.ownerKind = LockOwner::LocalCore;
     e.ownerId = c;
     ++e.grantStreak;
-    grantCore(s.unit, globalCoreId(s.unit, c), done);
+    grantCore(s.unit, globalCoreId(s.unit, c), e.addr, done);
 }
 
 void
@@ -526,7 +603,7 @@ SynCronBackend::onLockAcquireLocal(Station &s, const SyncMessage &m,
             e.ownerKind = LockOwner::LocalCore;
             e.ownerId = c;
             ++e.grantStreak;
-            grantCore(s.unit, globalCoreId(s.unit, c), done);
+            grantCore(s.unit, globalCoreId(s.unit, c), m.addr, done);
         } else {
             e.localWaitBits = withBit(e.localWaitBits, c);
         }
@@ -538,7 +615,7 @@ SynCronBackend::onLockAcquireLocal(Station &s, const SyncMessage &m,
         e.ownerKind = LockOwner::LocalCore;
         e.ownerId = c;
         ++e.grantStreak;
-        grantCore(s.unit, globalCoreId(s.unit, c), done);
+        grantCore(s.unit, globalCoreId(s.unit, c), m.addr, done);
         return;
     }
     e.localWaitBits = withBit(e.localWaitBits, c);
@@ -731,7 +808,7 @@ SynCronBackend::departLocalWaiters(Station &s, StEntry &e, Tick done)
     while (bits != 0) {
         const unsigned c = lowestSetBit(bits);
         bits = withoutBit(bits, c);
-        grantCore(s.unit, globalCoreId(s.unit, c), done);
+        grantCore(s.unit, globalCoreId(s.unit, c), e.addr, done);
     }
 }
 
@@ -891,7 +968,7 @@ SynCronBackend::masterSemPost(Station &s, StEntry &e, Tick done)
     if (e.localWaitBits != 0) {
         const unsigned c = lowestSetBit(e.localWaitBits);
         e.localWaitBits = withoutBit(e.localWaitBits, c);
-        grantCore(s.unit, globalCoreId(s.unit, c), done);
+        grantCore(s.unit, globalCoreId(s.unit, c), e.addr, done);
     } else if (e.globalWaitBits != 0) {
         const unsigned j = lowestSetBit(e.globalWaitBits);
         e.globalWaitBits = withoutBit(e.globalWaitBits, j);
@@ -926,7 +1003,8 @@ SynCronBackend::onSemWaitLocal(Station &s, const SyncMessage &m, Tick done)
         initSem(e, m.semResources());
         if (e.semAvail > 0) {
             --e.semAvail;
-            grantCore(s.unit, globalCoreId(s.unit, m.coreId), done);
+            grantCore(s.unit, globalCoreId(s.unit, m.coreId), m.addr,
+                      done);
         } else {
             e.localWaitBits = withBit(e.localWaitBits, m.coreId);
         }
@@ -956,7 +1034,7 @@ SynCronBackend::onSemPostLocal(Station &s, const SyncMessage &m, Tick done)
             e != nullptr && e->localWaitBits != 0) {
             const unsigned c = lowestSetBit(e->localWaitBits);
             e->localWaitBits = withoutBit(e->localWaitBits, c);
-            grantCore(s.unit, globalCoreId(s.unit, c), done);
+            grantCore(s.unit, globalCoreId(s.unit, c), m.addr, done);
             return;
         }
         // Otherwise forward (or redirect) to the master without
@@ -1050,7 +1128,7 @@ SynCronBackend::onSemGrantGlobal(Station &s, const SyncMessage &m,
     while (granted > 0 && e->localWaitBits != 0) {
         const unsigned c = lowestSetBit(e->localWaitBits);
         e->localWaitBits = withoutBit(e->localWaitBits, c);
-        grantCore(s.unit, globalCoreId(s.unit, c), done);
+        grantCore(s.unit, globalCoreId(s.unit, c), m.addr, done);
         --granted;
     }
 

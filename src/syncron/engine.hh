@@ -81,6 +81,18 @@ class SynCronBackend : public sync::SyncBackend
     void request(core::Core &requester, const sync::SyncRequest &req,
                  sim::Gate *gate) override;
 
+    /**
+     * Batch issue with SE message coalescing: every batch member's
+     * first hop targets the requesting core's local SE, so eligible
+     * batches (>= 2 ops, not under the MiSAR ablation) travel as one
+     * core -> SE message of batchReqBits(n) bits carrying per-op
+     * records; the SPU then services the members in batch order.
+     * Accounted in SystemStats::batchedOps / messagesSaved.
+     */
+    void requestBatch(core::Core &requester,
+                      std::span<const sync::SyncRequest> reqs,
+                      std::span<sim::Gate *const> gates) override;
+
     bool idleVar(Addr var) const override;
     void releaseVar(Addr var) override;
 
@@ -179,8 +191,22 @@ class SynCronBackend : public sync::SyncBackend
     /** Station -> station (global / overflow opcodes). */
     void sendToStation(UnitId from, UnitId to, sync::SyncMessage msg,
                        Tick depart);
-    /** Station -> core grant: opens the core's pending gate. */
-    void grantCore(UnitId seUnit, CoreId core, Tick depart);
+    /** Station -> core grant: opens the core's pending gate for @p var. */
+    void grantCore(UnitId seUnit, CoreId core, Addr var, Tick depart);
+
+    // -- Pending-gate bookkeeping ----------------------------------------
+    /**
+     * The gate-matching key of an acquire-type request. A core may keep
+     * several operations in flight, so pending gates are matched by
+     * (core, key) in FIFO order. cond_wait completes through the
+     * re-acquisition of its associated lock (the grant the core finally
+     * observes names the lock, not the condition variable), so its key
+     * is the associated lock's address.
+     */
+    static Addr gateKeyFor(const sync::SyncRequest &req);
+    void addPendingGate(CoreId core, Addr key, sim::Gate *gate);
+    /** Removes and returns the oldest pending gate for (core, key). */
+    sim::Gate *takePendingGate(CoreId core, Addr key);
 
     // -- SPU scheduling --------------------------------------------------
     void receive(UnitId unit, sync::SyncMessage msg);
@@ -295,12 +321,22 @@ class SynCronBackend : public sync::SyncBackend
     /** Cost of the station's state access in ServerCore mode. */
     Tick serverStateAccess(Station &s, Addr var, Tick start);
 
+    /** One in-flight acquire-type operation awaiting its grant. */
+    struct PendingGate
+    {
+        Addr key = 0;
+        sim::Gate *gate = nullptr;
+    };
+
     Machine &machine_;
     EngineOptions opts_;
     const char *name_;
     std::vector<std::unique_ptr<Station>> stations_;
     std::unordered_map<Addr, MemVar> memVars_;
-    std::vector<sim::Gate *> gates_; ///< pending gate per global core id
+    /// Pending gates per global core id, FIFO within a matching key —
+    /// one entry per in-flight acquire-type operation (plural since the
+    /// async submission api lets a core pipeline operations).
+    std::vector<std::vector<PendingGate>> gates_;
     /// Core requests issued but not yet consumed by their local station
     /// (keeps idleVar() honest about messages still in flight; once a
     /// station handles a message the variable has resident state).

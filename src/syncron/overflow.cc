@@ -118,19 +118,16 @@ SynCronBackend::misarDivertLocal(Station &s, const SyncMessage &m,
     const Addr var = m.addr;
     const OpKind kind = opKindOfLocal(m.opcode);
     const CoreId core = globalCoreId(s.unit, m.coreId % 256);
+    // Re-type the in-flight hardware message for the software fallback.
+    const SyncRequest req = SyncRequest::fromMessageInfo(kind, var, m.info);
     sim::Gate *gate = nullptr;
-    if (sync::isAcquireType(kind)) {
-        gate = gates_[core];
-        gates_[core] = nullptr;
-        SYNCRON_ASSERT(gate != nullptr, "missing gate for abort path");
-    }
+    if (sync::isAcquireType(kind))
+        gate = takePendingGate(core, gateKeyFor(req));
     SoftServer &server = softServerFor(var);
     const Tick arrival = machine_.routeMessage(done, s.unit, server.unit,
                                                sync::kSyncReqBits);
     ++machine_.stats().syncOverflowMsgs;
     ++misarPending_[var];
-    // Re-type the in-flight hardware message for the software fallback.
-    const SyncRequest req = SyncRequest::fromMessageInfo(kind, var, m.info);
     machine_.eq().schedule(arrival, [this, &server, req, core, gate] {
         misarProcess(server, req, core, gate);
     });
@@ -276,7 +273,7 @@ SynCronBackend::memGrantTo(Station &s, MemVar &v, Op grantOp, UnitId unit,
         return;
     }
     if (unit == s.unit && grantOp != Op::CondGrantOverflow) {
-        grantCore(s.unit, globalCoreId(unit, coreBit), done);
+        grantCore(s.unit, globalCoreId(unit, coreBit), v.st.addr, done);
         return;
     }
     if (unit == s.unit) {
@@ -427,7 +424,7 @@ SynCronBackend::memBarrierOp(Station &s, MemVar &v, const SyncMessage &m,
                 const unsigned c = lowestSetBit(bits);
                 bits = static_cast<std::uint16_t>(withoutBit(bits, c));
                 if (j == s.unit) {
-                    grantCore(s.unit, globalCoreId(j, c), done2);
+                    grantCore(s.unit, globalCoreId(j, c), m.addr, done2);
                 } else {
                     memGrantTo(s, v, Op::BarrierDepartureOverflow, j,
                                static_cast<int>(c), false, done2);
@@ -483,7 +480,7 @@ SynCronBackend::memSemOp(Station &s, MemVar &v, const SyncMessage &m,
         const unsigned c = lowestSetBit(v.coreBits[s.unit]);
         v.coreBits[s.unit] =
             static_cast<std::uint16_t>(withoutBit(v.coreBits[s.unit], c));
-        grantCore(s.unit, globalCoreId(s.unit, c), done2);
+        grantCore(s.unit, globalCoreId(s.unit, c), m.addr, done2);
         return;
     }
     for (UnitId j = 0; j < v.coreBits.size(); ++j) {
@@ -632,17 +629,17 @@ SynCronBackend::onOverflowGrant(Station &s, const SyncMessage &m,
     switch (m.opcode) {
       case Op::LockGrantOverflow:
         // The lock's release will decrement the counter; grants do not.
-        grantCore(s.unit, globalCoreId(s.unit, core), done);
+        grantCore(s.unit, globalCoreId(s.unit, core), m.addr, done);
         break;
       case Op::SemGrantOverflow:
         s.counters.decrement(m.addr);
         s.redirectedDec(m.addr);
-        grantCore(s.unit, globalCoreId(s.unit, core), done);
+        grantCore(s.unit, globalCoreId(s.unit, core), m.addr, done);
         break;
       case Op::BarrierDepartureOverflow:
         s.counters.decrement(m.addr);
         s.redirectedDec(m.addr);
-        grantCore(s.unit, globalCoreId(s.unit, core), done);
+        grantCore(s.unit, globalCoreId(s.unit, core), m.addr, done);
         break;
       case Op::CondGrantOverflow:
         s.counters.decrement(m.addr);
@@ -700,12 +697,19 @@ void
 SynCronBackend::misarRequest(core::Core &core, const SyncRequest &req,
                              sim::Gate *gate)
 {
-    // Cores in software mode bypass the SEs entirely.
+    // Cores in software mode bypass the SEs entirely. request() just
+    // registered the pending gate; reclaim exactly that entry (matching
+    // by identity, since a pipelining core may hold several operations
+    // on the same variable in flight).
     sim::Gate *acquireGate = nullptr;
     if (req.acquireType()) {
-        acquireGate = gates_[core.id()];
-        gates_[core.id()] = nullptr;
-        SYNCRON_ASSERT(acquireGate == gate, "gate bookkeeping mismatch");
+        auto &pending = gates_[core.id()];
+        auto it = pending.begin();
+        while (it != pending.end() && it->gate != gate)
+            ++it;
+        SYNCRON_ASSERT(it != pending.end(), "gate bookkeeping mismatch");
+        pending.erase(it);
+        acquireGate = gate;
     }
     SoftServer &server = softServerFor(req.var());
     const Tick arrival = machine_.routeMessage(

@@ -75,34 +75,73 @@ Replayer::replayCore(NdpSystem &sys, core::Core &core,
 {
     sync::SyncApi &api = sys.api();
     sim::EventQueue &eq = core.machine().eq();
+
+    /** One submitted-but-not-yet-awaited operation. */
+    struct InFlight
+    {
+        std::uint32_t prim;
+        sync::SyncFuture future;
+    };
+    std::vector<InFlight> inflight;
+    inflight.reserve(kMaxInFlight + 1);
+
     for (const std::uint32_t idx : recordIdxs) {
         const TraceRecord &r = trace_.records[idx];
-        // Open-loop arrival: wait out the recorded issue tick, unless
-        // the previous op's real completion already passed it.
+        const bool condFamily = r.kind == sync::OpKind::CondWait
+                                || r.kind == sync::OpKind::CondSignal
+                                || r.kind == sync::OpKind::CondBroadcast;
+
+        // Program-order dependencies: an op waits for every in-flight
+        // op on the same primitive (FIFO, so per-variable issue order
+        // matches the trace and a release can never overtake its
+        // acquire). cond-family ops drain the whole pipeline — their
+        // lock coupling must observe everything this core issued.
+        for (std::size_t i = 0; i < inflight.size();) {
+            const bool depends =
+                condFamily || inflight[i].prim == r.prim;
+            if (depends) {
+                // Named reference: GCC 12 rejects co_await on the
+                // reference returned straight from operator[].
+                sync::SyncFuture &dep = inflight[i].future;
+                co_await dep;
+                inflight.erase(inflight.begin()
+                               + static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+
+        // Open-loop arrival: wait out the recorded issue tick, unless a
+        // dependency's real completion already passed it.
         if (r.issued > eq.now())
             co_await sim::Delay{eq, r.issued - eq.now()};
 
         const Minted &m = minted_[r.prim];
         switch (r.kind) {
           case sync::OpKind::LockAcquire:
-            co_await api.acquire(core, m.lock);
+            inflight.push_back(
+                InFlight{r.prim, api.submitAcquire(core, m.lock)});
             break;
           case sync::OpKind::LockRelease:
-            co_await api.release(core, m.lock);
+            inflight.push_back(
+                InFlight{r.prim, api.submitRelease(core, m.lock)});
             break;
           case sync::OpKind::BarrierWaitWithinUnit:
           case sync::OpKind::BarrierWaitAcrossUnits:
-            co_await api.wait(core, m.barrier);
+            inflight.push_back(
+                InFlight{r.prim, api.submitWait(core, m.barrier)});
             break;
           case sync::OpKind::SemWait:
-            co_await api.wait(core, m.sem);
+            inflight.push_back(
+                InFlight{r.prim, api.submitWait(core, m.sem)});
             break;
           case sync::OpKind::SemPost:
-            co_await api.post(core, m.sem);
+            inflight.push_back(
+                InFlight{r.prim, api.submitPost(core, m.sem)});
             break;
           case sync::OpKind::CondWait:
-            co_await api.wait(core, m.cond,
-                              minted_[r.assocPrim].lock);
+            // Blocking by construction: the pipeline is already dry.
+            co_await api.wait(core, m.cond, minted_[r.assocPrim].lock);
             break;
           case sync::OpKind::CondSignal:
             co_await api.signal(core, m.cond);
@@ -111,7 +150,22 @@ Replayer::replayCore(NdpSystem &sys, core::Core &core,
             co_await api.broadcast(core, m.cond);
             break;
         }
+
+        // Bound the pipeline: retire the oldest op once the window is
+        // exceeded.
+        while (inflight.size() > kMaxInFlight) {
+            sync::SyncFuture &oldest = inflight.front().future;
+            co_await oldest;
+            inflight.erase(inflight.begin());
+        }
         ++opsReplayed_;
+    }
+
+    // Retire everything still in flight before the core finishes.
+    while (!inflight.empty()) {
+        sync::SyncFuture &oldest = inflight.front().future;
+        co_await oldest;
+        inflight.erase(inflight.begin());
     }
 }
 

@@ -11,10 +11,19 @@
  * that walks its records in program order:
  *
  *   - each op waits until its recorded issue tick (open-loop arrival),
- *     or issues immediately if the previous op completed later
- *     (closed-loop dependency), then
- *   - re-issues the op through SyncApi, so latency, queuing, and
- *     protocol traffic come entirely from the replay backend.
+ *     then issues through SyncApi::submit as a pipelined SyncFuture —
+ *     the core keeps up to kMaxInFlight operations outstanding, so the
+ *     replay reproduces the async api's submission behavior instead of
+ *     serializing every op;
+ *   - program-order dependencies are preserved per primitive: before a
+ *     record issues, every in-flight operation on the same primitive
+ *     is awaited first, so a release can never overtake its acquire
+ *     and per-variable issue order matches the trace. cond-family
+ *     records drain the whole pipeline (which covers their associated
+ *     lock) and replay blocking — their lock coupling requires the
+ *     core to be suspended;
+ *   - latency, queuing, and protocol traffic come entirely from the
+ *     replay backend.
  *
  * Replay is deterministic: the same trace on the same backend yields
  * identical SystemStats, which the tests enforce. The machine shape
@@ -67,6 +76,9 @@ class Replayer
 
     /** Operations re-issued so far (== trace records after run()). */
     std::uint64_t opsReplayed() const { return opsReplayed_; }
+
+    /** Per-core cap on outstanding replayed operations. */
+    static constexpr std::size_t kMaxInFlight = 8;
 
   private:
     /** Handles of one re-minted primitive (kind selects the member). */

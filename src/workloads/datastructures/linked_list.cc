@@ -36,27 +36,34 @@ SimLinkedList::SimLinkedList(NdpSystem &sys, unsigned initialSize)
 sim::Process
 SimLinkedList::worker(Core &c, unsigned ops)
 {
-    // Hand-over-hand (lock-coupling) lookup as a ScopedLock chain: the
-    // guard of the next node is acquired before the held guard is
-    // released — so every core holds up to two locks concurrently,
-    // which is what overflows small STs (Section 6.7.3).
+    // Hand-over-hand (lock-coupling) lookup in the pipelined prefetch
+    // idiom: the next node's acquire is submitted as a SyncFuture and
+    // stays in flight while the current node's payload is read, then
+    // awaited before the held lock is released — so every core still
+    // holds up to two locks concurrently (which is what overflows small
+    // STs, Section 6.7.3), but the acquire latency overlaps the data
+    // access instead of serializing behind it. Acquisition order along
+    // the list is unchanged, so the traversal stays deadlock-free.
     sync::SyncApi &api = sys_.api();
     for (unsigned i = 0; i < ops; ++i) {
         if (nodes_.empty())
             break;
         const std::size_t target = c.rng().below(nodes_.size());
 
-        sync::ScopedLock held = co_await api.scoped(c, nodes_[0].lock);
-        co_await c.load(nodes_[0].addr, 16, MemKind::SharedRW);
+        co_await api.acquire(c, nodes_[0].lock);
+        std::size_t held = 0;
         for (std::size_t pos = 1; pos <= target; ++pos) {
-            sync::ScopedLock next =
-                co_await api.scoped(c, nodes_[pos].lock);
-            co_await held.unlock();
-            held = std::move(next);
-            co_await c.load(nodes_[pos].addr, 16, MemKind::SharedRW);
+            sync::SyncFuture next = api.submitAcquire(c, nodes_[pos].lock);
+            co_await c.load(nodes_[held].addr, 16, MemKind::SharedRW);
             co_await c.compute(2);
+            co_await next;
+            // Release the previous hop fire-and-forget (req_async
+            // commits at issue; the resolved future's drop records it).
+            api.submitRelease(c, nodes_[held].lock);
+            held = pos;
         }
-        co_await held.unlock();
+        co_await c.load(nodes_[held].addr, 16, MemKind::SharedRW);
+        co_await api.release(c, nodes_[held].lock);
         co_await c.compute(10);
     }
 }

@@ -86,7 +86,70 @@ condSignalLoop(NdpSystem &sys, Core &c, sync::CondVar cond,
     }
 }
 
+sim::Process
+semFanoutLoop(NdpSystem &sys, Core &c,
+              const std::vector<sync::Semaphore> &sems, unsigned rounds)
+{
+    sync::SyncApi &api = sys.api();
+    sync::SyncBatch batch(api, c);
+    for (unsigned r = 0; r < rounds; ++r) {
+        co_await c.compute(50);
+
+        // Fan the posts out in one batch and overlap them with compute;
+        // posts are req_async, so their futures resolve at issue.
+        for (const sync::Semaphore &sem : sems)
+            batch.post(sem);
+        std::vector<sync::SyncFuture> posts = batch.submit();
+        co_await c.compute(20);
+        for (sync::SyncFuture &f : posts)
+            co_await f;
+
+        // Then collect the whole set back in a second batch.
+        for (const sync::Semaphore &sem : sems)
+            batch.wait(sem);
+        std::vector<sync::SyncFuture> waits = batch.submit();
+        for (sync::SyncFuture &f : waits)
+            co_await f;
+    }
+}
+
 } // namespace
+
+SemFanoutWorkload::SemFanoutWorkload(NdpSystem &sys, unsigned width,
+                                     unsigned rounds, bool contended)
+{
+    SYNCRON_ASSERT(width >= 1, "semaphore fan-out of zero width");
+    const unsigned n = sys.numClientCores();
+    sync::SyncApi &api = sys.api();
+
+    if (contended) {
+        // One shared set homed in unit 0; every post/wait contends.
+        std::vector<sync::Semaphore> shared;
+        shared.reserve(width);
+        for (unsigned w = 0; w < width; ++w)
+            shared.push_back(api.createSemaphore(0, 0));
+        sets_.push_back(std::move(shared));
+        for (unsigned i = 0; i < n; ++i) {
+            sys.spawn(semFanoutLoop(sys, sys.clientCore(i), sets_[0],
+                                    rounds));
+        }
+        return;
+    }
+
+    // Private per-core sets homed with their core: the uncontended
+    // regime, where each core consumes exactly the resources it posts.
+    sets_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        Core &c = sys.clientCore(i);
+        std::vector<sync::Semaphore> own;
+        own.reserve(width);
+        for (unsigned w = 0; w < width; ++w)
+            own.push_back(api.createSemaphore(c.unit(), 0));
+        sets_.push_back(std::move(own));
+    }
+    for (unsigned i = 0; i < n; ++i)
+        sys.spawn(semFanoutLoop(sys, sys.clientCore(i), sets_[i], rounds));
+}
 
 const char *
 primitiveName(Primitive p)

@@ -15,8 +15,10 @@
 #define SYNCRON_WORKLOADS_MICRO_PRIMITIVES_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hh"
+#include "sync/primitives.hh"
 #include "system/config.hh"
 
 namespace syncron {
@@ -58,6 +60,38 @@ struct MicroResult
 {
     Tick time = 0;
     std::uint64_t syncOps = 0;
+};
+
+/**
+ * Semaphore fan-out microbenchmark for the asynchronous/batched api
+ * (bench fig23_async_batching): each round, every core posts a set of
+ * @p width semaphores in one SyncBatch (the fan-out), computes while
+ * the posts are in flight, then waits on all of them in a second batch.
+ *
+ * Contention regimes:
+ *   - uncontended: each core owns a private semaphore set homed in its
+ *     own unit — every message stays core <-> local SE, so batching's
+ *     message saving is directly visible in messages/op.
+ *   - contended: all cores share one set homed in unit 0, so posts and
+ *     waits race across units through the hierarchical protocol.
+ *
+ * width == 1 degrades to unbatched issue (a 1-op batch is a plain
+ * message), which is the baseline the batching sweep compares against.
+ * The object must outlive the run (it owns the semaphore sets).
+ */
+class SemFanoutWorkload
+{
+  public:
+    SemFanoutWorkload(NdpSystem &sys, unsigned width, unsigned rounds,
+                      bool contended);
+
+    SemFanoutWorkload(const SemFanoutWorkload &) = delete;
+    SemFanoutWorkload &operator=(const SemFanoutWorkload &) = delete;
+
+  private:
+    /// One semaphore set per core (uncontended) or a single shared set
+    /// (contended); referenced by the spawned coroutines.
+    std::vector<std::vector<sync::Semaphore>> sets_;
 };
 
 /**

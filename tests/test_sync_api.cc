@@ -1,18 +1,22 @@
 /**
  * @file
  * Tests for the typed synchronization API: typed primitive handles,
- * the ScopedLock guard, per-op latency observability, the
- * generation-tagged destroy() safety net, and the string-keyed
- * BackendRegistry.
+ * the ScopedLock guard, the asynchronous SyncFuture/SyncBatch surface
+ * (pipelined submission, batch coalescing accounting, destroy() safety
+ * under in-flight batches), per-op latency observability, the
+ * generation-tagged destroy() safety net, lock-placement cursors, and
+ * the string-keyed BackendRegistry.
  */
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include "sync/registry.hh"
 #include "system/system.hh"
+#include "workloads/micro/primitives.hh"
 
 namespace syncron {
 namespace {
@@ -223,6 +227,195 @@ TEST(ScopedLockTest, ReleasesOnScopeExit)
               static_cast<int>(sys.numClientCores()) * 5);
     // Every critical section entered and left => lock is free again.
     EXPECT_TRUE(sys.backend().idleVar(lock.addr));
+}
+
+// ----------------------------------------------------------------------
+// SyncFuture / SyncBatch (asynchronous submission)
+// ----------------------------------------------------------------------
+
+sim::Process
+pipelinedWorker(Core &c, SyncApi &api, const sync::LockSet &locks,
+                int &done)
+{
+    // Two acquires to different locks in flight at once from one core —
+    // the pipelining the blocking SyncOp form cannot express.
+    sync::SyncFuture a = api.submitAcquire(c, locks[0]);
+    sync::SyncFuture b = api.submitAcquire(c, locks[1]);
+    EXPECT_TRUE(a.valid());
+    const sync::SyncResponse ra = co_await a;
+    const sync::SyncResponse rb = co_await b;
+    EXPECT_EQ(ra.kind, sync::OpKind::LockAcquire);
+    EXPECT_EQ(rb.kind, sync::OpKind::LockAcquire);
+    EXPECT_LE(ra.issuedAt, ra.completedAt);
+    EXPECT_LE(rb.issuedAt, rb.completedAt);
+    // Fire-and-forget releases: a resolved future may be dropped
+    // without being awaited and must still be recorded.
+    api.submitRelease(c, locks[0]);
+    api.submitRelease(c, locks[1]);
+    ++done;
+}
+
+TEST(SyncFutureTest, PipelinesAcquiresAndRecordsDroppedFutures)
+{
+    for (Scheme s : {Scheme::Ideal, Scheme::Central, Scheme::SynCron}) {
+        NdpSystem sys(SystemConfig::make(s, 2, 4));
+        SyncApi &api = sys.api();
+        const sync::LockSet locks = api.createLockSet(2, {0u, 1u});
+        int done = 0;
+        sys.spawn(pipelinedWorker(sys.clientCore(0), api, locks, done));
+        sys.run();
+        EXPECT_EQ(done, 1) << schemeName(s);
+
+        const unsigned acq =
+            static_cast<unsigned>(sync::OpKind::LockAcquire);
+        const unsigned rel =
+            static_cast<unsigned>(sync::OpKind::LockRelease);
+        // Every op recorded exactly once — including the two release
+        // futures that were dropped instead of awaited.
+        EXPECT_EQ(sys.stats().syncLatency[acq].count, 2u)
+            << schemeName(s);
+        EXPECT_EQ(sys.stats().syncLatency[rel].count, 2u)
+            << schemeName(s);
+        EXPECT_TRUE(sys.backend().idleVar(locks[0].addr))
+            << schemeName(s);
+        EXPECT_TRUE(sys.backend().idleVar(locks[1].addr))
+            << schemeName(s);
+    }
+}
+
+TEST(SyncBatchTest, CoalescingEngagesOnOptedInBackends)
+{
+    for (Scheme s : {Scheme::SynCron, Scheme::Central}) {
+        NdpSystem sys(SystemConfig::make(s, 2, 4));
+        workloads::SemFanoutWorkload w(sys, /*width=*/4, /*rounds=*/2,
+                                       /*contended=*/false);
+        sys.run();
+        // Per core: 2 rounds x (one 4-post batch + one 4-wait batch).
+        const std::uint64_t ops =
+            static_cast<std::uint64_t>(sys.numClientCores()) * 2 * 8;
+        EXPECT_EQ(sys.stats().syncOps, ops) << schemeName(s);
+        EXPECT_EQ(sys.stats().batchedOps, ops) << schemeName(s);
+        // Each 4-op batch travels as one message instead of four.
+        EXPECT_EQ(sys.stats().messagesSaved, ops / 4 * 3)
+            << schemeName(s);
+        const unsigned wait = static_cast<unsigned>(sync::OpKind::SemWait);
+        const unsigned post = static_cast<unsigned>(sync::OpKind::SemPost);
+        EXPECT_EQ(sys.stats().syncLatency[wait].count, ops / 2)
+            << schemeName(s);
+        EXPECT_EQ(sys.stats().syncLatency[post].count, ops / 2)
+            << schemeName(s);
+    }
+}
+
+TEST(SyncBatchTest, DefaultFallbackLeavesBackendsUnmodified)
+{
+    // Backends that never overrode requestBatch() must behave exactly
+    // as if every member had been issued through request().
+    for (Scheme s : {Scheme::Ideal, Scheme::SynCronFlat}) {
+        NdpSystem sys(SystemConfig::make(s, 2, 4));
+        workloads::SemFanoutWorkload w(sys, 4, 2, false);
+        sys.run();
+        const std::uint64_t ops =
+            static_cast<std::uint64_t>(sys.numClientCores()) * 2 * 8;
+        EXPECT_EQ(sys.stats().syncOps, ops) << schemeName(s);
+        EXPECT_EQ(sys.stats().batchedOps, 0u) << schemeName(s);
+        EXPECT_EQ(sys.stats().messagesSaved, 0u) << schemeName(s);
+        const unsigned wait = static_cast<unsigned>(sync::OpKind::SemWait);
+        EXPECT_EQ(sys.stats().syncLatency[wait].count, ops / 2)
+            << schemeName(s);
+    }
+}
+
+sim::Process
+holdAwhile(Core &c, SyncApi &api, sync::Lock lock)
+{
+    co_await api.acquire(c, lock);
+    co_await c.compute(5000);
+    co_await api.release(c, lock);
+}
+
+sim::Process
+batchWhileHeld(NdpSystem &sys, Core &c, SyncApi &api, sync::Lock lock,
+               sync::Semaphore sem, bool &checked)
+{
+    co_await c.compute(100);
+    sync::SyncBatch batch(api, c);
+    batch.acquire(lock).post(sem);
+    std::vector<sync::SyncFuture> futures = batch.submit();
+    // The acquire is outstanding (the other core holds the lock, or at
+    // minimum our own message is in flight): the backend tracks live
+    // state for the variable, so destroy() must panic — and must leave
+    // the handle usable (the generation is only bumped on success).
+    EXPECT_FALSE(sys.backend().idleVar(lock.addr));
+    EXPECT_THROW(api.destroy(lock), std::logic_error);
+    checked = true;
+    for (sync::SyncFuture &f : futures)
+        co_await f;
+    co_await api.wait(c, sem); // drain our own post
+    co_await api.release(c, lock);
+}
+
+TEST(IdleVarTest, OutstandingBatchBlocksDestroyOnEveryBackend)
+{
+    for (const std::string &name :
+         BackendRegistry::instance().names()) {
+        SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 2, 4);
+        cfg.backendName = name;
+        NdpSystem sys(cfg);
+        SyncApi &api = sys.api();
+        sync::Lock lock = api.createLock(0);
+        sync::Semaphore sem = api.createSemaphore(1, 0);
+        bool checked = false;
+        sys.spawn(holdAwhile(sys.clientCore(0), api, lock));
+        sys.spawn(batchWhileHeld(sys, sys.clientCore(4), api, lock, sem,
+                                 checked));
+        sys.run();
+        EXPECT_TRUE(checked) << name;
+        // Once every future resolved (and the lock was released),
+        // destroy() must succeed on the very same handle. (The
+        // semaphore is not destroyed: a used semaphore's resource
+        // count is persistent state, so SE backends keep its ST entry
+        // live for the primitive's lifetime by design.)
+        EXPECT_TRUE(sys.backend().idleVar(lock.addr)) << name;
+        api.destroy(lock);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lock-placement cursors
+// ----------------------------------------------------------------------
+
+TEST(LockPlacement, SetCursorIsIndependentOfInterleavedSingles)
+{
+    NdpSystem sys(SystemConfig::make(Scheme::Ideal, 4, 2));
+    SyncApi &api = sys.api();
+
+    // A single interleaved lock advances rr_ to unit 1...
+    sync::Lock s0 = api.createLockInterleaved();
+    EXPECT_EQ(s0.home(), 0u);
+
+    // ...but the first set still starts the set cursor at unit 0 and
+    // stays perfectly balanced.
+    const sync::LockSet a = api.createLockSet(6);
+    std::array<unsigned, 4> homesA{};
+    for (const sync::Lock &l : a)
+        ++homesA[l.home()];
+    EXPECT_EQ(a[0].home(), 0u);
+    EXPECT_EQ(a[5].home(), 1u);
+    EXPECT_EQ(homesA, (std::array<unsigned, 4>{2, 2, 1, 1}));
+
+    // The set did not disturb the singles cursor: the next interleaved
+    // single lands exactly where it would have without the set.
+    sync::Lock s1 = api.createLockInterleaved();
+    EXPECT_EQ(s1.home(), 1u);
+
+    // And the second set continues the set cursor where the first set
+    // stopped (unit 2), unaffected by the singles in between.
+    const sync::LockSet b = api.createLockSet(4);
+    EXPECT_EQ(b[0].home(), 2u);
+    EXPECT_EQ(b[1].home(), 3u);
+    EXPECT_EQ(b[2].home(), 0u);
+    EXPECT_EQ(b[3].home(), 1u);
 }
 
 // ----------------------------------------------------------------------

@@ -309,6 +309,50 @@ TEST(TraceCaptureReplay, InMemoryCaptureMatchesTheFile)
 }
 
 sim::Process
+guardScopeExitWorker(NdpSystem &sys, core::Core &c, sync::Lock lock)
+{
+    sync::SyncApi &api = sys.api();
+    {
+        sync::ScopedLock guard = co_await api.scoped(c, lock);
+        co_await c.compute(10);
+        // No explicit unlock: scope exit issues the detached release.
+    }
+    co_await c.compute(10);
+}
+
+TEST(TraceCaptureReplay, GuardScopeExitReleaseIsCaptured)
+{
+    // The ScopedLock scope-exit release is issued detached (no awaiting
+    // coroutine); the capture hook must still see it — with completion
+    // == issue tick, since req_async commits at issue and nothing ever
+    // observes a later completion — or captured traces under-count
+    // releases relative to acquires.
+    const std::string path = "test_trace_guard_exit.trc";
+    SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 2, 4);
+    cfg.tracePath = path;
+    NdpSystem sys(cfg);
+    sync::Lock lock = sys.api().createLock(0);
+    sys.spawn(guardScopeExitWorker(sys, sys.clientCore(0), lock));
+    sys.run();
+
+    const Trace &t = sys.traceCapture()->trace();
+    std::remove(path.c_str());
+    const auto counts = t.opCounts();
+    EXPECT_EQ(counts[static_cast<unsigned>(sync::OpKind::LockAcquire)],
+              1u);
+    EXPECT_EQ(counts[static_cast<unsigned>(sync::OpKind::LockRelease)],
+              1u);
+    bool sawDetachedRelease = false;
+    for (const TraceRecord &r : t.records) {
+        if (r.kind != sync::OpKind::LockRelease)
+            continue;
+        sawDetachedRelease = true;
+        EXPECT_EQ(r.completed, r.issued);
+    }
+    EXPECT_TRUE(sawDetachedRelease);
+}
+
+sim::Process
 recycleWorker(NdpSystem &sys, core::Core &c)
 {
     // Use a lock, destroy it, then mint a semaphore and a second-

@@ -77,15 +77,24 @@ def main():
 
     try:
         base = load(args.baseline)
-    except FileNotFoundError:
+    except (OSError, ValueError) as e:
+        # A record can be missing from the baseline artifacts for benign
+        # reasons (very first CI run, a bench added by the current
+        # change, a truncated artifact download): exit 0 with a notice
+        # instead of a stack trace when the caller opted in.
         if args.allow_missing_baseline:
-            print("perf_trend: no baseline at '%s'; skipping comparison"
-                  % args.baseline)
+            print("perf_trend: no usable baseline record at '%s' (%s); "
+                  "skipping comparison" % (args.baseline, e))
             return 0
-        print("perf_trend: baseline '%s' not found" % args.baseline,
-              file=sys.stderr)
+        print("perf_trend: baseline '%s' unreadable: %s"
+              % (args.baseline, e), file=sys.stderr)
         return 2
-    cur = load(args.current)
+    try:
+        cur = load(args.current)
+    except (OSError, ValueError) as e:
+        print("perf_trend: current record '%s' unreadable: %s"
+              % (args.current, e), file=sys.stderr)
+        return 2
 
     if base.get("bench") != cur.get("bench"):
         print("perf_trend: comparing different benches ('%s' vs '%s')"
