@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Offline analysis of captured sync-op traces: feeds a PR-4 trace file
+ * through the same AnalysisEngine the live --analyze path uses, so the
+ * lock-order analyzer and misuse linter run on any trace — captured
+ * from a real run, synthesized by the scenario generator, or produced
+ * elsewhere. (The lockset race checker is live-only: traces carry no
+ * shadow-state accesses.) The tools/analyze_trace binary is a thin CLI
+ * over analyzeTrace().
+ */
+
+#ifndef SYNCRON_ANALYSIS_TRACE_ANALYSIS_HH
+#define SYNCRON_ANALYSIS_TRACE_ANALYSIS_HH
+
+#include "analysis/report.hh"
+#include "trace/format.hh"
+
+namespace syncron::analysis {
+
+/** Runs the trace-applicable analyses over @p trace. */
+AnalysisReport analyzeTrace(const trace::Trace &trace);
+
+} // namespace syncron::analysis
+
+#endif // SYNCRON_ANALYSIS_TRACE_ANALYSIS_HH

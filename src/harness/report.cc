@@ -103,6 +103,11 @@ BenchReport::writeJson() const
     JsonWriter j(f);
     j.beginObject();
     j.field("bench", name_);
+#ifdef SYNCRON_SANITIZER
+    // Stamped by -DSYNCRON_SANITIZE=...; perf_trend.py refuses such
+    // records — instrumented numbers are not performance numbers.
+    j.field("sanitizer", SYNCRON_SANITIZER);
+#endif
     j.key("options");
     j.beginObject()
         .field("scale", opts_.scale)

@@ -31,7 +31,9 @@ BenchOptions::usage()
            "  --trace-out=<path> capture the sync-op stream to a trace "
            "file (needs --jobs=1)\n"
            "  --trace-in=<path>  replay an existing trace file (needs "
-           "--jobs=1)";
+           "--jobs=1)\n"
+           "  --analyze          run the sync-correctness analyses on "
+           "every cell (fatal on findings)";
 }
 
 namespace {
@@ -105,6 +107,8 @@ BenchOptions::parse(int argc, char **argv)
             if (*val == '\0')
                 SYNCRON_FATAL("--trace-in needs a path\n" << usage());
             opts.traceIn = val;
+        } else if (std::strcmp(arg, "--analyze") == 0) {
+            opts.analyze = true;
         } else if (std::strncmp(arg, "--benchmark", 11) == 0) {
             // Tolerate google-benchmark's standard flags.
         } else {
@@ -140,6 +144,7 @@ BenchOptions::makeConfig(Scheme scheme, unsigned numUnits,
         SystemConfig::make(scheme, numUnits, clientCoresPerUnit);
     cfg.backendName = backend;
     cfg.tracePath = traceOut;
+    cfg.analyze = analyze;
     return cfg;
 }
 

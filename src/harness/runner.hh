@@ -39,6 +39,10 @@ struct BenchOptions
     /// --trace-in=<path>: replay an existing trace file (trace benches).
     /// Requires --jobs=1 for symmetry with capture.
     std::string traceIn;
+    /// --analyze: run the sync-correctness analyses on every cell
+    /// (fatal on findings). Works with --jobs>1: each grid cell's
+    /// system owns an independent analysis::LiveAnalyzer.
+    bool analyze = false;
 
     /** Maximum accepted --jobs value. */
     static constexpr unsigned kMaxJobs = 256;

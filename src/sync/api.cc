@@ -13,13 +13,20 @@ static_assert(kNumSyncOpKinds
 namespace detail {
 
 void
-recordCompletion(Machine &machine, CoreId core, const SyncRequest &req,
-                 Tick issued, Tick completed, TraceSink *sink)
+recordCompletion(Machine &machine, SyncApi *api, CoreId core,
+                 const SyncRequest &req, Tick issued, Tick completed)
 {
     machine.stats().recordSyncLatency(static_cast<unsigned>(req.kind()),
                                       completed - issued);
-    if (sink != nullptr)
-        sink->record(core, req, issued, completed);
+    if (api != nullptr)
+        api->notifyOp(core, req, issued, completed);
+}
+
+void
+recordIssue(SyncApi *api, CoreId core, const SyncRequest &req, Tick issued)
+{
+    if (api != nullptr)
+        api->notifyIssue(core, req, issued);
 }
 
 } // namespace detail
@@ -191,6 +198,8 @@ SyncApi::destroyPrimitive(const SyncPrimitive &prim)
     backend_.releaseVar(prim.addr);
     if (traceSink_ != nullptr)
         traceSink_->recordDestroy(prim.addr);
+    if (observer_ != nullptr)
+        observer_->onDestroy(prim.addr);
     ++generations_[prim.addr];
     freeLists_[prim.home()].push_back(prim.addr);
 }
@@ -201,7 +210,7 @@ SyncApi::makeOp(core::Core &c, const SyncPrimitive &prim,
 {
     checkLive(prim);
     ++machine_.stats().syncOps;
-    return SyncOp{c, backend_, req, traceSink_};
+    return SyncOp{c, backend_, req, this};
 }
 
 std::unique_ptr<detail::FutureState>
@@ -212,8 +221,9 @@ SyncApi::makeFutureState(core::Core &c, const SyncRequest &req)
                    "the blocking SyncApi::wait(core, cond, lock)");
     ++machine_.stats().syncOps;
     auto state = std::make_unique<detail::FutureState>(machine_, c.id(),
-                                                       req, traceSink_);
+                                                       req, this);
     state->issuedAt = machine_.eq().now();
+    notifyIssue(c.id(), req, state->issuedAt);
     return state;
 }
 
@@ -308,6 +318,7 @@ SyncApi::issueDetached(core::Core &c, const SyncPrimitive &prim,
     ++machine_.stats().syncOps;
     sim::Gate gate(machine_.eq());
     const Tick issued = machine_.eq().now();
+    notifyIssue(c.id(), req, issued);
     backend_.request(c, req, &gate);
     SYNCRON_ASSERT(gate.opened(),
                    "backend " << backend_.name() << " did not commit "
@@ -316,10 +327,9 @@ SyncApi::issueDetached(core::Core &c, const SyncPrimitive &prim,
         static_cast<unsigned>(req.kind()),
         machine_.eq().now() + c.cyclePeriod() - issued);
     // req_async commits at issue and no coroutine ever observes this
-    // operation, so the captured record carries completion == issue
-    // tick; a trace must count every guard-scope-exit release.
-    if (traceSink_ != nullptr)
-        traceSink_->record(c.id(), req, issued, issued);
+    // operation, so the record carries completion == issue tick; a
+    // trace must count every guard-scope-exit release.
+    notifyOp(c.id(), req, issued, issued);
 }
 
 // -- Typed primitive creation ------------------------------------------
@@ -418,7 +428,7 @@ SyncApi::scoped(core::Core &c, const Lock &lock)
 {
     checkLive(lock);
     ++machine_.stats().syncOps;
-    return ScopedLockOp{*this, c, lock, backend_, traceSink_};
+    return ScopedLockOp{*this, c, lock, backend_};
 }
 
 SyncOp

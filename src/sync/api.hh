@@ -58,6 +58,7 @@
 #include "core/core.hh"
 #include "sim/process.hh"
 #include "sync/backend.hh"
+#include "sync/observer.hh"
 #include "sync/primitives.hh"
 #include "sync/request.hh"
 #include "sync/trace_sink.hh"
@@ -71,12 +72,18 @@ namespace detail {
 
 /**
  * Records one completed operation in the machine's per-OpKind latency
- * statistics and notifies the installed trace sink. Shared by the
- * blocking SyncOp awaitable and the asynchronous SyncFuture so both
- * forms are indistinguishable to observers.
+ * statistics and fans it out through SyncApi::notifyOp() (trace sink +
+ * observer). Shared by the blocking SyncOp awaitable and the
+ * asynchronous SyncFuture so both forms are indistinguishable to
+ * observers. @p api may be nullptr (an api-less SyncOp built directly
+ * against a backend, as some unit tests do).
  */
-void recordCompletion(Machine &machine, CoreId core, const SyncRequest &req,
-                      Tick issued, Tick completed, TraceSink *sink);
+void recordCompletion(Machine &machine, SyncApi *api, CoreId core,
+                      const SyncRequest &req, Tick issued, Tick completed);
+
+/** Forwards an operation-issue event to the api's observer, if any. */
+void recordIssue(SyncApi *api, CoreId core, const SyncRequest &req,
+                 Tick issued);
 
 /**
  * State of one in-flight asynchronous operation. The backend keeps a
@@ -87,27 +94,27 @@ void recordCompletion(Machine &machine, CoreId core, const SyncRequest &req,
 struct FutureState
 {
     FutureState(Machine &machine, CoreId core, const SyncRequest &req,
-                TraceSink *sink)
-        : machine(machine), gate(machine.eq()), req(req), sink(sink),
+                SyncApi *api)
+        : machine(machine), gate(machine.eq()), req(req), api(api),
           core(core)
     {}
 
     Machine &machine;
     sim::Gate gate;
     SyncRequest req;
-    TraceSink *sink;
+    SyncApi *api;
     CoreId core;
     Tick issuedAt = 0;
     bool recorded = false;
 
-    /** Records latency + sink exactly once. */
+    /** Records latency + notifies sink/observer exactly once. */
     void
     finalize(Tick completedAt)
     {
         if (recorded)
             return;
         recorded = true;
-        recordCompletion(machine, core, req, issuedAt, completedAt, sink);
+        recordCompletion(machine, api, core, req, issuedAt, completedAt);
     }
 };
 
@@ -242,9 +249,9 @@ class SyncOp
 {
   public:
     SyncOp(core::Core &core, SyncBackend &backend, const SyncRequest &req,
-           TraceSink *sink = nullptr)
+           SyncApi *api = nullptr)
         : core_(core), backend_(backend), gate_(core.machine().eq()),
-          req_(req), sink_(sink)
+          req_(req), api_(api)
     {}
 
     SyncOp(const SyncOp &) = delete;
@@ -256,6 +263,7 @@ class SyncOp
     await_suspend(std::coroutine_handle<> h)
     {
         issuedAt_ = core_.machine().eq().now();
+        detail::recordIssue(api_, core_.id(), req_, issuedAt_);
         backend_.request(core_, req_, &gate_);
         // The gate handles both orders: backend already opened it
         // (schedule resume) or will open it later (park the handle).
@@ -270,8 +278,8 @@ class SyncOp
         resp.issuedAt = issuedAt_;
         resp.completedAt = core_.machine().eq().now();
         resp.payload = gate_.await_resume();
-        detail::recordCompletion(core_.machine(), core_.id(), req_,
-                                 issuedAt_, resp.completedAt, sink_);
+        detail::recordCompletion(core_.machine(), api_, core_.id(), req_,
+                                 issuedAt_, resp.completedAt);
         return resp;
     }
 
@@ -280,7 +288,7 @@ class SyncOp
     SyncBackend &backend_;
     sim::Gate gate_;
     SyncRequest req_;
-    TraceSink *sink_;
+    SyncApi *api_;
     Tick issuedAt_ = 0;
 };
 
@@ -347,9 +355,9 @@ class ScopedLockOp
 {
   public:
     ScopedLockOp(SyncApi &api, core::Core &core, const Lock &lock,
-                 SyncBackend &backend, TraceSink *sink)
+                 SyncBackend &backend)
         : api_(api), core_(core), lock_(lock),
-          inner_(core, backend, SyncRequest::lockAcquire(lock.addr), sink)
+          inner_(core, backend, SyncRequest::lockAcquire(lock.addr), &api)
     {}
 
     ScopedLockOp(const ScopedLockOp &) = delete;
@@ -521,15 +529,66 @@ class SyncApi
     SyncBackend &backend() { return backend_; }
 
     /**
-     * Installs (or, with nullptr, removes) the observer notified of
-     * every completed operation — the capture hook behind
+     * Installs (or, with nullptr, removes) the sink notified of every
+     * completed operation — the capture hook behind
      * SystemConfig::tracePath. The sink must outlive all operations
      * issued while it is installed.
      */
     void setTraceSink(TraceSink *sink) { traceSink_ = sink; }
 
-    /** The installed operation observer; nullptr when not tracing. */
+    /** The installed trace sink; nullptr when not tracing. */
     TraceSink *traceSink() const { return traceSink_; }
+
+    /**
+     * Installs (or, with nullptr, removes) the live analysis observer —
+     * the hook behind SystemConfig::analyze. Composes with the trace
+     * sink: both are fed from the same notifyOp() dispatch, so
+     * capture+analyze see identical streams in one run. The observer
+     * must outlive all operations issued while it is installed.
+     */
+    void setObserver(OpObserver *observer) { observer_ = observer; }
+
+    /** The installed analysis observer; nullptr when not analyzing. */
+    OpObserver *observer() const { return observer_; }
+
+    /**
+     * Single completion fan-out: per-OpKind latency statistics are
+     * recorded by the caller (detail::recordCompletion); this forwards
+     * the completed operation to the trace sink and the observer.
+     */
+    void
+    notifyOp(CoreId core, const SyncRequest &req, Tick issued,
+             Tick completed)
+    {
+        if (traceSink_ != nullptr)
+            traceSink_->record(core, req, issued, completed);
+        if (observer_ != nullptr)
+            observer_->onComplete(core, req, issued, completed);
+    }
+
+    /** Issue-side fan-out (observer only; traces carry completions). */
+    void
+    notifyIssue(CoreId core, const SyncRequest &req, Tick issued)
+    {
+        if (observer_ != nullptr)
+            observer_->onIssue(core, req, issued);
+    }
+
+    /**
+     * Reports a shadow-state access to the analysis observer — the
+     * workload-side input of the lockset race checker. Call it for
+     * reads/writes of data a lock (or LockSet member) is meant to
+     * protect; accesses that are lock-free by design (e.g. optimistic
+     * traversals that re-validate) should not be hinted. A no-op
+     * without an installed observer.
+     */
+    void
+    accessHint(const core::Core &c, Addr addr, bool isWrite)
+    {
+        if (observer_ != nullptr)
+            observer_->onAccess(c.id(), addr, isWrite,
+                                machine_.eq().now());
+    }
 
   private:
     friend class ScopedLock;
@@ -564,6 +623,7 @@ class SyncApi
     Machine &machine_;
     SyncBackend &backend_;
     TraceSink *traceSink_ = nullptr;
+    OpObserver *observer_ = nullptr;
     std::vector<std::vector<Addr>> freeLists_; ///< per-unit recycled lines
     /// Current allocation generation per line (absent = 0).
     std::unordered_map<Addr, std::uint32_t> generations_;

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Observer hook over the synchronization-operation stream — the
+ * analysis-facing sibling of TraceSink.
+ *
+ * A TraceSink records completed operations for later replay; an
+ * OpObserver watches the same stream live, plus two events a trace
+ * does not carry: operation *issue* (needed to model cond_wait's
+ * release-the-lock-at-issue semantics) and shadow-state *accesses*
+ * reported by workloads through SyncApi::accessHint() (the input of
+ * the Eraser-style lockset race checker).
+ *
+ * Both hooks are fed from the single SyncApi::notifyOp()/notifyIssue()
+ * dispatch point, so capture and analysis compose in one run and see
+ * identical streams. Events arrive in simulation-time order; per core
+ * that order equals program order (the cores are in-order).
+ */
+
+#ifndef SYNCRON_SYNC_OBSERVER_HH
+#define SYNCRON_SYNC_OBSERVER_HH
+
+#include "common/types.hh"
+#include "sync/request.hh"
+
+namespace syncron::sync {
+
+/** Live observer of the synchronization-operation stream. */
+class OpObserver
+{
+  public:
+    virtual ~OpObserver() = default;
+
+    /**
+     * An operation was issued to the backend. Only cond_wait semantics
+     * need this (the associated lock is released at issue, long before
+     * the wait completes); the default ignores it.
+     */
+    virtual void onIssue(CoreId, const SyncRequest &, Tick) {}
+
+    /** An operation completed (same event TraceSink::record sees). */
+    virtual void onComplete(CoreId core, const SyncRequest &req,
+                            Tick issued, Tick completed) = 0;
+
+    /**
+     * A workload touched shadow state at @p addr while holding whatever
+     * locks the observer has seen it acquire — the lockset checker's
+     * access event, reported via SyncApi::accessHint().
+     */
+    virtual void onAccess(CoreId, Addr, bool /*isWrite*/, Tick) {}
+
+    /** A primitive's line was destroyed (handle invalidated). */
+    virtual void onDestroy(Addr) {}
+};
+
+} // namespace syncron::sync
+
+#endif // SYNCRON_SYNC_OBSERVER_HH

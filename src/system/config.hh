@@ -120,6 +120,22 @@ struct SystemConfig
      */
     std::string tracePath;
 
+    /**
+     * Runs the sync-correctness analyses (analysis::LiveAnalyzer —
+     * lockset race checker, lock-order deadlock analyzer, misuse
+     * linter) over the operation stream. Composes with tracePath: both
+     * hooks hang off the same SyncApi::notifyOp() dispatch. Benches
+     * expose this as --analyze.
+     */
+    bool analyze = false;
+
+    /**
+     * With analyze set: fatal() when the run produced findings (the
+     * default — a clean stream is the contract). Tests that seed
+     * defects on purpose clear this and inspect the report instead.
+     */
+    bool analyzeFatal = true;
+
     std::uint64_t seed = 1;
 
     /** Total number of client cores in the system. */

@@ -1,5 +1,9 @@
 #include "system/system.hh"
 
+#include <iostream>
+#include <sstream>
+
+#include "analysis/live.hh"
 #include "common/log.hh"
 #include "sync/registry.hh"
 #include "trace/capture.hh"
@@ -24,6 +28,10 @@ NdpSystem::NdpSystem(const SystemConfig &cfg)
     if (!conf.tracePath.empty()) {
         capture_ = std::make_unique<trace::TraceCapture>(conf);
         api_->setTraceSink(capture_.get());
+    }
+    if (conf.analyze) {
+        analyzer_ = std::make_unique<analysis::LiveAnalyzer>(conf);
+        api_->setObserver(analyzer_.get());
     }
 
     const SystemConfig &c = machine_->config();
@@ -81,6 +89,18 @@ NdpSystem::run()
     if (capture_ != nullptr)
         trace::writeTraceFile(capture_->trace(),
                               machine_->config().tracePath);
+    if (analyzer_ != nullptr && !analyzer_->finished()) {
+        const analysis::AnalysisReport &report = analyzer_->finish();
+        if (!report.clean()) {
+            std::ostringstream os;
+            report.print(os);
+            if (machine_->config().analyzeFatal) {
+                SYNCRON_FATAL("sync-correctness analysis failed:\n"
+                              << os.str());
+            }
+            std::cerr << os.str();
+        }
+    }
 }
 
 Tick

@@ -32,6 +32,10 @@ namespace syncron::trace {
 class TraceCapture;
 } // namespace syncron::trace
 
+namespace syncron::analysis {
+class LiveAnalyzer;
+} // namespace syncron::analysis
+
 namespace syncron {
 
 /** A complete simulated NDP system instance. */
@@ -79,6 +83,15 @@ class NdpSystem
      */
     trace::TraceCapture *traceCapture() { return capture_.get(); }
 
+    /**
+     * The live sync-correctness analyzer installed when
+     * SystemConfig::analyze is set; nullptr when not analyzing. run()
+     * finishes it and (with analyzeFatal) fatal()s on findings; tests
+     * seeding defects clear analyzeFatal and read analyzer()->report()
+     * afterwards.
+     */
+    analysis::LiveAnalyzer *analyzer() { return analyzer_.get(); }
+
     /** Simulated time elapsed so far. */
     Tick elapsed() const;
 
@@ -91,6 +104,7 @@ class NdpSystem
     engine::SynCronBackend *engineView_ = nullptr;
     std::unique_ptr<sync::SyncApi> api_;
     std::unique_ptr<trace::TraceCapture> capture_;
+    std::unique_ptr<analysis::LiveAnalyzer> analyzer_;
     std::vector<std::unique_ptr<core::Core>> cores_; ///< client cores
     std::vector<sim::Process> processes_;
 };

@@ -157,7 +157,22 @@ TraceWriter::write(const Trace &trace)
         putVarint(os_, r.core);
         putVarint(os_, static_cast<std::uint64_t>(r.kind));
         putVarint(os_, r.prim);
-        putVarint(os_, r.assocPrim);
+        // v2: the associated lock is a mandatory cond_wait-only field;
+        // consumers (the offline deadlock analyzer) rely on it, so an
+        // unset or dangling value is a writer error, not a reader one.
+        if (r.kind == sync::OpKind::CondWait) {
+            if (r.assocPrim >= trace.primitives.size()
+                || trace.primitives[r.assocPrim].kind != PrimKind::Lock) {
+                SYNCRON_FATAL("cond_wait record without a valid "
+                              "associated lock (assocPrim "
+                              << r.assocPrim << ")");
+            }
+            putVarint(os_, r.assocPrim);
+        } else if (r.assocPrim != 0) {
+            SYNCRON_FATAL("record carries an associated primitive but "
+                          "is not a cond_wait ("
+                          << sync::opKindName(r.kind) << ")");
+        }
         prevIssued = r.issued;
     }
 
@@ -175,6 +190,14 @@ TraceReader::read()
         SYNCRON_FATAL("not a SynCron trace (bad magic)");
     }
     const std::uint64_t version = getVarint(is_);
+    if (version == 1) {
+        // v1's associated-primitive field was unreliable (see the
+        // format.hh changelog); silently accepting it would hand the
+        // deadlock analyzer cond_waits with no lock.
+        SYNCRON_FATAL("trace version 1 is no longer readable (its "
+                      "cond_wait records carry no reliable associated "
+                      "lock); recapture the trace with this build");
+    }
     if (version != kTraceVersion) {
         SYNCRON_FATAL("unsupported trace version " << version
                                                    << " (this build reads "
@@ -250,13 +273,15 @@ TraceReader::read()
                 << " to a "
                 << primKindName(trace.primitives[r.prim].kind));
         }
-        r.assocPrim = static_cast<std::uint32_t>(getVarint(is_));
-        if (r.kind == sync::OpKind::CondWait
-            && (r.assocPrim >= trace.primitives.size()
-                || trace.primitives[r.assocPrim].kind != PrimKind::Lock)) {
-            SYNCRON_FATAL("trace record "
-                          << i << " is a cond_wait without a valid "
-                                  "associated lock");
+        if (r.kind == sync::OpKind::CondWait) {
+            r.assocPrim = static_cast<std::uint32_t>(getVarint(is_));
+            if (r.assocPrim >= trace.primitives.size()
+                || trace.primitives[r.assocPrim].kind
+                       != PrimKind::Lock) {
+                SYNCRON_FATAL("trace record "
+                              << i << " is a cond_wait without a valid "
+                                      "associated lock");
+            }
         }
         trace.records.push_back(r);
         prevIssued = r.issued;

@@ -14,12 +14,13 @@
  * On disk the container is a compact varint encoding (decided contract,
  * see ROADMAP):
  *
- *   magic "SYNCTRC\0" | varint version (= 1)
+ *   magic "SYNCTRC\0" | varint version (= 2)
  *   varint numUnits | varint clientCoresPerUnit
  *   varint primitive count | per primitive: kind, home, param, scope
  *   varint record count   | per record:
  *       zigzag(issue delta vs previous record) | latency (completed -
- *       issued) | core | OpKind | primitive id | associated primitive
+ *       issued) | core | OpKind | primitive id
+ *       | associated lock (cond_wait records only)
  *
  * All multi-byte fields are LEB128 varints; issue ticks are
  * delta-encoded against the previous record (zigzag, so capture order —
@@ -27,6 +28,14 @@
  * TraceReader guarantee a lossless round trip; the reader rejects bad
  * magic, unknown versions, truncation, trailing garbage, and records
  * referencing out-of-range primitives or cores.
+ *
+ * v1 -> v2: v1 wrote an associated-primitive varint on EVERY record
+ * (always 0 outside cond_wait) and did not require writers to populate
+ * it, so offline consumers could not rely on the field. v2 makes the
+ * associated lock a mandatory, writer-validated field of cond_wait
+ * records and drops the dead varint everywhere else — the deadlock
+ * analyzer (analysis::analyzeTrace) depends on it. Readers reject v1
+ * traces; recapture them with this build.
  */
 
 #ifndef SYNCRON_TRACE_FORMAT_HH
@@ -46,7 +55,7 @@
 namespace syncron::trace {
 
 /** Trace container version written/accepted by this build. */
-inline constexpr std::uint64_t kTraceVersion = 1;
+inline constexpr std::uint64_t kTraceVersion = 2;
 
 /** 8-byte container magic ("SYNCTRC\0"). */
 inline constexpr std::array<char, 8> kTraceMagic = {'S', 'Y', 'N', 'C',

@@ -22,6 +22,7 @@ SimArrayMap::worker(Core &c, unsigned ops)
         const std::uint64_t key = c.rng().below(entries_);
         sync::ScopedLock guard = co_await api.scoped(c, lock_);
         for (unsigned e = 0; e < entries_; ++e) {
+            api.accessHint(c, baseAddr_ + e * 16ULL, false);
             co_await c.load(baseAddr_ + e * 16ULL, 16, MemKind::SharedRW);
             co_await c.compute(2); // key compare
             if (e == key)

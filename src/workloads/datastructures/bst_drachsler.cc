@@ -62,7 +62,9 @@ SimBstDrachsler::worker(Core &c, unsigned ops)
         }
 
         // Lock-free search: ~3 * log2(n) dependent reads (search +
-        // logical-ordering validation), then the 64 B payload.
+        // logical-ordering validation), then the 64 B payload. These
+        // reads are lock-free by design (the locked section
+        // re-validates), so they carry no access hints.
         for (Addr hop : path)
             co_await c.load(hop, 16, MemKind::SharedRW);
         co_await c.load(victim.addr, 64, MemKind::SharedRW);
@@ -74,9 +76,12 @@ SimBstDrachsler::worker(Core &c, unsigned ops)
         auto found = nodes_.find(key);
         if (found != nodes_.end()
             && found->second.addr == victim.addr) {
+            api.accessHint(c, victim.addr, true);
             co_await c.store(victim.addr, 16, MemKind::SharedRW);
-            if (havePred)
+            if (havePred) {
+                api.accessHint(c, pred.addr, true);
                 co_await c.store(pred.addr, 16, MemKind::SharedRW);
+            }
             nodes_.erase(found);
             heap_.free(victim.addr);
         }

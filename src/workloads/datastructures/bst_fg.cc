@@ -92,6 +92,7 @@ SimBstFg::worker(Core &c, unsigned ops)
 
         int cur = root_;
         sync::ScopedLock held = co_await api.scoped(c, nodes_[cur].lock);
+        api.accessHint(c, nodes_[cur].addr, false);
         co_await c.load(nodes_[cur].addr, 24, MemKind::SharedRW);
         for (;;) {
             Node &n = nodes_[cur];
@@ -103,6 +104,7 @@ SimBstFg::worker(Core &c, unsigned ops)
                 co_await api.scoped(c, nodes_[next].lock);
             co_await held.unlock();
             held = std::move(child);
+            api.accessHint(c, nodes_[next].addr, false);
             co_await c.load(nodes_[next].addr, 24, MemKind::SharedRW);
             cur = next;
         }

@@ -39,6 +39,7 @@ SimHashTable::worker(Core &c, unsigned ops)
         sync::ScopedLock guard = co_await api.scoped(c, bucketLocks_[b]);
         bool found = false;
         for (const auto &[k, addr] : buckets_[b]) {
+            api.accessHint(c, addr, false);
             co_await c.load(addr, 16, MemKind::SharedRW);
             co_await c.compute(2);
             if (k == key) {

@@ -54,6 +54,7 @@ SimLinkedList::worker(Core &c, unsigned ops)
         std::size_t held = 0;
         for (std::size_t pos = 1; pos <= target; ++pos) {
             sync::SyncFuture next = api.submitAcquire(c, nodes_[pos].lock);
+            api.accessHint(c, nodes_[held].addr, false);
             co_await c.load(nodes_[held].addr, 16, MemKind::SharedRW);
             co_await c.compute(2);
             co_await next;
@@ -62,6 +63,7 @@ SimLinkedList::worker(Core &c, unsigned ops)
             api.submitRelease(c, nodes_[held].lock);
             held = pos;
         }
+        api.accessHint(c, nodes_[held].addr, false);
         co_await c.load(nodes_[held].addr, 16, MemKind::SharedRW);
         co_await api.release(c, nodes_[held].lock);
         co_await c.compute(10);

@@ -41,14 +41,18 @@ SimPriorityQueue::worker(Core &c, unsigned ops)
             heapShadow_.pop_back();
             lastPopped_ = min;
 
+            api.accessHint(c, baseAddr_, false);
             co_await c.load(baseAddr_, 8, MemKind::SharedRW); // root
             const std::size_t n = heapShadow_.size();
+            api.accessHint(c, baseAddr_, true);
             co_await c.store(baseAddr_, 8, MemKind::SharedRW);
             // Sift-down path: two child loads + one store per level.
             std::size_t idx = 0;
             while (2 * idx + 1 < n) {
                 const Addr child = baseAddr_ + (2 * idx + 1) * 8;
+                api.accessHint(c, child, false);
                 co_await c.load(child, 16, MemKind::SharedRW);
+                api.accessHint(c, baseAddr_ + idx * 8, true);
                 co_await c.store(baseAddr_ + idx * 8, 8,
                                  MemKind::SharedRW);
                 idx = 2 * idx + 1;

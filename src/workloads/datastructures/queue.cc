@@ -23,11 +23,16 @@ SimQueue::worker(Core &c, unsigned ops)
         // 100% pop = dequeue through the head lock (Michael-Scott
         // two-lock queue [104]).
         sync::ScopedLock guard = co_await api.scoped(c, headLock_);
+        api.accessHint(c, headAddr_, false);
         co_await c.load(headAddr_, 8, MemKind::SharedRW); // head pointer
         if (headIdx_ < shadow_.size()) {
             const Addr node = shadow_[headIdx_];
             ++headIdx_;
+            // Node memory recycles through the heap, so it gets no
+            // access hint: the next owner's private writes would look
+            // like races on the reused address.
             co_await c.load(node, 8, MemKind::SharedRW); // node->next
+            api.accessHint(c, headAddr_, true);
             co_await c.store(headAddr_, 8, MemKind::SharedRW);
             heap_.free(node);
         } else {

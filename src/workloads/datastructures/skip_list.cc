@@ -72,7 +72,8 @@ SimSkipList::worker(Core &c, unsigned ops)
 
         // Optimistic search: one dependent node load per level, walking
         // the predecessor towers (medium contention: different cores
-        // traverse different regions).
+        // traverse different regions). Lock-free by design — the locked
+        // section re-validates — so these loads carry no access hints.
         for (Addr hop : path) {
             co_await c.load(hop, 16, MemKind::SharedRW);
             co_await c.compute(3);
@@ -90,9 +91,11 @@ SimSkipList::worker(Core &c, unsigned ops)
         if (stillThere) {
             for (unsigned lvl = 0; lvl < victim.level; ++lvl) {
                 if (havePred) {
+                    api.accessHint(c, pred.addr + lvl * 8, true);
                     co_await c.store(pred.addr + lvl * 8, 8,
                                      MemKind::SharedRW);
                 }
+                api.accessHint(c, victim.addr + lvl * 8, false);
                 co_await c.load(victim.addr + lvl * 8, 8,
                                 MemKind::SharedRW);
             }

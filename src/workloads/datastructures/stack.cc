@@ -24,8 +24,12 @@ SimStack::worker(Core &c, unsigned ops)
         co_await c.compute(6); // key/value preparation
         {
             sync::ScopedLock guard = co_await api.scoped(c, lock_);
+            api.accessHint(c, topAddr_, false);
             co_await c.load(topAddr_, 8, MemKind::SharedRW);
+            // The fresh node is core-private until top points at it, so
+            // its initializing store carries no access hint.
             co_await c.store(node, 8, MemKind::SharedRW); // node->next = top
+            api.accessHint(c, topAddr_, true);
             co_await c.store(topAddr_, 8, MemKind::SharedRW); // top = node
             shadow_.push_back(node);
             co_await guard.unlock();

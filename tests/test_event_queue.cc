@@ -53,10 +53,36 @@ operator new[](std::size_t n)
     throw std::bad_alloc();
 }
 
+// The nothrow forms must be replaced too (std::get_temporary_buffer
+// allocates through them but deallocates through sized delete): a
+// partial replacement set mixes this malloc/free pool with the
+// library's, which AddressSanitizer rejects as alloc-dealloc-mismatch.
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n);
+}
+
 void operator delete(void *p) noexcept { std::free(p); }
 void operator delete[](void *p) noexcept { std::free(p); }
 void operator delete(void *p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
 
 namespace syncron::sim {
 namespace {

@@ -151,6 +151,24 @@ TEST(TraceFormat, RejectsBadMagicAndVersion)
     EXPECT_THROW(decode(badVersion), std::runtime_error);
 }
 
+TEST(TraceFormat, RejectsVersion1WithRecaptureMessage)
+{
+    // v1 records carried no reliable associated-lock field, so the
+    // offline deadlock analyzer cannot trust them; the reader must
+    // reject v1 with a message telling the user to recapture.
+    Rng rng(23);
+    std::string v1 = encode(randomTrace(rng));
+    v1[8] = '\x01'; // version varint right after the 8-byte magic
+    try {
+        decode(v1);
+        FAIL() << "a version-1 trace was accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("recapture"),
+                  std::string::npos)
+            << "message should point at recapturing: " << e.what();
+    }
+}
+
 TEST(TraceFormat, RejectsTruncation)
 {
     Rng rng(13);

@@ -29,7 +29,20 @@ import sys
 
 def load(path):
     with open(path) as f:
-        return json.load(f)
+        rec = json.load(f)
+    # Validate by schema, not by file name: a BENCH_*.json record is an
+    # object with a bench name and a configs list. Records stamped with
+    # "sanitizer" come from instrumented builds (-DSYNCRON_SANITIZE=...)
+    # whose timings are meaningless as perf data — refuse them the same
+    # way as a malformed record, so a sanitizer-job artifact can never
+    # become a perf baseline.
+    if not isinstance(rec, dict) or "bench" not in rec \
+            or not isinstance(rec.get("configs"), list):
+        raise ValueError("not a bench record (missing 'bench'/'configs')")
+    if rec.get("sanitizer"):
+        raise ValueError("sanitizer-instrumented record (%s); not usable "
+                         "as perf data" % rec["sanitizer"])
+    return rec
 
 
 def fmt_delta(base, cur):
