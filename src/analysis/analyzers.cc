@@ -43,6 +43,42 @@ AnalysisEngine::removeHeld(std::uint32_t core, std::uint64_t prim)
 }
 
 // --------------------------------------------------------------------
+// Crash/recovery generation tracking
+// --------------------------------------------------------------------
+
+void
+AnalysisEngine::noteCrashRecovery(Tick tick,
+                                  const std::set<std::uint64_t> &reminted)
+{
+    SYNCRON_ASSERT(!finished_, "analysis event after finish()");
+    crashSeen_ = true;
+    crashTick_ = tick;
+    stalePrims_ = seenPrims_;
+    for (std::uint64_t prim : reminted)
+        stalePrims_.erase(prim);
+}
+
+void
+AnalysisEngine::lintStaleGeneration(const OpEvent &ev, Tick tick)
+{
+    if (!crashSeen_ || !stalePrims_.count(ev.prim)
+        || !staleReported_.insert(ev.prim).second) {
+        return;
+    }
+    Finding f;
+    f.kind = FindingKind::StaleGenerationUse;
+    std::ostringstream os;
+    os << "core " << ev.core << " used " << primName(ev.prim)
+       << ", minted before the crash at tick " << crashTick_
+       << " and never re-minted by recovery (stale generation)";
+    f.message = os.str();
+    f.core = ev.core;
+    f.prim = ev.prim;
+    f.tick = tick;
+    report_.findings.push_back(f);
+}
+
+// --------------------------------------------------------------------
 // Event intake
 // --------------------------------------------------------------------
 
@@ -52,6 +88,8 @@ AnalysisEngine::onIssue(const OpEvent &ev)
     SYNCRON_ASSERT(!finished_, "analysis event after finish()");
     sawIssues_ = true;
     ++outstanding_[ev.core];
+    lintStaleGeneration(ev, ev.issued);
+    seenPrims_.insert(ev.prim);
 
     switch (ev.kind) {
       case sync::OpKind::LockAcquire:
@@ -85,6 +123,8 @@ AnalysisEngine::onComplete(const OpEvent &ev)
     SYNCRON_ASSERT(!finished_, "analysis event after finish()");
     if (sawIssues_)
         --outstanding_[ev.core];
+    lintStaleGeneration(ev, ev.completed);
+    seenPrims_.insert(ev.prim);
 
     switch (ev.kind) {
       case sync::OpKind::LockAcquire: {

@@ -111,6 +111,17 @@ class AnalysisEngine
     void onAccess(std::uint32_t core, Addr addr, bool isWrite, Tick tick);
 
     /**
+     * The stream crossed a crash/recovery boundary at @p tick.
+     * Primitives seen before this point are stale unless their identity
+     * appears in @p reminted (recovery re-created them); any later
+     * operation on a stale primitive is flagged as StaleGenerationUse —
+     * post-crash code holding a pre-crash handle that recovery never
+     * re-minted (once per primitive).
+     */
+    void noteCrashRecovery(Tick tick,
+                           const std::set<std::uint64_t> &reminted);
+
+    /**
      * Ends the stream: runs cycle detection, semaphore-balance replay,
      * and the teardown checks, and returns everything found. Call once.
      */
@@ -191,6 +202,7 @@ class AnalysisEngine
     void lintAcquire(const OpEvent &ev);
     void lintRelease(const OpEvent &ev);
     void lintBarrier(const OpEvent &ev);
+    void lintStaleGeneration(const OpEvent &ev, Tick tick);
     void checkSemaphores(AnalysisReport &report);
 
     // -- Lockset race checker ------------------------------------------
@@ -235,6 +247,15 @@ class AnalysisEngine
     std::map<std::pair<std::uint32_t, std::uint64_t>, unsigned>
         preIssuedReleases_;
     bool sawIssues_ = false;
+
+    // -- Crash/recovery generation tracking ----------------------------
+    /// every primitive identity seen so far (issue or completion)
+    std::set<std::uint64_t> seenPrims_;
+    bool crashSeen_ = false;
+    Tick crashTick_ = 0;
+    /// identities live before the crash, minus those recovery re-minted
+    std::set<std::uint64_t> stalePrims_;
+    std::set<std::uint64_t> staleReported_;
 };
 
 } // namespace syncron::analysis

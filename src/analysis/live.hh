@@ -45,6 +45,17 @@ class LiveAnalyzer final : public sync::OpObserver
     void onDestroy(Addr addr) override;
 
     /**
+     * Forwards a crash/recovery boundary to the engine; @p reminted
+     * holds the dense identities recovery re-created (see
+     * AnalysisEngine::noteCrashRecovery).
+     */
+    void
+    noteCrashRecovery(Tick tick, const std::set<std::uint64_t> &reminted)
+    {
+        engine_.noteCrashRecovery(tick, reminted);
+    }
+
+    /**
      * Ends the stream and stores the report; call once, when the run
      * completes. Returns the stored report.
      */

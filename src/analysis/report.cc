@@ -20,6 +20,8 @@ findingKindName(FindingKind kind)
       case FindingKind::SemaphoreUnderflow: return "semaphore-underflow";
       case FindingKind::PendingOpLeak: return "pending-op-leak";
       case FindingKind::LockHeldAtTeardown: return "lock-held-at-teardown";
+      case FindingKind::StaleGenerationUse:
+        return "stale-generation-use";
     }
     return "?";
 }

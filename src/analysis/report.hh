@@ -37,6 +37,8 @@ enum class FindingKind
     SemaphoreUnderflow,    ///< waits granted beyond initial + posts
     PendingOpLeak,         ///< operations issued but never completed
     LockHeldAtTeardown,    ///< lock still owned when the run finished
+    StaleGenerationUse,    ///< pre-crash primitive used after recovery
+                           ///< without being re-minted
 };
 
 /** Printable name for @p kind (stable, used in JSON). */

@@ -81,6 +81,9 @@ SystemStats::forEach(
     fn("syncMemAccesses", static_cast<double>(syncMemAccesses));
     fn("batchedOps", static_cast<double>(batchedOps));
     fn("messagesSaved", static_cast<double>(messagesSaved));
+    fn("pmWrites", static_cast<double>(pmWrites));
+    fn("pmBitsWritten", static_cast<double>(pmBitsWritten));
+    fn("pmFlushes", static_cast<double>(pmFlushes));
     fn("stAllocs", static_cast<double>(stAllocs));
     fn("stOverflowEvents", static_cast<double>(stOverflowEvents));
     fn("stRequests", static_cast<double>(stRequests));
@@ -130,6 +133,9 @@ SystemStats::operator+=(const SystemStats &other)
     syncMemAccesses += other.syncMemAccesses;
     batchedOps += other.batchedOps;
     messagesSaved += other.messagesSaved;
+    pmWrites += other.pmWrites;
+    pmBitsWritten += other.pmBitsWritten;
+    pmFlushes += other.pmFlushes;
     stAllocs += other.stAllocs;
     stOverflowEvents += other.stOverflowEvents;
     stRequests += other.stRequests;

@@ -106,6 +106,11 @@ struct SystemStats
     std::uint64_t batchedOps = 0;       ///< ops carried in coalesced msgs
     std::uint64_t messagesSaved = 0;    ///< request msgs coalescing avoided
 
+    // -- Durability (modeled PM write path for SE state)
+    std::uint64_t pmWrites = 0;      ///< persisted writes issued
+    std::uint64_t pmBitsWritten = 0; ///< bits reaching the PM domain
+    std::uint64_t pmFlushes = 0;     ///< epoch-batched WAL flushes
+
     /// Per-OpKind latency distributions, indexed by sync::OpKind.
     std::array<SyncOpLatency, kNumSyncOpKinds> syncLatency{};
 

@@ -1,0 +1,59 @@
+#include "durability/backend.hh"
+
+#include "common/log.hh"
+#include "durability/manager.hh"
+#include "system/machine.hh"
+
+namespace syncron::durability {
+
+PersistingBackend::PersistingBackend(
+    std::unique_ptr<sync::SyncBackend> inner, Machine &machine,
+    DurabilityManager &durability)
+    : inner_(std::move(inner)), machine_(machine),
+      durability_(durability)
+{
+    SYNCRON_ASSERT(inner_ != nullptr,
+                   "PersistingBackend wrapping nothing");
+}
+
+void
+PersistingBackend::request(core::Core &requester,
+                           const sync::SyncRequest &req, sim::Gate *gate)
+{
+    const sync::SyncRequest stamped =
+        req.withWalSeq(durability_.nextIntentSeq());
+    if (stamped.releaseType()) {
+        // req_async commits at issue; its WAL append rides completion.
+        inner_->request(requester, stamped, gate);
+        return;
+    }
+
+    // Write-ahead: the intent record reaches the PM durability domain
+    // before the operation is admitted to the SE.
+    ++pending_[stamped.var()];
+    machine_.eq().scheduleIn(
+        machine_.config().pm.writeTicks,
+        [this, &requester, stamped, gate] {
+            auto it = pending_.find(stamped.var());
+            SYNCRON_ASSERT(it != pending_.end() && it->second > 0,
+                           "persist-delay accounting lost @"
+                               << stamped.var());
+            if (--it->second == 0)
+                pending_.erase(it);
+            inner_->request(requester, stamped, gate);
+        });
+}
+
+bool
+PersistingBackend::idleVar(Addr var) const
+{
+    return pending_.count(var) == 0 && inner_->idleVar(var);
+}
+
+void
+PersistingBackend::releaseVar(Addr var)
+{
+    inner_->releaseVar(var);
+}
+
+} // namespace syncron::durability

@@ -1,0 +1,229 @@
+#include "durability/oracle.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace syncron::durability {
+
+namespace {
+
+/** Non-zero entries of a map (zero balances == absent balances). */
+template <typename Map>
+Map
+nonZero(const Map &m)
+{
+    Map out;
+    for (const auto &[k, v] : m) {
+        if (v != 0)
+            out.emplace(k, v);
+    }
+    return out;
+}
+
+} // namespace
+
+ShadowOracle::ShadowOracle(
+    const std::vector<trace::TracePrimitive> &prims)
+    : prims_(prims)
+{
+    for (std::uint32_t i = 0; i < prims_.size(); ++i) {
+        if (prims_[i].kind != trace::PrimKind::Semaphore)
+            continue;
+        SemSt &s = sems_[i];
+        s.initial = prims_[i].param;
+        s.avail = prims_[i].param;
+    }
+}
+
+void
+ShadowOracle::violation(std::string msg)
+{
+    violations_.push_back(std::move(msg));
+}
+
+void
+ShadowOracle::apply(const trace::TraceRecord &r)
+{
+    SYNCRON_ASSERT(r.prim < prims_.size(),
+                   "oracle record references primitive "
+                       << r.prim << " past the table");
+    switch (r.kind) {
+      case sync::OpKind::LockAcquire: {
+        LockSt &s = locks_[r.prim];
+        ++s.acquires;
+        if (s.owned && s.owner != r.core)
+            ++s.pendingReleases[s.owner];
+        s.owned = true;
+        s.owner = r.core;
+        break;
+      }
+
+      case sync::OpKind::LockRelease: {
+        LockSt &s = locks_[r.prim];
+        ++s.releases;
+        if (s.owned && s.owner == r.core) {
+            s.owned = false;
+            break;
+        }
+        if (auto it = s.pendingReleases.find(r.core);
+            it != s.pendingReleases.end()) {
+            if (--it->second == 0)
+                s.pendingReleases.erase(it);
+            break;
+        }
+        std::ostringstream os;
+        os << "lock prim#" << r.prim << ": release by core " << r.core
+           << " with no matching grant (double-granted or lost "
+              "ownership state)";
+        violation(os.str());
+        break;
+      }
+
+      case sync::OpKind::BarrierWaitWithinUnit:
+      case sync::OpKind::BarrierWaitAcrossUnits:
+        ++barriers_[r.prim].arrivals[r.core];
+        break;
+
+      case sync::OpKind::SemWait: {
+        SemSt &s = sems_[r.prim];
+        ++s.balance[r.core];
+        --s.avail;
+        s.grantTicks.push_back(r.completed);
+        break;
+      }
+
+      case sync::OpKind::SemPost: {
+        SemSt &s = sems_[r.prim];
+        --s.balance[r.core];
+        ++s.avail;
+        // Posts commit SE-side at issue (req_async); account there so
+        // the merged underflow check never reorders real time.
+        s.postTicks.push_back(r.issued);
+        break;
+      }
+
+      case sync::OpKind::CondWait:
+      case sync::OpKind::CondSignal:
+      case sync::OpKind::CondBroadcast:
+        break; // outside the oracle's scope (see file comment)
+    }
+}
+
+void
+ShadowOracle::checkInvariants(std::uint32_t totalCores)
+{
+    for (const auto &[prim, b] : barriers_) {
+        std::uint64_t lo = ~std::uint64_t{0};
+        std::uint64_t hi = 0;
+        for (std::uint32_t core = 0; core < totalCores; ++core) {
+            const auto it = b.arrivals.find(core);
+            const std::uint64_t n =
+                it == b.arrivals.end() ? 0 : it->second;
+            lo = std::min(lo, n);
+            hi = std::max(hi, n);
+        }
+        if (totalCores != 0 && hi > lo + 1) {
+            std::ostringstream os;
+            os << "barrier prim#" << prim
+               << ": arrivals not conserved (core spread " << lo << ".."
+               << hi << " exceeds one round)";
+            violation(os.str());
+        }
+    }
+
+    for (auto &[prim, s] : sems_) {
+        std::vector<Tick> posts = s.postTicks;
+        std::vector<Tick> grants = s.grantTicks;
+        std::sort(posts.begin(), posts.end());
+        std::sort(grants.begin(), grants.end());
+        std::int64_t balance = s.initial;
+        std::size_t post = 0;
+        std::uint64_t waits = 0;
+        for (const Tick g : grants) {
+            while (post < posts.size() && posts[post] <= g) {
+                ++post;
+                ++balance;
+            }
+            ++waits;
+            --balance;
+            if (balance < 0) {
+                std::ostringstream os;
+                os << "semaphore prim#" << prim << ": wait #" << waits
+                   << " granted with no resource available (lost "
+                      "wakeup bookkeeping; initial "
+                   << s.initial << ", posts so far " << post << ")";
+                violation(os.str());
+                break;
+            }
+        }
+    }
+}
+
+bool
+ShadowOracle::idle() const
+{
+    for (const auto &[prim, s] : locks_) {
+        if (s.owned || !s.pendingReleases.empty())
+            return false;
+    }
+    for (const auto &[prim, s] : sems_) {
+        if (s.avail != s.initial)
+            return false;
+    }
+    return true;
+}
+
+bool
+ShadowOracle::sameStateAs(const ShadowOracle &other) const
+{
+    auto lockLive = [](const std::map<std::uint32_t, LockSt> &m) {
+        std::map<std::uint32_t,
+                 std::pair<std::int64_t,
+                           std::map<std::uint32_t, unsigned>>>
+            out;
+        for (const auto &[prim, s] : m) {
+            if (s.owned || !s.pendingReleases.empty()) {
+                out.emplace(prim,
+                            std::make_pair(
+                                s.owned ? std::int64_t{s.owner} : -1,
+                                nonZero(s.pendingReleases)));
+            }
+        }
+        return out;
+    };
+    if (lockLive(locks_) != lockLive(other.locks_))
+        return false;
+
+    auto semLive = [](const std::map<std::uint32_t, SemSt> &m) {
+        std::map<std::uint32_t,
+                 std::pair<std::int64_t,
+                           std::map<std::uint32_t, std::int64_t>>>
+            out;
+        for (const auto &[prim, s] : m) {
+            auto live = nonZero(s.balance);
+            if (s.avail != s.initial || !live.empty()) {
+                out.emplace(prim, std::make_pair(s.avail - s.initial,
+                                                 std::move(live)));
+            }
+        }
+        return out;
+    };
+    if (semLive(sems_) != semLive(other.sems_))
+        return false;
+
+    auto barLive = [](const std::map<std::uint32_t, BarSt> &m) {
+        std::map<std::uint32_t, std::map<std::uint32_t, std::uint64_t>>
+            out;
+        for (const auto &[prim, b] : m) {
+            auto live = nonZero(b.arrivals);
+            if (!live.empty())
+                out.emplace(prim, std::move(live));
+        }
+        return out;
+    };
+    return barLive(barriers_) == barLive(other.barriers_);
+}
+
+} // namespace syncron::durability

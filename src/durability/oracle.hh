@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The shadow oracle: a logical model of synchronization state derived
+ * purely from a completion-record stream, against which recovered SE
+ * state is checked.
+ *
+ * The oracle applies TraceRecords in stream (completion) order and
+ * maintains, per primitive:
+ *   - locks: current owner plus the displaced-owner pending-release
+ *     model from src/analysis/ (a fire-and-forget release commits
+ *     SE-side at issue but may be recorded after the next owner's
+ *     acquire; the displaced owner's late record must match, not
+ *     flag);
+ *   - barriers: per-core arrival counts — conservation means the
+ *     spread between the most- and least-arrived core is at most one
+ *     round (a crash can split one round's records, never two);
+ *   - semaphores: per-core wait/post balances plus a tick-ordered
+ *     wait/post merge proving no wait was granted without an
+ *     available resource (no lost or invented wakeups).
+ *
+ * Violations accumulate as strings; a correct durable WAL prefix
+ * produces none at any crash point. Cond-family records are outside
+ * the oracle's scope (the replication family that drives crash testing
+ * has none) and are ignored.
+ */
+
+#ifndef SYNCRON_DURABILITY_ORACLE_HH
+#define SYNCRON_DURABILITY_ORACLE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/format.hh"
+
+namespace syncron::durability {
+
+/** Logical sync-state model over a record stream (see file comment). */
+class ShadowOracle
+{
+  public:
+    /** An empty oracle (no primitives; assignable target). */
+    ShadowOracle() = default;
+
+    explicit ShadowOracle(
+        const std::vector<trace::TracePrimitive> &prims);
+
+    /** Applies one completion record (stream order). */
+    void apply(const trace::TraceRecord &r);
+
+    /**
+     * Runs the end-of-stream conservation checks over @p totalCores:
+     * barrier arrival spread and the semaphore wait/post merge.
+     * Idempotent; appends to violations().
+     */
+    void checkInvariants(std::uint32_t totalCores);
+
+    /** Everything found so far. */
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+
+    /** No lock owned, no pending release, every semaphore restored. */
+    bool idle() const;
+
+    /**
+     * Logical-state equality: lock ownership, semaphore balances, and
+     * barrier arrival counts (record ticks are deliberately excluded —
+     * a resumed run reaches the same state on a different clock).
+     */
+    bool sameStateAs(const ShadowOracle &other) const;
+
+  private:
+    struct LockSt
+    {
+        bool owned = false;
+        std::uint32_t owner = 0;
+        /** Displaced former owners with a release record in flight. */
+        std::map<std::uint32_t, unsigned> pendingReleases;
+        std::uint64_t acquires = 0;
+        std::uint64_t releases = 0;
+    };
+
+    struct BarSt
+    {
+        std::map<std::uint32_t, std::uint64_t> arrivals; ///< per core
+    };
+
+    struct SemSt
+    {
+        std::uint32_t initial = 0;
+        std::int64_t avail = 0; ///< initial - waits + posts
+        std::map<std::uint32_t, std::int64_t> balance; ///< per core
+        std::vector<Tick> postTicks;  ///< post issue ticks
+        std::vector<Tick> grantTicks; ///< wait completion ticks
+    };
+
+    void violation(std::string msg);
+
+    std::vector<trace::TracePrimitive> prims_;
+    std::map<std::uint32_t, LockSt> locks_;
+    std::map<std::uint32_t, BarSt> barriers_;
+    std::map<std::uint32_t, SemSt> sems_;
+    std::vector<std::string> violations_;
+};
+
+} // namespace syncron::durability
+
+#endif // SYNCRON_DURABILITY_ORACLE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The persist-hook seam between the SynCron engine and the durability
+ * subsystem.
+ *
+ * The SE structures (syncron/engine.cc station service loop,
+ * sync_table alloc/release, indexing_counters increment/decrement,
+ * overflow's in-memory syncronVar writes) call these hooks at every
+ * state transition; DurabilityManager implements them to account PM
+ * writes and keep the write-ahead log. When no hook is installed
+ * (PersistMode::Off) the engine skips the calls entirely, so the
+ * volatile baseline is untouched.
+ *
+ * Contract (enforced by tools/lint_contracts.py): persist hooks are
+ * called only from src/durability/ and src/syncron/ — the durability
+ * boundary stays exactly the SE-state surface.
+ */
+
+#ifndef SYNCRON_DURABILITY_PERSIST_HH
+#define SYNCRON_DURABILITY_PERSIST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace syncron::durability {
+
+/** Receiver of SE state-transition persist events. */
+class PersistHook
+{
+  public:
+    virtual ~PersistHook() = default;
+
+    /**
+     * A station is servicing the message for WAL sequence @p walSeq
+     * (0 for protocol-internal messages) touching @p var; returns the
+     * (possibly extended) service-done tick.
+     */
+    virtual Tick
+    persistStation(UnitId, Addr, std::uint64_t /*walSeq*/, Tick done)
+    {
+        return done;
+    }
+
+    /** An ST entry for @p var was allocated (@p alloc) or released. */
+    virtual void persistTableEntry(UnitId, Addr, bool /*alloc*/) {}
+
+    /** An indexing counter backing @p var changed. */
+    virtual void persistCounter(UnitId, Addr) {}
+
+    /** The overflowed in-memory record for @p var was rewritten. */
+    virtual void persistMemVar(UnitId, Addr) {}
+};
+
+} // namespace syncron::durability
+
+#endif // SYNCRON_DURABILITY_PERSIST_HH

@@ -33,6 +33,12 @@ BenchReport::addScalar(std::string label, Tick simTime,
 }
 
 void
+BenchReport::addMetric(std::string label, double value)
+{
+    metrics_.emplace_back(std::move(label), value);
+}
+
+void
 BenchReport::finish(std::ostream &os)
 {
     wallNs_ = static_cast<std::uint64_t>(
@@ -136,6 +142,11 @@ BenchReport::writeJson() const
         j.field("eventsPerSec", r.out.hostEventsPerSec());
         if (r.out.totalReqs > 0)
             j.field("overflowFrac", r.out.overflowFrac());
+        if (r.out.stats.pmWrites > 0) {
+            j.field("pmWrites", r.out.stats.pmWrites);
+            j.field("pmBitsWritten", r.out.stats.pmBitsWritten);
+            j.field("pmFlushes", r.out.stats.pmFlushes);
+        }
 
         // Per-OpKind latency histograms (log2 ns buckets, trailing
         // zeros trimmed), only for kinds the run actually exercised.
@@ -173,6 +184,13 @@ BenchReport::writeJson() const
         j.endObject();
     }
     j.endArray();
+    if (!metrics_.empty()) {
+        j.key("metrics");
+        j.beginObject();
+        for (const auto &[label, value] : metrics_)
+            j.field(label, value);
+        j.endObject();
+    }
     j.endObject();
     f << "\n";
 }

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/runner.hh"
@@ -38,6 +39,10 @@ class BenchReport
      *  and other runs without a full RunOutput). */
     void addScalar(std::string label, Tick simTime, std::uint64_t ops);
 
+    /** Adds a named derived metric (e.g. an overhead percentage); lands
+     *  in the JSON record's "metrics" object. */
+    void addMetric(std::string label, double value);
+
     /**
      * Prints the latency table and host perf summary to @p os and, when
      * --json was given, writes the JSON record. Call once, last.
@@ -56,6 +61,7 @@ class BenchReport
     std::string name_;
     const BenchOptions &opts_;
     std::vector<Record> records_;
+    std::vector<std::pair<std::string, double>> metrics_;
     std::chrono::steady_clock::time_point start_ =
         std::chrono::steady_clock::now();
     std::uint64_t wallNs_ = 0; ///< set by finish()

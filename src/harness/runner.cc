@@ -33,7 +33,13 @@ BenchOptions::usage()
            "  --trace-in=<path>  replay an existing trace file (needs "
            "--jobs=1)\n"
            "  --analyze          run the sync-correctness analyses on "
-           "every cell (fatal on findings)";
+           "every cell (fatal on findings)\n"
+           "  --persist=<m>      SE-state durability: off, eager, or "
+           "epoch[:N] (batch size N)\n"
+           "  --crash-at=<t>     inject a crash at tick t (needs "
+           "--jobs=1)\n"
+           "  --crash-sweep=<n>  durability benches: crash-inject at "
+           "every nth sync-op boundary";
 }
 
 namespace {
@@ -109,6 +115,53 @@ BenchOptions::parse(int argc, char **argv)
             opts.traceIn = val;
         } else if (std::strcmp(arg, "--analyze") == 0) {
             opts.analyze = true;
+        } else if ((val = optValue(arg, "--persist="))) {
+            std::string mode = val;
+            const std::size_t colon = mode.find(':');
+            if (colon != std::string::npos) {
+                const std::string count = mode.substr(colon + 1);
+                mode.resize(colon);
+                char *end = nullptr;
+                errno = 0;
+                const long n = std::strtol(count.c_str(), &end, 10);
+                if (count.empty() || end == nullptr || *end != '\0'
+                    || errno != 0 || n < 1) {
+                    SYNCRON_FATAL("bad --persist epoch count '"
+                                  << count << "' (need >= 1)\n"
+                                  << usage());
+                }
+                opts.persistEpochOps = static_cast<unsigned>(n);
+            }
+            if (!durability::persistModeFromName(mode, opts.persist)
+                || (colon != std::string::npos
+                    && opts.persist != durability::PersistMode::Epoch)) {
+                SYNCRON_FATAL("bad --persist value '"
+                              << val
+                              << "' (need off, eager, or epoch[:N])\n"
+                              << usage());
+            }
+        } else if ((val = optValue(arg, "--crash-at="))) {
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long long t = std::strtoull(val, &end, 10);
+            if (*val == '\0' || end == nullptr || *end != '\0'
+                || errno != 0 || t == 0) {
+                SYNCRON_FATAL("bad --crash-at value '"
+                              << val << "' (need a tick >= 1)\n"
+                              << usage());
+            }
+            opts.crashAt = static_cast<Tick>(t);
+        } else if ((val = optValue(arg, "--crash-sweep="))) {
+            char *end = nullptr;
+            errno = 0;
+            const long n = std::strtol(val, &end, 10);
+            if (*val == '\0' || end == nullptr || *end != '\0'
+                || errno != 0 || n < 1) {
+                SYNCRON_FATAL("bad --crash-sweep value '"
+                              << val << "' (need >= 1)\n"
+                              << usage());
+            }
+            opts.crashSweepEvery = static_cast<unsigned>(n);
         } else if (std::strncmp(arg, "--benchmark", 11) == 0) {
             // Tolerate google-benchmark's standard flags.
         } else {
@@ -133,6 +186,14 @@ BenchOptions::parse(int argc, char **argv)
                       "file)\n"
                       << usage());
     }
+    // Crash injection tears the (single) machine down mid-run; a
+    // parallel grid would crash every cell at the same tick, which is
+    // never what a deterministic fault-injection run means.
+    if (opts.crashAt != 0 && opts.jobs > 1) {
+        SYNCRON_FATAL("--crash-at requires --jobs=1 (crash injection "
+                      "is a single deterministic run, not a grid)\n"
+                      << usage());
+    }
     return opts;
 }
 
@@ -145,6 +206,9 @@ BenchOptions::makeConfig(Scheme scheme, unsigned numUnits,
     cfg.backendName = backend;
     cfg.tracePath = traceOut;
     cfg.analyze = analyze;
+    cfg.persistMode = persist;
+    cfg.persistEpochOps = persistEpochOps;
+    cfg.crashAtTick = crashAt;
     return cfg;
 }
 
@@ -366,6 +430,23 @@ runSemFanout(const SystemConfig &cfg, unsigned width, unsigned rounds,
     HostTimer timer;
     NdpSystem sys(cfg);
     workloads::SemFanoutWorkload workload(sys, width, rounds, contended);
+    sys.run();
+
+    RunOutput out;
+    out.time = sys.elapsed();
+    out.ops = sys.stats().syncOps;
+    finishOutput(out, sys);
+    out.hostNs = timer.elapsedNs();
+    return out;
+}
+
+RunOutput
+runReplication(const SystemConfig &cfg,
+               const workloads::ReplicationParams &params)
+{
+    HostTimer timer;
+    NdpSystem sys(cfg);
+    workloads::ReplicationWorkload workload(sys, params);
     sys.run();
 
     RunOutput out;

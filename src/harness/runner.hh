@@ -16,11 +16,13 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "durability/pm_model.hh"
 #include "system/config.hh"
 #include "system/energy.hh"
 #include "trace/format.hh"
 #include "workloads/graph/kernels.hh"
 #include "workloads/micro/primitives.hh"
+#include "workloads/replication/replication.hh"
 #include "workloads/timeseries/scrimp.hh"
 
 namespace syncron::harness {
@@ -43,6 +45,18 @@ struct BenchOptions
     /// (fatal on findings). Works with --jobs>1: each grid cell's
     /// system owns an independent analysis::LiveAnalyzer.
     bool analyze = false;
+    /// --persist=off|eager|epoch[:N]: SE-state durability mode every
+    /// grid cell inherits (N = epoch batch size, default 64).
+    durability::PersistMode persist = durability::PersistMode::Off;
+    unsigned persistEpochOps = 64;
+    /// --crash-at=<tick>: inject a crash at the given tick (0 = never).
+    /// Requires --jobs=1: a crashed cell tears its machine down, which
+    /// only makes sense for a single deterministic run.
+    Tick crashAt = 0;
+    /// --crash-sweep=<n>: durability benches only — instead of the
+    /// performance grid, run the crash-injection sweep at every nth
+    /// sync-op boundary (0 = disabled).
+    unsigned crashSweepEvery = 0;
 
     /** Maximum accepted --jobs value. */
     static constexpr unsigned kMaxJobs = 256;
@@ -139,6 +153,10 @@ RunOutput runPrimitive(const SystemConfig &cfg,
  *  (workloads::SemFanoutWorkload). */
 RunOutput runSemFanout(const SystemConfig &cfg, unsigned width,
                        unsigned rounds, bool contended);
+
+/** Runs the replication (per-partition ordered apply) workload. */
+RunOutput runReplication(const SystemConfig &cfg,
+                         const workloads::ReplicationParams &params);
 
 /** The 26 real application-input combinations of Fig. 12. */
 struct AppInput

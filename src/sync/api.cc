@@ -200,6 +200,8 @@ SyncApi::destroyPrimitive(const SyncPrimitive &prim)
         traceSink_->recordDestroy(prim.addr);
     if (observer_ != nullptr)
         observer_->onDestroy(prim.addr);
+    for (OpObserver *aux : auxObservers_)
+        aux->onDestroy(prim.addr);
     ++generations_[prim.addr];
     freeLists_[prim.home()].push_back(prim.addr);
 }
@@ -314,6 +316,11 @@ SyncApi::issueDetached(core::Core &c, const SyncPrimitive &prim,
     SYNCRON_ASSERT(req.releaseType(),
                    "detached issue of acquire-type "
                        << opKindName(req.kind()));
+    if (machine_.crashed()) {
+        // Crash teardown: guard destructors run while coroutine frames
+        // unwind, but the machine is gone — the release never happened.
+        return;
+    }
     checkLive(prim);
     ++machine_.stats().syncOps;
     sim::Gate gate(machine_.eq());

@@ -222,6 +222,13 @@ class SyncFuture
     {
         if (state_ == nullptr)
             return;
+        if (state_->machine.crashed()) {
+            // Crash teardown: the backend died with the operation in
+            // flight, and nothing after the crash tick may enter the
+            // durable record stream — drop silently.
+            state_.reset();
+            return;
+        }
         SYNCRON_ASSERT(state_->gate.opened(),
                        "SyncFuture for "
                            << opKindName(state_->req.kind()) << " @"
@@ -552,6 +559,18 @@ class SyncApi
     OpObserver *observer() const { return observer_; }
 
     /**
+     * Registers an additional observer fed from the same notify
+     * dispatch as the primary one (durability's WAL capture hooks in
+     * this way, composing with tracing and analysis). Must outlive all
+     * operations issued while registered; there is no removal — aux
+     * observers live for the system's lifetime.
+     */
+    void addAuxObserver(OpObserver *observer)
+    {
+        auxObservers_.push_back(observer);
+    }
+
+    /**
      * Single completion fan-out: per-OpKind latency statistics are
      * recorded by the caller (detail::recordCompletion); this forwards
      * the completed operation to the trace sink and the observer.
@@ -564,6 +583,8 @@ class SyncApi
             traceSink_->record(core, req, issued, completed);
         if (observer_ != nullptr)
             observer_->onComplete(core, req, issued, completed);
+        for (OpObserver *aux : auxObservers_)
+            aux->onComplete(core, req, issued, completed);
     }
 
     /** Issue-side fan-out (observer only; traces carry completions). */
@@ -572,6 +593,8 @@ class SyncApi
     {
         if (observer_ != nullptr)
             observer_->onIssue(core, req, issued);
+        for (OpObserver *aux : auxObservers_)
+            aux->onIssue(core, req, issued);
     }
 
     /**
@@ -588,6 +611,8 @@ class SyncApi
         if (observer_ != nullptr)
             observer_->onAccess(c.id(), addr, isWrite,
                                 machine_.eq().now());
+        for (OpObserver *aux : auxObservers_)
+            aux->onAccess(c.id(), addr, isWrite, machine_.eq().now());
     }
 
   private:
@@ -624,6 +649,7 @@ class SyncApi
     SyncBackend &backend_;
     TraceSink *traceSink_ = nullptr;
     OpObserver *observer_ = nullptr;
+    std::vector<OpObserver *> auxObservers_; ///< durability et al.
     std::vector<std::vector<Addr>> freeLists_; ///< per-unit recycled lines
     /// Current allocation generation per line (absent = 0).
     std::unordered_map<Addr, std::uint32_t> generations_;

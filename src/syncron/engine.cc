@@ -5,6 +5,7 @@
 #include "common/bits.hh"
 #include "common/log.hh"
 #include "common/units.hh"
+#include "durability/persist.hh"
 #include "sync/registry.hh"
 
 namespace syncron::engine {
@@ -104,6 +105,16 @@ SynCronBackend::finalizeStats()
         s->table.finalize(now);
 }
 
+void
+SynCronBackend::setPersistHook(durability::PersistHook *hook)
+{
+    persistHook_ = hook;
+    for (auto &s : stations_) {
+        s->table.setPersistHook(hook, s->unit);
+        s->counters.setPersistHook(hook, s->unit);
+    }
+}
+
 std::uint32_t
 SynCronBackend::stOccupied(UnitId unit) const
 {
@@ -197,6 +208,7 @@ SynCronBackend::request(core::Core &requester, const SyncRequest &req,
     msg.opcode = localOpcodeFor(req.kind());
     msg.coreId = requester.localId();
     msg.info = req.messageInfo();
+    msg.walSeq = req.walSeq();
 
     const UnitId unit = requester.unit();
     const Tick arrival = machine_.routeMessage(machine_.eq().now(), unit,
@@ -244,6 +256,7 @@ SynCronBackend::requestBatch(core::Core &requester,
         msg.opcode = localOpcodeFor(req.kind());
         msg.coreId = requester.localId();
         msg.info = req.messageInfo();
+        msg.walSeq = req.walSeq();
         msgs.push_back(msg);
         ++inFlightLocal_[req.var()];
     }
@@ -398,6 +411,14 @@ SynCronBackend::handle(Station &s, SyncMessage msg)
     if (opts_.station == StationKind::ServerCore)
         done = serverStateAccess(s, msg.addr, done);
     s.busyUntil = std::max(s.busyUntil, done);
+
+    if (persistHook_ != nullptr) {
+        // Durability: the station's state transition for this message
+        // reaches the PM domain before the operation may proceed.
+        done = persistHook_->persistStation(s.unit, msg.addr, msg.walSeq,
+                                            done);
+        s.busyUntil = std::max(s.busyUntil, done);
+    }
 
     switch (msg.opcode) {
       case Op::LockAcquireLocal: onLockAcquireLocal(s, msg, done); break;

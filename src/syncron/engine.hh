@@ -43,6 +43,10 @@
 #include "syncron/sync_table.hh"
 #include "system/machine.hh"
 
+namespace syncron::durability {
+class PersistHook;
+} // namespace syncron::durability
+
 namespace syncron::engine {
 
 /** Microarchitecture of the per-unit synchronization station. */
@@ -100,6 +104,15 @@ class SynCronBackend : public sync::SyncBackend
 
     /** Closes ST occupancy integrals (call once after the run). */
     void finalizeStats();
+
+    /**
+     * Installs the durability persist hook: station state transitions
+     * (ST entry alloc/free, indexing-counter updates, syncronVar
+     * writes, WAL completion records) are mirrored into the modeled PM
+     * write path. nullptr (the default) models no durability. The hook
+     * must outlive the backend.
+     */
+    void setPersistHook(durability::PersistHook *hook);
 
     // -- Introspection for tests and the harness ------------------------
     std::uint32_t stOccupied(UnitId unit) const;
@@ -343,6 +356,7 @@ class SynCronBackend : public sync::SyncBackend
     std::unordered_map<Addr, std::uint32_t> inFlightLocal_;
     std::uint64_t overflowedReqs_ = 0;
     std::uint64_t totalReqs_ = 0;
+    durability::PersistHook *persistHook_ = nullptr;
 
     // MiSAR ablation state
     std::unordered_set<Addr> misarVars_;

@@ -2,6 +2,7 @@
 
 #include "common/bits.hh"
 #include "common/log.hh"
+#include "durability/persist.hh"
 
 namespace syncron::engine {
 
@@ -30,6 +31,8 @@ void
 IndexingCounters::increment(Addr var)
 {
     ++counters_[indexOf(var)];
+    if (persistHook_ != nullptr)
+        persistHook_->persistCounter(unit_, var);
 }
 
 void
@@ -38,6 +41,8 @@ IndexingCounters::decrement(Addr var)
     std::uint32_t &c = counters_[indexOf(var)];
     if (c > 0)
         --c;
+    if (persistHook_ != nullptr)
+        persistHook_->persistCounter(unit_, var);
 }
 
 std::uint32_t

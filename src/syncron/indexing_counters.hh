@@ -19,6 +19,10 @@
 
 #include "common/types.hh"
 
+namespace syncron::durability {
+class PersistHook;
+} // namespace syncron::durability
+
 namespace syncron::engine {
 
 /** The per-SE indexing-counter array. */
@@ -42,9 +46,19 @@ class IndexingCounters
     /** Raw counter value (tests/debug). */
     std::uint32_t value(Addr var) const;
 
+    /** Mirrors counter updates into the durability persist path. */
+    void
+    setPersistHook(durability::PersistHook *hook, UnitId unit)
+    {
+        persistHook_ = hook;
+        unit_ = unit;
+    }
+
   private:
     std::vector<std::uint32_t> counters_;
     std::uint32_t mask_;
+    durability::PersistHook *persistHook_ = nullptr;
+    UnitId unit_ = 0;
 };
 
 } // namespace syncron::engine

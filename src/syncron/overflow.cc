@@ -21,6 +21,7 @@
 #include "common/bits.hh"
 #include "common/log.hh"
 #include "common/units.hh"
+#include "durability/persist.hh"
 #include "syncron/engine.hh"
 
 namespace syncron::engine {
@@ -104,6 +105,8 @@ SynCronBackend::memVarAccess(Station &s, Addr var, Tick start)
     t = machine_.memoryAccess(t, s.unit, var, true,
                               sync::kSyncronVarBytes);
     machine_.stats().syncMemAccesses += 2;
+    if (persistHook_ != nullptr)
+        persistHook_->persistMemVar(s.unit, var);
     return t;
 }
 
@@ -754,7 +757,8 @@ SynCronBackend::misarProcess(SoftServer &server, const SyncRequest &req,
     done += hit;
     server.busyUntil = done;
 
-    machine_.eq().schedule(done, [this, &server, req, core, var, gate] {
+    machine_.eq().schedule(done, [this, &server, req, core, gate] {
+        const Addr var = req.var();
         const Tick when = machine_.eq().now();
         auto grants = misarState_.apply(req, core, gate);
         for (const sync::SyncGrant &g : grants) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "durability/persist.hh"
 
 namespace syncron::engine {
 
@@ -55,6 +56,8 @@ SyncTable::alloc(Addr var, Tick now)
     e = StEntry{};
     e.addr = var;
     e.occupied = true;
+    if (persistHook_ != nullptr)
+        persistHook_->persistTableEntry(unit_, var, true);
     return &e;
 }
 
@@ -69,6 +72,8 @@ SyncTable::release(Addr var, Tick now)
     accountOccupancy(now);
     SYNCRON_ASSERT(occupied_ > 0, "occupancy underflow");
     --occupied_;
+    if (persistHook_ != nullptr)
+        persistHook_->persistTableEntry(unit_, var, false);
     entries_.erase(it);
 }
 

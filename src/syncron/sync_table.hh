@@ -28,6 +28,10 @@
 #include "common/types.hh"
 #include "sync/opcodes.hh"
 
+namespace syncron::durability {
+class PersistHook;
+} // namespace syncron::durability
+
 namespace syncron::engine {
 
 /** Who currently owns a lock tracked by an entry. */
@@ -121,11 +125,21 @@ class SyncTable
     /** Closes the occupancy integral at simulation end. */
     void finalize(Tick now);
 
+    /** Mirrors entry alloc/free into the durability persist path. */
+    void
+    setPersistHook(durability::PersistHook *hook, UnitId unit)
+    {
+        persistHook_ = hook;
+        unit_ = unit;
+    }
+
   private:
     void accountOccupancy(Tick now);
 
     std::uint32_t capacity_;
     SystemStats &stats_;
+    durability::PersistHook *persistHook_ = nullptr;
+    UnitId unit_ = 0;
     std::unordered_map<Addr, StEntry> entries_;
     std::uint32_t occupied_ = 0;
     Tick lastChange_ = 0;

@@ -48,6 +48,10 @@ SystemConfig::validate() const
         SYNCRON_FATAL("stEntries must be >= 1");
     if (indexingCounters < 1)
         SYNCRON_FATAL("indexingCounters must be >= 1");
+    if (persistEpochOps < 1)
+        SYNCRON_FATAL("persistEpochOps must be >= 1");
+    if (pm.writeTicks < 1)
+        SYNCRON_FATAL("pm.writeTicks must be >= 1");
 }
 
 SystemConfig

@@ -13,6 +13,7 @@
 
 #include "cache/cache.hh"
 #include "common/types.hh"
+#include "durability/pm_model.hh"
 #include "mem/dram.hh"
 #include "net/crossbar.hh"
 #include "net/link.hh"
@@ -137,6 +138,30 @@ struct SystemConfig
     bool analyzeFatal = true;
 
     std::uint64_t seed = 1;
+
+    // -- Durability (crash-consistent SE state; src/durability/)
+    /**
+     * Persist granularity for the SE-state write-ahead log. Off models
+     * no durability (the paper's baseline); Eager persists every
+     * completion through the modeled PM write before the requester may
+     * observe it; Epoch stages completions and flushes every
+     * persistEpochOps records (a crash loses the staged tail).
+     */
+    durability::PersistMode persistMode = durability::PersistMode::Off;
+
+    /** Epoch mode: completions staged per WAL flush (>= 1). */
+    std::uint32_t persistEpochOps = 64;
+
+    /** Modeled persistent-memory write path (latency + energy). */
+    durability::PmParams pm{};
+
+    /**
+     * Deterministic crash injection: when non-zero, the event loop
+     * stops before any event at or past this tick would run and the
+     * machine is torn down mid-run; the persisted image survives for
+     * recovery (durability::RecoveryEngine). 0 = never crash.
+     */
+    Tick crashAtTick = 0;
 
     /** Total number of client cores in the system. */
     unsigned

@@ -30,6 +30,10 @@ computeEnergy(const SystemStats &stats, const SystemConfig &cfg)
         * kCacheLineBytes * 8.0;
     e.memoryJ = dramBits * dram.pjPerBit * kPjToJ;
 
+    // Durability: bits written through the modeled PM persist path.
+    e.pmJ = static_cast<double>(stats.pmBitsWritten) * cfg.pm.pjPerBit
+            * kPjToJ;
+
     return e;
 }
 

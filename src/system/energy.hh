@@ -20,8 +20,9 @@ struct EnergyBreakdown
     double cacheJ = 0.0;
     double networkJ = 0.0;
     double memoryJ = 0.0;
+    double pmJ = 0.0; ///< durability: persisted writes to the PM domain
 
-    double total() const { return cacheJ + networkJ + memoryJ; }
+    double total() const { return cacheJ + networkJ + memoryJ + pmJ; }
 };
 
 /** Computes the breakdown from event counts and configuration. */

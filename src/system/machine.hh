@@ -73,8 +73,16 @@ class Machine
     Tick memoryAccess(Tick start, UnitId from, Addr addr, bool isWrite,
                       std::uint32_t bytes);
 
+    // -- Crash injection (durability) ----------------------------------
+    /** Marks the machine torn down mid-run by the crash injector. */
+    void markCrashed() { crashed_ = true; }
+
+    /** True once the crash injector tore the machine down. */
+    bool crashed() const { return crashed_; }
+
   private:
     SystemConfig cfg_;
+    bool crashed_ = false;
     sim::EventQueue eq_;
     SystemStats stats_;
     mem::AddressSpace addrSpace_;

@@ -5,6 +5,8 @@
 
 #include "analysis/live.hh"
 #include "common/log.hh"
+#include "durability/backend.hh"
+#include "durability/manager.hh"
 #include "sync/registry.hh"
 #include "trace/capture.hh"
 #include "trace/format.hh"
@@ -24,6 +26,21 @@ NdpSystem::NdpSystem(const SystemConfig &cfg)
                                  : conf.backendName;
     backend_ = sync::BackendRegistry::instance().create(name, *machine_);
     engineView_ = dynamic_cast<engine::SynCronBackend *>(backend_.get());
+    if (conf.persistMode != durability::PersistMode::Off) {
+        durability_ =
+            std::make_unique<durability::DurabilityManager>(*machine_);
+        // SE-based backends mirror station state transitions into the
+        // PM path; backends with no engine (Central et al.) are covered
+        // by the WAL observer + (in Eager mode) the decorator below.
+        if (engineView_ != nullptr)
+            engineView_->setPersistHook(durability_.get());
+        if (conf.persistMode == durability::PersistMode::Eager) {
+            // Eager: every acquire-type request pays the PM write
+            // before the backend may service it.
+            backend_ = std::make_unique<durability::PersistingBackend>(
+                std::move(backend_), *machine_, *durability_);
+        }
+    }
     api_ = std::make_unique<sync::SyncApi>(*machine_, *backend_);
     if (!conf.tracePath.empty()) {
         capture_ = std::make_unique<trace::TraceCapture>(conf);
@@ -33,6 +50,8 @@ NdpSystem::NdpSystem(const SystemConfig &cfg)
         analyzer_ = std::make_unique<analysis::LiveAnalyzer>(conf);
         api_->setObserver(analyzer_.get());
     }
+    if (durability_ != nullptr)
+        api_->addAuxObserver(durability_.get());
 
     const SystemConfig &c = machine_->config();
     cores_.reserve(c.totalClientCores());
@@ -73,7 +92,31 @@ NdpSystem::spawn(sim::Process process)
 void
 NdpSystem::run()
 {
-    machine_->eq().run();
+    const SystemConfig &cfg = machine_->config();
+    if (cfg.crashAtTick != 0) {
+        machine_->eq().run(cfg.crashAtTick);
+        bool pending = false;
+        for (const sim::Process &p : processes_) {
+            if (!p.done()) {
+                pending = true;
+                break;
+            }
+        }
+        if (pending) {
+            // The injected crash fired mid-run: tear the machine down
+            // where it stands. Nothing past the crash tick happened —
+            // no trace writeout, no analysis, no stat finalization;
+            // only the durability manager's persisted image survives.
+            machine_->markCrashed();
+            if (durability_ != nullptr)
+                durability_->noteCrash(machine_->eq().now());
+            return;
+        }
+        // The run finished before the crash tick; fall through to the
+        // normal end-of-run path.
+    } else {
+        machine_->eq().run();
+    }
     for (const sim::Process &p : processes_) {
         if (!p.done()) {
             SYNCRON_FATAL(
@@ -86,6 +129,8 @@ NdpSystem::run()
     }
     if (engineView_ != nullptr)
         engineView_->finalizeStats();
+    if (durability_ != nullptr)
+        durability_->shutdownFlush();
     if (capture_ != nullptr)
         trace::writeTraceFile(capture_->trace(),
                               machine_->config().tracePath);

@@ -36,6 +36,10 @@ namespace syncron::analysis {
 class LiveAnalyzer;
 } // namespace syncron::analysis
 
+namespace syncron::durability {
+class DurabilityManager;
+} // namespace syncron::durability
+
 namespace syncron {
 
 /** A complete simulated NDP system instance. */
@@ -74,8 +78,18 @@ class NdpSystem
      * fatal()s on deadlock (event queue empty, processes pending).
      * With SystemConfig::tracePath set, writes the captured
      * synchronization-operation trace there on completion.
+     *
+     * With SystemConfig::crashAtTick set, the run may instead stop at
+     * the injected crash: the machine is marked crashed, processes stay
+     * blocked mid-operation, and run() returns early — the normal
+     * end-of-run bookkeeping (deadlock check, trace writeout, analysis)
+     * is skipped. crashed() reports which way the run ended; the
+     * durability manager's persisted image survives for recovery.
      */
     void run();
+
+    /** True when the last run() ended at the injected crash. */
+    bool crashed() const { return machine_->crashed(); }
 
     /**
      * The synchronization-operation capture installed when
@@ -92,6 +106,16 @@ class NdpSystem
      */
     analysis::LiveAnalyzer *analyzer() { return analyzer_.get(); }
 
+    /**
+     * The durability manager installed when SystemConfig::persistMode
+     * is not Off; nullptr otherwise. Holds the write-ahead log and the
+     * snapshot()/walTrace() surface the crash-recovery flow consumes.
+     */
+    durability::DurabilityManager *durability()
+    {
+        return durability_.get();
+    }
+
     /** Simulated time elapsed so far. */
     Tick elapsed() const;
 
@@ -105,7 +129,10 @@ class NdpSystem
     std::unique_ptr<sync::SyncApi> api_;
     std::unique_ptr<trace::TraceCapture> capture_;
     std::unique_ptr<analysis::LiveAnalyzer> analyzer_;
+    std::unique_ptr<durability::DurabilityManager> durability_;
     std::vector<std::unique_ptr<core::Core>> cores_; ///< client cores
+    /// Declared last: coroutine frames are destroyed before the api and
+    /// backend they reference (crash teardown unwinds guards mid-op).
     std::vector<sim::Process> processes_;
 };
 

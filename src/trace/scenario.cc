@@ -16,6 +16,7 @@ scenarioFamilyName(ScenarioFamily family)
       case ScenarioFamily::BurstyLock: return "bursty";
       case ScenarioFamily::PhasedBarrierLock: return "phased";
       case ScenarioFamily::ReaderSemaphore: return "readers";
+      case ScenarioFamily::Replication: return "replication";
     }
     return "?";
 }
@@ -90,10 +91,20 @@ class Builder
     }
 
     std::uint32_t
-    addSemaphore(std::uint32_t resources)
+    addSemaphore(std::uint32_t resources, UnitId home = 0)
     {
         trace_.primitives.push_back(
-            TracePrimitive{PrimKind::Semaphore, 0, resources,
+            TracePrimitive{PrimKind::Semaphore, home, resources,
+                           sync::BarrierScope::AcrossUnits});
+        return static_cast<std::uint32_t>(trace_.primitives.size() - 1);
+    }
+
+    /** Adds one lock homed in @p home. */
+    std::uint32_t
+    addLockAt(UnitId home)
+    {
+        trace_.primitives.push_back(
+            TracePrimitive{PrimKind::Lock, home, 0,
                            sync::BarrierScope::AcrossUnits});
         return static_cast<std::uint32_t>(trace_.primitives.size() - 1);
     }
@@ -268,6 +279,58 @@ generateReaders(const ScenarioSpec &spec)
     return b.finish();
 }
 
+Trace
+generateReplication(const ScenarioSpec &spec)
+{
+    // Per-partition ordered apply (one partition per unit): a core
+    // serving partition p admits each upstream batch through the
+    // partition's semaphore, advances the partition watermark under its
+    // lock, and re-posts; a full-machine barrier closes every epoch.
+    // Upstream arrivals are bursty: batches of burstLen nearly
+    // back-to-back records separated by long idle gaps. Mirrors
+    // workloads/replication/ReplicationWorkload.
+    Builder b(spec);
+    const unsigned cores = spec.numClientCores();
+    const unsigned partitions = spec.numUnits;
+    std::vector<std::uint32_t> locks, sems;
+    for (unsigned p = 0; p < partitions; ++p) {
+        locks.push_back(b.addLockAt(p));
+        sems.push_back(b.addSemaphore(spec.semResources, p));
+    }
+    std::vector<std::uint32_t> barriers;
+    for (unsigned e = 0; e < spec.phases; ++e)
+        barriers.push_back(b.addBarrier(cores));
+
+    const unsigned opsPerEpoch =
+        std::max(1u, spec.opsPerCore / spec.phases);
+    const Tick intraGap = std::max<Tick>(1, spec.meanGap / 10);
+    for (unsigned core = 0; core < cores; ++core) {
+        Rng rng(spec.seed * 0xd6e8feb86659fd93ULL + core + 1);
+        const unsigned p = core % partitions;
+        Tick t = arrivalGap(rng, spec.meanGap);
+        for (unsigned e = 0; e < spec.phases; ++e) {
+            for (unsigned op = 0; op < opsPerEpoch; ++op) {
+                if (op != 0 && op % spec.burstLen == 0)
+                    t += arrivalGap(rng, spec.meanGap) * 4;
+                const Tick admitted =
+                    b.emit(core, sync::OpKind::SemWait, sems[p], t);
+                const Tick granted =
+                    b.emit(core, sync::OpKind::LockAcquire, locks[p],
+                           admitted);
+                const Tick released =
+                    b.emit(core, sync::OpKind::LockRelease, locks[p],
+                           granted + kNominalHold);
+                t = b.emit(core, sync::OpKind::SemPost, sems[p],
+                           released);
+                t += arrivalGap(rng, intraGap);
+            }
+            t = b.emit(core, sync::OpKind::BarrierWaitAcrossUnits,
+                       barriers[e], t);
+        }
+    }
+    return b.finish();
+}
+
 } // namespace
 
 ScenarioGenerator::ScenarioGenerator(const ScenarioSpec &spec)
@@ -291,6 +354,8 @@ ScenarioGenerator::generate() const
         return generatePhased(spec_);
       case ScenarioFamily::ReaderSemaphore:
         return generateReaders(spec_);
+      case ScenarioFamily::Replication:
+        return generateReplication(spec_);
     }
     SYNCRON_PANIC("unknown scenario family");
 }

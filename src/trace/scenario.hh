@@ -19,6 +19,12 @@
  *   ReaderSemaphore — reader-heavy admission: most cores cycle through
  *                    a shared counting semaphore (wait ... post), a
  *                    minority contend on a small lock set.
+ *   Replication    — per-partition ordered apply: each core drains a
+ *                    bursty upstream into its partition (admission
+ *                    semaphore, then the partition's watermark lock),
+ *                    with a full-machine barrier between epochs — the
+ *                    shape of the replication workload family that
+ *                    drives crash-recovery testing.
  *
  * Generation is deterministic in the spec (every random draw flows
  * through the seeded common Rng) and always yields a feasible stream:
@@ -45,9 +51,10 @@ enum class ScenarioFamily
     BurstyLock,
     PhasedBarrierLock,
     ReaderSemaphore,
+    Replication,
 };
 
-/** Short name ("zipf", "bursty", "phased", "readers"). */
+/** Short name ("zipf", "bursty", "phased", "readers", "replication"). */
 const char *scenarioFamilyName(ScenarioFamily family);
 
 /** All families, in declaration order. */
@@ -56,6 +63,7 @@ inline constexpr ScenarioFamily kAllScenarioFamilies[] = {
     ScenarioFamily::BurstyLock,
     ScenarioFamily::PhasedBarrierLock,
     ScenarioFamily::ReaderSemaphore,
+    ScenarioFamily::Replication,
 };
 
 /** Declarative description of one synthetic scenario. */
@@ -80,10 +88,10 @@ struct ScenarioSpec
     unsigned burstLen = 8;        ///< ops per burst
     double burstGapFactor = 50.0; ///< inter-burst gap = factor * meanGap
 
-    // -- PhasedBarrierLock
-    unsigned phases = 4; ///< lock blocks separated by global barriers
+    // -- PhasedBarrierLock / Replication
+    unsigned phases = 4; ///< lock blocks (or epochs) between barriers
 
-    // -- ReaderSemaphore
+    // -- ReaderSemaphore / Replication
     double readerFraction = 0.75; ///< cores cycling the semaphore
     unsigned semResources = 4;    ///< semaphore's initial resources
 

@@ -111,6 +111,54 @@ TEST(AnalysisEngine, InFlightAcquireStillClosesTheCycle)
     EXPECT_EQ(countKind(r, FindingKind::PendingOpLeak), 2u);
 }
 
+TEST(AnalysisEngine, StaleGenerationUseAfterCrashRecovery)
+{
+    AnalysisEngine eng(MachineShape{1, 2});
+    // Pre-crash generation: locks #1 and #2 both in use.
+    eng.onComplete(ev(sync::OpKind::LockAcquire, 0, 1, 10));
+    eng.onComplete(ev(sync::OpKind::LockRelease, 0, 1, 20));
+    eng.onComplete(ev(sync::OpKind::LockAcquire, 1, 2, 30));
+    eng.onComplete(ev(sync::OpKind::LockRelease, 1, 2, 40));
+
+    // Crash at tick 50; recovery re-minted #2 only.
+    eng.noteCrashRecovery(50, {2});
+
+    // Re-minted #2 is fine. #1 is a stale pre-crash handle — flagged
+    // once, however many post-crash ops touch it. #3, first seen after
+    // the crash, is a fresh generation and must not be flagged.
+    eng.onComplete(ev(sync::OpKind::LockAcquire, 0, 2, 60));
+    eng.onComplete(ev(sync::OpKind::LockRelease, 0, 2, 70));
+    eng.onComplete(ev(sync::OpKind::LockAcquire, 0, 1, 80));
+    eng.onComplete(ev(sync::OpKind::LockRelease, 0, 1, 90));
+    eng.onComplete(ev(sync::OpKind::LockAcquire, 1, 3, 100));
+    eng.onComplete(ev(sync::OpKind::LockRelease, 1, 3, 110));
+
+    const AnalysisReport r = eng.finish();
+    ASSERT_EQ(countKind(r, FindingKind::StaleGenerationUse), 1u);
+    const Finding &f = firstOfKind(r, FindingKind::StaleGenerationUse);
+    EXPECT_EQ(f.prim, 1u);
+    EXPECT_EQ(f.core, 0u);
+    EXPECT_EQ(f.tick, 81u)
+        << "flagged at the first post-crash completion on the stale "
+           "primitive";
+    EXPECT_NE(f.message.find("stale generation"), std::string::npos)
+        << f.message;
+    EXPECT_STREQ(findingKindName(FindingKind::StaleGenerationUse),
+                 "stale-generation-use");
+}
+
+TEST(AnalysisEngine, NoStaleGenerationWithoutCrash)
+{
+    // The same stream minus the crash boundary stays clean.
+    AnalysisEngine eng(MachineShape{1, 2});
+    eng.onComplete(ev(sync::OpKind::LockAcquire, 0, 1, 10));
+    eng.onComplete(ev(sync::OpKind::LockRelease, 0, 1, 20));
+    eng.onComplete(ev(sync::OpKind::LockAcquire, 0, 1, 80));
+    eng.onComplete(ev(sync::OpKind::LockRelease, 0, 1, 90));
+    const AnalysisReport r = eng.finish();
+    EXPECT_EQ(countKind(r, FindingKind::StaleGenerationUse), 0u);
+}
+
 TEST(AnalysisEngine, EmptyLocksetRaceReportedWithBothAccesses)
 {
     AnalysisEngine eng(MachineShape{1, 2});

@@ -187,6 +187,74 @@ TEST(BenchOptions, RejectsTraceFlagsWithParallelJobs)
     }
 }
 
+TEST(BenchOptions, ParsesDurabilityFlags)
+{
+    const char *argv[] = {"bench", "--persist=eager",
+                          "--crash-at=5000"};
+    auto o = BenchOptions::parse(3, const_cast<char **>(argv));
+    EXPECT_EQ(o.persist, durability::PersistMode::Eager);
+    EXPECT_EQ(o.crashAt, Tick{5000});
+    const SystemConfig cfg = o.makeConfig(Scheme::SynCron);
+    EXPECT_EQ(cfg.persistMode, durability::PersistMode::Eager);
+    EXPECT_EQ(cfg.crashAtTick, Tick{5000});
+
+    // epoch[:N] selects the batch size; bare epoch keeps the default.
+    const char *argv2[] = {"bench", "--persist=epoch:16"};
+    auto o2 = BenchOptions::parse(2, const_cast<char **>(argv2));
+    EXPECT_EQ(o2.persist, durability::PersistMode::Epoch);
+    EXPECT_EQ(o2.persistEpochOps, 16u);
+    EXPECT_EQ(o2.makeConfig(Scheme::SynCron).persistEpochOps, 16u);
+
+    const char *argv3[] = {"bench", "--persist=epoch"};
+    auto o3 = BenchOptions::parse(2, const_cast<char **>(argv3));
+    EXPECT_EQ(o3.persist, durability::PersistMode::Epoch);
+    EXPECT_EQ(o3.persistEpochOps, 64u);
+
+    const char *argv4[] = {"bench", "--crash-sweep=3"};
+    auto o4 = BenchOptions::parse(2, const_cast<char **>(argv4));
+    EXPECT_EQ(o4.crashSweepEvery, 3u);
+
+    auto parse1 = [](const char *arg) {
+        const char *argv1[] = {"bench", arg};
+        return BenchOptions::parse(2, const_cast<char **>(argv1));
+    };
+    EXPECT_THROW(parse1("--persist="), std::runtime_error);
+    EXPECT_THROW(parse1("--persist=bogus"), std::runtime_error);
+    EXPECT_THROW(parse1("--persist=epoch:"), std::runtime_error);
+    EXPECT_THROW(parse1("--persist=epoch:0"), std::runtime_error);
+    // A batch size only makes sense for epoch mode.
+    EXPECT_THROW(parse1("--persist=eager:8"), std::runtime_error);
+    EXPECT_THROW(parse1("--crash-at="), std::runtime_error);
+    EXPECT_THROW(parse1("--crash-at=0"), std::runtime_error);
+    EXPECT_THROW(parse1("--crash-at=soon"), std::runtime_error);
+    EXPECT_THROW(parse1("--crash-sweep=0"), std::runtime_error);
+}
+
+TEST(BenchOptions, RejectsCrashInjectionWithParallelJobs)
+{
+    auto parse2 = [](const char *a, const char *b) {
+        const char *argv[] = {"bench", a, b};
+        return BenchOptions::parse(3, const_cast<char **>(argv));
+    };
+    // Crash injection tears one deterministic machine down mid-run; a
+    // parallel grid has no single machine to crash. The error must
+    // point at --jobs=1 and show usage, mirroring the trace guard.
+    try {
+        parse2("--crash-at=1000", "--jobs=2");
+        FAIL() << "expected fatal for --crash-at --jobs=2";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("--jobs=1"), std::string::npos) << what;
+        EXPECT_NE(what.find("--crash-at=<t>"), std::string::npos)
+            << "error should include usage: " << what;
+    }
+    // Order of flags must not matter.
+    EXPECT_THROW(parse2("--jobs=4", "--crash-at=1000"),
+                 std::runtime_error);
+    // jobs=1 is explicitly fine.
+    EXPECT_NO_THROW(parse2("--crash-at=1000", "--jobs=1"));
+}
+
 TEST(Runner, DsDefaultsCoverAllStructures)
 {
     for (DsKind kind : kAllDsKinds) {

@@ -25,6 +25,13 @@ seconds and are wired into CI ahead of the build:
                        derived from its path (SYNCRON_<DIR>_<NAME>_HH),
                        no `#pragma once`, and no `../` relative
                        includes (all includes are src/-rooted).
+  6. persist-scope     The PM persist hooks (durability::PersistHook
+                       and its persist*() calls) appear only in
+                       src/durability/ and src/syncron/ — the engine is
+                       the sole component that mirrors state into the
+                       PM domain; other simulation code goes through
+                       SystemConfig::persistMode and the durability
+                       manager.
 
 Usage:
   lint_contracts.py [--root DIR]   lint the tree, exit 1 on violations
@@ -46,6 +53,8 @@ SYNCVAR_RE = re.compile(r"\bSyncVar\b")
 SCHEME_SWITCH_RE = re.compile(r"\bcase\s+Scheme::")
 INPLACE_INST_RE = re.compile(r"\bInplaceCallback\s*<")
 STD_FUNCTION_RE = re.compile(r"\bstd::function\b")
+PERSIST_CALL_RE = re.compile(r"(\.|->)\s*persist[A-Z]\w*\s*\(")
+PERSIST_HOOK_RE = re.compile(r"\bPersistHook\b")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once", re.MULTILINE)
 RELATIVE_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"\.\./', re.MULTILINE)
 GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)", re.MULTILINE)
@@ -65,6 +74,9 @@ STD_FUNCTION_ALLOW = {
     "src/common/stats.cc",
     "src/sync/registry.hh",            # backend factory, cold
 }
+# Directory prefixes where the persist hooks legitimately live: the
+# durability subsystem defines them, the SynCron engine invokes them.
+PERSIST_SCOPE_ALLOW_PREFIXES = ("src/durability/", "src/syncron/")
 
 
 def code_files(root):
@@ -124,6 +136,20 @@ def lint_tree(root):
                        "InplaceCallback (alloc-free) or a template "
                        "parameter")
 
+        if (rel.startswith("src/")
+                and not rel.startswith(PERSIST_SCOPE_ALLOW_PREFIXES)):
+            for m in PERSIST_CALL_RE.finditer(text):
+                report(rel, line_of(text, m), "persist-scope",
+                       "persist hook invoked outside src/durability/ + "
+                       "src/syncron/ - PM mirroring is the engine's "
+                       "job; configure SystemConfig::persistMode "
+                       "instead")
+            for m in PERSIST_HOOK_RE.finditer(text):
+                report(rel, line_of(text, m), "persist-scope",
+                       "PersistHook referenced outside src/durability/ "
+                       "+ src/syncron/ - wire through "
+                       "DurabilityManager, not the raw hook")
+
         if rel.startswith("src/") and rel.endswith(".hh"):
             m = PRAGMA_ONCE_RE.search(text)
             if m:
@@ -160,6 +186,8 @@ FIXTURES = [
      "#include <functional>\nstd::function<void()> f;\n"),
     ("header-hygiene", "src/fixture.hh",
      "#pragma once\n#include \"../common/log.hh\"\n"),
+    ("persist-scope", "src/fixture.cc",
+     "void f(durability::PersistHook &h) { h.persistCounter(0, 0); }\n"),
 ]
 
 
