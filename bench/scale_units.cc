@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Sharded-simulation scaling bench: host events/sec of one 16-unit
+ * SynCron machine as --sim-shards grows.
+ *
+ * One simulation, not a grid: every row re-runs the same fine-grained
+ * skip-list workload (per-node locks spread across all units, so every
+ * shard carries sync and memory traffic) with the machine split across
+ * 1, 2, 4, and 8 host threads. The bit-identity contract is asserted
+ * inline — all rows must produce the same final tick, operation count,
+ * and SystemStats — so the speedup column is guaranteed to measure the
+ * identical simulation.
+ *
+ * Gate: >= 1.5x host events/sec at 4 shards vs 1, checked only when the
+ * host has at least 4 hardware threads (single-core CI runners report
+ * the sweep but skip the assertion).
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "system/system.hh"
+
+using namespace syncron;
+using harness::fmt;
+using harness::fmtX;
+
+namespace {
+
+constexpr unsigned kUnits = 16;
+constexpr unsigned kCoresPerUnit = 2;
+constexpr unsigned kShardCounts[] = {1, 2, 4, 8};
+constexpr double kGateSpeedup = 1.5;
+constexpr unsigned kGateShards = 4;
+constexpr unsigned kGateMinHostThreads = 4;
+
+struct Row
+{
+    unsigned shards = 0;
+    harness::RunOutput out;
+};
+
+void
+assertIdentical(const Row &ref, const Row &row)
+{
+    SYNCRON_ASSERT(ref.out.time == row.out.time,
+                   "sharded run diverged: simTicks " << row.out.time
+                       << " @" << row.shards << " shards vs "
+                       << ref.out.time << " @1");
+    SYNCRON_ASSERT(ref.out.ops == row.out.ops,
+                   "sharded run diverged: ops " << row.out.ops << " @"
+                       << row.shards << " shards vs " << ref.out.ops
+                       << " @1");
+    std::vector<double> a;
+    std::vector<double> b;
+    ref.out.stats.forEach(
+        [&](const std::string &, double v) { a.push_back(v); });
+    row.out.stats.forEach(
+        [&](const std::string &, double v) { b.push_back(v); });
+    SYNCRON_ASSERT(a == b, "sharded run diverged: SystemStats differ @"
+                               << row.shards << " shards");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = harness::BenchOptions::parse(argc, argv);
+    const double scale = opts.effectiveScale();
+    const auto initialSize = static_cast<unsigned>(2000 * scale);
+    const auto opsPerCore = static_cast<unsigned>(24 * scale);
+    const unsigned hostThreads = std::thread::hardware_concurrency();
+
+    harness::BenchReport report("scale_units", opts);
+
+    std::vector<Row> rows;
+    for (unsigned shards : kShardCounts) {
+        SystemConfig cfg =
+            SystemConfig::make(Scheme::SynCron, kUnits, kCoresPerUnit);
+        cfg.simShards = shards;
+        Row row;
+        row.shards = shards;
+        row.out = harness::runDataStructure(
+            cfg, harness::DsKind::SkipList, initialSize, opsPerCore);
+        if (!rows.empty())
+            assertIdentical(rows.front(), row);
+        report.add("shards=" + std::to_string(shards), row.out);
+        rows.push_back(std::move(row));
+    }
+
+    const double baseRate = rows.front().out.hostEventsPerSec();
+    harness::TablePrinter table(
+        "scale_units: one 16-unit machine, host threads vs events/sec",
+        {"shards", "sim ticks", "host events", "host [ms]", "Mev/s",
+         "speedup"});
+    double gateSpeedup = 0.0;
+    for (const Row &r : rows) {
+        const double rate = r.out.hostEventsPerSec();
+        const double speedup = baseRate > 0.0 ? rate / baseRate : 0.0;
+        if (r.shards == kGateShards)
+            gateSpeedup = speedup;
+        report.addMetric("speedup.shards"
+                             + std::to_string(r.shards),
+                         speedup);
+        table.addRow({std::to_string(r.shards),
+                      std::to_string(r.out.time),
+                      std::to_string(r.out.hostEvents),
+                      fmt(static_cast<double>(r.out.hostNs) / 1e6, 2),
+                      fmt(rate / 1e6, 2), fmtX(speedup)});
+    }
+    table.addNote("all rows bit-identical (asserted): same final tick, "
+                  "ops, and stats");
+    const bool gateActive = hostThreads >= kGateMinHostThreads;
+    table.addNote(
+        gateActive
+            ? "gate: >= " + fmtX(kGateSpeedup) + " at "
+                  + std::to_string(kGateShards) + " shards"
+            : "gate skipped: host has " + std::to_string(hostThreads)
+                  + " hardware thread(s), need "
+                  + std::to_string(kGateMinHostThreads));
+    table.print(std::cout);
+
+    report.addMetric("gateActive", gateActive ? 1.0 : 0.0);
+    report.addMetric("hostThreads", hostThreads);
+    report.finish(std::cout);
+
+    if (gateActive && gateSpeedup < kGateSpeedup) {
+        std::cout << "scale_units gate FAILED: " << fmtX(gateSpeedup)
+                  << " at " << kGateShards << " shards (need >= "
+                  << fmtX(kGateSpeedup) << ")\n";
+        return 1;
+    }
+    return 0;
+}

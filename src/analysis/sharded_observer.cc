@@ -1,0 +1,115 @@
+#include "analysis/sharded_observer.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "system/machine.hh"
+
+namespace syncron::analysis {
+
+ShardedObserver::ShardedObserver(Machine &machine,
+                                 sync::OpObserver &downstream)
+    : machine_(machine), down_(downstream), lanes_(machine.numShards())
+{}
+
+std::vector<ShardedObserver::Record> &
+ShardedObserver::laneFor(CoreId core)
+{
+    const UnitId unit = core / machine_.config().coresPerUnit;
+    return lanes_[machine_.shardOf(unit)];
+}
+
+void
+ShardedObserver::onIssue(CoreId core, const sync::SyncRequest &req,
+                         Tick issued)
+{
+    std::vector<Record> &lane = laneFor(core);
+    Record r;
+    r.tick = issued;
+    r.core = core;
+    r.seq = lane.size();
+    r.kind = Kind::Issue;
+    r.req = req;
+    r.issued = issued;
+    lane.push_back(r);
+}
+
+void
+ShardedObserver::onComplete(CoreId core, const sync::SyncRequest &req,
+                            Tick issued, Tick completed)
+{
+    std::vector<Record> &lane = laneFor(core);
+    Record r;
+    r.tick = completed;
+    r.core = core;
+    r.seq = lane.size();
+    r.kind = Kind::Complete;
+    r.req = req;
+    r.issued = issued;
+    lane.push_back(r);
+}
+
+void
+ShardedObserver::onAccess(CoreId core, Addr addr, bool isWrite, Tick now)
+{
+    std::vector<Record> &lane = laneFor(core);
+    Record r;
+    r.tick = now;
+    r.core = core;
+    r.seq = lane.size();
+    r.kind = Kind::Access;
+    r.addr = addr;
+    r.isWrite = isWrite;
+    lane.push_back(r);
+}
+
+void
+ShardedObserver::onDestroy(Addr addr)
+{
+    SYNCRON_ASSERT(!machine_.inParallelRegion(),
+                   "primitive destroyed inside a parallel window");
+    flush();
+    down_.onDestroy(addr);
+}
+
+void
+ShardedObserver::flush()
+{
+    SYNCRON_ASSERT(!machine_.inParallelRegion(),
+                   "observer flush inside a parallel window");
+    std::vector<Record> merged;
+    std::size_t total = 0;
+    for (const std::vector<Record> &lane : lanes_)
+        total += lane.size();
+    if (total == 0)
+        return;
+    merged.reserve(total);
+    for (std::vector<Record> &lane : lanes_) {
+        merged.insert(merged.end(), lane.begin(), lane.end());
+        lane.clear();
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Record &a, const Record &b) {
+                  if (a.tick != b.tick)
+                      return a.tick < b.tick;
+                  if (a.core != b.core)
+                      return a.core < b.core;
+                  return a.seq < b.seq;
+              });
+    for (const Record &r : merged) {
+        switch (r.kind) {
+          case Kind::Issue:
+            down_.onIssue(r.core, r.req, r.issued);
+            break;
+          case Kind::Complete:
+            down_.onComplete(r.core, r.req, r.issued, r.tick);
+            break;
+          case Kind::Access:
+            down_.onAccess(r.core, r.addr, r.isWrite, r.tick);
+            break;
+        }
+    }
+    replayed_ += merged.size();
+}
+
+} // namespace syncron::analysis

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-shard buffering mux in front of a sync-operation observer.
+ *
+ * Under sharded simulation the SyncApi notify hooks fire on whichever
+ * worker thread owns the issuing core's shard, but LiveAnalyzer (and
+ * OpObserver implementations in general) are single-threaded state
+ * machines. ShardedObserver sits between them: each shard appends its
+ * events to a private lane (no locking — one writer per lane, and the
+ * lanes are only merged at quiescence), and flush() replays the union
+ * into the downstream observer in a canonical order.
+ *
+ * The merge key is (tick, core, lane sequence). Per core that is exactly
+ * program order (the cores are in-order and a core's events all land in
+ * one lane), which is the ordering contract observer.hh promises.
+ * Cross-core ties at the same tick are canonicalized by core id — a
+ * total order independent of the shard count and of host scheduling, so
+ * a sharded run reports exactly the findings a single-shard run does.
+ */
+
+#ifndef SYNCRON_ANALYSIS_SHARDED_OBSERVER_HH
+#define SYNCRON_ANALYSIS_SHARDED_OBSERVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sync/observer.hh"
+#include "sync/request.hh"
+
+namespace syncron {
+class Machine;
+} // namespace syncron
+
+namespace syncron::analysis {
+
+/** Thread-safe per-shard front end for a single-threaded OpObserver. */
+class ShardedObserver : public sync::OpObserver
+{
+  public:
+    /** Buffers events from @p machine 's shards for @p downstream. */
+    ShardedObserver(Machine &machine, sync::OpObserver &downstream);
+
+    void onIssue(CoreId core, const sync::SyncRequest &req,
+                 Tick issued) override;
+    void onComplete(CoreId core, const sync::SyncRequest &req, Tick issued,
+                    Tick completed) override;
+    void onAccess(CoreId core, Addr addr, bool isWrite, Tick now) override;
+
+    /** Destroys are host-side (outside parallel windows): flush every
+     *  lane so prior events precede the invalidation, then forward. */
+    void onDestroy(Addr addr) override;
+
+    /**
+     * Merges all lanes in canonical (tick, core, lane-sequence) order,
+     * replays them into the downstream observer, and clears the lanes.
+     * Must be called at quiescence (between windows or after the run);
+     * NdpSystem calls it once before finishing the analyzer.
+     */
+    void flush();
+
+    /** Total events buffered-and-replayed so far (test visibility). */
+    std::uint64_t replayed() const { return replayed_; }
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        Issue,
+        Complete,
+        Access,
+    };
+
+    struct Record
+    {
+        Tick tick = 0; ///< tick the hook fired (completion tick for
+                       ///< Complete — the merge must honor it)
+        CoreId core = 0;
+        std::uint64_t seq = 0; ///< per-lane arrival order
+        Kind kind = Kind::Issue;
+        sync::SyncRequest req =
+            sync::SyncRequest::fromMessageInfo(sync::OpKind::LockAcquire,
+                                               0, 0);
+        Tick issued = 0; ///< Issue/Complete
+        Addr addr = 0;   ///< Access only
+        bool isWrite = false;
+    };
+
+    std::vector<Record> &laneFor(CoreId core);
+
+    Machine &machine_;
+    sync::OpObserver &down_;
+    std::vector<std::vector<Record>> lanes_; ///< one per shard
+    std::uint64_t replayed_ = 0;
+};
+
+} // namespace syncron::analysis
+
+#endif // SYNCRON_ANALYSIS_SHARDED_OBSERVER_HH

@@ -11,11 +11,35 @@
 namespace syncron::baselines {
 
 CentralBackend::CentralBackend(Machine &machine, UnitId serverUnit)
-    : machine_(machine), l1_(machine.config().l1, machine.stats()),
+    : machine_(machine),
+      l1_(machine.config().l1, machine.statsFor(serverUnit)),
       serverUnit_(serverUnit)
 {
     SYNCRON_ASSERT(serverUnit < machine.config().numUnits,
                    "server unit out of range");
+}
+
+bool
+CentralBackend::idleVar(Addr var) const
+{
+    std::lock_guard<std::mutex> lock(pendingMu_);
+    return pending_.count(var) == 0 && state_.idle(var);
+}
+
+void
+CentralBackend::pendingInc(Addr var)
+{
+    std::lock_guard<std::mutex> lock(pendingMu_);
+    ++pending_[var];
+}
+
+void
+CentralBackend::pendingDec(Addr var)
+{
+    std::lock_guard<std::mutex> lock(pendingMu_);
+    auto it = pending_.find(var);
+    if (it != pending_.end() && --it->second == 0)
+        pending_.erase(it);
 }
 
 void
@@ -28,20 +52,20 @@ CentralBackend::request(core::Core &requester,
         gate->open(0, requester.cyclePeriod());
     }
 
-    const Tick arrival =
-        machine_.routeMessage(machine_.eq().now(), requester.unit(),
-                              serverUnit_, sync::kSyncReqBits);
-    if (requester.unit() == serverUnit_)
-        ++machine_.stats().syncLocalMsgs;
+    const UnitId from = requester.unit();
+    if (from == serverUnit_)
+        ++machine_.statsFor(from).syncLocalMsgs;
     else
-        ++machine_.stats().syncGlobalMsgs;
+        ++machine_.statsFor(from).syncGlobalMsgs;
 
     const CoreId core = requester.id();
     sim::Gate *acquireGate = acquire ? gate : nullptr;
-    ++pending_[req.var()];
-    machine_.eq().schedule(arrival, [this, req, core, acquireGate] {
-        process(req, core, acquireGate);
-    });
+    pendingInc(req.var());
+    machine_.postMessage(machine_.eq(from).now(), from, serverUnit_,
+                         sync::kSyncReqBits,
+                         [this, req, core, acquireGate] {
+                             enqueue(req, core, acquireGate);
+                         });
 }
 
 void
@@ -72,85 +96,123 @@ CentralBackend::requestBatch(core::Core &requester,
         const bool acquire = req.acquireType();
         if (!acquire)
             gates[i]->open(0, requester.cyclePeriod());
-        ++pending_[req.var()];
+        pendingInc(req.var());
         members.push_back(Member{req, acquire ? gates[i] : nullptr});
     }
 
+    const UnitId from = requester.unit();
     const auto n = static_cast<std::uint32_t>(reqs.size());
-    const Tick arrival = machine_.routeMessage(
-        machine_.eq().now(), requester.unit(), serverUnit_,
-        sync::batchReqBits(reqs));
-    if (requester.unit() == serverUnit_)
-        ++machine_.stats().syncLocalMsgs;
+    SystemStats &st = machine_.statsFor(from);
+    if (from == serverUnit_)
+        ++st.syncLocalMsgs;
     else
-        ++machine_.stats().syncGlobalMsgs;
-    machine_.stats().batchedOps += n;
-    machine_.stats().messagesSaved += n - 1;
+        ++st.syncGlobalMsgs;
+    st.batchedOps += n;
+    st.messagesSaved += n - 1;
 
     const CoreId core = requester.id();
-    machine_.eq().schedule(arrival, [this, core,
-                                     members = std::move(members)] {
-        for (const Member &m : members)
-            process(m.req, core, m.gate);
-    });
-}
-
-Tick
-CentralBackend::varAccess(Tick start, Addr var)
-{
-    // Software read-modify-write of the variable's line through the
-    // server's private L1; a miss fetches the line from the owning
-    // unit's DRAM — across the serial links when the variable is remote.
-    const Tick hit = static_cast<Tick>(l1_.params().hitCycles)
-                     * kCoreClock.period();
-    cache::CacheAccessResult res = l1_.access(var, false);
-    Tick t = start + hit;
-    if (!res.hit) {
-        t = machine_.memoryAccess(t, serverUnit_, lineAlign(var), false,
-                                  kCacheLineBytes);
-        if (res.writeback) {
-            machine_.memoryAccess(start + hit, serverUnit_,
-                                  res.victimAddr, true, kCacheLineBytes);
-        }
-    }
-    l1_.access(var, true); // the modifying write hits
-    return t + hit;
+    machine_.postMessage(machine_.eq(from).now(), from, serverUnit_,
+                         sync::batchReqBits(reqs),
+                         [this, core, members = std::move(members)] {
+                             for (const Member &m : members)
+                                 enqueue(m.req, core, m.gate);
+                         });
 }
 
 void
-CentralBackend::process(const sync::SyncRequest &req, CoreId core,
+CentralBackend::enqueue(const sync::SyncRequest &req, CoreId core,
                         sim::Gate *gate)
 {
-    const SystemConfig &cfg = machine_.config();
-    const Tick start = std::max(machine_.eq().now(), busyUntil_);
-    Tick done = start
-                + static_cast<Tick>(cfg.serverSwOverheadCycles)
-                      * kCoreClock.period();
-    done = varAccess(done, req.var());
-    busyUntil_ = done;
-
-    machine_.eq().schedule(done, [this, req, core, gate] {
-        const Tick when = machine_.eq().now();
-        auto grants = state_.apply(req, core, gate);
-        if (auto it = pending_.find(req.var());
-            it != pending_.end() && --it->second == 0) {
-            pending_.erase(it);
-        }
-        for (const sync::SyncGrant &g : grants) {
-            const UnitId unit = g.core / machine_.config().coresPerUnit;
-            const Tick arrival = machine_.routeMessage(
-                when, serverUnit_, unit, sync::kSyncRespBits);
-            if (unit == serverUnit_)
-                ++machine_.stats().syncLocalMsgs;
-            else
-                ++machine_.stats().syncGlobalMsgs;
-            SYNCRON_ASSERT(g.gate != nullptr, "grant without gate");
-            g.gate->open(0, arrival - when);
-        }
-    });
+    queue_.push_back(
+        Job{req, core, gate, machine_.eq(serverUnit_).now()});
+    if (!serving_)
+        serveNext();
 }
 
-SYNCRON_REGISTER_BACKEND("Central", [](Machine &m) {
+void
+CentralBackend::serveNext()
+{
+    if (queue_.empty()) {
+        serving_ = false;
+        return;
+    }
+    serving_ = true;
+    const Job &job = queue_.front();
+    const SystemConfig &cfg = machine_.config();
+    const Tick start = std::max(job.arrival, busyUntil_);
+    const Tick ready = start
+                       + static_cast<Tick>(cfg.serverSwOverheadCycles)
+                             * kCoreClock.period();
+
+    // Software read-modify-write of the variable's line through the
+    // server's private L1; a miss fetches the line from the owning
+    // unit's DRAM — across the serial links when the variable is remote
+    // (an asynchronous round trip under sharded simulation).
+    const Addr var = job.req.var();
+    const Tick hit = static_cast<Tick>(l1_.params().hitCycles)
+                     * kCoreClock.period();
+    cache::CacheAccessResult res = l1_.access(var, false);
+    const Tick t = ready + hit;
+    if (!res.hit) {
+        if (res.writeback) {
+            machine_.memoryAccessDetached(t, serverUnit_, res.victimAddr,
+                                          true, kCacheLineBytes);
+        }
+        machine_.memoryAccessAsync(t, serverUnit_, lineAlign(var), false,
+                                   kCacheLineBytes,
+                                   [this] { onFillDone(); });
+        return;
+    }
+    l1_.access(var, true); // the modifying write hits
+    finishJob(t + hit);
+}
+
+void
+CentralBackend::onFillDone()
+{
+    SYNCRON_ASSERT(serving_ && !queue_.empty(),
+                   "fill completion with no job in service");
+    const Addr var = queue_.front().req.var();
+    const Tick hit = static_cast<Tick>(l1_.params().hitCycles)
+                     * kCoreClock.period();
+    l1_.access(var, true); // the modifying write hits the filled line
+    finishJob(machine_.eq(serverUnit_).now() + hit);
+}
+
+void
+CentralBackend::finishJob(Tick done)
+{
+    busyUntil_ = done;
+    machine_.eq(serverUnit_).schedule(done,
+                                      [this] { completeFront(); });
+}
+
+void
+CentralBackend::completeFront()
+{
+    Job job = queue_.front();
+    queue_.pop_front();
+    const Tick when = machine_.eq(serverUnit_).now();
+    auto grants = state_.apply(job.req, job.core, job.gate);
+    pendingDec(job.req.var());
+    for (const sync::SyncGrant &g : grants) {
+        const UnitId unit = g.core / machine_.config().coresPerUnit;
+        SystemStats &st = machine_.statsFor(serverUnit_);
+        if (unit == serverUnit_)
+            ++st.syncLocalMsgs;
+        else
+            ++st.syncGlobalMsgs;
+        SYNCRON_ASSERT(g.gate != nullptr, "grant without gate");
+        // The grant opens the requester's gate on its own shard at the
+        // response's arrival tick.
+        sim::Gate *gate = g.gate;
+        machine_.postMessage(when, serverUnit_, unit, sync::kSyncRespBits,
+                             [gate] { gate->open(0, 0); });
+    }
+    serveNext();
+}
+
+SYNCRON_REGISTER_BACKEND_SHARDABLE("Central", [](Machine &m) {
     return std::make_unique<CentralBackend>(m);
 });
 

@@ -13,7 +13,9 @@
 #ifndef SYNCRON_BASELINES_CENTRAL_HH
 #define SYNCRON_BASELINES_CENTRAL_HH
 
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "cache/cache.hh"
@@ -48,32 +50,53 @@ class CentralBackend : public sync::SyncBackend
                       std::span<const sync::SyncRequest> reqs,
                       std::span<sim::Gate *const> gates) override;
 
-    bool
-    idleVar(Addr var) const override
-    {
-        return pending_.count(var) == 0 && state_.idle(var);
-    }
+    bool idleVar(Addr var) const override;
 
     void releaseVar(Addr var) override { state_.destroy(var); }
 
     const char *name() const override { return "Central"; }
 
   private:
-    /** Runs at the server when a request message arrives. */
-    void process(const sync::SyncRequest &req, CoreId core,
-                 sim::Gate *gate);
+    /** One request waiting for (or in) software service at the server. */
+    struct Job
+    {
+        sync::SyncRequest req;
+        CoreId core = 0;
+        sim::Gate *gate = nullptr; ///< nullptr for release-type members
+        Tick arrival = 0;
+    };
 
-    /** Timed software RMW of @p var through the server's L1. */
-    Tick varAccess(Tick start, Addr var);
+    /** Enqueues an arrived request at the server (server shard only). */
+    void enqueue(const sync::SyncRequest &req, CoreId core,
+                 sim::Gate *gate);
+    /** Begins servicing the queue head; may suspend on a miss fill. */
+    void serveNext();
+    /** Resumes the in-service job once its L1 miss fill arrives. */
+    void onFillDone();
+    /** Schedules job completion at @p done . */
+    void finishJob(Tick done);
+    /** Applies the head job, sends its grants, serves the next one. */
+    void completeFront();
+
+    void pendingInc(Addr var);
+    void pendingDec(Addr var);
 
     Machine &machine_;
     cache::Cache l1_;
     sync::FlatSyncState state_;
     UnitId serverUnit_;
     Tick busyUntil_ = 0;
+    /// Arrival-ordered software service queue. The whole service path
+    /// (queue, L1, state_) runs on the server's shard; only pending_ is
+    /// shared with requester shards.
+    std::deque<Job> queue_;
+    bool serving_ = false;
     /// Requests issued but not yet applied at the server, per variable
     /// (keeps idleVar() honest about messages still in flight).
+    /// Incremented on the requester's shard, decremented on the
+    /// server's; only read for its keys at quiescence.
     std::unordered_map<Addr, std::uint32_t> pending_;
+    mutable std::mutex pendingMu_;
 };
 
 } // namespace syncron::baselines

@@ -11,8 +11,46 @@
 namespace syncron::baselines {
 
 FlatSynCronBackend::FlatSynCronBackend(Machine &machine)
-    : machine_(machine), busyUntil_(machine.config().numUnits, 0)
+    : machine_(machine), state_(machine.config().numUnits),
+      busyUntil_(machine.config().numUnits, 0)
 {}
+
+bool
+FlatSynCronBackend::idleVar(Addr var) const
+{
+    std::lock_guard<std::mutex> lock(pendingMu_);
+    if (pending_.count(var) != 0)
+        return false;
+    // Condition variables are homed at their lock's master, not their
+    // own, so check every unit's state rather than unitOfAddr(var)'s.
+    for (const sync::FlatSyncState &s : state_)
+        if (!s.idle(var))
+            return false;
+    return true;
+}
+
+void
+FlatSynCronBackend::releaseVar(Addr var)
+{
+    for (sync::FlatSyncState &s : state_)
+        s.destroy(var);
+}
+
+void
+FlatSynCronBackend::pendingInc(Addr var)
+{
+    std::lock_guard<std::mutex> lock(pendingMu_);
+    ++pending_[var];
+}
+
+void
+FlatSynCronBackend::pendingDec(Addr var)
+{
+    std::lock_guard<std::mutex> lock(pendingMu_);
+    auto it = pending_.find(var);
+    if (it != pending_.end() && --it->second == 0)
+        pending_.erase(it);
+}
 
 void
 FlatSynCronBackend::request(core::Core &requester,
@@ -23,20 +61,20 @@ FlatSynCronBackend::request(core::Core &requester,
         gate->open(0, requester.cyclePeriod());
 
     const UnitId master = mem::unitOfAddr(req.var());
-    const Tick arrival = machine_.routeMessage(
-        machine_.eq().now(), requester.unit(), master, sync::kSyncReqBits);
-    if (requester.unit() == master)
-        ++machine_.stats().syncLocalMsgs;
+    const UnitId from = requester.unit();
+    if (from == master)
+        ++machine_.statsFor(from).syncLocalMsgs;
     else
-        ++machine_.stats().syncGlobalMsgs;
+        ++machine_.statsFor(from).syncGlobalMsgs;
 
     const CoreId core = requester.id();
     sim::Gate *acquireGate = acquire ? gate : nullptr;
-    ++pending_[req.var()];
-    machine_.eq().schedule(arrival, [this, master, req, core,
-                                     acquireGate] {
-        process(master, req, core, acquireGate);
-    });
+    pendingInc(req.var());
+    machine_.postMessage(machine_.eq(from).now(), from, master,
+                         sync::kSyncReqBits,
+                         [this, master, req, core, acquireGate] {
+                             process(master, req, core, acquireGate);
+                         });
 }
 
 void
@@ -44,7 +82,7 @@ FlatSynCronBackend::process(UnitId se, const sync::SyncRequest &req,
                             CoreId core, sim::Gate *gate)
 {
     const SystemConfig &cfg = machine_.config();
-    const Tick start = std::max(machine_.eq().now(), busyUntil_[se]);
+    const Tick start = std::max(machine_.eq(se).now(), busyUntil_[se]);
     // Same SPU cost as hierarchical SynCron: the variable is buffered
     // directly in the Master SE's ST.
     const Tick done = start
@@ -52,28 +90,54 @@ FlatSynCronBackend::process(UnitId se, const sync::SyncRequest &req,
                             * cfg.seCyclePeriod;
     busyUntil_[se] = done;
 
-    machine_.eq().schedule(done, [this, se, req, core, gate] {
-        const Tick when = machine_.eq().now();
-        auto grants = state_.apply(req, core, gate);
-        if (auto it = pending_.find(req.var());
-            it != pending_.end() && --it->second == 0) {
-            pending_.erase(it);
+    machine_.eq(se).schedule(done, [this, se, req, core, gate] {
+        const Tick when = machine_.eq(se).now();
+        // A cond op's associated-lock manipulation is emitted here and
+        // forwarded below to the LOCK's Master SE: the condition and
+        // its lock may be homed at different units.
+        std::vector<sync::FlatSyncState::LockOp> fwd;
+        auto grants = state_[se].apply(req, core, gate, &fwd);
+        pendingDec(req.var());
+        for (const sync::FlatSyncState::LockOp &op : fwd) {
+            const UnitId lockSe = mem::unitOfAddr(op.lock);
+            const sync::SyncRequest lockReq =
+                sync::SyncRequest::fromMessageInfo(
+                    op.acquire ? sync::OpKind::LockAcquire
+                               : sync::OpKind::LockRelease,
+                    op.lock, 0);
+            SystemStats &st = machine_.statsFor(se);
+            if (lockSe == se)
+                ++st.syncLocalMsgs;
+            else
+                ++st.syncGlobalMsgs;
+            pendingInc(op.lock);
+            const CoreId lockCore = op.core;
+            sim::Gate *lockGate = op.gate;
+            machine_.postMessage(when, se, lockSe, sync::kSyncReqBits,
+                                 [this, lockSe, lockReq, lockCore,
+                                  lockGate] {
+                                     process(lockSe, lockReq, lockCore,
+                                             lockGate);
+                                 });
         }
         for (const sync::SyncGrant &g : grants) {
             const UnitId unit = g.core / machine_.config().coresPerUnit;
-            const Tick arrival = machine_.routeMessage(
-                when, se, unit, sync::kSyncRespBits);
+            SystemStats &st = machine_.statsFor(se);
             if (unit == se)
-                ++machine_.stats().syncLocalMsgs;
+                ++st.syncLocalMsgs;
             else
-                ++machine_.stats().syncGlobalMsgs;
+                ++st.syncGlobalMsgs;
             SYNCRON_ASSERT(g.gate != nullptr, "grant without gate");
-            g.gate->open(0, arrival - when);
+            // Opens the requester's gate on its own shard at the
+            // response's arrival tick.
+            sim::Gate *grantGate = g.gate;
+            machine_.postMessage(when, se, unit, sync::kSyncRespBits,
+                                 [grantGate] { grantGate->open(0, 0); });
         }
     });
 }
 
-SYNCRON_REGISTER_BACKEND("SynCron-flat", [](Machine &m) {
+SYNCRON_REGISTER_BACKEND_SHARDABLE("SynCron-flat", [](Machine &m) {
     return std::make_unique<FlatSynCronBackend>(m);
 });
 

@@ -12,6 +12,7 @@
 #ifndef SYNCRON_BASELINES_FLAT_HH
 #define SYNCRON_BASELINES_FLAT_HH
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -30,13 +31,9 @@ class FlatSynCronBackend : public sync::SyncBackend
     void request(core::Core &requester, const sync::SyncRequest &req,
                  sim::Gate *gate) override;
 
-    bool
-    idleVar(Addr var) const override
-    {
-        return pending_.count(var) == 0 && state_.idle(var);
-    }
+    bool idleVar(Addr var) const override;
 
-    void releaseVar(Addr var) override { state_.destroy(var); }
+    void releaseVar(Addr var) override;
 
     const char *name() const override { return "SynCron-flat"; }
 
@@ -44,12 +41,20 @@ class FlatSynCronBackend : public sync::SyncBackend
     void process(UnitId se, const sync::SyncRequest &req, CoreId core,
                  sim::Gate *gate);
 
+    void pendingInc(Addr var);
+    void pendingDec(Addr var);
+
     Machine &machine_;
-    sync::FlatSyncState state_;
+    /// Per-master-unit tracking state: a variable's state lives at its
+    /// Master SE and is only touched from that unit's shard.
+    std::vector<sync::FlatSyncState> state_;
     std::vector<Tick> busyUntil_; ///< per-unit SE SPU
     /// Requests issued but not yet applied at their Master SE, per
     /// variable (keeps idleVar() honest about in-flight messages).
+    /// Incremented on requester shards, decremented at the master;
+    /// only read for its keys at quiescence.
     std::unordered_map<Addr, std::uint32_t> pending_;
+    mutable std::mutex pendingMu_;
 };
 
 } // namespace syncron::baselines

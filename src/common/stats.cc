@@ -88,7 +88,7 @@ SystemStats::forEach(
     fn("stOverflowEvents", static_cast<double>(stOverflowEvents));
     fn("stRequests", static_cast<double>(stRequests));
     fn("stMaxOccupied", static_cast<double>(stMaxOccupied));
-    fn("stOccupancyIntegral", stOccupancyIntegral);
+    fn("stOccupancyIntegral", static_cast<double>(stOccupancyIntegral));
     fn("stOccupancyTime", static_cast<double>(stOccupancyTime));
     for (unsigned k = 0; k < kNumSyncOpKinds; ++k) {
         const SyncOpLatency &lat = syncLatency[k];
@@ -153,7 +153,8 @@ SystemStats::avgStOccupancy() const
 {
     if (stOccupancyTime == 0)
         return 0.0;
-    return stOccupancyIntegral / static_cast<double>(stOccupancyTime);
+    return static_cast<double>(stOccupancyIntegral)
+           / static_cast<double>(stOccupancyTime);
 }
 
 } // namespace syncron

@@ -122,7 +122,10 @@ struct SystemStats
     std::uint64_t stOverflowEvents = 0;  ///< requests serviced via memory
     std::uint64_t stRequests = 0;        ///< requests that consulted an ST
     std::uint64_t stMaxOccupied = 0;     ///< max entries occupied (any ST)
-    double stOccupancyIntegral = 0.0;    ///< sum(occupied * dt) over time
+    /// sum(occupied * dt) over time. Integer (entries are integers,
+    /// dt is ticks) so merging per-shard stat blocks is exact — sharded
+    /// runs must reproduce single-threaded stats bit-identically.
+    std::uint64_t stOccupancyIntegral = 0;
     Tick stOccupancyTime = 0;            ///< total observed time
 
     /** Visits every scalar counter as (name, value-as-double). */

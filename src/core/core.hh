@@ -38,6 +38,53 @@ enum class MemKind
     SharedRW, ///< shared read-write: uncacheable (software coherence)
 };
 
+class Core;
+
+/**
+ * Awaitable memory operation returned by Core::load()/store().
+ *
+ * Accesses whose data lives in a foreign unit must not touch that
+ * unit's DRAM/crossbar synchronously under sharded simulation, so the
+ * access runs as a small state machine over Machine's asynchronous
+ * transport: cache-hit legs advance synchronously, each miss fill
+ * suspends until the (possibly cross-shard) DRAM round trip completes,
+ * and the coroutine resumes at the tick the last outstanding leg
+ * finishes. The object lives in the co_await expression, so its address
+ * is stable for the callbacks it parks.
+ */
+class MemOp
+{
+  public:
+    MemOp(Core &core, Addr addr, std::uint32_t bytes, bool isWrite,
+          MemKind kind)
+        : core_(core), addr_(addr), bytes_(bytes), isWrite_(isWrite),
+          kind_(kind)
+    {}
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+
+  private:
+    /** Walks lines from line_; issues at most one fill then suspends. */
+    void stepLines();
+    /** Continuation of stepLines() after a miss fill arrives. */
+    void onFillDone();
+    /** Schedules the coroutine resume at done_. */
+    void finish();
+
+    Core &core_;
+    Addr addr_;
+    std::uint32_t bytes_;
+    bool isWrite_;
+    MemKind kind_;
+    std::coroutine_handle<> h_;
+    Tick start_ = 0;
+    Tick done_ = 0;
+    Addr line_ = 0;
+    Addr lastLine_ = 0;
+};
+
 /** One simulated NDP core. */
 class Core
 {
@@ -57,12 +104,12 @@ class Core
     sim::Delay compute(std::uint64_t instructions);
 
     /** Loads @p bytes from @p addr. */
-    sim::Delay load(Addr addr, std::uint32_t bytes = 8,
-                    MemKind kind = MemKind::SharedRW);
+    MemOp load(Addr addr, std::uint32_t bytes = 8,
+               MemKind kind = MemKind::SharedRW);
 
     /** Stores @p bytes to @p addr (completes before the next op). */
-    sim::Delay store(Addr addr, std::uint32_t bytes = 8,
-                     MemKind kind = MemKind::SharedRW);
+    MemOp store(Addr addr, std::uint32_t bytes = 8,
+                MemKind kind = MemKind::SharedRW);
 
     CoreId id() const { return id_; }
     UnitId unit() const { return unit_; }
@@ -75,8 +122,7 @@ class Core
     Tick cyclePeriod() const { return kCoreClock.period(); }
 
   private:
-    /** Timed access through the L1 (cacheable kinds). */
-    Tick cachedAccess(Addr addr, bool isWrite, std::uint32_t bytes);
+    friend class MemOp;
 
     Machine &machine_;
     cache::Cache l1_;

@@ -39,7 +39,10 @@ BenchOptions::usage()
            "  --crash-at=<t>     inject a crash at tick t (needs "
            "--jobs=1)\n"
            "  --crash-sweep=<n>  durability benches: crash-inject at "
-           "every nth sync-op boundary";
+           "every nth sync-op boundary\n"
+           "  --sim-shards=<n>   host threads per simulated machine "
+           "(bit-identical results; incompatible with --trace-out, "
+           "--crash-at, --persist)";
 }
 
 namespace {
@@ -162,6 +165,19 @@ BenchOptions::parse(int argc, char **argv)
                               << usage());
             }
             opts.crashSweepEvery = static_cast<unsigned>(n);
+        } else if ((val = optValue(arg, "--sim-shards="))) {
+            char *end = nullptr;
+            errno = 0;
+            const long n = std::strtol(val, &end, 10);
+            if (*val == '\0' || end == nullptr || *end != '\0'
+                || errno != 0 || n < 1
+                || n > static_cast<long>(kMaxShards)) {
+                SYNCRON_FATAL("bad --sim-shards value '"
+                              << val << "' (need 1.." << kMaxShards
+                              << ")\n"
+                              << usage());
+            }
+            opts.simShards = static_cast<unsigned>(n);
         } else if (std::strncmp(arg, "--benchmark", 11) == 0) {
             // Tolerate google-benchmark's standard flags.
         } else {
@@ -194,6 +210,29 @@ BenchOptions::parse(int argc, char **argv)
                       "is a single deterministic run, not a grid)\n"
                       << usage());
     }
+    // Sharded simulation only guarantees one global order for the
+    // simulated machine's events, not for the side channels below: the
+    // trace writer and the durability log both record hook-fire order,
+    // and crash injection stops one queue at an exact tick. All three
+    // need the single-queue kernel.
+    if (opts.simShards > 1 && !opts.traceOut.empty()) {
+        SYNCRON_FATAL("--trace-out requires --sim-shards=1 (trace "
+                      "capture records one global event order)\n"
+                      << usage());
+    }
+    if (opts.simShards > 1 && opts.crashAt != 0) {
+        SYNCRON_FATAL("--crash-at requires --sim-shards=1 (crash "
+                      "injection stops the machine at an exact global "
+                      "tick)\n"
+                      << usage());
+    }
+    if (opts.simShards > 1
+        && opts.persist != durability::PersistMode::Off) {
+        SYNCRON_FATAL("--persist requires --sim-shards=1 (the "
+                      "durability log records one global sync-op "
+                      "order)\n"
+                      << usage());
+    }
     return opts;
 }
 
@@ -209,6 +248,7 @@ BenchOptions::makeConfig(Scheme scheme, unsigned numUnits,
     cfg.persistMode = persist;
     cfg.persistEpochOps = persistEpochOps;
     cfg.crashAtTick = crashAt;
+    cfg.simShards = simShards;
     return cfg;
 }
 
@@ -302,7 +342,7 @@ class HostTimer
 void
 finishOutput(RunOutput &out, NdpSystem &sys)
 {
-    out.hostEvents = sys.machine().eq().executed();
+    out.hostEvents = sys.machine().executedEvents();
     out.stats = sys.stats();
     out.energy = computeEnergy(sys.stats(), sys.config());
     if (engine::SynCronBackend *eng = sys.syncronBackend()) {
@@ -343,55 +383,55 @@ runDataStructure(const SystemConfig &cfg, DsKind kind,
             if (!stack)
                 stack = std::make_unique<workloads::SimStack>(
                     sys, initialSize);
-            sys.spawn(stack->worker(c, opsPerCore));
+            sys.spawn(stack->worker(c, opsPerCore), c);
             break;
           case DsKind::Queue:
             if (!queue)
                 queue = std::make_unique<workloads::SimQueue>(
                     sys, initialSize);
-            sys.spawn(queue->worker(c, opsPerCore));
+            sys.spawn(queue->worker(c, opsPerCore), c);
             break;
           case DsKind::ArrayMap:
             if (!map)
                 map = std::make_unique<workloads::SimArrayMap>(
                     sys, initialSize);
-            sys.spawn(map->worker(c, opsPerCore));
+            sys.spawn(map->worker(c, opsPerCore), c);
             break;
           case DsKind::PriorityQueue:
             if (!pq)
                 pq = std::make_unique<workloads::SimPriorityQueue>(
                     sys, initialSize);
-            sys.spawn(pq->worker(c, opsPerCore));
+            sys.spawn(pq->worker(c, opsPerCore), c);
             break;
           case DsKind::SkipList:
             if (!skip)
                 skip = std::make_unique<workloads::SimSkipList>(
                     sys, initialSize);
-            sys.spawn(skip->worker(c, opsPerCore));
+            sys.spawn(skip->worker(c, opsPerCore), c);
             break;
           case DsKind::HashTable:
             if (!hash)
                 hash = std::make_unique<workloads::SimHashTable>(
                     sys, initialSize);
-            sys.spawn(hash->worker(c, opsPerCore));
+            sys.spawn(hash->worker(c, opsPerCore), c);
             break;
           case DsKind::LinkedList:
             if (!list)
                 list = std::make_unique<workloads::SimLinkedList>(
                     sys, initialSize);
-            sys.spawn(list->worker(c, opsPerCore));
+            sys.spawn(list->worker(c, opsPerCore), c);
             break;
           case DsKind::BstFg:
             if (!bstFg)
                 bstFg = std::make_unique<workloads::SimBstFg>(
                     sys, initialSize);
-            sys.spawn(bstFg->worker(c, opsPerCore));
+            sys.spawn(bstFg->worker(c, opsPerCore), c);
             break;
           case DsKind::BstDrachsler:
             if (!bstDr)
                 bstDr = std::make_unique<workloads::SimBstDrachsler>(
                     sys, initialSize);
-            sys.spawn(bstDr->worker(c, opsPerCore));
+            sys.spawn(bstDr->worker(c, opsPerCore), c);
             break;
         }
     }

@@ -57,9 +57,17 @@ struct BenchOptions
     /// performance grid, run the crash-injection sweep at every nth
     /// sync-op boundary (0 = disabled).
     unsigned crashSweepEvery = 0;
+    /// --sim-shards=<n>: host threads sharding each simulated machine
+    /// (conservative PDES). Results are bit-identical to a
+    /// single-threaded run. Incompatible with --trace-out, --crash-at,
+    /// and --persist, which all assume one global event order.
+    unsigned simShards = 1;
 
     /** Maximum accepted --jobs value. */
     static constexpr unsigned kMaxJobs = 256;
+
+    /** Maximum accepted --sim-shards value. */
+    static constexpr unsigned kMaxShards = 64;
 
     /** Maximum accepted --scale value (paper scale is 8.0). */
     static constexpr double kMaxScale = 1e6;

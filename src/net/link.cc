@@ -8,9 +8,18 @@ namespace syncron::net {
 
 LinkFabric::LinkFabric(unsigned numUnits, const LinkParams &params,
                        SystemStats &stats)
-    : numUnits_(numUnits), params_(params), stats_(stats),
-      busyUntil_(static_cast<std::size_t>(numUnits) * numUnits, 0)
+    : LinkFabric(numUnits, params,
+                 std::vector<SystemStats *>(numUnits, &stats))
 {}
+
+LinkFabric::LinkFabric(unsigned numUnits, const LinkParams &params,
+                       std::vector<SystemStats *> perUnitStats)
+    : numUnits_(numUnits), params_(params), stats_(std::move(perUnitStats)),
+      busyUntil_(static_cast<std::size_t>(numUnits) * numUnits, 0)
+{
+    SYNCRON_ASSERT(stats_.size() == numUnits_,
+                   "LinkFabric needs one stats block per unit");
+}
 
 Tick
 LinkFabric::serializationTicks(std::uint32_t bytes) const
@@ -34,10 +43,11 @@ LinkFabric::send(Tick start, UnitId from, UnitId to, std::uint32_t bytes)
     const Tick serial = serializationTicks(bytes);
     busy = begin + serial;
 
-    ++stats_.linkMessages;
-    stats_.linkBits += static_cast<std::uint64_t>(bytes) * 8;
-    stats_.linkFlits += (static_cast<std::uint64_t>(bytes) * 8 + 127) / 128;
-    stats_.bytesAcrossUnits += bytes;
+    SystemStats &st = *stats_[from];
+    ++st.linkMessages;
+    st.linkBits += static_cast<std::uint64_t>(bytes) * 8;
+    st.linkFlits += (static_cast<std::uint64_t>(bytes) * 8 + 127) / 128;
+    st.bytesAcrossUnits += bytes;
 
     return busy + params_.flightTicks;
 }

@@ -41,6 +41,15 @@ class LinkFabric
                SystemStats &stats);
 
     /**
+     * Sharded wiring: traffic originating at unit u is charged to
+     * @p perUnitStats[u], so concurrently-running shards never touch
+     * each other's counters. @p perUnitStats must have numUnits entries
+     * and outlive the fabric.
+     */
+    LinkFabric(unsigned numUnits, const LinkParams &params,
+               std::vector<SystemStats *> perUnitStats);
+
+    /**
      * Sends @p bytes from @p from to @p to (must differ), starting at
      * @p start.
      * @return absolute arrival tick at the destination unit
@@ -57,7 +66,7 @@ class LinkFabric
 
     unsigned numUnits_;
     LinkParams params_;
-    SystemStats &stats_;
+    std::vector<SystemStats *> stats_; ///< per source unit
     std::vector<Tick> busyUntil_; ///< per ordered (from, to) pair
 };
 

@@ -88,6 +88,14 @@ class EventQueue
     /** Host-side count of events executed so far (perf accounting). */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Tick of the earliest pending event, or kTickNever when empty.
+     * Pure (performs no epoch promotion), so a sharded coordinator can
+     * poll every shard's horizon between bounded run(until) windows
+     * without perturbing queue state.
+     */
+    Tick nextTime() const { return nextEventTime(); }
+
   private:
     // -- Geometry ------------------------------------------------------
     /** log2 of the near-wheel slot count: one epoch = 65536 ticks

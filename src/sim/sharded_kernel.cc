@@ -1,0 +1,133 @@
+#include "sim/sharded_kernel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace syncron::sim {
+
+ShardedKernel::ShardedKernel(std::vector<EventQueue *> queues, Tick lookahead,
+                             Client &client)
+    : queues_(std::move(queues)), lookahead_(lookahead), client_(client)
+{
+    SYNCRON_ASSERT(!queues_.empty(), "ShardedKernel needs at least one shard");
+    for (EventQueue *q : queues_)
+        SYNCRON_ASSERT(q, "null shard queue");
+    SYNCRON_ASSERT(queues_.size() == 1 || lookahead_ > 0,
+                   "zero lookahead requires lockstep (single shard)");
+    if (queues_.size() > 1) {
+        errors_.resize(queues_.size());
+        workers_.reserve(queues_.size());
+        for (std::size_t s = 0; s < queues_.size(); ++s)
+            workers_.emplace_back([this, s] { workerLoop(s); });
+    }
+}
+
+ShardedKernel::~ShardedKernel()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+}
+
+Tick
+ShardedKernel::horizon() const
+{
+    Tick w = kTickNever;
+    for (const EventQueue *q : queues_)
+        w = std::min(w, q->nextTime());
+    return w;
+}
+
+void
+ShardedKernel::workerLoop(std::size_t shard)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Tick limit;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            limit = windowLimit_;
+        }
+        try {
+            queues_[shard]->run(limit);
+        } catch (...) {
+            errors_[shard] = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --running_;
+        }
+        doneCv_.notify_one();
+    }
+}
+
+void
+ShardedKernel::runWindow(Tick limit)
+{
+    if (queues_.size() == 1) {
+        queues_[0]->run(limit);
+        return;
+    }
+    client_.windowBegin();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        windowLimit_ = limit;
+        running_ = workers_.size();
+        ++generation_;
+    }
+    cv_.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        doneCv_.wait(lock, [&] { return running_ == 0; });
+    }
+    client_.windowEnd();
+    // Rethrow the lowest shard's failure so error reporting is
+    // deterministic even when several shards fault in one window.
+    for (std::size_t s = 0; s < errors_.size(); ++s) {
+        if (errors_[s]) {
+            std::exception_ptr ep = errors_[s];
+            for (auto &e : errors_)
+                e = nullptr;
+            std::rethrow_exception(ep);
+        }
+    }
+}
+
+Tick
+ShardedKernel::run(Tick until)
+{
+    for (;;) {
+        client_.drainMailboxes();
+        Tick w = horizon();
+        if (w == kTickNever || w > until)
+            break;
+        Tick limit = w;
+        if (lookahead_ > 0) {
+            // run(until) is inclusive: the window covers
+            // [w, w + lookahead - 1] so no event inside it can produce a
+            // cross-shard arrival (stamped >= t + lookahead) that lands
+            // inside the same window.
+            limit = w + lookahead_ - 1;
+        }
+        limit = std::min(limit, until);
+        runWindow(limit);
+        ++windows_;
+    }
+    Tick maxNow = 0;
+    for (const EventQueue *q : queues_)
+        maxNow = std::max(maxNow, q->now());
+    return maxNow;
+}
+
+} // namespace syncron::sim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Conservative parallel-discrete-event coordinator over per-shard
+ * EventQueues.
+ *
+ * One simulation is partitioned into shards (groups of NDP units), each
+ * owning a private timing-wheel EventQueue (sim/event_queue.hh). Shards
+ * only interact through mailboxes drained at window barriers, so each
+ * shard can run a bounded window of events on its own host thread.
+ *
+ * Window protocol (classic conservative PDES with a global window):
+ *
+ *   loop:
+ *     drain mailboxes (single-threaded; delivers cross-shard envelopes
+ *       into destination queues in a deterministic order)
+ *     W = min over shards of nextTime()          // global horizon
+ *     stop when no shard has work (or W > until)
+ *     run every shard to min(W + lookahead - 1, until) in parallel
+ *
+ * Safety: a cross-shard message posted at tick t carries an
+ * earliest-arrival stamp >= t + lookahead (the mailbox owner guarantees
+ * this; lookahead is derived from the configured link + crossbar
+ * latencies). Every event executed inside a window happens at tick
+ * <= W + lookahead - 1, so any envelope it posts arrives at
+ * >= W + lookahead — strictly after the window — and is delivered by the
+ * next barrier before any shard advances past it. No shard ever receives
+ * an event in its past, which is what makes the parallel run bit-identical
+ * to the single-threaded one.
+ *
+ * When lookahead collapses to zero (zero-latency link sweeps) the caller
+ * must fall back to a single shard (lockstep); the coordinator asserts
+ * this. With one queue the coordinator degenerates to bounded serial
+ * stepping and never spawns threads, so the windowed path is exercised
+ * uniformly at every shard count.
+ */
+
+#ifndef SYNCRON_SIM_SHARDED_KERNEL_HH
+#define SYNCRON_SIM_SHARDED_KERNEL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace syncron::sim {
+
+/** Windowed coordinator advancing per-shard EventQueues in parallel. */
+class ShardedKernel
+{
+  public:
+    /** Barrier-time callout owned by whoever owns the mailboxes. */
+    class Client
+    {
+      public:
+        virtual ~Client() = default;
+
+        /**
+         * Deliver all queued cross-shard envelopes into destination
+         * queues. Called single-threaded, only at window barriers (no
+         * shard is running). Must be deterministic: delivery order may
+         * not depend on the shard count or host thread timing.
+         */
+        virtual void drainMailboxes() = 0;
+
+        /** Barrier-time notifications bracketing each parallel window.
+         *  Lets the owner flag "a window is in flight" so quiescent-only
+         *  operations (primitive alloc/destroy) can assert. */
+        virtual void windowBegin() {}
+        virtual void windowEnd() {}
+    };
+
+    /**
+     * @param queues    one EventQueue per shard (non-owning, stable).
+     * @param lookahead minimum cross-shard latency in ticks; must be > 0
+     *                  when more than one queue is given.
+     * @param client    mailbox owner called at every barrier.
+     */
+    ShardedKernel(std::vector<EventQueue *> queues, Tick lookahead,
+                  Client &client);
+    ~ShardedKernel();
+
+    ShardedKernel(const ShardedKernel &) = delete;
+    ShardedKernel &operator=(const ShardedKernel &) = delete;
+
+    /**
+     * Runs every shard until all queues and mailboxes drain, or until
+     * the global horizon passes @p until (bounded stepping for crash
+     * injection). Events with tick <= until execute; later ones stay
+     * queued. Returns the max now() across shards.
+     */
+    Tick run(Tick until = kTickNever);
+
+    /** Number of parallel windows executed so far. */
+    std::uint64_t windows() const { return windows_; }
+
+    Tick lookahead() const { return lookahead_; }
+    std::size_t shards() const { return queues_.size(); }
+
+  private:
+    /** Min nextTime() across shards (kTickNever when all empty). */
+    Tick horizon() const;
+    /** Runs every queue to @p limit — worker threads when sharded. */
+    void runWindow(Tick limit);
+    void workerLoop(std::size_t shard);
+
+    std::vector<EventQueue *> queues_;
+    Tick lookahead_;
+    Client &client_;
+    std::uint64_t windows_ = 0;
+
+    // -- Worker pool (only populated when queues_.size() > 1) ----------
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_;       ///< coordinator -> workers
+    std::condition_variable doneCv_;   ///< workers -> coordinator
+    std::uint64_t generation_ = 0;     ///< bumped per window
+    Tick windowLimit_ = 0;
+    std::size_t running_ = 0;          ///< workers still inside a window
+    bool stop_ = false;
+    std::vector<std::exception_ptr> errors_; ///< per-shard, rethrown by index
+};
+
+} // namespace syncron::sim
+
+#endif // SYNCRON_SIM_SHARDED_KERNEL_HH

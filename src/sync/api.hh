@@ -93,17 +93,18 @@ void recordIssue(SyncApi *api, CoreId core, const SyncRequest &req,
  */
 struct FutureState
 {
-    FutureState(Machine &machine, CoreId core, const SyncRequest &req,
-                SyncApi *api)
-        : machine(machine), gate(machine.eq()), req(req), api(api),
-          core(core)
+    FutureState(Machine &machine, CoreId core, UnitId unit,
+                const SyncRequest &req, SyncApi *api)
+        : machine(machine), gate(machine.eq(unit)), req(req), api(api),
+          core(core), unit(unit)
     {}
 
     Machine &machine;
-    sim::Gate gate;
+    sim::Gate gate; ///< lives on the issuing core's shard queue
     SyncRequest req;
     SyncApi *api;
     CoreId core;
+    UnitId unit; ///< issuing core's unit (shard-local clock reads)
     Tick issuedAt = 0;
     bool recorded = false;
 
@@ -200,7 +201,7 @@ class SyncFuture
         SyncResponse resp;
         resp.kind = state_->req.kind();
         resp.issuedAt = state_->issuedAt;
-        resp.completedAt = state_->machine.eq().now();
+        resp.completedAt = state_->machine.eq(state_->unit).now();
         resp.payload = state_->gate.await_resume();
         state_->finalize(resp.completedAt);
         return resp;
@@ -257,8 +258,8 @@ class SyncOp
   public:
     SyncOp(core::Core &core, SyncBackend &backend, const SyncRequest &req,
            SyncApi *api = nullptr)
-        : core_(core), backend_(backend), gate_(core.machine().eq()),
-          req_(req), api_(api)
+        : core_(core), backend_(backend),
+          gate_(core.machine().eq(core.unit())), req_(req), api_(api)
     {}
 
     SyncOp(const SyncOp &) = delete;
@@ -269,7 +270,7 @@ class SyncOp
     void
     await_suspend(std::coroutine_handle<> h)
     {
-        issuedAt_ = core_.machine().eq().now();
+        issuedAt_ = core_.machine().eq(core_.unit()).now();
         detail::recordIssue(api_, core_.id(), req_, issuedAt_);
         backend_.request(core_, req_, &gate_);
         // The gate handles both orders: backend already opened it
@@ -283,7 +284,7 @@ class SyncOp
         SyncResponse resp;
         resp.kind = req_.kind();
         resp.issuedAt = issuedAt_;
-        resp.completedAt = core_.machine().eq().now();
+        resp.completedAt = core_.machine().eq(core_.unit()).now();
         resp.payload = gate_.await_resume();
         detail::recordCompletion(core_.machine(), api_, core_.id(), req_,
                                  issuedAt_, resp.completedAt);
@@ -608,11 +609,11 @@ class SyncApi
     void
     accessHint(const core::Core &c, Addr addr, bool isWrite)
     {
+        const Tick now = machine_.eq(c.unit()).now();
         if (observer_ != nullptr)
-            observer_->onAccess(c.id(), addr, isWrite,
-                                machine_.eq().now());
+            observer_->onAccess(c.id(), addr, isWrite, now);
         for (OpObserver *aux : auxObservers_)
-            aux->onAccess(c.id(), addr, isWrite, machine_.eq().now());
+            aux->onAccess(c.id(), addr, isWrite, now);
     }
 
   private:

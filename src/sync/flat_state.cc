@@ -47,7 +47,8 @@ FlatSyncState::lockRelease(Addr var, CoreId core,
 }
 
 std::vector<SyncGrant>
-FlatSyncState::apply(const SyncRequest &req, CoreId core, sim::Gate *gate)
+FlatSyncState::apply(const SyncRequest &req, CoreId core, sim::Gate *gate,
+                     std::vector<LockOp> *forward)
 {
     std::vector<SyncGrant> out;
     const Addr var = req.var();
@@ -107,7 +108,10 @@ FlatSyncState::apply(const SyncRequest &req, CoreId core, sim::Gate *gate)
         const Addr lockAddr = req.condLock();
         // Atomically: queue on the condition, then release the lock.
         st.condWaiters.push_back(CondWaiter{core, gate, lockAddr});
-        lockRelease(lockAddr, core, out);
+        if (forward != nullptr)
+            forward->push_back(LockOp{lockAddr, core, nullptr, false});
+        else
+            lockRelease(lockAddr, core, out);
         break;
       }
 
@@ -117,7 +121,11 @@ FlatSyncState::apply(const SyncRequest &req, CoreId core, sim::Gate *gate)
             st.condWaiters.pop_front();
             // The woken core must re-acquire the associated lock before
             // its cond_wait returns.
-            lockAcquire(state(w.lockAddr), w.core, w.gate, out);
+            if (forward != nullptr)
+                forward->push_back(LockOp{w.lockAddr, w.core, w.gate,
+                                          true});
+            else
+                lockAcquire(state(w.lockAddr), w.core, w.gate, out);
         }
         break;
       }
@@ -125,8 +133,13 @@ FlatSyncState::apply(const SyncRequest &req, CoreId core, sim::Gate *gate)
       case OpKind::CondBroadcast: {
         std::deque<CondWaiter> waiters = std::move(st.condWaiters);
         st.condWaiters.clear();
-        for (const CondWaiter &w : waiters)
-            lockAcquire(state(w.lockAddr), w.core, w.gate, out);
+        for (const CondWaiter &w : waiters) {
+            if (forward != nullptr)
+                forward->push_back(LockOp{w.lockAddr, w.core, w.gate,
+                                          true});
+            else
+                lockAcquire(state(w.lockAddr), w.core, w.gate, out);
+        }
         break;
       }
     }

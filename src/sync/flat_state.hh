@@ -41,17 +41,37 @@ class FlatSyncState
 {
   public:
     /**
+     * A lock operation a condition-variable op needs applied at the
+     * lock's own home. Backends that partition variables across several
+     * FlatSyncState instances (SynCron-flat: one per Master SE) pass a
+     * forward list to apply(); cond_wait/signal/broadcast then emit the
+     * release / re-acquire of the associated lock here instead of
+     * resolving it in-place, and the backend routes each entry to the
+     * instance owning @c lock (paying its message cost on the way).
+     */
+    struct LockOp
+    {
+        Addr lock = 0;
+        CoreId core = kInvalidCore;
+        sim::Gate *gate = nullptr; ///< waiter's gate for re-acquires
+        bool acquire = false;      ///< false: release by @c core
+    };
+
+    /**
      * Applies one operation and returns the cores granted as a result
      * (possibly including the requester, e.g. an uncontended
      * lock_acquire).
      *
-     * @param req  typed request descriptor
-     * @param core requesting core (system-wide id)
-     * @param gate requester's gate for acquire-type ops; nullptr for
-     *             release-type ops (their gate opens at issue)
+     * @param req     typed request descriptor
+     * @param core    requesting core (system-wide id)
+     * @param gate    requester's gate for acquire-type ops; nullptr for
+     *                release-type ops (their gate opens at issue)
+     * @param forward when non-null, cond ops emit their associated-lock
+     *                manipulation here instead of applying it in-place
      */
     std::vector<SyncGrant> apply(const SyncRequest &req, CoreId core,
-                                 sim::Gate *gate);
+                                 sim::Gate *gate,
+                                 std::vector<LockOp> *forward = nullptr);
 
     /** True when @p var has no owner, waiters, or residual state. */
     bool idle(Addr var) const;

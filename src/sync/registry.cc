@@ -13,12 +13,12 @@ BackendRegistry::instance()
 }
 
 void
-BackendRegistry::add(std::string name, Factory factory)
+BackendRegistry::add(std::string name, Factory factory, bool shardable)
 {
     SYNCRON_ASSERT(factory != nullptr,
                    "null factory for backend '" << name << "'");
-    auto [it, inserted] =
-        factories_.emplace(std::move(name), std::move(factory));
+    auto [it, inserted] = factories_.emplace(
+        std::move(name), Entry{std::move(factory), shardable});
     SYNCRON_ASSERT(inserted,
                    "backend '" << it->first << "' registered twice");
 }
@@ -29,13 +29,20 @@ BackendRegistry::contains(std::string_view name) const
     return factories_.find(name) != factories_.end();
 }
 
+bool
+BackendRegistry::shardable(std::string_view name) const
+{
+    auto it = factories_.find(name);
+    return it != factories_.end() && it->second.shardable;
+}
+
 std::unique_ptr<SyncBackend>
 BackendRegistry::tryCreate(std::string_view name, Machine &machine) const
 {
     auto it = factories_.find(name);
     if (it == factories_.end())
         return nullptr;
-    return it->second(machine);
+    return it->second.factory(machine);
 }
 
 std::unique_ptr<SyncBackend>
@@ -66,15 +73,16 @@ BackendRegistry::names() const
 {
     std::vector<std::string> out;
     out.reserve(factories_.size());
-    for (const auto &[name, factory] : factories_)
+    for (const auto &[name, entry] : factories_)
         out.push_back(name);
     return out; // std::map iteration is already sorted
 }
 
 BackendRegistration::BackendRegistration(const char *name,
-                                         BackendRegistry::Factory factory)
+                                         BackendRegistry::Factory factory,
+                                         bool shardable)
 {
-    BackendRegistry::instance().add(name, std::move(factory));
+    BackendRegistry::instance().add(name, std::move(factory), shardable);
 }
 
 } // namespace syncron::sync

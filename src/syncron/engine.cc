@@ -61,10 +61,19 @@ SynCronBackend::SynCronBackend(Machine &machine, EngineOptions opts)
 
     for (unsigned u = 0; u < cfg.numUnits; ++u) {
         stations_.push_back(std::make_unique<Station>(
-            u, entries, cfg.indexingCounters, machine.stats()));
+            u, entries, cfg.indexingCounters, machine.statsFor(u)));
         if (opts_.station == StationKind::ServerCore) {
-            stations_.back()->l1 =
-                std::make_unique<cache::Cache>(cfg.l1, machine.stats());
+            Station &s = *stations_.back();
+            s.l1 = std::make_unique<cache::Cache>(cfg.l1,
+                                                  machine.statsFor(u));
+            // Shadow tracking records come from a per-station region
+            // reserved here (host side, deterministic order) rather than
+            // the shared allocator, whose state would otherwise depend
+            // on cross-shard allocation order.
+            constexpr Addr kShadowRegionBytes = 1u << 20;
+            s.shadowNext = machine.addrSpace().allocIn(
+                u, kShadowRegionBytes, kCacheLineBytes);
+            s.shadowEnd = s.shadowNext + kShadowRegionBytes;
         }
     }
     gates_.resize(cfg.totalCores());
@@ -100,9 +109,30 @@ SynCronBackend::globalCoreId(UnitId unit, unsigned local) const
 void
 SynCronBackend::finalizeStats()
 {
-    const Tick now = machine_.eq().now();
+    // maxNow() is the tick of the run's last event — identical whether
+    // the run was sharded or not, keeping the occupancy integrals in the
+    // bit-identity contract.
+    const Tick now = machine_.maxNow();
     for (auto &s : stations_)
         s->table.finalize(now);
+}
+
+std::uint64_t
+SynCronBackend::overflowedRequests() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : stations_)
+        n += s->overflowedReqs;
+    return n;
+}
+
+std::uint64_t
+SynCronBackend::totalRequests() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : stations_)
+        n += s->totalReqs;
+    return n;
 }
 
 void
@@ -130,14 +160,16 @@ SynCronBackend::counterValue(UnitId unit, Addr var) const
 bool
 SynCronBackend::idleVar(Addr var) const
 {
-    if (inFlightLocal_.count(var) != 0 || memVars_.count(var) != 0
-        || misarVars_.count(var) != 0 || misarPending_.count(var) != 0
+    if (misarVars_.count(var) != 0 || misarPending_.count(var) != 0
         || !misarState_.idle(var)) {
         return false;
     }
     for (const auto &s : stations_) {
-        if (s->table.entries().count(var) != 0 || s->hasRedirected(var))
+        if (s->table.entries().count(var) != 0 || s->hasRedirected(var)
+            || s->inFlightLocal.count(var) != 0
+            || s->memVars.count(var) != 0) {
             return false;
+        }
     }
     return true;
 }
@@ -187,7 +219,7 @@ void
 SynCronBackend::request(core::Core &requester, const SyncRequest &req,
                         sim::Gate *gate)
 {
-    ++totalReqs_;
+    ++stations_[requester.unit()]->totalReqs;
     if (req.acquireType()) {
         addPendingGate(requester.id(), gateKeyFor(req), gate);
     } else {
@@ -211,12 +243,12 @@ SynCronBackend::request(core::Core &requester, const SyncRequest &req,
     msg.walSeq = req.walSeq();
 
     const UnitId unit = requester.unit();
-    const Tick arrival = machine_.routeMessage(machine_.eq().now(), unit,
-                                               unit, sync::kSyncReqBits);
-    ++machine_.stats().syncLocalMsgs;
-    ++inFlightLocal_[req.var()];
-    machine_.eq().schedule(arrival,
-                           [this, unit, msg] { receive(unit, msg); });
+    const Tick arrival = machine_.routeMessage(
+        machine_.eq(unit).now(), unit, unit, sync::kSyncReqBits);
+    ++machine_.statsFor(unit).syncLocalMsgs;
+    ++stations_[unit]->inFlightLocal[req.var()];
+    machine_.eq(unit).schedule(arrival,
+                               [this, unit, msg] { receive(unit, msg); });
 }
 
 void
@@ -241,11 +273,13 @@ SynCronBackend::requestBatch(core::Core &requester,
     // one shared header and per-op records (the SPU still services each
     // record — and the protocol still forwards/grants each operation —
     // individually, in batch order).
+    const UnitId unit = requester.unit();
+    Station &local = *stations_[unit];
     std::vector<SyncMessage> msgs;
     msgs.reserve(reqs.size());
     for (std::size_t i = 0; i < reqs.size(); ++i) {
         const SyncRequest &req = reqs[i];
-        ++totalReqs_;
+        ++local.totalReqs;
         if (req.acquireType()) {
             addPendingGate(requester.id(), gateKeyFor(req), gates[i]);
         } else {
@@ -258,18 +292,18 @@ SynCronBackend::requestBatch(core::Core &requester,
         msg.info = req.messageInfo();
         msg.walSeq = req.walSeq();
         msgs.push_back(msg);
-        ++inFlightLocal_[req.var()];
+        ++local.inFlightLocal[req.var()];
     }
 
-    const UnitId unit = requester.unit();
     const auto n = static_cast<std::uint32_t>(reqs.size());
     const Tick arrival = machine_.routeMessage(
-        machine_.eq().now(), unit, unit, sync::batchReqBits(reqs));
-    ++machine_.stats().syncLocalMsgs;
-    machine_.stats().batchedOps += n;
-    machine_.stats().messagesSaved += n - 1;
-    machine_.eq().schedule(arrival, [this, unit,
-                                     msgs = std::move(msgs)] {
+        machine_.eq(unit).now(), unit, unit, sync::batchReqBits(reqs));
+    SystemStats &st = machine_.statsFor(unit);
+    ++st.syncLocalMsgs;
+    st.batchedOps += n;
+    st.messagesSaved += n - 1;
+    machine_.eq(unit).schedule(arrival, [this, unit,
+                                         msgs = std::move(msgs)] {
         for (const SyncMessage &m : msgs)
             receive(unit, m);
     });
@@ -282,13 +316,14 @@ SynCronBackend::sendToStation(UnitId from, UnitId to, SyncMessage msg,
     SYNCRON_ASSERT(from != to, "station self-send of " << opName(msg.opcode));
     if (sync::isOverflowOp(msg.opcode)
         || msg.opcode == Op::DecreaseIndexingCounter) {
-        ++machine_.stats().syncOverflowMsgs;
+        ++machine_.statsFor(from).syncOverflowMsgs;
     } else {
-        ++machine_.stats().syncGlobalMsgs;
+        ++machine_.statsFor(from).syncGlobalMsgs;
     }
-    const Tick arrival =
-        machine_.routeMessage(depart, from, to, sync::kSyncReqBits);
-    machine_.eq().schedule(arrival, [this, to, msg] { receive(to, msg); });
+    // The engine's only cross-unit transport: under sharded simulation
+    // this becomes a mailbox envelope delivered on @p to 's shard.
+    machine_.postMessage(depart, from, to, sync::kSyncReqBits,
+                         [this, to, msg] { receive(to, msg); });
 }
 
 void
@@ -299,9 +334,9 @@ SynCronBackend::grantCore(UnitId seUnit, CoreId core, Addr var,
                    "grant must come from the core's own unit");
     const Tick arrival = machine_.routeMessage(depart, seUnit, seUnit,
                                                sync::kSyncRespBits);
-    ++machine_.stats().syncLocalMsgs;
+    ++machine_.statsFor(seUnit).syncLocalMsgs;
     sim::Gate *gate = takePendingGate(core, var);
-    gate->open(0, arrival - machine_.eq().now());
+    gate->open(0, arrival - machine_.eq(seUnit).now());
 }
 
 // --------------------------------------------------------------------
@@ -334,8 +369,13 @@ SynCronBackend::serverStateAccess(Station &s, Addr var, Tick start)
     if (!isMaster(s, var)) {
         auto it = s.shadow.find(var);
         if (it == s.shadow.end()) {
-            track = machine_.addrSpace().allocIn(s.unit, kCacheLineBytes,
-                                                 kCacheLineBytes);
+            // Carve from the station's private region (deterministic and
+            // shard-local; see the reservation in the constructor).
+            SYNCRON_ASSERT(s.shadowNext < s.shadowEnd,
+                           "server shadow region exhausted at unit "
+                               << s.unit);
+            track = s.shadowNext;
+            s.shadowNext += kCacheLineBytes;
             s.shadow.emplace(var, track);
         } else {
             track = it->second;
@@ -363,12 +403,12 @@ void
 SynCronBackend::receive(UnitId unit, SyncMessage msg)
 {
     Station &s = *stations_[unit];
-    const Tick now = machine_.eq().now();
+    const Tick now = machine_.eq(unit).now();
     const Tick start = std::max(now, s.busyUntil);
     // Reserve the SPU; handle() extends the reservation if the message
     // needs memory accesses (overflow path / server state access).
     s.busyUntil = start + baseServiceTicks(s, msg.addr);
-    machine_.eq().schedule(start, [this, unit, msg] {
+    machine_.eq(unit).schedule(start, [this, unit, msg] {
         handle(*stations_[unit], msg);
     });
 }
@@ -376,18 +416,18 @@ SynCronBackend::receive(UnitId unit, SyncMessage msg)
 void
 SynCronBackend::handle(Station &s, SyncMessage msg)
 {
-    const Tick now = machine_.eq().now();
+    const Tick now = machine_.eq(s.unit).now();
     Tick done = now + baseServiceTicks(s, msg.addr);
 
     // Local-opcode messages come only from cores via request(); once the
     // station consumes one, the variable's state is resident somewhere
     // (ST entry, in-memory record, or the misar pending counter).
     if (!sync::isGlobalOp(msg.opcode)) {
-        auto it = inFlightLocal_.find(msg.addr);
-        SYNCRON_ASSERT(it != inFlightLocal_.end() && it->second > 0,
+        auto it = s.inFlightLocal.find(msg.addr);
+        SYNCRON_ASSERT(it != s.inFlightLocal.end() && it->second > 0,
                        "local message with no in-flight accounting");
         if (--it->second == 0)
-            inFlightLocal_.erase(it);
+            s.inFlightLocal.erase(it);
     }
 
     // MiSAR ablation: local operations on a variable in software mode
@@ -502,23 +542,23 @@ SynCronBackend::Route
 SynCronBackend::routeFor(Station &s, Addr var, bool acquireType,
                          bool global)
 {
-    ++machine_.stats().stRequests;
+    ++machine_.statsFor(s.unit).stRequests;
     if (s.table.find(var) != nullptr)
         return Route::Table;
 
     if (isMaster(s, var)) {
         // A live in-memory record forces the memory path even when the
         // indexing counter aliases away (split-brain protection).
-        if (memVars_.count(var) != 0
+        if (s.memVars.count(var) != 0
             || s.counters.servicedViaMemory(var) || s.table.full()) {
-            ++overflowedReqs_;
-            ++machine_.stats().stOverflowEvents;
+            ++s.overflowedReqs;
+            ++machine_.statsFor(s.unit).stOverflowEvents;
             return Route::Memory;
         }
     } else if (s.counters.servicedViaMemory(var) || s.table.full()
                || s.hasRedirected(var)) {
-        ++overflowedReqs_;
-        ++machine_.stats().stOverflowEvents;
+        ++s.overflowedReqs;
+        ++machine_.statsFor(s.unit).stOverflowEvents;
         SYNCRON_ASSERT(!global, "global message routed to non-master");
         // Non-master overflowed SE: redirect to the Master SE and track
         // the variable as serviced-via-memory (Section 4.3.2). Under the
@@ -533,7 +573,7 @@ SynCronBackend::routeFor(Station &s, Addr var, bool acquireType,
         return Route::Redirect;
     }
 
-    StEntry *e = s.table.alloc(var, machine_.eq().now());
+    StEntry *e = s.table.alloc(var, machine_.eq(s.unit).now());
     SYNCRON_ASSERT(e != nullptr, "alloc failed with non-full table");
     return Route::Table;
 }
@@ -595,7 +635,7 @@ SynCronBackend::masterNextGrant(Station &s, StEntry &e, Tick done)
     } else {
         e.ownerKind = LockOwner::None;
         e.grantStreak = 0;
-        maybeFree(s, e, machine_.eq().now());
+        maybeFree(s, e, machine_.eq(s.unit).now());
     }
 }
 
@@ -609,7 +649,7 @@ SynCronBackend::onLockAcquireLocal(Station &s, const SyncMessage &m,
         return;
     }
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memLockOp(s, v, m, true, s.unit, static_cast<int>(m.coreId), false,
                   done);
@@ -660,7 +700,7 @@ SynCronBackend::onLockReleaseLocal(Station &s, const SyncMessage &m,
         return;
     }
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memLockOp(s, v, m, false, s.unit, static_cast<int>(m.coreId),
                   false, done);
@@ -715,7 +755,7 @@ SynCronBackend::onLockReleaseLocal(Station &s, const SyncMessage &m,
         req.coreId = s.unit;
         sendToStation(s.unit, masterOf(m.addr), req, done);
     } else {
-        maybeFree(s, e, machine_.eq().now());
+        maybeFree(s, e, machine_.eq(s.unit).now());
     }
 }
 
@@ -725,7 +765,7 @@ SynCronBackend::onLockAcquireGlobal(Station &s, const SyncMessage &m,
 {
     const Route route = routeFor(s, m.addr, true, true);
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memLockOp(s, v, m, true, m.coreId, -1, true, done);
         return;
@@ -751,7 +791,7 @@ SynCronBackend::onLockReleaseGlobal(Station &s, const SyncMessage &m,
 {
     const Route route = routeFor(s, m.addr, false, true);
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memLockOp(s, v, m, false, m.coreId, -1, true, done);
         return;
@@ -783,7 +823,7 @@ SynCronBackend::onLockGrantGlobal(Station &s, const SyncMessage &m,
         rel.opcode = Op::LockReleaseGlobal;
         rel.coreId = s.unit;
         sendToStation(s.unit, masterOf(m.addr), rel, done);
-        maybeFree(s, *e, machine_.eq().now());
+        maybeFree(s, *e, machine_.eq(s.unit).now());
     }
 }
 
@@ -865,7 +905,7 @@ SynCronBackend::masterBarrierCheck(Station &s, StEntry &e,
         sendToStation(s.unit, j, depart, done);
     }
     departLocalWaiters(s, e, done);
-    maybeFree(s, e, machine_.eq().now());
+    maybeFree(s, e, machine_.eq(s.unit).now());
 }
 
 void
@@ -878,7 +918,7 @@ SynCronBackend::onBarrierWaitLocal(Station &s, const SyncMessage &m,
         return;
     }
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memBarrierOp(s, v, m, s.unit, static_cast<int>(m.coreId), false,
                      done);
@@ -895,7 +935,7 @@ SynCronBackend::onBarrierWaitLocal(Station &s, const SyncMessage &m,
         if (e.barrierArrived == m.barrierTotal()) {
             e.barrierArrived = 0;
             departLocalWaiters(s, e, done);
-            maybeFree(s, e, machine_.eq().now());
+            maybeFree(s, e, machine_.eq(s.unit).now());
         }
         return;
     }
@@ -938,7 +978,7 @@ SynCronBackend::onBarrierWaitGlobal(Station &s, const SyncMessage &m,
 {
     const Route route = routeFor(s, m.addr, true, true);
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memBarrierOp(s, v, m, m.coreId, -1, true, done);
         return;
@@ -965,7 +1005,7 @@ SynCronBackend::onBarrierDepartGlobal(Station &s, const SyncMessage &m,
     e->barrierArrived = 0;
     e->barrierGlobalSent = false;
     departLocalWaiters(s, *e, done);
-    maybeFree(s, *e, machine_.eq().now());
+    maybeFree(s, *e, machine_.eq(s.unit).now());
 }
 
 // --------------------------------------------------------------------
@@ -1012,7 +1052,7 @@ SynCronBackend::onSemWaitLocal(Station &s, const SyncMessage &m, Tick done)
         return;
     }
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memSemOp(s, v, m, true, s.unit, static_cast<int>(m.coreId), false,
                  done);
@@ -1075,7 +1115,7 @@ SynCronBackend::onSemPostLocal(Station &s, const SyncMessage &m, Tick done)
 
     const Route route = routeFor(s, m.addr, false, false);
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memSemOp(s, v, m, false, s.unit, static_cast<int>(m.coreId), false,
                  done);
@@ -1092,7 +1132,7 @@ SynCronBackend::onSemWaitGlobal(Station &s, const SyncMessage &m,
 {
     const Route route = routeFor(s, m.addr, true, true);
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memSemOp(s, v, m, true, m.coreId, -1, true, done);
         return;
@@ -1124,7 +1164,7 @@ SynCronBackend::onSemPostGlobal(Station &s, const SyncMessage &m,
 {
     const Route route = routeFor(s, m.addr, false, true);
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memSemOp(s, v, m, false, m.coreId, -1, true, done);
         return;
@@ -1172,7 +1212,7 @@ SynCronBackend::onSemGrantGlobal(Station &s, const SyncMessage &m,
         sendToStation(s.unit, masterOf(m.addr), wait, done);
     } else {
         e->semArmed = false;
-        maybeFree(s, *e, machine_.eq().now());
+        maybeFree(s, *e, machine_.eq(s.unit).now());
     }
 }
 
@@ -1212,7 +1252,7 @@ SynCronBackend::masterCondSignal(Station &s, StEntry &e, bool broadcast,
         }
     } while (broadcast
              && (e.localWaitBits != 0 || e.globalWaitBits != 0));
-    maybeFree(s, e, machine_.eq().now());
+    maybeFree(s, e, machine_.eq(s.unit).now());
 }
 
 void
@@ -1230,7 +1270,7 @@ SynCronBackend::onCondWaitLocal(Station &s, const SyncMessage &m,
         // Condition variables always use the integrated memory path,
         // even under the MiSAR ablation: their lock coupling cannot
         // straddle the hardware/software boundary.
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memCondOp(s, v, m, OpKind::CondWait, s.unit,
                   static_cast<int>(m.coreId), false, done);
@@ -1299,7 +1339,7 @@ SynCronBackend::onCondSignalLocal(Station &s, const SyncMessage &m,
 
     const Route route = routeFor(s, m.addr, false, false);
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memCondOp(s, v, m,
                   broadcast ? OpKind::CondBroadcast : OpKind::CondSignal,
@@ -1316,7 +1356,7 @@ SynCronBackend::onCondWaitGlobal(Station &s, const SyncMessage &m,
 {
     const Route route = routeFor(s, m.addr, true, true);
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memCondOp(s, v, m, OpKind::CondWait, m.coreId, -1, true, done);
         return;
@@ -1336,7 +1376,7 @@ SynCronBackend::onCondSignalGlobal(Station &s, const SyncMessage &m,
 {
     const Route route = routeFor(s, m.addr, false, true);
     if (route == Route::Memory) {
-        MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+        MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                         .first->second;
         memCondOp(s, v, m,
                   broadcast ? OpKind::CondBroadcast : OpKind::CondSignal,
@@ -1369,7 +1409,7 @@ SynCronBackend::onCondGrantGlobal(Station &s, const SyncMessage &m, bool,
             sig.coreId = s.unit;
             sendToStation(s.unit, masterOf(m.addr), sig, done);
         }
-        maybeFree(s, *e, machine_.eq().now());
+        maybeFree(s, *e, machine_.eq(s.unit).now());
         return;
     }
     do {
@@ -1388,11 +1428,11 @@ SynCronBackend::onCondGrantGlobal(Station &s, const SyncMessage &m, bool,
         sendToStation(s.unit, masterOf(m.addr), wait, done);
     } else {
         e->condArmed = false;
-        maybeFree(s, *e, machine_.eq().now());
+        maybeFree(s, *e, machine_.eq(s.unit).now());
     }
 }
 
-SYNCRON_REGISTER_BACKEND("SynCron", [](Machine &m) {
+SYNCRON_REGISTER_BACKEND_SHARDABLE("SynCron", [](Machine &m) {
     return std::make_unique<SynCronBackend>(m);
 });
 

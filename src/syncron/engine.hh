@@ -117,11 +117,38 @@ class SynCronBackend : public sync::SyncBackend
     // -- Introspection for tests and the harness ------------------------
     std::uint32_t stOccupied(UnitId unit) const;
     std::uint32_t counterValue(UnitId unit, Addr var) const;
-    std::uint64_t overflowedRequests() const { return overflowedReqs_; }
-    std::uint64_t totalRequests() const { return totalReqs_; }
+    /** Sum of overflowed requests across stations (quiescence only). */
+    std::uint64_t overflowedRequests() const;
+    /** Sum of issued requests across stations (quiescence only). */
+    std::uint64_t totalRequests() const;
 
   private:
-    /** Per-unit synchronization station (SE or software server). */
+    /**
+     * Master-side in-memory synchronization state (the syncronVar record
+     * of Fig. 9). coreBits[j] is Waitlist[j]: core-granular waiting bits
+     * for overflowed unit j (and the master's own local cores);
+     * unit-granular requests from non-overflowed SEs live in
+     * st.globalWaitBits.
+     */
+    struct MemVar
+    {
+        StEntry st;
+        std::vector<std::uint16_t> coreBits;
+        std::uint16_t overflowInfo = 0;
+        /// Net acquire-type messages serviced via memory that the Master
+        /// SE's indexing counter still reflects (flushed at cleanup).
+        std::uint32_t outstanding = 0;
+        explicit MemVar(unsigned numUnits) : coreBits(numUnits, 0) {}
+        bool idle() const;
+    };
+
+    /**
+     * Per-unit synchronization station (SE or software server). All of a
+     * station's state — including the in-memory overflow records for
+     * variables homed in its unit and the in-flight accounting for its
+     * local cores' requests — is touched only from the shard owning the
+     * unit, which is what makes the backend shardable.
+     */
     struct Station
     {
         UnitId unit = 0;
@@ -132,6 +159,21 @@ class SynCronBackend : public sync::SyncBackend
         std::unique_ptr<cache::Cache> l1;
         /// ServerCore mode: local shadow tracking addresses per variable.
         std::unordered_map<Addr, Addr> shadow;
+        /// ServerCore mode: deterministic bump region for shadow records
+        /// (reserved at construction; a shared allocator would make the
+        /// addresses depend on cross-shard allocation order).
+        Addr shadowNext = 0;
+        Addr shadowEnd = 0;
+        /// syncronVar records for variables homed in this unit (only the
+        /// master station of a variable services its memory path).
+        std::unordered_map<Addr, MemVar> memVars;
+        /// Core requests issued by this unit's cores but not yet consumed
+        /// by the station (keeps idleVar() honest about messages still in
+        /// flight; once the station handles a message the variable has
+        /// resident state).
+        std::unordered_map<Addr, std::uint32_t> inFlightLocal;
+        std::uint64_t totalReqs = 0;
+        std::uint64_t overflowedReqs = 0;
         /// Exact per-variable count of redirected acquire-type
         /// operations still outstanding at the Master SE. The hardware
         /// relies on the (aliased) indexing counters for this; aliasing
@@ -164,25 +206,6 @@ class SynCronBackend : public sync::SyncBackend
         Table,    ///< ST entry found or reserved
         Memory,   ///< master services via syncronVar in local memory
         Redirect, ///< non-master SE overflowed: forward to Master SE
-    };
-
-    /**
-     * Master-side in-memory synchronization state (the syncronVar record
-     * of Fig. 9). coreBits[j] is Waitlist[j]: core-granular waiting bits
-     * for overflowed unit j (and the master's own local cores);
-     * unit-granular requests from non-overflowed SEs live in
-     * st.globalWaitBits.
-     */
-    struct MemVar
-    {
-        StEntry st;
-        std::vector<std::uint16_t> coreBits;
-        std::uint16_t overflowInfo = 0;
-        /// Net acquire-type messages serviced via memory that the Master
-        /// SE's indexing counter still reflects (flushed at cleanup).
-        std::uint32_t outstanding = 0;
-        explicit MemVar(unsigned numUnits) : coreBits(numUnits, 0) {}
-        bool idle() const;
     };
 
     /** MiSAR-ablation software fallback server. */
@@ -345,17 +368,13 @@ class SynCronBackend : public sync::SyncBackend
     EngineOptions opts_;
     const char *name_;
     std::vector<std::unique_ptr<Station>> stations_;
-    std::unordered_map<Addr, MemVar> memVars_;
     /// Pending gates per global core id, FIFO within a matching key —
     /// one entry per in-flight acquire-type operation (plural since the
-    /// async submission api lets a core pipeline operations).
+    /// async submission api lets a core pipeline operations). Sized at
+    /// construction; a core's slot is only touched from its own shard
+    /// (requests are added there, and grants always come from the core's
+    /// local station).
     std::vector<std::vector<PendingGate>> gates_;
-    /// Core requests issued but not yet consumed by their local station
-    /// (keeps idleVar() honest about messages still in flight; once a
-    /// station handles a message the variable has resident state).
-    std::unordered_map<Addr, std::uint32_t> inFlightLocal_;
-    std::uint64_t overflowedReqs_ = 0;
-    std::uint64_t totalReqs_ = 0;
     durability::PersistHook *persistHook_ = nullptr;
 
     // MiSAR ablation state

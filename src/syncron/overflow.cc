@@ -104,7 +104,7 @@ SynCronBackend::memVarAccess(Station &s, Addr var, Tick start)
                                    sync::kSyncronVarBytes);
     t = machine_.memoryAccess(t, s.unit, var, true,
                               sync::kSyncronVarBytes);
-    machine_.stats().syncMemAccesses += 2;
+    machine_.statsFor(s.unit).syncMemAccesses += 2;
     if (persistHook_ != nullptr)
         persistHook_->persistMemVar(s.unit, var);
     return t;
@@ -144,7 +144,7 @@ SynCronBackend::misarCanEnter(Addr var) const
     // the master, and no redirected operations in flight. (The real
     // MiSAR protocol quiesces participants with aborts; the model
     // requires quiescence up front instead.)
-    if (memVars_.count(var) != 0)
+    if (stations_[masterOf(var)]->memVars.count(var) != 0)
         return false;
     for (const auto &station : stations_) {
         if (station->table.entries().count(var) != 0
@@ -198,7 +198,7 @@ SynCronBackend::handleOverflowAtMaster(Station &s, const SyncMessage &m,
     // If the Master SE still holds an ST entry for this variable, its
     // state migrates to the in-memory record: core-granular tracking for
     // the overflowed unit cannot be expressed in the ST.
-    MemVar &v = memVars_.try_emplace(m.addr, machine_.config().numUnits)
+    MemVar &v = s.memVars.try_emplace(m.addr, machine_.config().numUnits)
                     .first->second;
     if (StEntry *e = s.table.find(m.addr)) {
         v.st.ownerKind = e->ownerKind;
@@ -217,7 +217,7 @@ SynCronBackend::handleOverflowAtMaster(Station &s, const SyncMessage &m,
         *e = StEntry{};
         e->addr = m.addr;
         e->occupied = true;
-        s.table.release(m.addr, machine_.eq().now());
+        s.table.release(m.addr, machine_.eq(s.unit).now());
     }
 
     const UnitId fromSe = m.coreId / 256;
@@ -613,7 +613,7 @@ SynCronBackend::memMaybeCleanup(Station &s, Addr var, MemVar &v, Tick done)
         s.counters.decrement(var);
         --v.outstanding;
     }
-    memVars_.erase(var);
+    s.memVars.erase(var);
 }
 
 void
@@ -668,6 +668,14 @@ SynCronBackend::misarActive() const
 SynCronBackend::SoftServer &
 SynCronBackend::softServerFor(Addr var)
 {
+    // The software fallback runs every diverted op through one shared
+    // server on shard 0's queue (eq()) with synchronous routeMessage
+    // hops — a single-queue path. Under sharding that would be a
+    // cross-shard schedule from a foreign worker thread, so fail loudly
+    // instead of racing. (Both divert entry points come through here.)
+    SYNCRON_ASSERT(machine_.numShards() == 1,
+                   "ST overflow software fallback is a single-queue "
+                   "path; run overflow configs with --sim-shards=1");
     if (opts_.overflow == OverflowPolicy::MisarCentral)
         return softServers_[0];
     return softServers_[masterOf(var)];

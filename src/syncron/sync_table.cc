@@ -28,8 +28,7 @@ SyncTable::accountOccupancy(Tick now)
 {
     SYNCRON_ASSERT(now >= lastChange_, "occupancy time went backwards");
     stats_.stOccupancyIntegral +=
-        static_cast<double>(occupied_)
-        * static_cast<double>(now - lastChange_);
+        static_cast<std::uint64_t>(occupied_) * (now - lastChange_);
     stats_.stOccupancyTime += now - lastChange_;
     lastChange_ = now;
 }

@@ -4,17 +4,42 @@
 #include <sstream>
 
 #include "analysis/live.hh"
+#include "analysis/sharded_observer.hh"
 #include "common/log.hh"
 #include "durability/backend.hh"
 #include "durability/manager.hh"
+#include "sim/sharded_kernel.hh"
 #include "sync/registry.hh"
 #include "trace/capture.hh"
 #include "trace/format.hh"
 
 namespace syncron {
 
+namespace {
+
+/**
+ * Collapses SystemConfig::simShards to 1 when the selected backend has
+ * not been declared shard-safe (see BackendRegistry::add). Resolved
+ * before the Machine is built because the shard topology is fixed at
+ * machine construction, while the backend is only instantiated after.
+ */
+SystemConfig
+resolveSimShards(SystemConfig cfg)
+{
+    if (cfg.simShards > 1) {
+        const std::string name = cfg.backendName.empty()
+                                     ? schemeName(cfg.scheme)
+                                     : cfg.backendName;
+        if (!sync::BackendRegistry::instance().shardable(name))
+            cfg.simShards = 1;
+    }
+    return cfg;
+}
+
+} // namespace
+
 NdpSystem::NdpSystem(const SystemConfig &cfg)
-    : machine_(std::make_unique<Machine>(cfg))
+    : machine_(std::make_unique<Machine>(resolveSimShards(cfg)))
 {
     // Backend selection is fully name-driven: the registry instantiates
     // whatever backend is registered under the configured name (by
@@ -48,7 +73,15 @@ NdpSystem::NdpSystem(const SystemConfig &cfg)
     }
     if (conf.analyze) {
         analyzer_ = std::make_unique<analysis::LiveAnalyzer>(conf);
-        api_->setObserver(analyzer_.get());
+        if (machine_->numShards() > 1) {
+            // Worker threads must not drive the analyzer's state machine
+            // directly: buffer per shard, replay at quiescence.
+            shardedObs_ = std::make_unique<analysis::ShardedObserver>(
+                *machine_, *analyzer_);
+            api_->setObserver(shardedObs_.get());
+        } else {
+            api_->setObserver(analyzer_.get());
+        }
     }
     if (durability_ != nullptr)
         api_->addAuxObserver(durability_.get());
@@ -85,7 +118,18 @@ NdpSystem::clientCore(unsigned idx)
 void
 NdpSystem::spawn(sim::Process process)
 {
+    SYNCRON_ASSERT(machine_->numShards() == 1,
+                   "spawn(process) without a core on a sharded machine — "
+                   "use spawn(process, core) so the coroutine is homed on "
+                   "its core's shard");
     process.start(machine_->eq());
+    processes_.push_back(std::move(process));
+}
+
+void
+NdpSystem::spawn(sim::Process process, const core::Core &core)
+{
+    process.start(machine_->eq(core.unit()));
     processes_.push_back(std::move(process));
 }
 
@@ -93,8 +137,10 @@ void
 NdpSystem::run()
 {
     const SystemConfig &cfg = machine_->config();
+    sim::ShardedKernel kernel(machine_->shardQueues(),
+                              machine_->lookahead(), *machine_);
     if (cfg.crashAtTick != 0) {
-        machine_->eq().run(cfg.crashAtTick);
+        kernel.run(cfg.crashAtTick);
         bool pending = false;
         for (const sim::Process &p : processes_) {
             if (!p.done()) {
@@ -115,7 +161,7 @@ NdpSystem::run()
         // The run finished before the crash tick; fall through to the
         // normal end-of-run path.
     } else {
-        machine_->eq().run();
+        kernel.run();
     }
     for (const sim::Process &p : processes_) {
         if (!p.done()) {
@@ -129,11 +175,14 @@ NdpSystem::run()
     }
     if (engineView_ != nullptr)
         engineView_->finalizeStats();
+    machine_->mergeShardStats();
     if (durability_ != nullptr)
         durability_->shutdownFlush();
     if (capture_ != nullptr)
         trace::writeTraceFile(capture_->trace(),
                               machine_->config().tracePath);
+    if (shardedObs_ != nullptr)
+        shardedObs_->flush();
     if (analyzer_ != nullptr && !analyzer_->finished()) {
         const analysis::AnalysisReport &report = analyzer_->finish();
         if (!report.clean()) {
@@ -151,7 +200,7 @@ NdpSystem::run()
 Tick
 NdpSystem::elapsed() const
 {
-    return machine_->eq().now();
+    return machine_->maxNow();
 }
 
 } // namespace syncron

@@ -65,7 +65,8 @@ Replayer::install(NdpSystem &sys)
         if (perCore[c].empty())
             continue;
         sys.spawn(
-            replayCore(sys, sys.clientCore(c), std::move(perCore[c])));
+            replayCore(sys, sys.clientCore(c), std::move(perCore[c])),
+            sys.clientCore(c));
     }
 }
 

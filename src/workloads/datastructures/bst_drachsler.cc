@@ -29,6 +29,13 @@ SimBstDrachsler::SimBstDrachsler(NdpSystem &sys, unsigned initialSize)
     }
 }
 
+std::size_t
+SimBstDrachsler::size() const
+{
+    std::lock_guard<std::mutex> lock(deletedMu_);
+    return nodes_.size() - deleted_.size();
+}
+
 sim::Process
 SimBstDrachsler::worker(Core &c, unsigned ops)
 {
@@ -37,15 +44,25 @@ SimBstDrachsler::worker(Core &c, unsigned ops)
     // the victim and its predecessor for the physical unlink. Lock
     // traffic is a tiny fraction of the memory traffic, so all
     // synchronization schemes perform similarly here (Section 6.1.2).
+    //
+    // Victim choice depends only on this worker's rng stream, the
+    // run-immutable node map, and its own past unlinks, keeping the
+    // operation stream identical at every --sim-shards count (see
+    // SimSkipList).
     sync::SyncApi &api = sys_.api();
+    std::set<std::uint64_t> mine; ///< keys this worker has unlinked
     for (unsigned i = 0; i < ops; ++i) {
-        if (nodes_.size() < 2)
+        if (mine.size() + 2 > nodes_.size())
             break;
-        // Snapshot key/victim/pred/path before the first suspension:
-        // concurrent deleters invalidate map iterators.
+        // Snapshot key/victim/pred/path before the first suspension.
         auto it = nodes_.lower_bound(c.rng().next() >> 8);
         if (it == nodes_.end())
             it = std::prev(nodes_.end());
+        while (mine.count(it->first) != 0) {
+            ++it;
+            if (it == nodes_.end())
+                it = nodes_.begin();
+        }
         const std::uint64_t key = it->first;
         const Node victim = it->second;
         auto predIt = it == nodes_.begin() ? it : std::prev(it);
@@ -73,17 +90,19 @@ SimBstDrachsler::worker(Core &c, unsigned ops)
         if (havePred)
             co_await api.acquire(c, pred.lock);
         co_await api.acquire(c, victim.lock);
-        auto found = nodes_.find(key);
-        if (found != nodes_.end()
-            && found->second.addr == victim.addr) {
-            api.accessHint(c, victim.addr, true);
-            co_await c.store(victim.addr, 16, MemKind::SharedRW);
-            if (havePred) {
-                api.accessHint(c, pred.addr, true);
-                co_await c.store(pred.addr, 16, MemKind::SharedRW);
-            }
-            nodes_.erase(found);
-            heap_.free(victim.addr);
+        // Unlink under the locks; a concurrent deleter of the same key
+        // redoes the idempotent pointer writes (optimistic retry cost).
+        // Reclamation is deferred to teardown.
+        api.accessHint(c, victim.addr, true);
+        co_await c.store(victim.addr, 16, MemKind::SharedRW);
+        if (havePred) {
+            api.accessHint(c, pred.addr, true);
+            co_await c.store(pred.addr, 16, MemKind::SharedRW);
+        }
+        mine.insert(key);
+        {
+            std::lock_guard<std::mutex> lock(deletedMu_);
+            deleted_.insert(key);
         }
         co_await api.release(c, victim.lock);
         if (havePred)

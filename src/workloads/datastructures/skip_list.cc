@@ -43,20 +43,38 @@ SimSkipList::SimSkipList(NdpSystem &sys, unsigned initialSize)
     }
 }
 
+std::size_t
+SimSkipList::size() const
+{
+    std::lock_guard<std::mutex> lock(deletedMu_);
+    return nodes_.size() - deleted_.size();
+}
+
 sim::Process
 SimSkipList::worker(Core &c, unsigned ops)
 {
+    // Victim choice uses only this worker's rng stream, the
+    // run-immutable node map, and this worker's own past unlinks —
+    // never the instantaneous shared state — so the operation stream is
+    // identical at every --sim-shards count. Other cores' concurrent
+    // deletions stay invisible until the locked section, matching an
+    // optimistic traversal over not-yet-reclaimed nodes.
     sync::SyncApi &api = sys_.api();
+    std::set<std::uint64_t> mine; ///< keys this worker has unlinked
     for (unsigned i = 0; i < ops; ++i) {
-        if (nodes_.empty())
+        if (mine.size() >= nodes_.size())
             break;
-        // Pick a random present key (deterministic per-core stream).
-        // Snapshot everything BEFORE the first suspension: other worker
-        // coroutines may erase nodes while this one is suspended, which
-        // would invalidate any held iterator.
+        // Pick a random key this worker still considers present
+        // (deterministic per-core stream); snapshot everything before
+        // the first suspension.
         auto it = nodes_.lower_bound(c.rng().next() >> 8);
         if (it == nodes_.end())
             it = std::prev(nodes_.end());
+        while (mine.count(it->first) != 0) {
+            ++it;
+            if (it == nodes_.end())
+                it = nodes_.begin();
+        }
         const std::uint64_t key = it->first;
         const Node victim = it->second;
         auto predIt = it == nodes_.begin() ? it : std::prev(it);
@@ -84,31 +102,31 @@ SimSkipList::worker(Core &c, unsigned ops)
             co_await api.acquire(c, pred.lock);
         co_await api.acquire(c, victim.lock);
 
-        // Re-validate and unlink under the locks.
-        auto found = nodes_.find(key);
-        const bool stillThere =
-            found != nodes_.end() && found->second.addr == victim.addr;
-        if (stillThere) {
-            for (unsigned lvl = 0; lvl < victim.level; ++lvl) {
-                if (havePred) {
-                    api.accessHint(c, pred.addr + lvl * 8, true);
-                    co_await c.store(pred.addr + lvl * 8, 8,
-                                     MemKind::SharedRW);
-                }
-                api.accessHint(c, victim.addr + lvl * 8, false);
-                co_await c.load(victim.addr + lvl * 8, 8,
-                                MemKind::SharedRW);
+        // Unlink under the locks. A concurrent deleter of the same key
+        // redoes the (idempotent) pointer writes — the optimistic
+        // algorithm's retry cost, paid in full.
+        for (unsigned lvl = 0; lvl < victim.level; ++lvl) {
+            if (havePred) {
+                api.accessHint(c, pred.addr + lvl * 8, true);
+                co_await c.store(pred.addr + lvl * 8, 8,
+                                 MemKind::SharedRW);
             }
-            nodes_.erase(found);
-            heap_.free(victim.addr);
+            api.accessHint(c, victim.addr + lvl * 8, false);
+            co_await c.load(victim.addr + lvl * 8, 8,
+                            MemKind::SharedRW);
+        }
+        mine.insert(key);
+        {
+            std::lock_guard<std::mutex> lock(deletedMu_);
+            deleted_.insert(key);
         }
 
         co_await api.release(c, victim.lock);
         if (havePred)
             co_await api.release(c, pred.lock);
-        // The victim's lock variable is not recycled here: another core
-        // may still be queued on it (its retry then revalidates and
-        // backs off) — the same reason ASCYLIB defers reclamation.
+        // Neither the victim's memory nor its lock variable is recycled
+        // here: another core may still be traversing or queued on it —
+        // the same reason ASCYLIB defers reclamation.
         co_await c.compute(10);
     }
 }

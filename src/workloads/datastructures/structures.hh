@@ -33,8 +33,11 @@
 #ifndef SYNCRON_WORKLOADS_DATASTRUCTURES_STRUCTURES_HH
 #define SYNCRON_WORKLOADS_DATASTRUCTURES_STRUCTURES_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <set>
 #include <vector>
 
 #include "workloads/datastructures/node_heap.hh"
@@ -113,14 +116,24 @@ class SimPriorityQueue
     bool ordered_ = true;
 };
 
-/** Skip list with per-node locks (optimistic search, locked delete). */
+/**
+ * Skip list with per-node locks (optimistic search, locked delete).
+ *
+ * Sharded-simulation discipline: the node map is immutable during the
+ * run and each worker tracks its own unlinks privately, so a worker
+ * traverses a stale-but-deterministic view of the list (it cannot see
+ * other cores' deletions — the optimistic-search behavior over
+ * not-yet-reclaimed nodes). Physical reclamation is deferred to
+ * teardown, the same reason ASCYLIB defers it.
+ */
 class SimSkipList
 {
   public:
     SimSkipList(NdpSystem &sys, unsigned initialSize);
     /** 100% deletion. */
     sim::Process worker(core::Core &c, unsigned ops);
-    std::size_t size() const { return nodes_.size(); }
+    /** Nodes still logically present (valid at quiescence only). */
+    std::size_t size() const;
 
   private:
     struct Node
@@ -132,8 +145,13 @@ class SimSkipList
 
     NdpSystem &sys_;
     NodeHeap heap_;
-    std::map<std::uint64_t, Node> nodes_; ///< key -> node
+    std::map<std::uint64_t, Node> nodes_; ///< key -> node; run-immutable
     unsigned maxLevel_;
+    /// Keys unlinked by any worker — host bookkeeping for size() only,
+    /// never read during the run (a set union is commutative, so the
+    /// quiescent contents do not depend on host thread interleaving).
+    std::set<std::uint64_t> deleted_;
+    mutable std::mutex deletedMu_;
 };
 
 /** Chained hash table with per-bucket locks. */
@@ -143,7 +161,7 @@ class SimHashTable
     SimHashTable(NdpSystem &sys, unsigned initialSize);
     /** 100% lookup. */
     sim::Process worker(core::Core &c, unsigned ops);
-    std::uint64_t hits() const { return hits_; }
+    std::uint64_t hits() const { return hits_.load(); }
 
   private:
     NdpSystem &sys_;
@@ -151,7 +169,10 @@ class SimHashTable
     sync::LockSet bucketLocks_;
     std::vector<std::vector<std::pair<std::uint64_t, Addr>>> buckets_;
     std::uint64_t keyRange_;
-    std::uint64_t hits_ = 0;
+    /// Successful lookups. Bumped under per-BUCKET locks, so increments
+    /// from different shards interleave on the host: atomic because the
+    /// sum is commutative and only read at quiescence.
+    std::atomic<std::uint64_t> hits_{0};
 };
 
 /** Sorted singly-linked list with hand-over-hand (coupling) locking. */
@@ -208,6 +229,10 @@ class SimBstFg
  * Drachsler-style BST with logical ordering: lookups/searches are
  * lock-free; a deletion locks only the victim and its predecessor
  * (lock requests are ~0.1% of memory requests).
+ *
+ * Follows the same sharded-simulation discipline as SimSkipList: the
+ * node map is run-immutable, deletions are tracked per worker, and
+ * reclamation is deferred to teardown.
  */
 class SimBstDrachsler
 {
@@ -215,7 +240,8 @@ class SimBstDrachsler
     SimBstDrachsler(NdpSystem &sys, unsigned initialSize);
     /** 100% deletion. */
     sim::Process worker(core::Core &c, unsigned ops);
-    std::size_t size() const { return nodes_.size(); }
+    /** Nodes still logically present (valid at quiescence only). */
+    std::size_t size() const;
 
   private:
     struct Node
@@ -226,7 +252,10 @@ class SimBstDrachsler
 
     NdpSystem &sys_;
     NodeHeap heap_;
-    std::map<std::uint64_t, Node> nodes_;
+    std::map<std::uint64_t, Node> nodes_; ///< run-immutable
+    /// Unlinked keys — host bookkeeping for size(), quiescence only.
+    std::set<std::uint64_t> deleted_;
+    mutable std::mutex deletedMu_;
 };
 
 } // namespace syncron::workloads

@@ -1,6 +1,7 @@
 #include "workloads/graph/kernels.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <limits>
 
@@ -29,10 +30,24 @@ struct Ctx
     // fences all sets before any read; barrier B fences the reset away
     // from both iteration i+1's setters and its readers.
     Addr flagAddr[3] = {0, 0, 0};
-    bool hostFlag[3] = {false, false, false};
+    // Set-once per iteration by any worker (a commutative OR), read
+    // only after the fencing barrier: atomic so concurrent setters on
+    // different shards stay well-defined on the host.
+    std::atomic<bool> hostFlag[3] = {false, false, false};
     std::vector<std::int64_t> value;
     std::vector<std::int64_t> aux;
-    std::uint64_t updates = 0;
+    /// Iteration-start copy of value for the iterative apps' unlocked
+    /// "worth locking?" checks. Reading the LIVE value outside a vertex
+    /// lock would expose same-iteration writes from other shards in
+    /// host-interleaving order; the snapshot (refreshed by worker 0
+    /// inside the double-barrier window) keeps the lock-request stream
+    /// identical at every --sim-shards count. Classic Jacobi-style
+    /// stale reads — the locked section re-checks the live value.
+    std::vector<std::int64_t> snap;
+    /// Bumped under per-VERTEX locks, so increments from different
+    /// shards interleave on the host: atomic, sum is commutative,
+    /// only read at quiescence.
+    std::atomic<std::uint64_t> updates{0};
     unsigned iterations = 0;
     unsigned total = 0;
     unsigned clientsPerUnit = 0;
@@ -65,7 +80,7 @@ bfsWorker(Core &c, Ctx &ctx, unsigned idx)
     for (unsigned iter = 0; iter < kMaxIterations; ++iter) {
         bool changed = false;
         for (std::uint32_t v : owned) {
-            if (ctx.value[v] != static_cast<std::int64_t>(iter))
+            if (ctx.snap[v] != static_cast<std::int64_t>(iter))
                 continue;
             co_await c.load(ctx.placed.vertexData(v), 8,
                             MemKind::SharedRW);
@@ -77,31 +92,35 @@ bfsWorker(Core &c, Ctx &ctx, unsigned idx)
             for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1];
                  ++e) {
                 const std::uint32_t u = g.colIdx[e];
-                if (ctx.value[u] != -1)
+                if (ctx.snap[u] != -1) // stale filter (see Ctx::snap)
                     continue;
                 co_await api.acquire(c, ctx.placed.vertexLock(u));
                 if (ctx.value[u] == -1) { // re-check under the lock
                     ctx.value[u] = static_cast<std::int64_t>(iter) + 1;
                     co_await c.store(ctx.placed.vertexData(u), 8,
                                      MemKind::SharedRW);
-                    ++ctx.updates;
+                    ctx.updates.fetch_add(1, std::memory_order_relaxed);
                     changed = true;
                 }
                 co_await api.release(c, ctx.placed.vertexLock(u));
             }
         }
-        if (changed && !ctx.hostFlag[iter % 3]) {
-            ctx.hostFlag[iter % 3] = true;
+        // Every changed worker publishes the flag: gating the store on
+        // a live read of hostFlag would make WHICH worker stores (a
+        // simulated event) depend on host interleaving across shards.
+        if (changed) {
+            ctx.hostFlag[iter % 3].store(true);
             co_await c.store(ctx.flagAddr[iter % 3], 8,
                              MemKind::SharedRW);
         }
         co_await api.wait(c, ctx.bar);
         co_await c.load(ctx.flagAddr[iter % 3], 8, MemKind::SharedRW);
-        const bool any = ctx.hostFlag[iter % 3];
+        const bool any = ctx.hostFlag[iter % 3].load();
         if (idx == 0) {
-            ctx.hostFlag[(iter + 1) % 3] = false;
+            ctx.hostFlag[(iter + 1) % 3].store(false);
             co_await c.store(ctx.flagAddr[(iter + 1) % 3], 8,
                              MemKind::SharedRW);
+            ctx.snap = ctx.value; // fenced by the two barriers
             ctx.iterations = iter + 1;
         }
         co_await api.wait(c, ctx.bar);
@@ -123,7 +142,7 @@ propagateWorker(Core &c, Ctx &ctx, unsigned idx, bool weighted)
     for (unsigned iter = 0; iter < kMaxIterations; ++iter) {
         bool changed = false;
         for (std::uint32_t v : owned) {
-            if (ctx.value[v] >= kInf)
+            if (ctx.snap[v] >= kInf)
                 continue;
             co_await c.load(ctx.placed.vertexData(v), 8,
                             MemKind::SharedRW);
@@ -135,34 +154,39 @@ propagateWorker(Core &c, Ctx &ctx, unsigned idx, bool weighted)
             for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1];
                  ++e) {
                 const std::uint32_t u = g.colIdx[e];
+                // Relax from the iteration-start snapshot (Jacobi
+                // style); the locked section re-checks the live value.
                 const std::int64_t cand =
-                    weighted ? ctx.value[v] + ssspWeight(v, u)
-                             : ctx.value[v];
-                if (ctx.value[u] <= cand)
+                    weighted ? ctx.snap[v] + ssspWeight(v, u)
+                             : ctx.snap[v];
+                if (ctx.snap[u] <= cand)
                     continue;
                 co_await api.acquire(c, ctx.placed.vertexLock(u));
                 if (ctx.value[u] > cand) {
                     ctx.value[u] = cand;
                     co_await c.store(ctx.placed.vertexData(u), 8,
                                      MemKind::SharedRW);
-                    ++ctx.updates;
+                    ctx.updates.fetch_add(1, std::memory_order_relaxed);
                     changed = true;
                 }
                 co_await api.release(c, ctx.placed.vertexLock(u));
             }
         }
-        if (changed && !ctx.hostFlag[iter % 3]) {
-            ctx.hostFlag[iter % 3] = true;
+        // See bfsWorker: unconditional publish keeps the event stream
+        // independent of host interleaving.
+        if (changed) {
+            ctx.hostFlag[iter % 3].store(true);
             co_await c.store(ctx.flagAddr[iter % 3], 8,
                              MemKind::SharedRW);
         }
         co_await api.wait(c, ctx.bar);
         co_await c.load(ctx.flagAddr[iter % 3], 8, MemKind::SharedRW);
-        const bool any = ctx.hostFlag[iter % 3];
+        const bool any = ctx.hostFlag[iter % 3].load();
         if (idx == 0) {
-            ctx.hostFlag[(iter + 1) % 3] = false;
+            ctx.hostFlag[(iter + 1) % 3].store(false);
             co_await c.store(ctx.flagAddr[(iter + 1) % 3], 8,
                              MemKind::SharedRW);
+            ctx.snap = ctx.value; // fenced by the two barriers
             ctx.iterations = iter + 1;
         }
         co_await api.wait(c, ctx.bar);
@@ -202,7 +226,7 @@ prWorker(Core &c, Ctx &ctx, unsigned idx)
                 ctx.aux[u] += contrib;
                 co_await c.store(ctx.placed.vertexData(u), 8,
                                  MemKind::SharedRW);
-                ++ctx.updates;
+                ctx.updates.fetch_add(1, std::memory_order_relaxed);
                 co_await api.release(c, ctx.placed.vertexLock(u));
             }
         }
@@ -248,7 +272,7 @@ tfWorker(Core &c, Ctx &ctx, unsigned idx)
             ++ctx.value[u];
             co_await c.store(ctx.placed.vertexData(u), 8,
                              MemKind::SharedRW);
-            ++ctx.updates;
+            ctx.updates.fetch_add(1, std::memory_order_relaxed);
             co_await api.release(c, ctx.placed.vertexLock(u));
         }
     }
@@ -307,7 +331,7 @@ tcWorker(Core &c, Ctx &ctx, unsigned idx)
             ctx.value[v] += triangles;
             co_await c.store(ctx.placed.vertexData(v), 8,
                              MemKind::SharedRW);
-            ++ctx.updates;
+            ctx.updates.fetch_add(1, std::memory_order_relaxed);
             co_await api.release(c, ctx.placed.vertexLock(v));
         }
     }
@@ -399,28 +423,29 @@ runGraphApp(NdpSystem &sys, PlacedGraph &placed, GraphApp app,
         ctx.value.assign(g.numVertices, 0);
         break;
     }
+    ctx.snap = ctx.value;
 
     const Tick startTime = sys.elapsed();
     for (unsigned i = 0; i < ctx.total; ++i) {
         core::Core &c = sys.clientCore(i);
         switch (app) {
-          case GraphApp::Bfs: sys.spawn(bfsWorker(c, ctx, i)); break;
+          case GraphApp::Bfs: sys.spawn(bfsWorker(c, ctx, i), c); break;
           case GraphApp::Cc:
-            sys.spawn(propagateWorker(c, ctx, i, false));
+            sys.spawn(propagateWorker(c, ctx, i, false), c);
             break;
           case GraphApp::Sssp:
-            sys.spawn(propagateWorker(c, ctx, i, true));
+            sys.spawn(propagateWorker(c, ctx, i, true), c);
             break;
-          case GraphApp::Pr: sys.spawn(prWorker(c, ctx, i)); break;
-          case GraphApp::Tf: sys.spawn(tfWorker(c, ctx, i)); break;
-          case GraphApp::Tc: sys.spawn(tcWorker(c, ctx, i)); break;
+          case GraphApp::Pr: sys.spawn(prWorker(c, ctx, i), c); break;
+          case GraphApp::Tf: sys.spawn(tfWorker(c, ctx, i), c); break;
+          case GraphApp::Tc: sys.spawn(tcWorker(c, ctx, i), c); break;
         }
     }
     sys.run();
 
     GraphRunResult result;
     result.time = sys.elapsed() - startTime;
-    result.updates = ctx.updates;
+    result.updates = ctx.updates.load();
     result.iterations = ctx.iterations;
     result.values = std::move(ctx.value);
     return result;

@@ -131,7 +131,8 @@ SemFanoutWorkload::SemFanoutWorkload(NdpSystem &sys, unsigned width,
         sets_.push_back(std::move(shared));
         for (unsigned i = 0; i < n; ++i) {
             sys.spawn(semFanoutLoop(sys, sys.clientCore(i), sets_[0],
-                                    rounds));
+                                    rounds),
+                      sys.clientCore(i));
         }
         return;
     }
@@ -148,7 +149,8 @@ SemFanoutWorkload::SemFanoutWorkload(NdpSystem &sys, unsigned width,
         sets_.push_back(std::move(own));
     }
     for (unsigned i = 0; i < n; ++i)
-        sys.spawn(semFanoutLoop(sys, sys.clientCore(i), sets_[i], rounds));
+        sys.spawn(semFanoutLoop(sys, sys.clientCore(i), sets_[i], rounds),
+                  sys.clientCore(i));
 }
 
 const char *
@@ -174,7 +176,8 @@ PrimitiveWorkload::PrimitiveWorkload(NdpSystem &sys, Primitive primitive,
         const sync::Lock lock = sys.api().createLock(0);
         for (unsigned i = 0; i < n; ++i) {
             sys.spawn(lockLoop(sys, sys.clientCore(i), lock, interval,
-                               opsPerCore));
+                               opsPerCore),
+                      sys.clientCore(i));
         }
         break;
       }
@@ -182,7 +185,8 @@ PrimitiveWorkload::PrimitiveWorkload(NdpSystem &sys, Primitive primitive,
         const sync::Barrier bar = sys.api().createBarrier(0, n);
         for (unsigned i = 0; i < n; ++i) {
             sys.spawn(barrierLoop(sys, sys.clientCore(i), bar, interval,
-                                  opsPerCore));
+                                  opsPerCore),
+                      sys.clientCore(i));
         }
         break;
       }
@@ -193,10 +197,12 @@ PrimitiveWorkload::PrimitiveWorkload(NdpSystem &sys, Primitive primitive,
         for (unsigned i = 0; i < n; ++i) {
             if (i % 2 == 0) {
                 sys.spawn(semWaitLoop(sys, sys.clientCore(i), sem,
-                                      interval, opsPerCore));
+                                      interval, opsPerCore),
+                          sys.clientCore(i));
             } else {
                 sys.spawn(semPostLoop(sys, sys.clientCore(i), sem,
-                                      interval, opsPerCore));
+                                      interval, opsPerCore),
+                          sys.clientCore(i));
             }
         }
         break;
@@ -208,11 +214,13 @@ PrimitiveWorkload::PrimitiveWorkload(NdpSystem &sys, Primitive primitive,
             if (i % 2 == 0) {
                 sys.spawn(condWaitLoop(sys, sys.clientCore(i), cond,
                                        lock, interval, opsPerCore,
-                                       condTokens_));
+                                       condTokens_),
+                          sys.clientCore(i));
             } else {
                 sys.spawn(condSignalLoop(sys, sys.clientCore(i), cond,
                                          lock, interval, opsPerCore,
-                                         condTokens_));
+                                         condTokens_),
+                          sys.clientCore(i));
             }
         }
         break;

@@ -77,7 +77,8 @@ ReplicationWorkload::ReplicationWorkload(NdpSystem &sys,
         Core &c = sys.clientCore(i);
         const unsigned p = i % partitions;
         sys.spawn(applyLoop(sys, c, locks_[p], sems_[p], epochBarriers_,
-                            watermarks_[p], params));
+                            watermarks_[p], params),
+                  c);
     }
 }
 

@@ -18,6 +18,7 @@
 #ifndef SYNCRON_WORKLOADS_TIMESERIES_SCRIMP_HH
 #define SYNCRON_WORKLOADS_TIMESERIES_SCRIMP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -74,7 +75,7 @@ class ScrimpWorkload
     /** Host-side reference profile for verification. */
     std::vector<double> hostProfile() const;
 
-    std::uint64_t updates() const { return updates_; }
+    std::uint64_t updates() const { return updates_.load(); }
 
   private:
     double cellValue(std::size_t i, std::size_t j) const;
@@ -87,7 +88,10 @@ class ScrimpWorkload
     std::vector<Addr> seriesAddr_; ///< per-unit replica base
     sync::LockSet locks_;
     sync::Barrier bar_;
-    std::uint64_t updates_ = 0;
+    /// Profile improvements. Bumped under per-ELEMENT locks, so
+    /// increments from different shards interleave on the host: atomic
+    /// because the sum is commutative and only read at quiescence.
+    std::atomic<std::uint64_t> updates_{0};
 };
 
 } // namespace syncron::workloads

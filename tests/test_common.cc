@@ -76,11 +76,11 @@ TEST(Stats, AggregationAndOccupancy)
     SystemStats a, b;
     a.l1Hits = 10;
     a.stMaxOccupied = 5;
-    a.stOccupancyIntegral = 100.0;
+    a.stOccupancyIntegral = 100;
     a.stOccupancyTime = 50;
     b.l1Hits = 7;
     b.stMaxOccupied = 9;
-    b.stOccupancyIntegral = 20.0;
+    b.stOccupancyIntegral = 20;
     b.stOccupancyTime = 10;
     a += b;
     EXPECT_EQ(a.l1Hits, 17u);

@@ -45,7 +45,7 @@ TEST(SyncTable, AllocFindReleaseAndCapacity)
     EXPECT_FALSE(table.full());
     table.finalize(100);
     // Occupancy integral: 1*10 + 2*20 + 1*70 = 120 over 100 ticks.
-    EXPECT_DOUBLE_EQ(stats.stOccupancyIntegral, 120.0);
+    EXPECT_EQ(stats.stOccupancyIntegral, 120u);
     EXPECT_EQ(stats.stMaxOccupied, 2u);
 }
 

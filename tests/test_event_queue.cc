@@ -198,6 +198,103 @@ TEST(TimingWheel, RunUntilBoundarySemantics)
     EXPECT_TRUE(eq.empty());
 }
 
+TEST(TimingWheel, RunUntilStopsExactlyAtEpochEdges)
+{
+    // The sharded coordinator drives run(until) with window limits that
+    // routinely land on (or next to) the 2^16-tick epoch boundary; the
+    // wheel must stop exactly there, neither executing the next epoch's
+    // events nor promoting them prematurely.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    const Tick ticks[] = {kHorizon - 1, kHorizon, kHorizon + 1,
+                          2 * kHorizon - 1, 2 * kHorizon};
+    for (Tick t : ticks)
+        eq.schedule(t, [&fired, t] { fired.push_back(t); });
+
+    // Stop one tick before the first epoch edge.
+    EXPECT_EQ(eq.run(kHorizon - 1), kHorizon - 1);
+    EXPECT_EQ(fired, (std::vector<Tick>{kHorizon - 1}));
+    EXPECT_EQ(eq.nextTime(), kHorizon);
+    EXPECT_EQ(eq.pending(), 4u);
+
+    // Stop exactly on the edge: the event AT the limit runs, the one
+    // just past it does not.
+    EXPECT_EQ(eq.run(kHorizon), kHorizon);
+    EXPECT_EQ(fired.back(), kHorizon);
+    EXPECT_EQ(eq.nextTime(), kHorizon + 1);
+
+    // Resume across the remaining edge; nothing is stranded.
+    EXPECT_EQ(eq.run(), 2 * kHorizon);
+    EXPECT_EQ(fired,
+              (std::vector<Tick>{kHorizon - 1, kHorizon, kHorizon + 1,
+                                 2 * kHorizon - 1, 2 * kHorizon}));
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(TimingWheel, RunUntilInsideEmptyEpochGap)
+{
+    // Stop inside an epoch that holds no events at all (limit between
+    // two far-apart events). nextTime() must keep reporting the heap
+    // minimum without promoting it, and scheduling new near events
+    // after the early stop must still execute them in order.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    eq.schedule(10, [&] { fired.push_back(10); });
+    eq.schedule(5 * kHorizon + 3,
+                [&] { fired.push_back(5 * kHorizon + 3); });
+
+    EXPECT_EQ(eq.run(2 * kHorizon + 7), 10u); // now() = last executed
+    EXPECT_EQ(fired, (std::vector<Tick>{10}));
+    EXPECT_EQ(eq.nextTime(), 5 * kHorizon + 3); // pure: no promotion
+    EXPECT_EQ(eq.pending(), 1u);
+
+    // A fresh event earlier than the parked far event (but in a later
+    // epoch than now()) must run first on resume.
+    eq.schedule(3 * kHorizon, [&] { fired.push_back(3 * kHorizon); });
+    EXPECT_EQ(eq.run(), 5 * kHorizon + 3);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 3 * kHorizon,
+                                        5 * kHorizon + 3}));
+}
+
+TEST(TimingWheel, RunUntilRepeatedWindowsMatchOneShot)
+{
+    // Driving the queue in lookahead-sized windows (the sharded
+    // coordinator's access pattern) must execute the exact sequence a
+    // single unbounded run() produces — including events that schedule
+    // follow-ups landing in later windows and later epochs.
+    auto spray = [](EventQueue &q, std::vector<Tick> &fired) {
+        std::uint64_t lcg = 99;
+        for (int i = 0; i < 300; ++i) {
+            lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+            const Tick when = (lcg >> 33) % (3 * kHorizon);
+            q.schedule(when, [&q, &fired, when] {
+                fired.push_back(when);
+                q.schedule(when + kHorizon / 3,
+                           [&fired, when] {
+                               fired.push_back(when + kHorizon / 3);
+                           });
+            });
+        }
+    };
+    EventQueue ref;
+    std::vector<Tick> refFired;
+    spray(ref, refFired);
+    ref.run();
+
+    EventQueue win;
+    std::vector<Tick> winFired;
+    spray(win, winFired);
+    const Tick window = kHorizon / 2 - 7; // misaligned with epochs
+    for (Tick limit = window;; limit += window) {
+        win.run(limit);
+        if (win.empty())
+            break;
+    }
+    EXPECT_EQ(winFired, refFired);
+    EXPECT_EQ(win.executed(), ref.executed());
+    EXPECT_EQ(win.now(), ref.now());
+}
+
 TEST(TimingWheel, PendingAndExecutedCounters)
 {
     EventQueue eq;

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Sharded-simulation tests.
+ *
+ * Two layers:
+ *  - ShardedKernel mechanics: conservative windows sized by the
+ *    lookahead, mailbox drains at every barrier, serial degeneration at
+ *    one shard, and the zero-lookahead lockstep guard.
+ *  - The bit-identity contract: a machine split across host threads
+ *    (--sim-shards) must reproduce the single-threaded run exactly —
+ *    same final tick, same operation counts, same SystemStats, same
+ *    per-OpKind latency histograms — on every shardable backend, with
+ *    the sync-correctness analyzer attached and finding nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/event_queue.hh"
+#include "sim/sharded_kernel.hh"
+#include "system/system.hh"
+
+namespace syncron {
+namespace {
+
+// -- ShardedKernel mechanics -------------------------------------------
+
+/** Client that only counts barrier callouts (no cross-shard traffic). */
+class CountingClient : public sim::ShardedKernel::Client
+{
+  public:
+    void drainMailboxes() override { ++drains; }
+    void windowBegin() override { ++begins; }
+    void windowEnd() override { ++ends; }
+
+    int drains = 0;
+    int begins = 0;
+    int ends = 0;
+};
+
+TEST(ShardedKernel, SingleShardDegeneratesToSerialStepping)
+{
+    sim::EventQueue q;
+    std::vector<Tick> fired;
+    for (Tick t : {Tick{5}, Tick{100}, Tick{100000}})
+        q.schedule(t, [&fired, t] { fired.push_back(t); });
+
+    CountingClient client;
+    sim::ShardedKernel kernel({&q}, 1000, client);
+    EXPECT_EQ(kernel.shards(), 1u);
+    EXPECT_EQ(kernel.run(), 100000u);
+    EXPECT_EQ(fired, (std::vector<Tick>{5, 100, 100000}));
+    // Mailboxes are still drained per window (the uniform loop), but
+    // the single-queue path never announces parallel windows.
+    EXPECT_GT(client.drains, 0);
+    EXPECT_EQ(client.begins, 0);
+    EXPECT_EQ(client.ends, 0);
+}
+
+TEST(ShardedKernel, WindowsCoverLookaheadAndStopAtHorizon)
+{
+    // Two shards, lookahead 100: events at {0, 99} fit one window;
+    // the stragglers at 250 (shard 0) and 260 (shard 1) share the next.
+    sim::EventQueue q0;
+    sim::EventQueue q1;
+    std::vector<std::pair<int, Tick>> fired0;
+    std::vector<std::pair<int, Tick>> fired1;
+    q0.schedule(0, [&] { fired0.emplace_back(0, Tick{0}); });
+    q1.schedule(99, [&] { fired1.emplace_back(1, Tick{99}); });
+    q0.schedule(250, [&] { fired0.emplace_back(0, Tick{250}); });
+    q1.schedule(260, [&] { fired1.emplace_back(1, Tick{260}); });
+
+    CountingClient client;
+    sim::ShardedKernel kernel({&q0, &q1}, 100, client);
+    EXPECT_EQ(kernel.shards(), 2u);
+    EXPECT_EQ(kernel.run(), 260u);
+    EXPECT_EQ(kernel.windows(), 2u);
+    EXPECT_EQ(client.begins, 2);
+    EXPECT_EQ(client.ends, 2);
+    // One drain per loop iteration: before each window and once more
+    // before discovering the horizon is empty.
+    EXPECT_EQ(client.drains, 3);
+    EXPECT_EQ(fired0,
+              (std::vector<std::pair<int, Tick>>{{0, 0}, {0, 250}}));
+    EXPECT_EQ(fired1,
+              (std::vector<std::pair<int, Tick>>{{1, 99}, {1, 260}}));
+}
+
+TEST(ShardedKernel, BoundedRunLeavesLaterEventsQueued)
+{
+    sim::EventQueue q0;
+    sim::EventQueue q1;
+    int ran = 0;
+    q0.schedule(10, [&] { ++ran; });
+    q1.schedule(5000, [&] { ++ran; });
+
+    CountingClient client;
+    sim::ShardedKernel kernel({&q0, &q1}, 50, client);
+    kernel.run(1000);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(q1.pending(), 1u);
+    kernel.run();
+    EXPECT_EQ(ran, 2);
+}
+
+/** Minimal mailbox: envelopes stamped now + lookahead, delivered in a
+ *  deterministic order at barriers — the Machine protocol in miniature. */
+class PingPongClient : public sim::ShardedKernel::Client
+{
+  public:
+    struct Envelope
+    {
+        Tick when = 0;
+        int payload = 0;
+        sim::EventQueue *dest = nullptr;
+    };
+
+    void drainMailboxes() override
+    {
+        for (Envelope &env : outbox) {
+            const Tick when = env.when;
+            const int payload = env.payload;
+            received.push_back(payload);
+            env.dest->schedule(when, [] {});
+        }
+        outbox.clear();
+    }
+
+    std::vector<Envelope> outbox;
+    std::vector<int> received;
+};
+
+TEST(ShardedKernel, CrossShardEnvelopesLandInLaterWindows)
+{
+    // Shard 0 posts an envelope to shard 1 from inside a window; the
+    // stamp (now + lookahead) guarantees delivery happens at a barrier
+    // before any shard could have advanced past it.
+    constexpr Tick kLookahead = 200;
+    sim::EventQueue q0;
+    sim::EventQueue q1;
+    PingPongClient client;
+    q0.schedule(10, [&] {
+        client.outbox.push_back(
+            {q0.now() + kLookahead, 7, &q1});
+    });
+
+    sim::ShardedKernel kernel({&q0, &q1}, kLookahead, client);
+    kernel.run();
+    EXPECT_EQ(client.received, (std::vector<int>{7}));
+    EXPECT_EQ(q1.now(), 210u);
+    EXPECT_EQ(q1.executed(), 1u);
+}
+
+TEST(ShardedKernel, ZeroLookaheadRequiresLockstep)
+{
+    sim::EventQueue q0;
+    sim::EventQueue q1;
+    CountingClient client;
+    // One shard is fine (lockstep fallback)...
+    EXPECT_NO_THROW(sim::ShardedKernel({&q0}, 0, client));
+    // ...multiple shards without lookahead are a coordinator bug.
+    EXPECT_THROW(sim::ShardedKernel({&q0, &q1}, 0, client),
+                 std::logic_error);
+}
+
+// -- Bit-identity contract ---------------------------------------------
+
+void
+expectSameStats(const SystemStats &a, const SystemStats &b,
+                const std::string &what)
+{
+    // Scalar counters via the canonical visitor...
+    std::vector<std::pair<std::string, double>> fa;
+    std::vector<std::pair<std::string, double>> fb;
+    a.forEach([&](const std::string &n, double v) {
+        fa.emplace_back(n, v);
+    });
+    b.forEach([&](const std::string &n, double v) {
+        fb.emplace_back(n, v);
+    });
+    EXPECT_EQ(fa, fb) << what;
+    // ...and the full per-OpKind latency histograms, which the visitor
+    // only summarizes.
+    for (unsigned k = 0; k < kNumSyncOpKinds; ++k) {
+        const SyncOpLatency &la = a.syncLatency[k];
+        const SyncOpLatency &lb = b.syncLatency[k];
+        EXPECT_EQ(la.count, lb.count) << what << " opKind " << k;
+        EXPECT_EQ(la.totalTicks, lb.totalTicks) << what << " opKind "
+                                                << k;
+        EXPECT_EQ(la.minTicks, lb.minTicks) << what << " opKind " << k;
+        EXPECT_EQ(la.maxTicks, lb.maxTicks) << what << " opKind " << k;
+        EXPECT_EQ(la.hist, lb.hist) << what << " opKind " << k;
+    }
+}
+
+void
+expectIdentical(const harness::RunOutput &a, const harness::RunOutput &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.time, b.time) << what;
+    EXPECT_EQ(a.ops, b.ops) << what;
+    EXPECT_EQ(a.overflowedReqs, b.overflowedReqs) << what;
+    EXPECT_EQ(a.totalReqs, b.totalReqs) << what;
+    expectSameStats(a.stats, b.stats, what);
+}
+
+/** 8 units x 2 cores: at 2 and 4 shards every run crosses shard
+ *  boundaries on both sync traffic and remote memory traffic. */
+SystemConfig
+shardedCfg(Scheme scheme, unsigned shards)
+{
+    SystemConfig cfg = SystemConfig::make(scheme, 8, 2);
+    cfg.simShards = shards;
+    // The analyzer rides along on every identity run: its findings are
+    // part of the contract (zero, at every shard count), and its
+    // per-shard buffering front end is exercised by the same runs.
+    cfg.analyze = true;
+    return cfg;
+}
+
+class ShardIdentityTest : public ::testing::TestWithParam<Scheme>
+{
+};
+
+TEST_P(ShardIdentityTest, PrimitiveMicrosAreBitIdentical)
+{
+    for (workloads::Primitive prim :
+         {workloads::Primitive::Lock, workloads::Primitive::Barrier,
+          workloads::Primitive::Semaphore,
+          workloads::Primitive::CondVar}) {
+        const harness::RunOutput ref = harness::runPrimitive(
+            shardedCfg(GetParam(), 1), prim, 100, 6);
+        for (unsigned shards : {2u, 4u}) {
+            const harness::RunOutput out = harness::runPrimitive(
+                shardedCfg(GetParam(), shards), prim, 100, 6);
+            expectIdentical(ref, out,
+                            std::string(primitiveName(prim)) + " @"
+                                + std::to_string(shards) + " shards");
+        }
+    }
+}
+
+TEST_P(ShardIdentityTest, DataStructuresAreBitIdentical)
+{
+    // One structure per locking regime: coarse high-contention (Stack),
+    // fine-grained with optimistic traversal (SkipList), and
+    // hand-over-hand chains (LinkedList).
+    struct Case
+    {
+        harness::DsKind kind;
+        unsigned size;
+        unsigned ops;
+    };
+    for (const Case &c : {Case{harness::DsKind::Stack, 64, 8},
+                          Case{harness::DsKind::SkipList, 96, 6},
+                          Case{harness::DsKind::LinkedList, 48, 6}}) {
+        const harness::RunOutput ref = harness::runDataStructure(
+            shardedCfg(GetParam(), 1), c.kind, c.size, c.ops);
+        for (unsigned shards : {2u, 4u}) {
+            const harness::RunOutput out = harness::runDataStructure(
+                shardedCfg(GetParam(), shards), c.kind, c.size, c.ops);
+            expectIdentical(ref, out,
+                            std::string(harness::dsName(c.kind)) + " @"
+                                + std::to_string(shards) + " shards");
+        }
+    }
+}
+
+TEST_P(ShardIdentityTest, ReplicationIsBitIdentical)
+{
+    workloads::ReplicationParams params;
+    params.epochs = 3;
+    params.opsPerEpoch = 4;
+    const harness::RunOutput ref =
+        harness::runReplication(shardedCfg(GetParam(), 1), params);
+    for (unsigned shards : {2u, 4u}) {
+        const harness::RunOutput out = harness::runReplication(
+            shardedCfg(GetParam(), shards), params);
+        expectIdentical(ref, out,
+                        "replication @" + std::to_string(shards)
+                            + " shards");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ShardIdentityTest,
+                         ::testing::Values(Scheme::SynCron,
+                                           Scheme::Central),
+                         [](const auto &info) {
+                             return std::string(
+                                 schemeName(info.param));
+                         });
+
+// -- Shard-count resolution --------------------------------------------
+
+TEST(ShardResolution, NonShardableBackendCollapsesToOneShard)
+{
+    // Ideal applies sync ops in place with no messages — there is no
+    // lookahead-respecting transport to shard over, so the system must
+    // quietly fall back to a single queue.
+    SystemConfig cfg = SystemConfig::make(Scheme::Ideal, 8, 2);
+    cfg.simShards = 4;
+    NdpSystem sys(cfg);
+    EXPECT_EQ(sys.machine().numShards(), 1u);
+}
+
+TEST(ShardResolution, ShardCountClampsToUnitCount)
+{
+    SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 2, 2);
+    cfg.simShards = 16;
+    NdpSystem sys(cfg);
+    EXPECT_LE(sys.machine().numShards(), 2u);
+    EXPECT_GE(sys.machine().numShards(), 1u);
+}
+
+} // namespace
+} // namespace syncron
