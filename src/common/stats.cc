@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "common/log.hh"
 
@@ -31,6 +32,38 @@ SyncOpLatency::avgTicks() const
     return static_cast<double>(totalTicks) / static_cast<double>(count);
 }
 
+double
+SyncOpLatency::percentileTicks(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank in (0, count]: the q-quantile is the value whose cumulative
+    // count first reaches q * count.
+    const double target =
+        std::max(q * static_cast<double>(count), 1e-12);
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < kSyncLatencyBuckets; ++b) {
+        if (hist[b] == 0)
+            continue;
+        if (static_cast<double>(cum + hist[b]) >= target) {
+            double value = 0.0;
+            if (b > 0) {
+                // Bucket b covers [2^(b-1), 2^b); place the rank
+                // geometrically within it.
+                const double frac = (target - static_cast<double>(cum))
+                                    / static_cast<double>(hist[b]);
+                value = std::ldexp(1.0, static_cast<int>(b) - 1)
+                        * std::exp2(frac);
+            }
+            return std::clamp(value, static_cast<double>(minTicks),
+                              static_cast<double>(maxTicks));
+        }
+        cum += hist[b];
+    }
+    return static_cast<double>(maxTicks);
+}
+
 SyncOpLatency &
 SyncOpLatency::operator+=(const SyncOpLatency &other)
 {
@@ -52,6 +85,15 @@ SystemStats::recordSyncLatency(unsigned opKindIndex, Tick latency)
     SYNCRON_ASSERT(opKindIndex < kNumSyncOpKinds,
                    "sync latency for unknown op kind " << opKindIndex);
     syncLatency[opKindIndex].record(latency);
+}
+
+double
+SystemStats::latencyPercentile(unsigned opKindIndex, double q) const
+{
+    SYNCRON_ASSERT(opKindIndex < kNumSyncOpKinds,
+                   "latency percentile for unknown op kind "
+                       << opKindIndex);
+    return syncLatency[opKindIndex].percentileTicks(q);
 }
 
 void

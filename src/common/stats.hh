@@ -49,6 +49,16 @@ struct SyncOpLatency
     /** Average latency in ticks (0 when nothing was recorded). */
     double avgTicks() const;
 
+    /**
+     * Latency quantile @p q in [0, 1] (0.99 = p99), in ticks.
+     * Log-interpolated inside the hit log2 bucket — bucket b covers
+     * [2^(b-1), 2^b), so the estimate is 2^(b-1+frac) where frac is the
+     * rank's position within the bucket — and clamped to the exact
+     * [minTicks, maxTicks] observed. Returns 0 when nothing was
+     * recorded.
+     */
+    double percentileTicks(double q) const;
+
     /** Merges another kind-bucket into this one. */
     SyncOpLatency &operator+=(const SyncOpLatency &other);
 };
@@ -116,6 +126,12 @@ struct SystemStats
 
     /** Records one completed sync op at the backend boundary. */
     void recordSyncLatency(unsigned opKindIndex, Tick latency);
+
+    /**
+     * Latency quantile of one op kind (sync::OpKind index), in ticks;
+     * see SyncOpLatency::percentileTicks for the interpolation.
+     */
+    double latencyPercentile(unsigned opKindIndex, double q) const;
 
     // -- Synchronization Table
     std::uint64_t stAllocs = 0;          ///< entries ever reserved

@@ -142,6 +142,17 @@ BenchReport::writeJson() const
         j.field("eventsPerSec", r.out.hostEventsPerSec());
         if (r.out.totalReqs > 0)
             j.field("overflowFrac", r.out.overflowFrac());
+        if (r.out.offeredOps > 0) {
+            j.key("load");
+            j.beginObject()
+                .field("ratePerUs", r.out.offeredRatePerUs)
+                .field("offered", r.out.offeredOps)
+                .field("issued", r.out.issuedOps)
+                .field("dropped", r.out.droppedOps)
+                .field("queued", r.out.queuedOps)
+                .field("queueDelayTicks", r.out.queueDelayTicks)
+                .endObject();
+        }
         if (r.out.stats.pmWrites > 0) {
             j.field("pmWrites", r.out.stats.pmWrites);
             j.field("pmBitsWritten", r.out.stats.pmBitsWritten);
@@ -167,6 +178,16 @@ BenchReport::writeJson() const
                 j.field("avgTicks", l.avgTicks());
                 j.field("minTicks", l.minTicks);
                 j.field("maxTicks", l.maxTicks);
+                // Tail percentiles in ns (log-interpolated): the
+                // values perf_trend.py's p99 gate compares across
+                // commits.
+                j.field("p50Ns", l.percentileTicks(0.50)
+                                     / static_cast<double>(kTicksPerNs));
+                j.field("p99Ns", l.percentileTicks(0.99)
+                                     / static_cast<double>(kTicksPerNs));
+                j.field("p999Ns",
+                        l.percentileTicks(0.999)
+                            / static_cast<double>(kTicksPerNs));
                 j.key("histLog2Ticks");
                 j.beginArray();
                 unsigned last = 0;

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "common/log.hh"
+#include "load/openloop.hh"
 #include "sync/registry.hh"
 #include "system/system.hh"
 #include "trace/replay.hh"
@@ -42,7 +43,13 @@ BenchOptions::usage()
            "every nth sync-op boundary\n"
            "  --sim-shards=<n>   host threads per simulated machine "
            "(bit-identical results; incompatible with --trace-out, "
-           "--crash-at, --persist)";
+           "--crash-at, --persist)\n"
+           "  --load=<spec>      open-loop arrival process: "
+           "<kind>[:k=v,...], kind = fixed|poisson|bursty|diurnal, "
+           "keys rate, ops, window, locks, hold, policy, seed, burst, "
+           "gapx, phases, amp\n"
+           "  --slo-p99=<ns>     p99 latency SLO (ns) for the "
+           "max-sustainable-rate search";
 }
 
 namespace {
@@ -178,6 +185,27 @@ BenchOptions::parse(int argc, char **argv)
                               << usage());
             }
             opts.simShards = static_cast<unsigned>(n);
+        } else if ((val = optValue(arg, "--load="))) {
+            std::string error;
+            if (!load::LoadSpec::fromString(val, opts.loadSpec,
+                                            error)) {
+                SYNCRON_FATAL("bad --load spec '" << val << "': "
+                                                  << error << "\n"
+                                                  << usage());
+            }
+            opts.hasLoad = true;
+        } else if ((val = optValue(arg, "--slo-p99="))) {
+            char *end = nullptr;
+            errno = 0;
+            const double ns = std::strtod(val, &end);
+            if (*val == '\0' || end == nullptr || *end != '\0'
+                || errno != 0 || !std::isfinite(ns) || !(ns > 0.0)) {
+                SYNCRON_FATAL("bad --slo-p99 value '"
+                              << val
+                              << "' (need a positive latency in ns)\n"
+                              << usage());
+            }
+            opts.sloP99Ns = ns;
         } else if (std::strncmp(arg, "--benchmark", 11) == 0) {
             // Tolerate google-benchmark's standard flags.
         } else {
@@ -720,6 +748,38 @@ runAppInput(const SystemConfig &cfg, const AppInput &ai, double scale,
     if (ai.app != "ts")
         inputs.preparePartition(ai.input, cfg.numUnits, metisPartition);
     return runAppInput(cfg, ai, inputs, metisPartition);
+}
+
+RunOutput
+runOpenLoop(const SystemConfig &cfg, const load::LoadSpec &spec,
+            const load::ArrivalSchedule &sched)
+{
+    HostTimer timer;
+    NdpSystem sys(cfg);
+    load::OpenLoopWorkload workload(sys, spec, sched);
+    sys.run();
+
+    RunOutput out;
+    out.time = sys.elapsed();
+    const load::LoadCounters totals = workload.totals();
+    out.ops = totals.issued;
+    out.offeredOps = sched.totalArrivals();
+    out.issuedOps = totals.issued;
+    out.droppedOps = totals.dropped;
+    out.queuedOps = totals.queued;
+    out.queueDelayTicks = totals.queueDelayTicks;
+    out.offeredRatePerUs = spec.ratePerUs;
+    finishOutput(out, sys);
+    out.hostNs = timer.elapsedNs();
+    return out;
+}
+
+RunOutput
+runOpenLoop(const SystemConfig &cfg, const load::LoadSpec &spec)
+{
+    const load::ArrivalSchedule sched =
+        load::buildArrivalSchedule(spec, cfg.totalClientCores());
+    return runOpenLoop(cfg, spec, sched);
 }
 
 RunOutput

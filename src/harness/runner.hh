@@ -17,6 +17,7 @@
 
 #include "common/stats.hh"
 #include "durability/pm_model.hh"
+#include "load/arrival.hh"
 #include "system/config.hh"
 #include "system/energy.hh"
 #include "trace/format.hh"
@@ -62,6 +63,13 @@ struct BenchOptions
     /// single-threaded run. Incompatible with --trace-out, --crash-at,
     /// and --persist, which all assume one global event order.
     unsigned simShards = 1;
+    /// --load=<spec>: open-loop arrival-process override for benches
+    /// that sweep offered load (see load::LoadSpec::fromString).
+    load::LoadSpec loadSpec;
+    bool hasLoad = false; ///< --load was given
+    /// --slo-p99=<ns>: p99 latency SLO for the max-sustainable-rate
+    /// search (0 = bench default).
+    double sloP99Ns = 0.0;
 
     /** Maximum accepted --jobs value. */
     static constexpr unsigned kMaxJobs = 256;
@@ -135,6 +143,14 @@ struct RunOutput
     double stAvgFrac = 0.0; ///< avg ST occupancy fraction
     std::uint64_t overflowedReqs = 0;
     std::uint64_t totalReqs = 0;
+
+    // -- Open-loop load accounting (runOpenLoop only)
+    std::uint64_t offeredOps = 0; ///< scheduled arrivals
+    std::uint64_t issuedOps = 0;  ///< arrivals that became sync ops
+    std::uint64_t droppedOps = 0; ///< shed arrivals (Drop policy)
+    std::uint64_t queuedOps = 0;  ///< arrivals issued late (Queue)
+    std::uint64_t queueDelayTicks = 0; ///< total lateness of the queued
+    double offeredRatePerUs = 0.0; ///< the spec's per-core offered rate
 
     // -- Host-side perf accounting (the simulator's own speed)
     std::uint64_t hostEvents = 0; ///< kernel events executed by the run
@@ -272,6 +288,20 @@ RunOutput runAppInput(const SystemConfig &cfg, const AppInput &ai,
  * trace header (see trace::replayConfig()).
  */
 RunOutput runTrace(const SystemConfig &cfg, const trace::Trace &t);
+
+/**
+ * Runs one open-loop load point: @p sched (prebuilt, so grid cells
+ * sweeping backends at the same rate share one expansion) issued
+ * through @p cfg's backend under @p spec's window/policy. The schedule
+ * must cover exactly cfg's client cores.
+ */
+RunOutput runOpenLoop(const SystemConfig &cfg,
+                      const load::LoadSpec &spec,
+                      const load::ArrivalSchedule &sched);
+
+/** Convenience: expands the spec for cfg's core count, then runs. */
+RunOutput runOpenLoop(const SystemConfig &cfg,
+                      const load::LoadSpec &spec);
 
 } // namespace syncron::harness
 

@@ -1,0 +1,316 @@
+#include "load/arrival.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace syncron::load {
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Fixed: return "fixed";
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Bursty: return "bursty";
+      case ArrivalKind::Diurnal: return "diurnal";
+    }
+    return "?";
+}
+
+const char *
+overloadPolicyName(OverloadPolicy policy)
+{
+    return policy == OverloadPolicy::Drop ? "drop" : "queue";
+}
+
+namespace {
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == nullptr || *end != '\0' || errno != 0
+        || !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || end == nullptr || *end != '\0' || errno != 0)
+        return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+bool
+kindFromName(const std::string &name, ArrivalKind &out)
+{
+    for (ArrivalKind k :
+         {ArrivalKind::Fixed, ArrivalKind::Poisson, ArrivalKind::Bursty,
+          ArrivalKind::Diurnal}) {
+        if (name == arrivalKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+fmtG(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+} // namespace
+
+bool
+LoadSpec::fromString(const std::string &text, LoadSpec &out,
+                     std::string &error)
+{
+    LoadSpec spec;
+    const std::size_t colon = text.find(':');
+    const std::string kindName = text.substr(0, colon);
+    if (!kindFromName(kindName, spec.kind)) {
+        error = "unknown arrival kind '" + kindName
+                + "' (need fixed, poisson, bursty, or diurnal)";
+        return false;
+    }
+
+    std::string rest =
+        colon == std::string::npos ? "" : text.substr(colon + 1);
+    while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string pair = rest.substr(0, comma);
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            error = "malformed key=value pair '" + pair + "'";
+            return false;
+        }
+        const std::string key = pair.substr(0, eq);
+        const std::string val = pair.substr(eq + 1);
+
+        double d = 0.0;
+        std::uint64_t u = 0;
+        if (key == "rate") {
+            if (!parseDouble(val, d) || !(d > 0.0) || d > 1e6) {
+                error = "bad rate '" + val
+                        + "' (need arrivals/us/core in (0, 1e6])";
+                return false;
+            }
+            spec.ratePerUs = d;
+        } else if (key == "ops") {
+            if (!parseU64(val, u) || u < 1 || u > 100000000) {
+                error = "bad ops '" + val + "' (need 1..1e8)";
+                return false;
+            }
+            spec.opsPerCore = static_cast<unsigned>(u);
+        } else if (key == "window") {
+            if (!parseU64(val, u) || u < 1 || u > kMaxWindow) {
+                error = "bad window '" + val + "' (need 1.."
+                        + std::to_string(kMaxWindow) + ")";
+                return false;
+            }
+            spec.window = static_cast<unsigned>(u);
+        } else if (key == "locks") {
+            if (!parseU64(val, u) || u < 1 || u > 1000000) {
+                error = "bad locks '" + val + "' (need 1..1e6)";
+                return false;
+            }
+            spec.numLocks = static_cast<unsigned>(u);
+        } else if (key == "hold") {
+            if (!parseDouble(val, d) || d < 0.0 || d > 1e9) {
+                error = "bad hold '" + val + "' (need ns in [0, 1e9])";
+                return false;
+            }
+            spec.holdTicks = nsToTicks(d);
+        } else if (key == "policy") {
+            if (val == "queue") {
+                spec.policy = OverloadPolicy::Queue;
+            } else if (val == "drop") {
+                spec.policy = OverloadPolicy::Drop;
+            } else {
+                error = "bad policy '" + val + "' (need queue or drop)";
+                return false;
+            }
+        } else if (key == "seed") {
+            if (!parseU64(val, u) || u < 1) {
+                error = "bad seed '" + val + "' (need >= 1)";
+                return false;
+            }
+            spec.seed = u;
+        } else if (key == "burst") {
+            if (!parseU64(val, u) || u < 1 || u > 100000) {
+                error = "bad burst '" + val + "' (need 1..1e5)";
+                return false;
+            }
+            spec.burstLen = static_cast<unsigned>(u);
+        } else if (key == "gapx") {
+            if (!parseDouble(val, d) || !(d > 0.0) || d > 1e6) {
+                error = "bad gapx '" + val + "' (need (0, 1e6])";
+                return false;
+            }
+            spec.burstGapFactor = d;
+        } else if (key == "phases") {
+            if (!parseU64(val, u) || u < 1 || u > 100000) {
+                error = "bad phases '" + val + "' (need 1..1e5)";
+                return false;
+            }
+            spec.diurnalPhases = static_cast<unsigned>(u);
+        } else if (key == "amp") {
+            if (!parseDouble(val, d) || d < 0.0 || !(d < 1.0)) {
+                error = "bad amp '" + val + "' (need [0, 1))";
+                return false;
+            }
+            spec.diurnalAmplitude = d;
+        } else {
+            error = "unknown load key '" + key
+                    + "' (known: rate, ops, window, locks, hold, "
+                      "policy, seed, burst, gapx, phases, amp)";
+            return false;
+        }
+    }
+
+    out = spec;
+    return true;
+}
+
+std::string
+LoadSpec::toString() const
+{
+    std::string s = arrivalKindName(kind);
+    s += ":rate=" + fmtG(ratePerUs);
+    s += ",ops=" + std::to_string(opsPerCore);
+    s += ",window=" + std::to_string(window);
+    s += ",locks=" + std::to_string(numLocks);
+    s += ",hold=" + fmtG(ticksToNs(holdTicks));
+    s += ",policy=" + std::string(overloadPolicyName(policy));
+    s += ",seed=" + std::to_string(seed);
+    if (kind == ArrivalKind::Bursty) {
+        s += ",burst=" + std::to_string(burstLen);
+        s += ",gapx=" + fmtG(burstGapFactor);
+    }
+    if (kind == ArrivalKind::Diurnal) {
+        s += ",phases=" + std::to_string(diurnalPhases);
+        s += ",amp=" + fmtG(diurnalAmplitude);
+    }
+    return s;
+}
+
+double
+LoadSpec::meanGapTicks() const
+{
+    return static_cast<double>(kTicksPerUs) / ratePerUs;
+}
+
+std::uint64_t
+ArrivalSchedule::totalArrivals() const
+{
+    std::uint64_t total = 0;
+    for (const std::vector<Arrival> &core : perCore)
+        total += core.size();
+    return total;
+}
+
+Tick
+ArrivalSchedule::horizon() const
+{
+    Tick last = 0;
+    for (const std::vector<Arrival> &core : perCore) {
+        if (!core.empty() && core.back().tick > last)
+            last = core.back().tick;
+    }
+    return last;
+}
+
+namespace {
+
+/** Exponential gap with mean @p meanTicks, floored at one tick. */
+Tick
+expGap(Rng &rng, double meanTicks)
+{
+    const double u = rng.uniform(); // [0, 1) => 1-u in (0, 1]
+    const double gap = -meanTicks * std::log(1.0 - u);
+    return gap < 1.0 ? 1 : static_cast<Tick>(gap);
+}
+
+} // namespace
+
+ArrivalSchedule
+buildArrivalSchedule(const LoadSpec &spec, unsigned numCores)
+{
+    SYNCRON_ASSERT(spec.ratePerUs > 0.0, "offered rate must be positive");
+    SYNCRON_ASSERT(spec.numLocks > 0, "need at least one lock");
+
+    const double mean = spec.meanGapTicks();
+    constexpr double kTwoPi = 6.283185307179586;
+
+    ArrivalSchedule sched;
+    sched.perCore.resize(numCores);
+    for (unsigned core = 0; core < numCores; ++core) {
+        // Independent per-core stream: the schedule of core i never
+        // depends on how many other cores exist or what they drew.
+        Rng rng(spec.seed ^ (0x9e3779b97f4a7c15ULL * (core + 1)));
+        std::vector<Arrival> &out = sched.perCore[core];
+        out.reserve(spec.opsPerCore);
+
+        Tick now = 0;
+        for (unsigned i = 0; i < spec.opsPerCore; ++i) {
+            Tick gap = 1;
+            switch (spec.kind) {
+              case ArrivalKind::Fixed:
+                gap = mean < 1.0 ? 1 : static_cast<Tick>(mean);
+                break;
+              case ArrivalKind::Poisson:
+                gap = expGap(rng, mean);
+                break;
+              case ArrivalKind::Bursty:
+                // On/off: burstLen back-to-back arrivals, then an idle
+                // period long enough to keep the long-run rate below
+                // the nominal one (the overload comes in spikes).
+                gap = i % spec.burstLen == 0
+                          ? expGap(rng, spec.burstGapFactor * mean)
+                          : 1;
+                break;
+              case ArrivalKind::Diurnal: {
+                // Rate modulated over the run: arrival i sits at phase
+                // i/opsPerCore of the sweep, with diurnalPhases full
+                // sine periods across it.
+                const double frac = static_cast<double>(i)
+                                    / static_cast<double>(spec.opsPerCore);
+                const double factor =
+                    1.0
+                    + spec.diurnalAmplitude
+                          * std::sin(kTwoPi * spec.diurnalPhases * frac);
+                gap = expGap(rng, mean / factor);
+                break;
+              }
+            }
+            now += gap;
+            out.push_back(Arrival{
+                now, static_cast<std::uint32_t>(rng.below(spec.numLocks))});
+        }
+    }
+    return sched;
+}
+
+} // namespace syncron::load

@@ -1,0 +1,74 @@
+#include "load/slo.hh"
+
+#include <sstream>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "harness/json.hh"
+#include "sync/opcodes.hh"
+
+namespace syncron::load {
+
+double
+SloPoint::achievedPerUs() const
+{
+    if (simTicks == 0)
+        return 0.0;
+    return static_cast<double>(issued)
+           / (static_cast<double>(simTicks)
+              / static_cast<double>(kTicksPerUs));
+}
+
+std::string
+curveToJson(const SloCurve &curve)
+{
+    std::ostringstream os;
+    harness::JsonWriter j(os);
+    j.beginObject();
+    j.field("backend", curve.backend);
+    j.key("points");
+    j.beginArray();
+    for (const SloPoint &p : curve.points) {
+        j.beginObject();
+        j.field("ratePerUs", p.ratePerUs);
+        j.field("simTicks", p.simTicks);
+        j.field("offered", p.offered);
+        j.field("issued", p.issued);
+        j.field("dropped", p.dropped);
+        j.field("queued", p.queued);
+        j.field("queueDelayTicks", p.queueDelayTicks);
+        j.field("achievedPerUs", p.achievedPerUs());
+        j.field("p50Ns", p.p50Ns);
+        j.field("p90Ns", p.p90Ns);
+        j.field("p99Ns", p.p99Ns);
+        j.field("p999Ns", p.p999Ns);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    return os.str();
+}
+
+SloPoint
+makeSloPoint(double ratePerUs, Tick simTicks, std::uint64_t offered,
+             const LoadCounters &counters, const SystemStats &stats)
+{
+    SloPoint p;
+    p.ratePerUs = ratePerUs;
+    p.simTicks = simTicks;
+    p.offered = offered;
+    p.issued = counters.issued;
+    p.dropped = counters.dropped;
+    p.queued = counters.queued;
+    p.queueDelayTicks = counters.queueDelayTicks;
+    const SyncOpLatency &acq = stats.syncLatency[static_cast<unsigned>(
+        sync::OpKind::LockAcquire)];
+    const double perNs = static_cast<double>(kTicksPerNs);
+    p.p50Ns = acq.percentileTicks(0.50) / perNs;
+    p.p90Ns = acq.percentileTicks(0.90) / perNs;
+    p.p99Ns = acq.percentileTicks(0.99) / perNs;
+    p.p999Ns = acq.percentileTicks(0.999) / perNs;
+    return p;
+}
+
+} // namespace syncron::load

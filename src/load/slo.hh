@@ -1,0 +1,145 @@
+/**
+ * @file
+ * SLO layer over open-loop runs: per-offered-load latency curve types,
+ * their deterministic JSON serialization, and the max-sustainable-rate
+ * search.
+ *
+ * A latency-vs-offered-load curve is the standing comparison this
+ * subsystem adds: sweep offered rates, record tail percentiles at each,
+ * and a backend's quality is the highest rate it sustains under a p99
+ * SLO — sharper than closed-loop throughput bars, which cannot see the
+ * knee. Curve points carry only simulated quantities (no host timing),
+ * so serializing a curve twice for the same seed yields byte-identical
+ * JSON; tests and the bench's inline determinism check rely on that.
+ */
+
+#ifndef SYNCRON_LOAD_SLO_HH
+#define SYNCRON_LOAD_SLO_HH
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "load/openloop.hh"
+
+namespace syncron {
+struct SystemStats;
+} // namespace syncron
+
+namespace syncron::load {
+
+/** One offered-load point of a latency curve (simulated values only). */
+struct SloPoint
+{
+    double ratePerUs = 0.0; ///< offered arrivals per core per us
+    Tick simTicks = 0;      ///< simulated run length
+
+    std::uint64_t offered = 0; ///< scheduled arrivals
+    std::uint64_t issued = 0;  ///< arrivals that became sync ops
+    std::uint64_t dropped = 0; ///< shed arrivals (Drop policy)
+    std::uint64_t queued = 0;  ///< arrivals issued late (Queue policy)
+    std::uint64_t queueDelayTicks = 0; ///< total lateness of the queued
+
+    // Acquire-latency percentiles at this load, nanoseconds.
+    double p50Ns = 0.0;
+    double p90Ns = 0.0;
+    double p99Ns = 0.0;
+    double p999Ns = 0.0;
+
+    /** Completed operations per simulated microsecond (all cores). */
+    double achievedPerUs() const;
+};
+
+/** Latency-vs-offered-load curve of one backend. */
+struct SloCurve
+{
+    std::string backend;
+    std::vector<SloPoint> points;
+};
+
+/**
+ * Serializes a curve to JSON. Pure function of the (simulated) curve
+ * contents: same seed -> same curve -> byte-identical string.
+ */
+std::string curveToJson(const SloCurve &curve);
+
+/**
+ * Assembles one curve point from an open-loop run's outputs: the
+ * offered rate, the run's accounting, and the lock-acquire latency
+ * percentiles extracted from @p stats.
+ */
+SloPoint makeSloPoint(double ratePerUs, Tick simTicks,
+                      std::uint64_t offered,
+                      const LoadCounters &counters,
+                      const SystemStats &stats);
+
+/** Outcome of findMaxSustainableRate. */
+struct SloSearchResult
+{
+    /// Highest probed rate meeting the SLO; 0 when even loRate fails.
+    double maxRatePerUs = 0.0;
+    double p99NsAtMax = 0.0; ///< p99 measured at maxRatePerUs
+    unsigned probes = 0;     ///< open-loop runs the search spent
+    bool loFailed = false;   ///< loRate already violates the SLO
+    bool hiPassed = false;   ///< hiRate still meets the SLO
+};
+
+/**
+ * Binary-searches the highest offered rate whose open-loop run meets a
+ * p99 SLO. @p probe is invoked as probe(ratePerUs) and must return an
+ * SloPoint measured at that rate; a point meets the SLO when its p99 is
+ * within @p sloP99Ns and it shed nothing. The bisection is geometric
+ * (offered rates span decades), keeping the invariant lo meets / hi
+ * fails between iterations. The probe is a template parameter (no
+ * type-erased callable wrapper): it runs whole simulations in src/.
+ */
+template <typename Probe>
+SloSearchResult
+findMaxSustainableRate(Probe &&probe, double loRate, double hiRate,
+                       double sloP99Ns, unsigned iters = 6)
+{
+    SloSearchResult result;
+    auto meets = [sloP99Ns](const SloPoint &p) {
+        return p.p99Ns <= sloP99Ns && p.dropped == 0;
+    };
+
+    SloPoint lo = probe(loRate);
+    ++result.probes;
+    if (!meets(lo)) {
+        result.loFailed = true;
+        return result;
+    }
+    SloPoint hi = probe(hiRate);
+    ++result.probes;
+    if (meets(hi)) {
+        result.hiPassed = true;
+        result.maxRatePerUs = hiRate;
+        result.p99NsAtMax = hi.p99Ns;
+        return result;
+    }
+
+    double loR = loRate;
+    double hiR = hiRate;
+    SloPoint best = std::move(lo);
+    for (unsigned i = 0; i < iters; ++i) {
+        const double mid = std::sqrt(loR * hiR);
+        SloPoint p = probe(mid);
+        ++result.probes;
+        if (meets(p)) {
+            loR = mid;
+            best = std::move(p);
+        } else {
+            hiR = mid;
+        }
+    }
+    result.maxRatePerUs = loR;
+    result.p99NsAtMax = best.p99Ns;
+    return result;
+}
+
+} // namespace syncron::load
+
+#endif // SYNCRON_LOAD_SLO_HH

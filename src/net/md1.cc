@@ -48,9 +48,19 @@ Md1Estimator::currentDelay() const
 {
     if (rho_ <= 0.0)
         return 0;
-    const double mu = 1.0 / static_cast<double>(serviceTicks_);
-    const double wq = rho_ / (2.0 * mu * (1.0 - rho_));
-    return static_cast<Tick>(wq);
+    return static_cast<Tick>(waitingTicks(rho_, serviceTicks_));
+}
+
+double
+Md1Estimator::waitingTicks(double rho, Tick serviceTicks)
+{
+    SYNCRON_ASSERT(serviceTicks > 0, "service time must be positive");
+    SYNCRON_ASSERT(rho >= 0.0 && rho < 1.0,
+                   "utilization " << rho << " outside [0, 1)");
+    if (rho <= 0.0)
+        return 0.0;
+    const double mu = 1.0 / static_cast<double>(serviceTicks);
+    return rho / (2.0 * mu * (1.0 - rho));
 }
 
 } // namespace syncron::net

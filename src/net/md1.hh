@@ -43,6 +43,15 @@ class Md1Estimator
     /** Queueing delay at the current utilization (no state update). */
     Tick currentDelay() const;
 
+    /**
+     * Closed-form M/D/1 mean waiting time in ticks:
+     * Wq = rho / (2 * mu * (1 - rho)) with mu = 1 / serviceTicks.
+     * The single source of the formula — currentDelay() evaluates it at
+     * the online rho estimate, and the open-loop load subsystem's
+     * analytic reference (and its tests) evaluate it at a known rho.
+     */
+    static double waitingTicks(double rho, Tick serviceTicks);
+
   private:
     Tick serviceTicks_;
     double maxRho_;

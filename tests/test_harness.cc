@@ -318,6 +318,71 @@ TEST(BenchOptions, RejectsCrashInjectionWithParallelJobs)
     EXPECT_NO_THROW(parse2("--crash-at=1000", "--jobs=1"));
 }
 
+TEST(BenchOptions, ParsesLoadAndSloFlags)
+{
+    const char *argv[] = {"bench",
+                          "--load=bursty:rate=2,window=8,policy=drop",
+                          "--slo-p99=1500"};
+    auto o = BenchOptions::parse(3, const_cast<char **>(argv));
+    EXPECT_TRUE(o.hasLoad);
+    EXPECT_EQ(o.loadSpec.kind, load::ArrivalKind::Bursty);
+    EXPECT_DOUBLE_EQ(o.loadSpec.ratePerUs, 2.0);
+    EXPECT_EQ(o.loadSpec.window, 8u);
+    EXPECT_EQ(o.loadSpec.policy, load::OverloadPolicy::Drop);
+    EXPECT_DOUBLE_EQ(o.sloP99Ns, 1500.0);
+
+    // Both are optional: absent means defaults.
+    const char *argv2[] = {"bench"};
+    auto o2 = BenchOptions::parse(1, const_cast<char **>(argv2));
+    EXPECT_FALSE(o2.hasLoad);
+    EXPECT_DOUBLE_EQ(o2.sloP99Ns, 0.0);
+}
+
+TEST(BenchOptions, RejectsMalformedLoadAndSloFlags)
+{
+    auto parse1 = [](const char *arg) {
+        const char *argv[] = {"bench", arg};
+        return BenchOptions::parse(2, const_cast<char **>(argv));
+    };
+    // A bad --load spec is fatal with the parser's reason AND the
+    // usage text, like --trace-out/--crash-at errors.
+    try {
+        parse1("--load=gaussian:rate=2");
+        FAIL() << "expected fatal for unknown arrival kind";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unknown arrival kind"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("--load=<spec>"), std::string::npos)
+            << "error should include usage: " << what;
+    }
+    EXPECT_THROW(parse1("--load="), std::runtime_error);
+    EXPECT_THROW(parse1("--load=poisson:rate=0"), std::runtime_error);
+    EXPECT_THROW(parse1("--load=poisson:window=0"),
+                 std::runtime_error);
+    EXPECT_THROW(parse1("--load=poisson:policy=maybe"),
+                 std::runtime_error);
+    EXPECT_THROW(parse1("--load=poisson:frobnicate=1"),
+                 std::runtime_error);
+
+    // --slo-p99 needs a positive finite latency.
+    try {
+        parse1("--slo-p99=-5");
+        FAIL() << "expected fatal for negative SLO";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("positive latency"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("--slo-p99=<ns>"), std::string::npos)
+            << "error should include usage: " << what;
+    }
+    EXPECT_THROW(parse1("--slo-p99="), std::runtime_error);
+    EXPECT_THROW(parse1("--slo-p99=0"), std::runtime_error);
+    EXPECT_THROW(parse1("--slo-p99=abc"), std::runtime_error);
+    EXPECT_THROW(parse1("--slo-p99=inf"), std::runtime_error);
+    EXPECT_THROW(parse1("--slo-p99=nan"), std::runtime_error);
+}
+
 TEST(Runner, DsDefaultsCoverAllStructures)
 {
     for (DsKind kind : kAllDsKinds) {

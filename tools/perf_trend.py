@@ -3,23 +3,31 @@
 
 Every bench binary writes a machine-readable record with --json=<path>
 (see harness::BenchReport): per-config simulated throughput (opsPerMs),
-host kernel speed (eventsPerSec), and an aggregate host events/sec.
-This tool compares a baseline record against a current one and exits
-non-zero when either metric regresses beyond the threshold:
+host kernel speed (eventsPerSec), an aggregate host events/sec, and —
+for open-loop load points — per-OpKind tail-latency percentiles. This
+tool compares a baseline record against a current one and exits
+non-zero when a metric regresses beyond the threshold:
 
   - opsPerMs is simulated throughput: deterministic for a given commit,
     so any drop is a real behavioral/performance change.
   - eventsPerSec is host simulation speed: the metric the fast-kernel
     work optimizes, but noisy across machines, so it gets its own
     (typically looser) threshold.
+  - p99Ns (open-loop configs only, i.e. records with a "load" object)
+    is simulated tail latency: lower is better, so the regression
+    direction is inverted — the gate fails when the current p99 EXCEEDS
+    the baseline by more than the threshold.
 
 Usage:
   perf_trend.py BASELINE.json CURRENT.json [--threshold 0.10]
-                [--host-threshold 0.10] [--allow-missing-baseline]
+                [--host-threshold 0.10] [--p99-threshold 0.10]
+                [--allow-missing-baseline]
+  perf_trend.py --self-test
 
 CI wires this into the bench-perf job against the BENCH_*.json artifact
 of the last successful run on main; --allow-missing-baseline keeps the
-very first run (or a renamed bench) green.
+very first run (or a renamed bench) green. --self-test exercises the
+gate logic on synthetic records and needs no files.
 """
 
 import argparse
@@ -51,28 +59,62 @@ def fmt_delta(base, cur):
     return "%+.1f%%" % ((cur - base) / base * 100.0)
 
 
-def compare_metric(name, pairs, threshold, failures):
-    """pairs: list of (label, baseline_value, current_value)."""
+def compare_metric(name, pairs, threshold, failures, higher_is_better=True):
+    """pairs: list of (label, baseline_value, current_value).
+
+    higher_is_better=False inverts the direction (latency metrics):
+    the gate fails when the current value exceeds the baseline by more
+    than the threshold instead of falling below it.
+    """
     printed_header = False
     for label, base, cur in pairs:
         if base <= 0:
             continue
         delta = (cur - base) / base
+        regressed = (delta < -threshold) if higher_is_better \
+            else (delta > threshold)
         marker = ""
-        if delta < -threshold:
+        if regressed:
             marker = "  << REGRESSION"
             failures.append(
-                "%s '%s': %.3f -> %.3f (%s, threshold -%.0f%%)"
+                "%s '%s': %.3f -> %.3f (%s, threshold %s%.0f%%)"
                 % (name, label, base, cur, fmt_delta(base, cur),
-                   threshold * 100))
+                   "-" if higher_is_better else "+", threshold * 100))
         if not printed_header:
-            print("-- %s (fail below -%.0f%%)" % (name, threshold * 100))
+            print("-- %s (fail %s %s%.0f%%)"
+                  % (name,
+                     "below" if higher_is_better else "above",
+                     "-" if higher_is_better else "+", threshold * 100))
             printed_header = True
         print("  %-40s %12.3f %12.3f  %s%s"
               % (label, base, cur, fmt_delta(base, cur), marker))
 
 
-def main():
+def p99_pairs(base_cfgs, cur_cfgs, shared):
+    """(label/op, baseline p99Ns, current p99Ns) for open-loop configs.
+
+    Only configs carrying a "load" object participate: open-loop tail
+    latency is a pure simulated quantity (deterministic per commit), so
+    any change is a real protocol/performance change — closed-loop
+    benches report percentiles for human inspection but their tails
+    shift with workload re-tuning too often to gate on.
+    """
+    pairs = []
+    for label in shared:
+        bcfg, ccfg = base_cfgs[label], cur_cfgs[label]
+        if "load" not in bcfg or "load" not in ccfg:
+            continue
+        bops = {e["op"]: e for e in bcfg.get("syncLatency", [])}
+        cops = {e["op"]: e for e in ccfg.get("syncLatency", [])}
+        for op in bops:
+            if op in cops:
+                pairs.append(("%s/%s" % (label, op),
+                              bops[op].get("p99Ns", 0.0),
+                              cops[op].get("p99Ns", 0.0)))
+    return pairs
+
+
+def run(argv):
     ap = argparse.ArgumentParser(
         description="diff two BENCH_*.json records, exit non-zero on "
                     "regression")
@@ -84,9 +126,12 @@ def main():
     ap.add_argument("--host-threshold", type=float, default=0.10,
                     help="max allowed host events/sec regression "
                          "(fraction, default 0.10)")
+    ap.add_argument("--p99-threshold", type=float, default=0.10,
+                    help="max allowed open-loop p99 latency increase "
+                         "(fraction, default 0.10)")
     ap.add_argument("--allow-missing-baseline", action="store_true",
                     help="exit 0 when the baseline file is absent")
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     try:
         base = load(args.baseline)
@@ -144,6 +189,10 @@ def main():
         [("<total>", base.get("host", {}).get("eventsPerSec", 0.0),
           cur.get("host", {}).get("eventsPerSec", 0.0))],
         args.host_threshold, failures)
+    compare_metric(
+        "p99 ns (open-loop, simulated)",
+        p99_pairs(base_cfgs, cur_cfgs, shared),
+        args.p99_threshold, failures, higher_is_better=False)
 
     if failures:
         print("\nperf_trend: %d regression(s):" % len(failures))
@@ -152,6 +201,109 @@ def main():
         return 1
     print("\nperf_trend: OK (no metric regressed beyond threshold)")
     return 0
+
+
+# ----------------------------------------------------------------------
+# Self-test: synthetic records through the real entry point.
+# ----------------------------------------------------------------------
+
+def _record(bench="slo_curves", ops=100.0, p99=500.0, sanitizer=None,
+            with_load=True):
+    cfg = {"label": "SynCron/r0.4", "opsPerMs": ops,
+           "eventsPerSec": 1e6,
+           "syncLatency": [{"op": "lock_acquire", "count": 100,
+                            "p50Ns": p99 / 2, "p99Ns": p99,
+                            "p999Ns": p99 * 2}]}
+    if with_load:
+        cfg["load"] = {"ratePerUs": 0.4, "offered": 100, "issued": 100,
+                       "dropped": 0, "queued": 0, "queueDelayTicks": 0}
+    rec = {"bench": bench, "host": {"eventsPerSec": 1e6},
+           "configs": [cfg]}
+    if sanitizer:
+        rec["sanitizer"] = sanitizer
+    return rec
+
+
+def self_test():
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    checks = []
+
+    def check(name, argv_records, expect_rc, extra_args=()):
+        """Writes the records, runs the comparison, checks the rc."""
+        with tempfile.TemporaryDirectory() as d:
+            paths = []
+            for i, rec in enumerate(argv_records):
+                p = os.path.join(d, "r%d.json" % i)
+                if rec is not None:  # None = deliberately absent file
+                    with open(p, "w") as f:
+                        json.dump(rec, f)
+                paths.append(p)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out), \
+                    contextlib.redirect_stderr(out):
+                rc = run(paths + list(extra_args))
+            ok = rc == expect_rc
+            checks.append((name, ok, rc, expect_rc, out.getvalue()))
+
+    # Identical records pass.
+    check("identical records pass",
+          [_record(), _record()], 0)
+    # Simulated-throughput drop beyond 10% fails.
+    check("opsPerMs regression fires",
+          [_record(ops=100.0), _record(ops=80.0)], 1)
+    # p99 increase beyond 10% fails (inverted direction).
+    check("p99 regression fires",
+          [_record(p99=500.0), _record(p99=700.0)], 1)
+    # p99 *improvement* of the same magnitude must NOT fail.
+    check("p99 improvement passes",
+          [_record(p99=700.0), _record(p99=500.0)], 0)
+    # Without a "load" object the config's p99 is not gated.
+    check("closed-loop p99 not gated",
+          [_record(p99=500.0, with_load=False),
+           _record(p99=700.0, with_load=False)], 0)
+    # A looser explicit p99 threshold tolerates the increase.
+    check("p99 threshold adjustable",
+          [_record(p99=500.0), _record(p99=700.0)], 0,
+          extra_args=["--p99-threshold", "0.5"])
+    # Sanitizer-stamped records are rejected outright.
+    check("sanitizer baseline rejected",
+          [_record(sanitizer="asan+ubsan"), _record()], 2)
+    check("sanitizer current rejected",
+          [_record(), _record(sanitizer="tsan")], 2)
+    # Missing baseline: fatal by default, tolerated with the opt-in.
+    check("missing baseline fatal by default",
+          [None, _record()], 2)
+    check("missing baseline tolerated with flag",
+          [None, _record()], 0,
+          extra_args=["--allow-missing-baseline"])
+    # Mismatched bench names never compare.
+    check("bench name mismatch rejected",
+          [_record(bench="a"), _record(bench="b")], 2)
+
+    failed = [c for c in checks if not c[1]]
+    for name, ok, rc, expect, out in checks:
+        print("  %-40s %s" % (name, "ok" if ok else
+                              "FAIL (rc=%d, want %d)" % (rc, expect)))
+        if not ok:
+            print("    --- captured output ---")
+            for line in out.splitlines():
+                print("    " + line)
+    if failed:
+        print("perf_trend --self-test: %d/%d checks failed"
+              % (len(failed), len(checks)))
+        return 1
+    print("perf_trend --self-test: all %d checks passed" % len(checks))
+    return 0
+
+
+def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    return run(sys.argv[1:])
 
 
 if __name__ == "__main__":
