@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Corpus replay: zero-copy scan + cross-backend replay of a directory
+ * of traces.
+ *
+ * Stages:
+ *
+ *   1. Corpus. With --trace-corpus=<dir>, the existing directory is
+ *      used as-is. Otherwise the bench generates its own: every
+ *      scenario family (trace::kAllScenarioFamilies) at two scales —
+ *      ten traces — written into a fresh temporary directory.
+ *   2. Zero-copy scan. Every trace is mmap-read through
+ *      trace::MappedTraceReader and scanned record-by-record; the
+ *      steady-state record loop is asserted allocation-free with a
+ *      counting global operator new (the zero-copy contract: views
+ *      into the mapping, no per-record heap traffic).
+ *   3. Replay. harness::runCorpus replays the whole corpus
+ *      back-to-back on SynCron, Central, and SynCron-flat; every
+ *      replay must reproduce its trace's per-OpKind operation counts
+ *      exactly (fatal otherwise).
+ *
+ * Emits BENCH_trace_corpus.json with --json; CI smokes a small corpus
+ * and gates host-side scan/replay speed with tools/perf_trend.py.
+ */
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "trace/corpus.hh"
+#include "trace/format.hh"
+#include "trace/mmap_reader.hh"
+#include "trace/scenario.hh"
+
+// -- Counting allocator ------------------------------------------------
+// Counts every global allocation in this binary; the mmap scan stage
+// asserts the delta across each record loop is zero. The full
+// replacement set (throwing, nothrow, array, sized) keeps one
+// malloc/free pool, which AddressSanitizer requires.
+//
+// GCC cannot see that this operator new (malloc) pairs with this
+// operator delete (free) and warns at every inlined call site.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<std::uint64_t> gAllocCount{0};
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+using namespace syncron;
+using harness::fmt;
+
+namespace {
+
+/** Replay schemes, in table-column order. */
+constexpr Scheme kReplaySchemes[] = {Scheme::SynCron, Scheme::Central,
+                                     Scheme::SynCronFlat};
+
+/** Generates the default corpus: every family at two scales. */
+std::string
+generateCorpus(double scale, std::uint64_t seed)
+{
+    char tmpl[] = "trace_corpus_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr)
+        SYNCRON_FATAL("cannot create corpus directory " << tmpl);
+    const std::string dir = tmpl;
+
+    for (trace::ScenarioFamily family : trace::kAllScenarioFamilies) {
+        for (unsigned step = 0; step < 2; ++step) {
+            trace::ScenarioSpec spec;
+            spec.family = family;
+            spec.numUnits = 2;
+            spec.clientCoresPerUnit = 4;
+            spec.opsPerCore = static_cast<unsigned>(
+                16.0 * (step + 1) * scale);
+            if (spec.opsPerCore == 0)
+                spec.opsPerCore = 1;
+            spec.seed = seed + step;
+            const std::string path =
+                dir + "/" + trace::scenarioFamilyName(family) + "_s"
+                + std::to_string(step + 1) + ".trc";
+            trace::writeTraceFile(
+                trace::ScenarioGenerator(spec).generate(), path);
+        }
+    }
+    return dir;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = harness::BenchOptions::parse(argc, argv);
+    harness::BenchReport report("trace_corpus", opts);
+    const double scale = opts.effectiveScale();
+
+    // -- Stage 1: the corpus -------------------------------------------
+    std::string dir = opts.traceCorpus;
+    if (dir.empty()) {
+        dir = generateCorpus(scale, 1);
+        std::cout << "generated corpus -> " << dir << "\n";
+    }
+    const trace::Corpus corpus = trace::Corpus::open(dir);
+    std::cout << "corpus " << corpus.dir() << ": " << corpus.size()
+              << " traces, " << corpus.totalBytes() << " bytes\n";
+
+    // -- Stage 2: zero-copy scan (allocation-free record loop) ---------
+    std::uint64_t scannedRecords = 0;
+    for (const trace::CorpusFile &file : corpus.files()) {
+        trace::MappedTraceReader reader(file.path);
+        auto cursor = reader.records();
+        trace::TraceRecord rec;
+        std::uint64_t n = 0;
+        const std::uint64_t before =
+            gAllocCount.load(std::memory_order_relaxed);
+        while (cursor.next(rec))
+            ++n;
+        const std::uint64_t after =
+            gAllocCount.load(std::memory_order_relaxed);
+        if (after != before) {
+            SYNCRON_FATAL("mmap record loop over "
+                          << file.name << " allocated "
+                          << (after - before)
+                          << " times (zero-copy contract)");
+        }
+        if (n != reader.recordCount()) {
+            SYNCRON_FATAL("mmap scan of " << file.name << " yielded "
+                                          << n << " of "
+                                          << reader.recordCount()
+                                          << " records");
+        }
+        scannedRecords += n;
+    }
+    std::cout << "scanned " << scannedRecords << " records across "
+              << corpus.size()
+              << " traces; record loops allocation-free\n";
+
+    // -- Stage 3: replay the corpus on every backend -------------------
+    harness::TablePrinter table(
+        "Corpus replay: throughput [ops/ms] per backend",
+        {"trace", "records", "SynCron", "Central", "SynCron-flat"});
+    std::vector<std::vector<std::string>> rows;
+    for (const trace::CorpusFile &file : corpus.files())
+        rows.push_back({file.name, ""});
+
+    for (Scheme scheme : kReplaySchemes) {
+        const SystemConfig base = opts.makeConfig(scheme);
+        const std::vector<harness::CorpusRunOutput> outs =
+            harness::runCorpus(base, scheme, corpus);
+        for (std::size_t i = 0; i < outs.size(); ++i) {
+            const harness::CorpusRunOutput &out = outs[i];
+            rows[i][1] = std::to_string(out.run.ops);
+            rows[i].push_back(fmt(out.run.opsPerMs(), 1));
+            report.add(out.file.name + "/" + schemeName(scheme),
+                       out.run);
+
+            // The round-trip guarantee: a correct backend executes
+            // exactly the operation mix the mmap scan counted.
+            std::uint64_t records = 0;
+            for (unsigned k = 0; k < kNumSyncOpKinds; ++k)
+                records += out.opCounts[k];
+            if (out.run.ops != records) {
+                SYNCRON_FATAL("replay of '"
+                              << out.file.name << "' on "
+                              << schemeName(scheme) << " executed "
+                              << out.run.ops << " of " << records
+                              << " records");
+            }
+            for (unsigned k = 0; k < kNumSyncOpKinds; ++k) {
+                const std::uint64_t got =
+                    out.run.stats.syncLatency[k].count;
+                if (got != out.opCounts[k]) {
+                    SYNCRON_FATAL(
+                        "replay of '"
+                        << out.file.name << "' on "
+                        << schemeName(scheme) << " performed " << got
+                        << " "
+                        << sync::opKindName(
+                               static_cast<sync::OpKind>(k))
+                        << " ops, trace has " << out.opCounts[k]);
+                }
+            }
+        }
+    }
+
+    for (auto &row : rows)
+        table.addRow(std::move(row));
+    table.addNote("every replay reproduces its trace's per-OpKind "
+                  "counts on every backend (checked); mmap record "
+                  "loops are allocation-free (counted)");
+    table.print(std::cout);
+    report.finish(std::cout);
+    return 0;
+}

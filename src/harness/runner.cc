@@ -11,6 +11,7 @@
 #include "load/openloop.hh"
 #include "sync/registry.hh"
 #include "system/system.hh"
+#include "trace/mmap_reader.hh"
 #include "trace/replay.hh"
 #include "workloads/datastructures/structures.hh"
 #include "workloads/timeseries/scrimp.hh"
@@ -33,6 +34,10 @@ BenchOptions::usage()
            "file (needs --jobs=1)\n"
            "  --trace-in=<path>  replay an existing trace file (needs "
            "--jobs=1)\n"
+           "  --trace-corpus=<d> mmap-replay every *.trc in directory d "
+           "back-to-back\n"
+           "  --trace-stream=<e> mirror the capture to a collector at "
+           "<host:port> or fd:N (needs --jobs=1)\n"
            "  --analyze          run the sync-correctness analyses on "
            "every cell (fatal on findings)\n"
            "  --persist=<m>      SE-state durability: off, eager, or "
@@ -123,6 +128,19 @@ BenchOptions::parse(int argc, char **argv)
             if (*val == '\0')
                 SYNCRON_FATAL("--trace-in needs a path\n" << usage());
             opts.traceIn = val;
+        } else if ((val = optValue(arg, "--trace-corpus="))) {
+            if (*val == '\0') {
+                SYNCRON_FATAL("--trace-corpus needs a directory\n"
+                              << usage());
+            }
+            opts.traceCorpus = val;
+        } else if ((val = optValue(arg, "--trace-stream="))) {
+            if (*val == '\0') {
+                SYNCRON_FATAL("--trace-stream needs an endpoint "
+                              "(host:port or fd:N)\n"
+                              << usage());
+            }
+            opts.traceStream = val;
         } else if (std::strcmp(arg, "--analyze") == 0) {
             opts.analyze = true;
         } else if ((val = optValue(arg, "--persist="))) {
@@ -230,6 +248,26 @@ BenchOptions::parse(int argc, char **argv)
                       "file)\n"
                       << usage());
     }
+    // A corpus IS a replay source; combining it with a single replay
+    // file is ambiguous.
+    if (!opts.traceCorpus.empty() && !opts.traceIn.empty()) {
+        SYNCRON_FATAL("--trace-corpus and --trace-in are mutually "
+                      "exclusive (one replay source)\n"
+                      << usage());
+    }
+    // Streaming mirrors a capture; it shares every capture constraint
+    // (one stream per run) and cannot coexist with replaying a file.
+    if (!opts.traceStream.empty() && !opts.traceIn.empty()) {
+        SYNCRON_FATAL("--trace-stream and --trace-in are mutually "
+                      "exclusive (capture or replay, not both)\n"
+                      << usage());
+    }
+    if (!opts.traceStream.empty() && opts.jobs > 1) {
+        SYNCRON_FATAL("--trace-stream requires --jobs=1 (parallel grid "
+                      "cells would interleave on one collector "
+                      "session)\n"
+                      << usage());
+    }
     // Crash injection tears the (single) machine down mid-run; a
     // parallel grid would crash every cell at the same tick, which is
     // never what a deterministic fault-injection run means.
@@ -245,6 +283,11 @@ BenchOptions::parse(int argc, char **argv)
     // need the single-queue kernel.
     if (opts.simShards > 1 && !opts.traceOut.empty()) {
         SYNCRON_FATAL("--trace-out requires --sim-shards=1 (trace "
+                      "capture records one global event order)\n"
+                      << usage());
+    }
+    if (opts.simShards > 1 && !opts.traceStream.empty()) {
+        SYNCRON_FATAL("--trace-stream requires --sim-shards=1 (trace "
                       "capture records one global event order)\n"
                       << usage());
     }
@@ -272,6 +315,7 @@ BenchOptions::makeConfig(Scheme scheme, unsigned numUnits,
         SystemConfig::make(scheme, numUnits, clientCoresPerUnit);
     cfg.backendName = backend;
     cfg.tracePath = traceOut;
+    cfg.traceStream = traceStream;
     cfg.analyze = analyze;
     cfg.persistMode = persist;
     cfg.persistEpochOps = persistEpochOps;
@@ -797,6 +841,33 @@ runTrace(const SystemConfig &cfg, const trace::Trace &t)
     finishOutput(out, sys);
     out.hostNs = timer.elapsedNs();
     return out;
+}
+
+std::vector<CorpusRunOutput>
+runCorpus(const SystemConfig &base, Scheme scheme,
+          const trace::Corpus &corpus)
+{
+    std::vector<CorpusRunOutput> outputs;
+    outputs.reserve(corpus.size());
+    for (const trace::CorpusFile &file : corpus.files()) {
+        trace::MappedTraceReader reader(file.path);
+
+        CorpusRunOutput out;
+        out.file = file;
+        out.opCounts = reader.validateAll();
+
+        // Each trace dictates its own machine shape; only the
+        // CLI-wide knobs carry over from the base config.
+        const trace::Trace t = reader.materialize();
+        SystemConfig cfg = trace::replayConfig(t, scheme);
+        cfg.backendName = base.backendName;
+        cfg.analyze = base.analyze;
+        cfg.analyzeFatal = base.analyzeFatal;
+        cfg.simShards = base.simShards;
+        out.run = runTrace(cfg, t);
+        outputs.push_back(std::move(out));
+    }
+    return outputs;
 }
 
 } // namespace syncron::harness

@@ -20,6 +20,7 @@
 #include "load/arrival.hh"
 #include "system/config.hh"
 #include "system/energy.hh"
+#include "trace/corpus.hh"
 #include "trace/format.hh"
 #include "workloads/graph/kernels.hh"
 #include "workloads/micro/primitives.hh"
@@ -42,6 +43,15 @@ struct BenchOptions
     /// --trace-in=<path>: replay an existing trace file (trace benches).
     /// Requires --jobs=1 for symmetry with capture.
     std::string traceIn;
+    /// --trace-corpus=<dir>: mmap-replay every *.trc in a directory
+    /// back-to-back (trace benches; see trace::Corpus). Exclusive with
+    /// --trace-in.
+    std::string traceCorpus;
+    /// --trace-stream=<ep>: mirror the capture live to a trace
+    /// collector at <host:port> or fd:N (src/tracenet/; best-effort,
+    /// falls back to local capture). Requires --jobs=1 and
+    /// --sim-shards=1, like --trace-out; exclusive with --trace-in.
+    std::string traceStream;
     /// --analyze: run the sync-correctness analyses on every cell
     /// (fatal on findings). Works with --jobs>1: each grid cell's
     /// system owns an independent analysis::LiveAnalyzer.
@@ -288,6 +298,26 @@ RunOutput runAppInput(const SystemConfig &cfg, const AppInput &ai,
  * trace header (see trace::replayConfig()).
  */
 RunOutput runTrace(const SystemConfig &cfg, const trace::Trace &t);
+
+/** One corpus file replayed through runTrace(). */
+struct CorpusRunOutput
+{
+    trace::CorpusFile file;
+    RunOutput run;
+    /** Per-OpKind operation counts of the trace (from the mmap scan). */
+    std::array<std::uint64_t, kNumSyncOpKinds> opCounts{};
+};
+
+/**
+ * Replays every trace of @p corpus back-to-back under @p scheme: each
+ * file is mmap-read (trace::MappedTraceReader), materialized, and
+ * driven through runTrace() on a config shaped by replayConfig() with
+ * @p base's CLI-wide settings (backendName, analyze, simShards)
+ * carried over. fatal()s on the first malformed trace.
+ */
+std::vector<CorpusRunOutput> runCorpus(const SystemConfig &base,
+                                       Scheme scheme,
+                                       const trace::Corpus &corpus);
 
 /**
  * Runs one open-loop load point: @p sched (prebuilt, so grid cells

@@ -1,0 +1,90 @@
+#include "trace/corpus.hh"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+
+#include "common/log.hh"
+#include "trace/mmap_reader.hh"
+
+namespace syncron::trace {
+
+bool
+Corpus::isDirectory(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Corpus
+Corpus::open(const std::string &dir)
+{
+    if (!isDirectory(dir))
+        SYNCRON_FATAL("trace corpus '" << dir
+                                       << "' is not a directory");
+    Corpus corpus;
+    corpus.dir_ = dir;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::filesystem::path &p = entry.path();
+        if (p.extension() != ".trc")
+            continue;
+        CorpusFile f;
+        f.path = p.string();
+        f.name = p.filename().string();
+        f.bytes = entry.file_size();
+        corpus.files_.push_back(std::move(f));
+    }
+    if (ec)
+        SYNCRON_FATAL("cannot enumerate trace corpus '"
+                      << dir << "': " << ec.message());
+    if (corpus.files_.empty())
+        SYNCRON_FATAL("trace corpus '" << dir
+                                       << "' holds no .trc files");
+    // readdir order is filesystem-dependent; replay and analysis order
+    // must not be, so the corpus is its files sorted by name.
+    std::sort(corpus.files_.begin(), corpus.files_.end(),
+              [](const CorpusFile &a, const CorpusFile &b) {
+                  return a.name < b.name;
+              });
+    return corpus;
+}
+
+std::uint64_t
+Corpus::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const CorpusFile &f : files_)
+        total += f.bytes;
+    return total;
+}
+
+std::vector<CorpusFileStatus>
+Corpus::validate() const
+{
+    std::vector<CorpusFileStatus> statuses;
+    statuses.reserve(files_.size());
+    for (const CorpusFile &f : files_) {
+        CorpusFileStatus s;
+        s.file = f;
+        try {
+            MappedTraceReader reader(f.path);
+            s.opCounts = reader.validateAll();
+            s.records = reader.recordCount();
+            s.ok = true;
+        } catch (const std::exception &e) {
+            s.error = e.what();
+        }
+        statuses.push_back(std::move(s));
+    }
+    return statuses;
+}
+
+} // namespace syncron::trace

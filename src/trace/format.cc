@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "trace/varint.hh"
 
 namespace syncron::trace {
 
@@ -75,47 +76,8 @@ Trace::hottestLockShare() const
 
 namespace {
 
-// -- LEB128 varints ---------------------------------------------------
-
-void
-putVarint(std::ostream &os, std::uint64_t v)
-{
-    while (v >= 0x80) {
-        os.put(static_cast<char>((v & 0x7f) | 0x80));
-        v >>= 7;
-    }
-    os.put(static_cast<char>(v));
-}
-
-std::uint64_t
-getVarint(std::istream &is)
-{
-    std::uint64_t v = 0;
-    for (unsigned shift = 0; shift < 64; shift += 7) {
-        const int byte = is.get();
-        if (byte == std::istream::traits_type::eof())
-            SYNCRON_FATAL("trace truncated inside a varint");
-        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-        if ((byte & 0x80) == 0)
-            return v;
-    }
-    SYNCRON_FATAL("trace varint longer than 64 bits (corrupt stream)");
-}
-
-/** Maps a signed delta onto the varint-friendly zigzag encoding. */
-std::uint64_t
-zigzag(std::int64_t v)
-{
-    return (static_cast<std::uint64_t>(v) << 1)
-           ^ static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t
-unzigzag(std::uint64_t v)
-{
-    return static_cast<std::int64_t>(v >> 1)
-           ^ -static_cast<std::int64_t>(v & 1);
-}
+// LEB128/zigzag primitives live in trace/varint.hh, shared with the
+// mmap'd reader and the tracenet wire marshaller.
 
 /** Bounds-checks an enum read from the wire. */
 template <typename Enum>

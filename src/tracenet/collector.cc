@@ -1,0 +1,70 @@
+#include "tracenet/collector.hh"
+
+#include "common/log.hh"
+#include "trace/format.hh"
+
+namespace syncron::tracenet {
+
+std::string
+sanitizeStreamName(const std::string &name)
+{
+    // Bare file name only: no path separators, no dotfiles, printable
+    // ASCII — the collector must never let a peer choose where on its
+    // filesystem the trace lands.
+    std::string out;
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                        || (c >= '0' && c <= '9') || c == '-'
+                        || c == '_' || c == '.';
+        out += ok ? c : '_';
+    }
+    while (!out.empty() && out.front() == '.')
+        out.erase(out.begin());
+    if (out.empty())
+        out = "collected.trc";
+    if (out.size() < 4 || out.substr(out.size() - 4) != ".trc")
+        out += ".trc";
+    return out;
+}
+
+CollectResult
+collectOne(Transport &transport, const std::string &outDir,
+           int idleTimeoutMs)
+{
+    CollectResult result;
+    result.session = serveSession(transport, idleTimeoutMs);
+    const SessionResult &s = result.session;
+
+    const bool store =
+        s.outcome != SessionOutcome::Failed || s.frames > 0;
+    if (store && s.trace.numUnits > 0) {
+        result.path = outDir + "/" + sanitizeStreamName(s.streamName);
+        trace::writeTraceFile(s.trace, result.path);
+    }
+
+    switch (s.outcome) {
+      case SessionOutcome::Completed:
+        SYNCRON_INFORM("collected " << s.trace.records.size()
+                                    << " records ("
+                                    << s.frames << " frames) -> "
+                                    << result.path);
+        break;
+      case SessionOutcome::Cancelled:
+        SYNCRON_WARN("capture cancelled after "
+                     << s.trace.records.size()
+                     << " records; kept truncated image "
+                     << (result.path.empty() ? std::string("(none)")
+                                             : result.path));
+        break;
+      case SessionOutcome::Failed:
+        SYNCRON_WARN("capture session failed: "
+                     << s.error << "; "
+                     << (result.path.empty()
+                             ? std::string("nothing stored")
+                             : "kept partial image " + result.path));
+        break;
+    }
+    return result;
+}
+
+} // namespace syncron::tracenet

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The collector side of the trace service as a reusable harness:
+ * listen, serve one capture session, persist the received trace with
+ * the stock TraceWriter — which is what makes the collected file
+ * byte-identical to a local --trace-out capture of the same run.
+ *
+ * tools/trace_collectd wraps this in a CLI; the loopback tests drive it
+ * in-process on a socketpair.
+ */
+
+#ifndef SYNCRON_TRACENET_COLLECTOR_HH
+#define SYNCRON_TRACENET_COLLECTOR_HH
+
+#include <string>
+
+#include "tracenet/session.hh"
+#include "tracenet/transport.hh"
+
+namespace syncron::tracenet {
+
+/** What one served session left on disk. */
+struct CollectResult
+{
+    SessionResult session;
+    std::string path; ///< written trace file ("" when nothing stored)
+};
+
+/**
+ * Serves one session on @p transport and writes the resulting trace
+ * under @p outDir. Completed and Cancelled sessions store their
+ * (possibly truncated) image; Failed sessions store a partial image
+ * only when any frame was applied. The file name comes from the
+ * HELLO's streamName, sanitized to a bare file name; empty or unusable
+ * names fall back to "collected.trc".
+ */
+CollectResult collectOne(Transport &transport, const std::string &outDir,
+                         int idleTimeoutMs);
+
+/** streamName -> safe bare file name (exposed for tests). */
+std::string sanitizeStreamName(const std::string &name);
+
+} // namespace syncron::tracenet
+
+#endif // SYNCRON_TRACENET_COLLECTOR_HH

@@ -1,0 +1,102 @@
+#include "tracenet/framing.hh"
+
+#include "common/log.hh"
+#include "trace/varint.hh"
+
+namespace syncron::tracenet {
+
+using trace::appendVarint;
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::Hello: return "HELLO";
+      case FrameType::Accept: return "ACCEPT";
+      case FrameType::Frame: return "FRAME";
+      case FrameType::Ack: return "ACK";
+      case FrameType::Cancel: return "CANCEL";
+      case FrameType::Fin: return "FIN";
+      case FrameType::Error: return "ERROR";
+    }
+    return "?";
+}
+
+void
+encodeFrame(std::string &out, FrameType type, std::uint64_t requestId,
+            std::uint64_t seq, std::string_view payload)
+{
+    // Header first into a scratch so frameLen (= header-after-length +
+    // payload) is known before anything lands in out.
+    std::string header;
+    appendVarint(header, static_cast<std::uint64_t>(type));
+    appendVarint(header, requestId);
+    appendVarint(header, seq);
+    const std::uint64_t frameLen = header.size() + payload.size();
+    SYNCRON_ASSERT(frameLen <= kMaxFrameBytes,
+                   "oversized outgoing frame (" << frameLen
+                                                << " bytes)");
+    appendVarint(out, frameLen);
+    out += header;
+    out.append(payload.data(), payload.size());
+}
+
+void
+FrameDecoder::feed(const char *data, std::size_t n)
+{
+    // Reclaim consumed prefix before growing; keeps the buffer bounded
+    // by one partial frame plus whatever feed() just delivered.
+    if (consumed_ > 0) {
+        buf_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    buf_.append(data, n);
+}
+
+bool
+FrameDecoder::next(Frame &out)
+{
+    const auto *base =
+        reinterpret_cast<const unsigned char *>(buf_.data());
+    const unsigned char *begin = base + consumed_;
+    const unsigned char *end = base + buf_.size();
+
+    // Peek the length prefix without committing: it may be split
+    // across feeds.
+    std::uint64_t frameLen = 0;
+    const unsigned char *p = begin;
+    for (unsigned shift = 0;; shift += 7) {
+        if (p == end)
+            return false; // length varint incomplete
+        if (shift >= 64)
+            SYNCRON_FATAL("malformed trace-service frame: length "
+                          "varint longer than 64 bits");
+        const unsigned char byte = *p++;
+        frameLen |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            break;
+    }
+    if (frameLen > kMaxFrameBytes)
+        SYNCRON_FATAL("malformed trace-service frame: length "
+                      << frameLen << " exceeds the " << kMaxFrameBytes
+                      << "-byte cap");
+    if (static_cast<std::uint64_t>(end - p) < frameLen)
+        return false; // body incomplete
+
+    trace::VarintCursor cur(p, p + frameLen, "trace-service frame");
+    const std::uint64_t rawType = cur.get();
+    if (rawType > static_cast<std::uint64_t>(FrameType::Error))
+        SYNCRON_FATAL("malformed trace-service frame: unknown type "
+                      << rawType);
+    out.type = static_cast<FrameType>(rawType);
+    out.requestId = cur.get();
+    out.seq = cur.get();
+    out.payload.assign(reinterpret_cast<const char *>(cur.position()),
+                       cur.remaining());
+
+    consumed_ = static_cast<std::size_t>(
+        reinterpret_cast<const char *>(p + frameLen) - buf_.data());
+    return true;
+}
+
+} // namespace syncron::tracenet

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Wire framing for the streaming trace service.
+ *
+ * The trace service moves a live run's sync-op stream from the
+ * capturing process to a collector over a byte-stream transport
+ * (socketpair or TCP). This layer — the fnet-style bottom of the stack,
+ * below the marshaller and the session state machine — turns that byte
+ * stream into discrete, request-id'd messages:
+ *
+ *   varint frameLen | varint type | varint requestId | varint seq
+ *                   | payload[frameLen - header]
+ *
+ * frameLen counts every byte after its own varint, so a receiver can
+ * buffer exactly one frame without understanding its type. All integers
+ * are the trace container's LEB128 varints (trace/varint.hh) — one
+ * encoding across the file format and the wire (decided contract,
+ * versioned by kProtocolVersion carried in HELLO; bump on any layout
+ * change, like `SYNCTRC`).
+ *
+ * Frame types mirror the request/response/cancel shape of the fsync
+ * sync_engine exemplar:
+ *
+ *   HELLO  (c->s) open a capture session: protocol version, trace
+ *                 container version, machine shape, stream name
+ *   ACCEPT (s->c) session accepted (echoes the protocol version)
+ *   FRAME  (c->s) one capture batch: primitive-table delta + records
+ *   ACK    (s->c) cumulative receipt of FRAME/FIN seq
+ *   CANCEL (c->s) abort; the collector keeps a valid truncated image
+ *   FIN    (c->s) clean end of stream with final totals
+ *   ERROR  (s->c) protocol violation (bad request id, bad version...)
+ */
+
+#ifndef SYNCRON_TRACENET_FRAMING_HH
+#define SYNCRON_TRACENET_FRAMING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace syncron::tracenet {
+
+/** Wire-protocol version; HELLO carries it, ACCEPT echoes it. */
+inline constexpr std::uint64_t kProtocolVersion = 1;
+
+/** Message types of the capture session (see file comment). */
+enum class FrameType : std::uint8_t
+{
+    Hello,
+    Accept,
+    Frame,
+    Ack,
+    Cancel,
+    Fin,
+    Error,
+};
+
+/** Printable frame-type name. */
+const char *frameTypeName(FrameType type);
+
+/** One decoded message. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::uint64_t requestId = 0;
+    std::uint64_t seq = 0;
+    std::string payload;
+};
+
+/**
+ * Frames larger than this are rejected as malformed — a corrupt or
+ * hostile length prefix must fail cleanly, not drive a giant
+ * allocation. Capture batches are flushed well below this.
+ */
+inline constexpr std::uint64_t kMaxFrameBytes = 16ull << 20;
+
+/** Appends the encoded frame to @p out. */
+void encodeFrame(std::string &out, FrameType type,
+                 std::uint64_t requestId, std::uint64_t seq,
+                 std::string_view payload);
+
+/**
+ * Incremental frame decoder over a byte stream: feed() received chunks
+ * in, next() yields complete frames as they become available. fatal()s
+ * on malformed input (oversized or impossible lengths, unknown frame
+ * types) — a framing error is never recoverable on a byte stream.
+ */
+class FrameDecoder
+{
+  public:
+    /** Appends @p n received bytes. */
+    void feed(const char *data, std::size_t n);
+
+    /**
+     * Decodes the next complete frame into @p out.
+     * @return false when the buffer holds no complete frame yet
+     */
+    bool next(Frame &out);
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t buffered() const { return buf_.size() - consumed_; }
+
+  private:
+    std::string buf_;
+    std::size_t consumed_ = 0;
+};
+
+} // namespace syncron::tracenet
+
+#endif // SYNCRON_TRACENET_FRAMING_HH

@@ -1,0 +1,237 @@
+#include "tracenet/marshal.hh"
+
+#include "common/log.hh"
+#include "sync/opcodes.hh"
+#include "trace/varint.hh"
+
+namespace syncron::tracenet {
+
+using trace::appendVarint;
+using trace::VarintCursor;
+
+namespace {
+
+VarintCursor
+payloadCursor(const std::string &payload, const char *what)
+{
+    const auto *base =
+        reinterpret_cast<const unsigned char *>(payload.data());
+    return VarintCursor(base, base + payload.size(), what);
+}
+
+template <typename Enum>
+Enum
+checkedEnum(std::uint64_t raw, std::uint64_t last, const char *what)
+{
+    if (raw > last)
+        SYNCRON_FATAL("trace-service payload carries out-of-range "
+                      << what << " value " << raw);
+    return static_cast<Enum>(raw);
+}
+
+void
+appendString(std::string &buf, const std::string &s)
+{
+    appendVarint(buf, s.size());
+    buf += s;
+}
+
+std::string
+getString(VarintCursor &cur)
+{
+    const std::uint64_t n = cur.get();
+    if (n > cur.remaining())
+        SYNCRON_FATAL("trace-service payload truncated inside a string");
+    const unsigned char *p = cur.getBytes(static_cast<std::size_t>(n));
+    return std::string(reinterpret_cast<const char *>(p),
+                       static_cast<std::size_t>(n));
+}
+
+} // namespace
+
+std::string
+encodeHello(const HelloMsg &msg)
+{
+    std::string buf;
+    appendVarint(buf, msg.protocolVersion);
+    appendVarint(buf, msg.traceVersion);
+    appendVarint(buf, msg.numUnits);
+    appendVarint(buf, msg.clientCoresPerUnit);
+    appendString(buf, msg.streamName);
+    return buf;
+}
+
+HelloMsg
+decodeHello(const std::string &payload)
+{
+    VarintCursor cur = payloadCursor(payload, "HELLO payload");
+    HelloMsg msg;
+    msg.protocolVersion = cur.get();
+    msg.traceVersion = cur.get();
+    msg.numUnits = static_cast<std::uint32_t>(cur.get());
+    msg.clientCoresPerUnit = static_cast<std::uint32_t>(cur.get());
+    msg.streamName = getString(cur);
+    if (!cur.atEnd())
+        SYNCRON_FATAL("trailing bytes in HELLO payload");
+    return msg;
+}
+
+std::string
+encodeFin(const FinMsg &msg)
+{
+    std::string buf;
+    appendVarint(buf, msg.totalRecords);
+    appendVarint(buf, msg.totalPrimitives);
+    return buf;
+}
+
+FinMsg
+decodeFin(const std::string &payload)
+{
+    VarintCursor cur = payloadCursor(payload, "FIN payload");
+    FinMsg msg;
+    msg.totalRecords = cur.get();
+    msg.totalPrimitives = cur.get();
+    if (!cur.atEnd())
+        SYNCRON_FATAL("trailing bytes in FIN payload");
+    return msg;
+}
+
+std::string
+encodeError(const std::string &message)
+{
+    return message;
+}
+
+std::string
+BatchEncoder::encode(const std::vector<trace::TracePrimitive> &table,
+                     const trace::TraceRecord *records,
+                     std::size_t numRecords)
+{
+    SYNCRON_ASSERT(table.size() >= sentTable_.size(),
+                   "primitive table shrank between capture flushes");
+
+    std::string buf;
+    // -- Table delta: new entries plus amended ones (last writer wins
+    // on the collector, matching the local capture's final table).
+    std::vector<std::uint32_t> delta;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (i >= sentTable_.size() || !(table[i] == sentTable_[i]))
+            delta.push_back(static_cast<std::uint32_t>(i));
+    }
+    appendVarint(buf, delta.size());
+    for (std::uint32_t id : delta) {
+        const trace::TracePrimitive &p = table[id];
+        appendVarint(buf, id);
+        appendVarint(buf, static_cast<std::uint64_t>(p.kind));
+        appendVarint(buf, p.home);
+        appendVarint(buf, p.param);
+        appendVarint(buf, static_cast<std::uint64_t>(p.scope));
+    }
+    sentTable_ = table;
+
+    // -- Records, in the container's exact layout; the issue-delta
+    // chain continues across frames.
+    appendVarint(buf, numRecords);
+    for (std::size_t i = 0; i < numRecords; ++i) {
+        const trace::TraceRecord &r = records[i];
+        SYNCRON_ASSERT(r.completed >= r.issued,
+                       "record completed before it was issued");
+        appendVarint(buf,
+                     trace::zigzag(static_cast<std::int64_t>(r.issued)
+                                   - static_cast<std::int64_t>(
+                                       prevIssued_)));
+        appendVarint(buf, r.completed - r.issued);
+        appendVarint(buf, r.core);
+        appendVarint(buf, static_cast<std::uint64_t>(r.kind));
+        appendVarint(buf, r.prim);
+        if (r.kind == sync::OpKind::CondWait)
+            appendVarint(buf, r.assocPrim);
+        prevIssued_ = r.issued;
+    }
+    return buf;
+}
+
+void
+BatchDecoder::decode(const std::string &payload, trace::Trace &t)
+{
+    VarintCursor cur = payloadCursor(payload, "FRAME payload");
+
+    const std::uint64_t deltaCount = cur.get();
+    for (std::uint64_t i = 0; i < deltaCount; ++i) {
+        const std::uint64_t id = cur.get();
+        if (id > t.primitives.size()) {
+            // Upserts may extend the table, but only densely — a gap
+            // means frames were lost or reordered.
+            SYNCRON_FATAL("FRAME table delta names primitive "
+                          << id << " past the table end ("
+                          << t.primitives.size() << " entries)");
+        }
+        trace::TracePrimitive p;
+        p.kind = checkedEnum<trace::PrimKind>(
+            cur.get(),
+            static_cast<std::uint64_t>(trace::PrimKind::CondVar),
+            "PrimKind");
+        p.home = static_cast<UnitId>(cur.get());
+        if (p.home >= t.numUnits)
+            SYNCRON_FATAL("FRAME table delta homes primitive "
+                          << id << " in unit " << p.home << " of a "
+                          << t.numUnits << "-unit machine");
+        p.param = static_cast<std::uint32_t>(cur.get());
+        p.scope = checkedEnum<sync::BarrierScope>(
+            cur.get(),
+            static_cast<std::uint64_t>(sync::BarrierScope::AcrossUnits),
+            "BarrierScope");
+        if (id == t.primitives.size())
+            t.primitives.push_back(p);
+        else
+            t.primitives[static_cast<std::size_t>(id)] = p;
+    }
+
+    const std::uint64_t recordCount = cur.get();
+    for (std::uint64_t i = 0; i < recordCount; ++i) {
+        trace::TraceRecord r;
+        const std::int64_t issued =
+            static_cast<std::int64_t>(prevIssued_)
+            + trace::unzigzag(cur.get());
+        if (issued < 0)
+            SYNCRON_FATAL("FRAME record has a negative issue tick");
+        r.issued = static_cast<Tick>(issued);
+        r.completed = r.issued + cur.get();
+        r.core = static_cast<std::uint32_t>(cur.get());
+        if (r.core >= t.numClientCores())
+            SYNCRON_FATAL("FRAME record issued by core "
+                          << r.core << " of a " << t.numClientCores()
+                          << "-core machine");
+        r.kind = checkedEnum<sync::OpKind>(
+            cur.get(),
+            static_cast<std::uint64_t>(sync::OpKind::CondBroadcast),
+            "OpKind");
+        r.prim = static_cast<std::uint32_t>(cur.get());
+        if (r.prim >= t.primitives.size())
+            SYNCRON_FATAL("FRAME record names unknown primitive "
+                          << r.prim);
+        if (trace::primKindOf(r.kind) != t.primitives[r.prim].kind) {
+            SYNCRON_FATAL("FRAME record applies "
+                          << sync::opKindName(r.kind) << " to a "
+                          << trace::primKindName(
+                                 t.primitives[r.prim].kind));
+        }
+        if (r.kind == sync::OpKind::CondWait) {
+            r.assocPrim = static_cast<std::uint32_t>(cur.get());
+            if (r.assocPrim >= t.primitives.size()
+                || t.primitives[r.assocPrim].kind
+                       != trace::PrimKind::Lock) {
+                SYNCRON_FATAL("FRAME cond_wait record without a valid "
+                              "associated lock");
+            }
+        }
+        t.records.push_back(r);
+        prevIssued_ = r.issued;
+    }
+
+    if (!cur.atEnd())
+        SYNCRON_FATAL("trailing bytes in FRAME payload");
+}
+
+} // namespace syncron::tracenet

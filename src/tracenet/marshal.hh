@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Payload marshalling for the streaming trace service — the middle of
+ * the fnet-style stack: framing below carries opaque payloads, the
+ * session state machine above deals in these typed messages.
+ *
+ * Batch payloads reuse the `SYNCTRC` record layout byte-for-byte
+ * (zigzag issue deltas chained ACROSS frames through BatchEncoder /
+ * BatchDecoder state), so a collector that appends decoded records and
+ * re-serializes with TraceWriter reproduces exactly the file a local
+ * --trace-out capture of the same run would have written — the
+ * byte-identity guarantee the loopback tests pin.
+ *
+ * The primitive table travels as per-frame deltas: every entry that is
+ * new or whose fields changed since the last flush (capture learns
+ * barrier headcounts and semaphore resources lazily, so an entry can be
+ * amended after it was first sent) is re-sent as (id, entry) and
+ * upserted on the collector side — last writer wins, matching the
+ * in-memory table the local capture would have ended with.
+ */
+
+#ifndef SYNCRON_TRACENET_MARSHAL_HH
+#define SYNCRON_TRACENET_MARSHAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/format.hh"
+
+namespace syncron::tracenet {
+
+/** HELLO payload: what a capture session opens with. */
+struct HelloMsg
+{
+    std::uint64_t protocolVersion = 0;
+    std::uint64_t traceVersion = 0; ///< trace::kTraceVersion of sender
+    std::uint32_t numUnits = 0;
+    std::uint32_t clientCoresPerUnit = 0;
+    std::string streamName; ///< collector's output file name
+};
+
+/** FIN payload: end-of-stream totals the collector cross-checks. */
+struct FinMsg
+{
+    std::uint64_t totalRecords = 0;
+    std::uint64_t totalPrimitives = 0;
+};
+
+std::string encodeHello(const HelloMsg &msg);
+HelloMsg decodeHello(const std::string &payload);
+
+std::string encodeFin(const FinMsg &msg);
+FinMsg decodeFin(const std::string &payload);
+
+/** ERROR payload is the bare message text. */
+std::string encodeError(const std::string &message);
+
+/**
+ * Serializes capture batches: per FRAME, the primitive-table delta
+ * versus the last flush, then the new records in container layout. One
+ * encoder per session — the issue-tick delta chain and the
+ * last-sent table snapshot live here.
+ */
+class BatchEncoder
+{
+  public:
+    /**
+     * Encodes one batch payload: the entries of @p table that are new
+     * or changed since the previous call, and @p records (the records
+     * captured since the previous call, in capture order).
+     */
+    std::string encode(const std::vector<trace::TracePrimitive> &table,
+                       const trace::TraceRecord *records,
+                       std::size_t numRecords);
+
+  private:
+    std::vector<trace::TracePrimitive> sentTable_;
+    Tick prevIssued_ = 0;
+};
+
+/**
+ * The collector-side inverse: applies table upserts and appends
+ * records onto the session's accumulating Trace. fatal()s on malformed
+ * payloads (truncation, out-of-range enums, dangling record refs).
+ */
+class BatchDecoder
+{
+  public:
+    /** Decodes one batch payload into @p trace (machine shape must
+     *  already be set from HELLO — record core ids are checked
+     *  against it). */
+    void decode(const std::string &payload, trace::Trace &trace);
+
+  private:
+    Tick prevIssued_ = 0;
+};
+
+} // namespace syncron::tracenet
+
+#endif // SYNCRON_TRACENET_MARSHAL_HH

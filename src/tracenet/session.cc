@@ -1,0 +1,386 @@
+#include "tracenet/session.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace syncron::tracenet {
+
+const char *
+clientStateName(ClientState state)
+{
+    switch (state) {
+      case ClientState::Idle:
+        return "idle";
+      case ClientState::Streaming:
+        return "streaming";
+      case ClientState::Done:
+        return "done";
+      case ClientState::Cancelled:
+        return "cancelled";
+      case ClientState::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+const char *
+sessionOutcomeName(SessionOutcome outcome)
+{
+    switch (outcome) {
+      case SessionOutcome::Completed:
+        return "completed";
+      case SessionOutcome::Cancelled:
+        return "cancelled";
+      case SessionOutcome::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+// -- CaptureClient ------------------------------------------------------
+
+CaptureClient::CaptureClient(std::string endpoint, RetryPolicy policy,
+                             std::uint64_t requestId)
+    : endpoint_(std::move(endpoint)), policy_(policy),
+      requestId_(requestId)
+{
+}
+
+void
+CaptureClient::fail(const std::string &why)
+{
+    if (state_ != ClientState::Failed) {
+        state_ = ClientState::Failed;
+        error_ = why;
+    }
+    transport_.close();
+}
+
+bool
+CaptureClient::sendFrame(FrameType type, const std::string &payload)
+{
+    std::string wire;
+    encodeFrame(wire, type, requestId_, ++seq_, payload);
+    if (!transport_.sendAll(wire.data(), wire.size())) {
+        fail(std::string("send ") + frameTypeName(type)
+             + ": transport closed");
+        return false;
+    }
+    return true;
+}
+
+bool
+CaptureClient::awaitAcks(std::uint64_t maxUnacked)
+{
+    while (seq_ - ackedSeq_ > maxUnacked) {
+        Frame frame;
+        while (!decoder_.next(frame)) {
+            char buf[4096];
+            const long got =
+                transport_.recvSome(buf, sizeof(buf), policy_.ackTimeoutMs);
+            if (got == 0) {
+                fail("timed out waiting for collector ACK");
+                return false;
+            }
+            if (got < 0) {
+                fail("collector closed the connection mid-stream");
+                return false;
+            }
+            decoder_.feed(buf, static_cast<std::size_t>(got));
+        }
+        if (frame.requestId != requestId_) {
+            fail("collector replied for a different request id");
+            return false;
+        }
+        if (frame.type == FrameType::Error) {
+            fail("collector rejected the stream: " + frame.payload);
+            return false;
+        }
+        // ACCEPT is the ACK of the HELLO; plain ACK covers the rest.
+        if (frame.type != FrameType::Ack
+            && frame.type != FrameType::Accept) {
+            fail(std::string("unexpected ") + frameTypeName(frame.type)
+                 + " from collector");
+            return false;
+        }
+        if (frame.seq < ackedSeq_ || frame.seq > seq_) {
+            fail("collector acked out-of-window frame");
+            return false;
+        }
+        ackedSeq_ = frame.seq; // cumulative
+    }
+    return true;
+}
+
+bool
+CaptureClient::begin(const HelloMsg &hello)
+{
+    SYNCRON_ASSERT(state_ == ClientState::Idle,
+                   "begin() on a session that already started");
+
+    // Connect with bounded retry and doubling backoff: a collector
+    // still coming up should not fail the capture, but a dead endpoint
+    // must degrade quickly to local-file capture.
+    std::string connectError;
+    unsigned backoffMs = policy_.backoffBaseMs;
+    for (unsigned attempt = 0; attempt < policy_.connectAttempts;
+         ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoffMs));
+            backoffMs *= 2;
+        }
+        transport_ = Transport::connectTo(
+            endpoint_, policy_.connectTimeoutMs, connectError);
+        if (transport_.valid())
+            break;
+    }
+    if (!transport_.valid()) {
+        fail("cannot reach collector at " + endpoint_ + " after "
+             + std::to_string(policy_.connectAttempts) + " attempts ("
+             + connectError + ")");
+        return false;
+    }
+
+    if (!sendFrame(FrameType::Hello, encodeHello(hello)))
+        return false;
+
+    // The handshake is strict request/response: ACCEPT (as an ACK of
+    // the HELLO's seq) before any FRAME may flow.
+    if (!awaitAcks(0))
+        return false;
+    state_ = ClientState::Streaming;
+    return true;
+}
+
+bool
+CaptureClient::sendBatch(const std::string &payload)
+{
+    if (state_ != ClientState::Streaming)
+        return false;
+    if (!sendFrame(FrameType::Frame, payload))
+        return false;
+    // Windowed flow control: block only once windowFrames are in
+    // flight, so capture flushes overlap collector processing.
+    return awaitAcks(policy_.windowFrames);
+}
+
+bool
+CaptureClient::finish(const FinMsg &fin)
+{
+    if (state_ != ClientState::Streaming)
+        return false;
+    if (!sendFrame(FrameType::Fin, encodeFin(fin)))
+        return false;
+    if (!awaitAcks(0))
+        return false;
+    state_ = ClientState::Done;
+    transport_.close();
+    return true;
+}
+
+void
+CaptureClient::cancel()
+{
+    if (state_ == ClientState::Streaming) {
+        // Best effort: the collector keeps the acked prefix either way.
+        sendFrame(FrameType::Cancel, std::string());
+        state_ = ClientState::Cancelled;
+    }
+    transport_.close();
+}
+
+// -- serveSession -------------------------------------------------------
+
+namespace {
+
+/** ACCEPT for HELLO, plain ACK for everything after. */
+bool
+sendAck(Transport &transport, FrameType type, std::uint64_t requestId,
+        std::uint64_t seq)
+{
+    std::string wire;
+    encodeFrame(wire, type, requestId, seq, std::string_view());
+    return transport.sendAll(wire.data(), wire.size());
+}
+
+bool
+sendError(Transport &transport, std::uint64_t requestId,
+          std::uint64_t seq, const std::string &message)
+{
+    std::string wire;
+    encodeFrame(wire, FrameType::Error, requestId, seq,
+                encodeError(message));
+    return transport.sendAll(wire.data(), wire.size());
+}
+
+/** Blocks for the next frame. false -> timeout/disconnect in @p err. */
+bool
+nextFrame(Transport &transport, FrameDecoder &decoder, int timeoutMs,
+          Frame &frame, std::string &err)
+{
+    while (!decoder.next(frame)) {
+        char buf[4096];
+        const long got = transport.recvSome(buf, sizeof(buf), timeoutMs);
+        if (got == 0) {
+            err = "timed out waiting for the capture client";
+            return false;
+        }
+        if (got < 0) {
+            err = "capture client disconnected mid-stream";
+            return false;
+        }
+        decoder.feed(buf, static_cast<std::size_t>(got));
+    }
+    return true;
+}
+
+} // namespace
+
+SessionResult
+serveSession(Transport &transport, int idleTimeoutMs)
+{
+    SessionResult result;
+    FrameDecoder decoder;
+    std::string err;
+
+    // -- HELLO handshake ----------------------------------------------
+    Frame frame;
+    if (!nextFrame(transport, decoder, idleTimeoutMs, frame, err)) {
+        result.error = err;
+        return result;
+    }
+    if (frame.type != FrameType::Hello) {
+        result.error = std::string("expected HELLO, got ")
+                       + frameTypeName(frame.type);
+        sendError(transport, frame.requestId, frame.seq, result.error);
+        return result;
+    }
+    HelloMsg hello;
+    try {
+        hello = decodeHello(frame.payload);
+    } catch (const std::exception &e) {
+        result.error = e.what();
+        sendError(transport, frame.requestId, frame.seq, result.error);
+        return result;
+    }
+    if (hello.protocolVersion != kProtocolVersion) {
+        result.error = "unsupported trace-service protocol version "
+                       + std::to_string(hello.protocolVersion)
+                       + " (this collector speaks "
+                       + std::to_string(kProtocolVersion) + ")";
+        sendError(transport, frame.requestId, frame.seq, result.error);
+        return result;
+    }
+    if (hello.traceVersion != trace::kTraceVersion) {
+        result.error = "capture speaks trace container version "
+                       + std::to_string(hello.traceVersion)
+                       + " (this collector writes version "
+                       + std::to_string(trace::kTraceVersion) + ")";
+        sendError(transport, frame.requestId, frame.seq, result.error);
+        return result;
+    }
+    if (hello.numUnits == 0 || hello.clientCoresPerUnit == 0) {
+        result.error = "HELLO describes a machine with no client cores";
+        sendError(transport, frame.requestId, frame.seq, result.error);
+        return result;
+    }
+    const std::uint64_t requestId = frame.requestId;
+    result.streamName = hello.streamName;
+    result.trace.numUnits = hello.numUnits;
+    result.trace.clientCoresPerUnit = hello.clientCoresPerUnit;
+    if (!sendAck(transport, FrameType::Accept, requestId, frame.seq)) {
+        result.error = "capture client vanished during the handshake";
+        return result;
+    }
+
+    // -- Frame loop ----------------------------------------------------
+    BatchDecoder batches;
+    for (;;) {
+        if (!nextFrame(transport, decoder, idleTimeoutMs, frame, err)) {
+            // Disconnect before FIN: keep the acked prefix — it is a
+            // valid truncated image — but report the session failed.
+            result.error = err;
+            return result;
+        }
+        if (frame.requestId != requestId) {
+            // A frame from some other request: reject it and the
+            // session, keeping the partial image received so far.
+            result.error = "frame carries request id "
+                           + std::to_string(frame.requestId)
+                           + " on a session opened as "
+                           + std::to_string(requestId);
+            sendError(transport, requestId, frame.seq, result.error);
+            return result;
+        }
+
+        switch (frame.type) {
+          case FrameType::Frame:
+            try {
+                batches.decode(frame.payload, result.trace);
+            } catch (const std::exception &e) {
+                result.error = e.what();
+                sendError(transport, requestId, frame.seq, result.error);
+                return result;
+            }
+            ++result.frames;
+            // A failed ACK send races a deliberate cancel-and-close:
+            // the client may have sent CANCEL (or FIN) and hung up
+            // without reading this ACK, and that verdict can already
+            // sit in the receive buffer. Keep draining — if the peer
+            // really vanished mid-stream, the next read fails and the
+            // session is reported Failed there.
+            sendAck(transport, FrameType::Ack, requestId, frame.seq);
+            break;
+
+          case FrameType::Cancel:
+            // Deliberate abort: everything decoded so far is a valid,
+            // truncatable image. No ACK owed — the client is gone.
+            result.outcome = SessionOutcome::Cancelled;
+            return result;
+
+          case FrameType::Fin: {
+            FinMsg fin;
+            try {
+                fin = decodeFin(frame.payload);
+            } catch (const std::exception &e) {
+                result.error = e.what();
+                sendError(transport, requestId, frame.seq, result.error);
+                return result;
+            }
+            if (fin.totalRecords != result.trace.records.size()
+                || fin.totalPrimitives
+                       != result.trace.primitives.size()) {
+                result.error =
+                    "FIN totals disagree with the stream (got "
+                    + std::to_string(result.trace.records.size())
+                    + " records / "
+                    + std::to_string(result.trace.primitives.size())
+                    + " primitives, FIN claims "
+                    + std::to_string(fin.totalRecords) + " / "
+                    + std::to_string(fin.totalPrimitives) + ")";
+                sendError(transport, requestId, frame.seq, result.error);
+                return result;
+            }
+            if (!sendAck(transport, FrameType::Ack, requestId,
+                         frame.seq)) {
+                result.error = "capture client vanished at FIN";
+                return result;
+            }
+            result.outcome = SessionOutcome::Completed;
+            return result;
+          }
+
+          default:
+            result.error = std::string("unexpected ")
+                           + frameTypeName(frame.type)
+                           + " inside an open session";
+            sendError(transport, requestId, frame.seq, result.error);
+            return result;
+        }
+    }
+}
+
+} // namespace syncron::tracenet

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The capture-session state machine — the top of the tracenet stack,
+ * modeled on the fsync sync_engine's request/response/cancel flow:
+ *
+ *        capture (client)                         collector (server)
+ *        ---- HELLO {version, shape, name} --->   mandatory
+ *       <--- ACCEPT | ERROR ----------------- -   mandatory
+ *        ---- FRAME seq=1..n ----------------->   mandatory
+ *       <--- ACK seq ------------------------ -   per frame
+ *        ---- CANCEL ------------------------->   optional (abort)
+ *        ---- FIN {totals} ------------------->   mandatory
+ *       <--- ACK fin-seq --------------------- -   mandatory
+ *
+ * Client side (CaptureClient): connects with bounded retry and
+ * exponential backoff, then streams frames under a bounded
+ * unacked-frame window; every missing ACK deadline, transport error, or
+ * server ERROR moves the session to Failed — the caller (the streaming
+ * sink) degrades to local-file capture, it never loses the run's trace.
+ *
+ * Server side (CollectorSession): drives one connection to completion
+ * and yields the reassembled Trace. A FIN whose totals match produces a
+ * Completed image; a CANCEL — or a mid-stream disconnect — produces a
+ * Cancelled/Failed result whose partial trace is still a valid,
+ * truncated image (every acked frame is in it), which the collector
+ * persists rather than discards.
+ */
+
+#ifndef SYNCRON_TRACENET_SESSION_HH
+#define SYNCRON_TRACENET_SESSION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "tracenet/framing.hh"
+#include "tracenet/marshal.hh"
+#include "tracenet/transport.hh"
+#include "trace/format.hh"
+
+namespace syncron::tracenet {
+
+/** Client-side timeout/retry knobs (defaults suit a local collector). */
+struct RetryPolicy
+{
+    unsigned connectAttempts = 3;  ///< connect() tries before giving up
+    unsigned backoffBaseMs = 20;   ///< sleep doubles per failed attempt
+    int connectTimeoutMs = 1000;   ///< per-attempt connect deadline
+    int ackTimeoutMs = 2000;       ///< ACK / ACCEPT deadline
+    unsigned windowFrames = 8;     ///< max unacked FRAMEs in flight
+};
+
+/** Client session states (see file comment for the transitions). */
+enum class ClientState
+{
+    Idle,      ///< constructed, not yet connected
+    Streaming, ///< HELLO acknowledged, FRAMEs flowing
+    Done,      ///< FIN acknowledged
+    Cancelled, ///< CANCEL sent
+    Failed,    ///< transport/protocol failure -> degrade to local file
+};
+
+/** Printable client-state name. */
+const char *clientStateName(ClientState state);
+
+/** The capture process's end of one streaming session. */
+class CaptureClient
+{
+  public:
+    /**
+     * @p requestId tags every message of this session; the collector
+     * rejects frames whose id differs from the HELLO's.
+     */
+    CaptureClient(std::string endpoint, RetryPolicy policy,
+                  std::uint64_t requestId);
+
+    CaptureClient(const CaptureClient &) = delete;
+    CaptureClient &operator=(const CaptureClient &) = delete;
+
+    /**
+     * Connects (with retry/backoff), sends HELLO, and awaits ACCEPT.
+     * @return true on Streaming; false leaves the session Failed
+     */
+    bool begin(const HelloMsg &hello);
+
+    /**
+     * Sends one capture batch (already marshalled by BatchEncoder).
+     * Blocks while the unacked window is full. false -> Failed.
+     */
+    bool sendBatch(const std::string &payload);
+
+    /**
+     * Sends FIN and waits until every frame (FIN included) is acked.
+     * @return true on Done; false leaves the session Failed
+     */
+    bool finish(const FinMsg &fin);
+
+    /** Aborts the stream: sends CANCEL (best effort) and closes. */
+    void cancel();
+
+    ClientState state() const { return state_; }
+    std::uint64_t framesSent() const { return seq_; }
+    /** Failure reason once state() == Failed. */
+    const std::string &error() const { return error_; }
+
+  private:
+    bool sendFrame(FrameType type, const std::string &payload);
+    /** Drains ACKs until <= @p maxUnacked remain in flight. */
+    bool awaitAcks(std::uint64_t maxUnacked);
+    void fail(const std::string &why);
+
+    std::string endpoint_;
+    RetryPolicy policy_;
+    std::uint64_t requestId_;
+    Transport transport_;
+    FrameDecoder decoder_;
+    ClientState state_ = ClientState::Idle;
+    std::uint64_t seq_ = 0;      ///< last sent frame seq
+    std::uint64_t ackedSeq_ = 0; ///< highest cumulative ACK received
+    std::string error_;
+};
+
+/** How a collector session ended. */
+enum class SessionOutcome
+{
+    Completed, ///< FIN received, totals matched
+    Cancelled, ///< CANCEL received; trace is a valid truncated image
+    Failed,    ///< protocol violation or disconnect; partial trace kept
+};
+
+/** Printable outcome name. */
+const char *sessionOutcomeName(SessionOutcome outcome);
+
+/** Result of serving one capture session. */
+struct SessionResult
+{
+    SessionOutcome outcome = SessionOutcome::Failed;
+    std::string error;      ///< diagnostic for Failed sessions
+    std::string streamName; ///< from HELLO (sanitized; may be empty)
+    trace::Trace trace;     ///< everything received and acked
+    std::uint64_t frames = 0; ///< FRAME messages applied
+};
+
+/**
+ * Serves one connection: HELLO handshake, frame loop, FIN/CANCEL
+ * teardown. @p idleTimeoutMs bounds how long the server waits for the
+ * next byte before declaring the client gone.
+ */
+SessionResult serveSession(Transport &transport, int idleTimeoutMs);
+
+} // namespace syncron::tracenet
+
+#endif // SYNCRON_TRACENET_SESSION_HH

@@ -1,0 +1,118 @@
+#include "tracenet/stream_sink.hh"
+
+#include <random>
+
+#include "common/log.hh"
+
+namespace syncron::tracenet {
+
+namespace {
+
+/** Fresh request id per session (collectors reject mixed ids). */
+std::uint64_t
+mintRequestId()
+{
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}
+
+} // namespace
+
+StreamingTraceSink::StreamingTraceSink(const SystemConfig &cfg,
+                                       std::string endpoint,
+                                       std::string streamName,
+                                       RetryPolicy policy)
+    : cfg_(cfg), capture_(cfg), streamName_(std::move(streamName)),
+      client_(std::move(endpoint), policy, mintRequestId())
+{
+}
+
+void
+StreamingTraceSink::record(CoreId core, const sync::SyncRequest &req,
+                           Tick issued, Tick completed)
+{
+    capture_.record(core, req, issued, completed);
+    if (failed_)
+        return;
+
+    if (!started_) {
+        started_ = true;
+        HelloMsg hello;
+        hello.protocolVersion = kProtocolVersion;
+        hello.traceVersion = trace::kTraceVersion;
+        hello.numUnits = cfg_.numUnits;
+        hello.clientCoresPerUnit = cfg_.clientCoresPerUnit;
+        hello.streamName = streamName_;
+        if (!client_.begin(hello)) {
+            failed_ = true;
+            error_ = client_.error();
+            SYNCRON_WARN("trace streaming unavailable, capturing "
+                         "locally: "
+                         << error_);
+            return;
+        }
+    }
+
+    if (capture_.trace().records.size() - flushed_ >= kFlushRecords)
+        flush();
+}
+
+void
+StreamingTraceSink::recordDestroy(Addr var)
+{
+    capture_.recordDestroy(var);
+}
+
+void
+StreamingTraceSink::flush()
+{
+    const trace::Trace &t = capture_.trace();
+    const std::size_t pending = t.records.size() - flushed_;
+    if (pending == 0)
+        return;
+    const std::string payload = encoder_.encode(
+        t.primitives, t.records.data() + flushed_, pending);
+    if (!client_.sendBatch(payload)) {
+        failed_ = true;
+        error_ = client_.error();
+        SYNCRON_WARN("trace stream lost mid-run, falling back to "
+                     "local capture: "
+                     << error_);
+        return;
+    }
+    flushed_ = t.records.size();
+}
+
+bool
+StreamingTraceSink::finish()
+{
+    if (failed_ || !started_)
+        return false;
+    flush();
+    if (failed_)
+        return false;
+    FinMsg fin;
+    fin.totalRecords = capture_.trace().records.size();
+    fin.totalPrimitives = capture_.trace().primitives.size();
+    if (!client_.finish(fin)) {
+        failed_ = true;
+        error_ = client_.error();
+        SYNCRON_WARN("collector lost the end of the stream, falling "
+                     "back to local capture: "
+                     << error_);
+        return false;
+    }
+    return true;
+}
+
+void
+StreamingTraceSink::cancel()
+{
+    client_.cancel();
+    if (!failed_) {
+        failed_ = true;
+        error_ = "stream cancelled";
+    }
+}
+
+} // namespace syncron::tracenet

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The streaming trace sink — a sync::TraceSink that captures exactly
+ * like TraceCapture (it owns one) while mirroring the growing record
+ * stream to a collector over a CaptureClient session.
+ *
+ * Degradation contract: streaming is best-effort, capture is not. Every
+ * record always lands in the owned TraceCapture, so when the collector
+ * is unreachable, rejects the stream, or vanishes mid-run, the capture
+ * side still holds the complete trace and the system writes it to a
+ * local file instead — the run never loses its trace to a network
+ * failure. finish() reports whether the stream completed so the caller
+ * can decide where the bytes must go.
+ */
+
+#ifndef SYNCRON_TRACENET_STREAM_SINK_HH
+#define SYNCRON_TRACENET_STREAM_SINK_HH
+
+#include <cstddef>
+#include <string>
+
+#include "sync/trace_sink.hh"
+#include "system/config.hh"
+#include "trace/capture.hh"
+#include "tracenet/marshal.hh"
+#include "tracenet/session.hh"
+
+namespace syncron::tracenet {
+
+/** TraceCapture that also streams its records to a collector. */
+class StreamingTraceSink final : public sync::TraceSink
+{
+  public:
+    /** Records per FRAME; small enough to overlap capture and send. */
+    static constexpr std::size_t kFlushRecords = 64;
+
+    /**
+     * Captures runs of a system built from @p cfg and streams them to
+     * the collector at @p endpoint ("host:port" or "fd:N"). The
+     * connection and HELLO happen lazily at the first record, so a
+     * run with no sync ops never touches the network.
+     *
+     * @param streamName file name the collector stores the trace under
+     */
+    StreamingTraceSink(const SystemConfig &cfg, std::string endpoint,
+                       std::string streamName, RetryPolicy policy);
+
+    void record(CoreId core, const sync::SyncRequest &req, Tick issued,
+                Tick completed) override;
+    void recordDestroy(Addr var) override;
+
+    /**
+     * Flushes the tail batch, sends FIN, and closes the session.
+     * @return true when the collector acked the complete stream;
+     *         false means the caller must persist capture() locally
+     */
+    bool finish();
+
+    /** Aborts the stream (CANCEL); the local capture stays intact. */
+    void cancel();
+
+    /** The underlying full capture (always complete). */
+    trace::TraceCapture &capture() { return capture_; }
+    const trace::TraceCapture &capture() const { return capture_; }
+
+    bool streamingFailed() const { return failed_; }
+    /** Failure reason once streamingFailed(). */
+    const std::string &error() const { return error_; }
+
+  private:
+    /** Sends records [flushed_, records.size()) as one FRAME. */
+    void flush();
+
+    const SystemConfig &cfg_;
+    trace::TraceCapture capture_;
+    std::string streamName_;
+    CaptureClient client_;
+    BatchEncoder encoder_;
+    std::size_t flushed_ = 0; ///< records already streamed
+    bool started_ = false;    ///< HELLO exchanged
+    bool failed_ = false;
+    std::string error_;
+};
+
+} // namespace syncron::tracenet
+
+#endif // SYNCRON_TRACENET_STREAM_SINK_HH

@@ -1,0 +1,308 @@
+#include "tracenet/transport.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace syncron::tracenet {
+
+namespace {
+
+/** Numeric IPv4 for @p host ("localhost" included); false on others. */
+bool
+resolveHost(const std::string &host, in_addr &out)
+{
+    if (host == "localhost")
+        return ::inet_pton(AF_INET, "127.0.0.1", &out) == 1;
+    return ::inet_pton(AF_INET, host.c_str(), &out) == 1;
+}
+
+} // namespace
+
+bool
+splitEndpoint(const std::string &endpoint, std::string &host,
+              std::uint16_t &port)
+{
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0
+        || colon + 1 == endpoint.size()) {
+        return false;
+    }
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long p =
+        std::strtoul(endpoint.c_str() + colon + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || errno != 0 || p > 65535)
+        return false;
+    host = endpoint.substr(0, colon);
+    port = static_cast<std::uint16_t>(p);
+    return true;
+}
+
+// -- Transport ---------------------------------------------------------
+
+Transport::~Transport()
+{
+    close();
+}
+
+Transport::Transport(Transport &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+Transport &
+Transport::operator=(Transport &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Transport::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Transport
+Transport::connectTo(const std::string &endpoint, int timeoutMs,
+                     std::string &error)
+{
+    error.clear();
+
+    // "fd:N": adopt an already-connected descriptor (socketpair end).
+    if (endpoint.rfind("fd:", 0) == 0) {
+        char *end = nullptr;
+        errno = 0;
+        const long fd = std::strtol(endpoint.c_str() + 3, &end, 10);
+        if (end == nullptr || *end != '\0' || errno != 0 || fd < 0) {
+            error = "bad fd endpoint '" + endpoint + "'";
+            return Transport();
+        }
+        return Transport(static_cast<int>(fd));
+    }
+
+    std::string host;
+    std::uint16_t port = 0;
+    if (!splitEndpoint(endpoint, host, port)) {
+        error = "bad endpoint '" + endpoint
+                + "' (need host:port or fd:N)";
+        return Transport();
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (!resolveHost(host, addr.sin_addr)) {
+        error = "cannot resolve host '" + host
+                + "' (numeric IPv4 or localhost)";
+        return Transport();
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return Transport();
+    }
+    // Connect with a deadline: nonblocking connect, then poll.
+    timeval tv{};
+    tv.tv_sec = timeoutMs / 1000;
+    tv.tv_usec = (timeoutMs % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        error = std::string("connect ") + endpoint + ": "
+                + std::strerror(errno);
+        ::close(fd);
+        return Transport();
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Transport(fd);
+}
+
+std::pair<Transport, Transport>
+Transport::socketPair()
+{
+    int fds[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        SYNCRON_FATAL("socketpair: " << std::strerror(errno));
+    return {Transport(fds[0]), Transport(fds[1])};
+}
+
+bool
+Transport::sendAll(const void *data, std::size_t n)
+{
+    if (fd_ < 0)
+        return false;
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        // MSG_NOSIGNAL: a vanished collector must surface as EPIPE,
+        // not kill the capturing process with SIGPIPE.
+        const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += sent;
+        n -= static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+long
+Transport::recvSome(void *data, std::size_t n, int timeoutMs)
+{
+    if (fd_ < 0)
+        return -1;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    for (;;) {
+        const int ready = ::poll(&pfd, 1, timeoutMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (ready == 0)
+            return 0; // timeout
+        break;
+    }
+    for (;;) {
+        const ssize_t got = ::recv(fd_, data, n, 0);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0)
+            return -1; // closed (0) or error (<0): both terminal
+        return static_cast<long>(got);
+    }
+}
+
+// -- Listener ----------------------------------------------------------
+
+Listener::~Listener()
+{
+    close();
+}
+
+Listener::Listener(Listener &&other) noexcept
+    : fd_(other.fd_), port_(other.port_)
+{
+    other.fd_ = -1;
+}
+
+Listener &
+Listener::operator=(Listener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        port_ = other.port_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Listener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Listener
+Listener::listen(const std::string &endpoint)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    if (!splitEndpoint(endpoint, host, port))
+        SYNCRON_FATAL("bad listen endpoint '" << endpoint
+                                              << "' (need host:port)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (!resolveHost(host, addr.sin_addr))
+        SYNCRON_FATAL("cannot resolve listen host '" << host << "'");
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        SYNCRON_FATAL("socket: " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr))
+        != 0) {
+        const int err = errno;
+        ::close(fd);
+        SYNCRON_FATAL("bind " << endpoint << ": "
+                              << std::strerror(err));
+    }
+    if (::listen(fd, 8) != 0) {
+        const int err = errno;
+        ::close(fd);
+        SYNCRON_FATAL("listen " << endpoint << ": "
+                                << std::strerror(err));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len)
+        != 0) {
+        const int err = errno;
+        ::close(fd);
+        SYNCRON_FATAL("getsockname: " << std::strerror(err));
+    }
+
+    Listener l;
+    l.fd_ = fd;
+    l.port_ = ntohs(bound.sin_port);
+    return l;
+}
+
+Transport
+Listener::accept(int timeoutMs)
+{
+    if (fd_ < 0)
+        return Transport();
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    for (;;) {
+        const int ready = ::poll(&pfd, 1, timeoutMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return Transport();
+        }
+        if (ready == 0)
+            return Transport(); // timeout
+        break;
+    }
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0)
+        return Transport();
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Transport(fd);
+}
+
+} // namespace syncron::tracenet

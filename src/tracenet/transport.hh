@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Byte-stream transport under the trace service — the one place in the
+ * tree that touches the POSIX socket API (the contract lint's
+ * tracenet-scope rule confines raw socket calls to src/tracenet/).
+ *
+ * Three ways to get a connected Transport:
+ *
+ *   - Transport::connectTo("host:port", timeoutMs) — TCP to a
+ *     collector; returns an invalid Transport on failure (the session
+ *     layer owns retry/backoff, so connection failure is a value here,
+ *     never a fatal).
+ *   - Transport::connectTo("fd:N", ...) — adopt an already-connected
+ *     descriptor, e.g. one end of a socketpair; how in-process tests
+ *     and forked collectors wire up without a listening port.
+ *   - Listener::listen("host:port").accept() — the collector side;
+ *     port 0 picks an ephemeral port, boundPort() reports it.
+ *
+ * All sends are full-buffer ("send all or report failure"); receives
+ * take a poll() timeout so the session layer can implement ACK
+ * deadlines without nonblocking-socket state machines.
+ */
+
+#ifndef SYNCRON_TRACENET_TRANSPORT_HH
+#define SYNCRON_TRACENET_TRANSPORT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace syncron::tracenet {
+
+/** One connected byte-stream endpoint (TCP or socketpair). */
+class Transport
+{
+  public:
+    /** An invalid (unconnected) transport. */
+    Transport() = default;
+    ~Transport();
+
+    Transport(Transport &&other) noexcept;
+    Transport &operator=(Transport &&other) noexcept;
+    Transport(const Transport &) = delete;
+    Transport &operator=(const Transport &) = delete;
+
+    /**
+     * Connects to @p endpoint — "host:port" (IPv4 dotted or
+     * "localhost") or "fd:N" (adopt descriptor N). On failure returns
+     * an invalid Transport and stores the reason in @p error.
+     */
+    static Transport connectTo(const std::string &endpoint,
+                               int timeoutMs, std::string &error);
+
+    /** A connected AF_UNIX socketpair (first, second). */
+    static std::pair<Transport, Transport> socketPair();
+
+    bool valid() const { return fd_ >= 0; }
+
+    /**
+     * Relinquishes ownership of the descriptor (the transport becomes
+     * invalid). How a socketpair end is handed to a "fd:N" endpoint
+     * string without two owners closing the same fd.
+     */
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    /**
+     * Sends the whole buffer.
+     * @return false on any transport error (peer gone, EPIPE...)
+     */
+    bool sendAll(const void *data, std::size_t n);
+
+    /**
+     * Receives up to @p n bytes, waiting at most @p timeoutMs.
+     * @return bytes received (> 0); 0 on timeout; -1 when the peer
+     *         closed or the transport failed
+     */
+    long recvSome(void *data, std::size_t n, int timeoutMs);
+
+    void close();
+
+  private:
+    explicit Transport(int fd) : fd_(fd) {}
+    friend class Listener;
+
+    int fd_ = -1;
+};
+
+/** A listening TCP endpoint (the collector side). */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener();
+
+    Listener(Listener &&other) noexcept;
+    Listener &operator=(Listener &&other) noexcept;
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * Binds and listens on @p endpoint ("host:port"; port 0 = pick an
+     * ephemeral port). fatal()s on failure — a collector that cannot
+     * bind has nothing to degrade to.
+     */
+    static Listener listen(const std::string &endpoint);
+
+    /** The bound port (after listen; resolves port 0). */
+    std::uint16_t boundPort() const { return port_; }
+
+    /**
+     * Accepts one connection, waiting at most @p timeoutMs
+     * (-1 = forever). Returns an invalid Transport on timeout.
+     */
+    Transport accept(int timeoutMs);
+
+    bool valid() const { return fd_ >= 0; }
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/**
+ * Splits "host:port" into its parts.
+ * @return false when @p endpoint is not of that shape
+ */
+bool splitEndpoint(const std::string &endpoint, std::string &host,
+                   std::uint16_t &port);
+
+} // namespace syncron::tracenet
+
+#endif // SYNCRON_TRACENET_TRANSPORT_HH

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Zero-copy trace reading and corpus tests: MappedTraceReader
+ * equivalence with the streaming TraceReader on every scenario family,
+ * the full rejection surface at mmap boundaries (truncation at every
+ * byte, bad magic/version, trailing bytes, dangling refs, empty and
+ * short files), and corpus enumeration/validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/rng.hh"
+#include "trace/corpus.hh"
+#include "trace/format.hh"
+#include "trace/mmap_reader.hh"
+#include "trace/scenario.hh"
+
+namespace syncron::trace {
+namespace {
+
+std::string
+encode(const Trace &t)
+{
+    std::ostringstream os;
+    TraceWriter(os).write(t);
+    return os.str();
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(os.good()) << "cannot write " << path;
+}
+
+/** Opens + fully validates @p path through the mmap reader. */
+void
+mmapDecode(const std::string &path)
+{
+    MappedTraceReader reader(path);
+    reader.validateAll();
+}
+
+/** A small but fully populated scenario trace. */
+Trace
+familyTrace(ScenarioFamily family)
+{
+    ScenarioSpec spec;
+    spec.family = family;
+    spec.numUnits = 2;
+    spec.clientCoresPerUnit = 3;
+    spec.opsPerCore = 8;
+    return ScenarioGenerator(spec).generate();
+}
+
+/** RAII temp file that cleans up after the test. */
+class TempFile
+{
+  public:
+    explicit TempFile(std::string path) : path_(std::move(path)) {}
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(MmapReader, MatchesStreamingReaderOnEveryFamily)
+{
+    for (ScenarioFamily family : kAllScenarioFamilies) {
+        const Trace t = familyTrace(family);
+        TempFile file(std::string("test_mmap_")
+                      + scenarioFamilyName(family) + ".trc");
+        writeTraceFile(t, file.path());
+
+        MappedTraceReader reader(file.path());
+        EXPECT_EQ(reader.numUnits(), t.numUnits);
+        EXPECT_EQ(reader.clientCoresPerUnit(), t.clientCoresPerUnit);
+        EXPECT_EQ(reader.recordCount(), t.records.size());
+        EXPECT_EQ(reader.primitives(), t.primitives);
+
+        // materialize() must equal both the original trace and what
+        // the streaming reader produces from the same bytes.
+        EXPECT_EQ(reader.materialize(), t)
+            << scenarioFamilyName(family);
+        EXPECT_EQ(reader.materialize(), readTraceFile(file.path()))
+            << scenarioFamilyName(family);
+
+        // The validation walk counts exactly the trace's op mix.
+        EXPECT_EQ(reader.validateAll(), t.opCounts())
+            << scenarioFamilyName(family);
+    }
+}
+
+TEST(MmapReader, CursorYieldsRecordsInOrder)
+{
+    const Trace t = familyTrace(ScenarioFamily::Replication);
+    TempFile file("test_mmap_cursor.trc");
+    writeTraceFile(t, file.path());
+
+    MappedTraceReader reader(file.path());
+    auto cursor = reader.records();
+    TraceRecord rec;
+    std::size_t i = 0;
+    while (cursor.next(rec)) {
+        ASSERT_LT(i, t.records.size());
+        EXPECT_EQ(rec, t.records[i]) << "record " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, t.records.size());
+    EXPECT_EQ(cursor.index(), t.records.size());
+    // The cursor is exhausted; further calls keep returning false.
+    EXPECT_FALSE(cursor.next(rec));
+}
+
+TEST(MmapReader, RejectsTruncationAtEveryBoundary)
+{
+    const Trace t = familyTrace(ScenarioFamily::ZipfLock);
+    const std::string good = encode(t);
+    ASSERT_FALSE(t.records.empty());
+
+    // Every proper prefix must be rejected — header truncation at
+    // open, record truncation during the walk, never a silent accept.
+    TempFile file("test_mmap_trunc.trc");
+    for (std::size_t len = 0; len < good.size();
+         len += (len < 64 ? 1 : 97)) {
+        writeBytes(file.path(), good.substr(0, len));
+        EXPECT_THROW(mmapDecode(file.path()), std::runtime_error)
+            << "prefix of " << len << " bytes accepted";
+    }
+}
+
+TEST(MmapReader, RejectsBadMagicAndVersions)
+{
+    const std::string good = encode(familyTrace(ScenarioFamily::BurstyLock));
+    TempFile file("test_mmap_magic.trc");
+
+    std::string badMagic = good;
+    badMagic[0] = 'X';
+    writeBytes(file.path(), badMagic);
+    EXPECT_THROW(mmapDecode(file.path()), std::runtime_error);
+
+    // Version varint sits right after the 8-byte magic.
+    std::string badVersion = good;
+    badVersion[8] = '\x7f';
+    writeBytes(file.path(), badVersion);
+    EXPECT_THROW(mmapDecode(file.path()), std::runtime_error);
+
+    // v1 must be rejected with the recapture hint, like the streaming
+    // reader.
+    std::string v1 = good;
+    v1[8] = '\x01';
+    writeBytes(file.path(), v1);
+    try {
+        mmapDecode(file.path());
+        FAIL() << "a version-1 trace was accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("recapture"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(MmapReader, RejectsTrailingBytes)
+{
+    const std::string good =
+        encode(familyTrace(ScenarioFamily::ReaderSemaphore));
+    TempFile file("test_mmap_trailing.trc");
+    writeBytes(file.path(), good + "junk");
+    EXPECT_THROW(mmapDecode(file.path()), std::runtime_error);
+}
+
+TEST(MmapReader, RejectsDanglingReferences)
+{
+    // The writer serializes whatever it is given; the reader is the
+    // validation boundary — same contract as the streaming reader.
+    Trace t = familyTrace(ScenarioFamily::ZipfLock);
+    ASSERT_FALSE(t.records.empty());
+    TempFile file("test_mmap_dangling.trc");
+
+    Trace badPrim = t;
+    badPrim.records[0].prim =
+        static_cast<std::uint32_t>(badPrim.primitives.size());
+    writeBytes(file.path(), encode(badPrim));
+    EXPECT_THROW(mmapDecode(file.path()), std::runtime_error);
+
+    Trace badCore = t;
+    badCore.records[0].core = badCore.numClientCores();
+    writeBytes(file.path(), encode(badCore));
+    EXPECT_THROW(mmapDecode(file.path()), std::runtime_error);
+}
+
+TEST(MmapReader, RejectsEmptyAndShortFiles)
+{
+    TempFile file("test_mmap_empty.trc");
+    writeBytes(file.path(), "");
+    EXPECT_THROW(MappedTraceReader reader(file.path()),
+                 std::runtime_error);
+
+    writeBytes(file.path(), "SYN"); // shorter than the magic
+    EXPECT_THROW(MappedTraceReader reader(file.path()),
+                 std::runtime_error);
+
+    EXPECT_THROW(MappedTraceReader reader("no_such_trace_file.trc"),
+                 std::runtime_error);
+}
+
+// --------------------------------------------------------------------
+// Corpus
+// --------------------------------------------------------------------
+
+/** RAII temp directory removed recursively after the test. */
+class TempDir
+{
+  public:
+    explicit TempDir(std::string path) : path_(std::move(path))
+    {
+        std::filesystem::create_directory(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(Corpus, EnumeratesSortedAndValidates)
+{
+    TempDir dir("test_corpus_dir");
+    const Trace a = familyTrace(ScenarioFamily::ZipfLock);
+    const Trace b = familyTrace(ScenarioFamily::PhasedBarrierLock);
+    // Written out of name order: enumeration must sort by name, not
+    // by directory order.
+    writeTraceFile(b, dir.path() + "/b.trc");
+    writeTraceFile(a, dir.path() + "/a.trc");
+    // A corrupt member and a non-trace file.
+    writeBytes(dir.path() + "/c.trc", "not a trace at all");
+    writeBytes(dir.path() + "/notes.txt", "ignored");
+
+    const Corpus corpus = Corpus::open(dir.path());
+    ASSERT_EQ(corpus.size(), 3u);
+    EXPECT_EQ(corpus.files()[0].name, "a.trc");
+    EXPECT_EQ(corpus.files()[1].name, "b.trc");
+    EXPECT_EQ(corpus.files()[2].name, "c.trc");
+    EXPECT_GT(corpus.totalBytes(), 0u);
+
+    const auto statuses = corpus.validate();
+    ASSERT_EQ(statuses.size(), 3u);
+    EXPECT_TRUE(statuses[0].ok);
+    EXPECT_EQ(statuses[0].records, a.records.size());
+    EXPECT_EQ(statuses[0].opCounts, a.opCounts());
+    EXPECT_TRUE(statuses[1].ok);
+    EXPECT_EQ(statuses[1].records, b.records.size());
+    EXPECT_FALSE(statuses[2].ok);
+    EXPECT_FALSE(statuses[2].error.empty());
+}
+
+TEST(Corpus, RejectsMissingAndEmptyDirectories)
+{
+    EXPECT_THROW(Corpus::open("no_such_corpus_dir"),
+                 std::runtime_error);
+
+    TempDir dir("test_corpus_empty");
+    EXPECT_THROW(Corpus::open(dir.path()), std::runtime_error);
+
+    EXPECT_TRUE(Corpus::isDirectory(dir.path()));
+    EXPECT_FALSE(Corpus::isDirectory("no_such_corpus_dir"));
+}
+
+} // namespace
+} // namespace syncron::trace

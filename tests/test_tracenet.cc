@@ -1,0 +1,546 @@
+/**
+ * @file
+ * Trace-service tests: frame round-trips under arbitrary chunking
+ * (property-style), payload marshalling, the session state machine
+ * end-to-end over a local socket pair — including the byte-identity
+ * guarantee
+ * (collected file == local --trace-out capture of the same run) — and
+ * every degradation path: unreachable collector, mid-stream
+ * disconnect, cancel mid-capture, request-id mismatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "system/system.hh"
+#include "trace/capture.hh"
+#include "trace/format.hh"
+#include "trace/scenario.hh"
+#include "trace/varint.hh"
+#include "tracenet/collector.hh"
+#include "tracenet/framing.hh"
+#include "tracenet/marshal.hh"
+#include "tracenet/session.hh"
+#include "tracenet/stream_sink.hh"
+#include "tracenet/transport.hh"
+#include "workloads/micro/primitives.hh"
+
+namespace syncron::tracenet {
+namespace {
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << "cannot read " << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// Framing
+// --------------------------------------------------------------------
+
+TEST(Framing, RoundTripsUnderArbitraryChunking)
+{
+    Rng rng(20260808);
+    for (int iter = 0; iter < 50; ++iter) {
+        // A random message sequence...
+        std::vector<Frame> sent;
+        std::string wire;
+        const unsigned numFrames = 1 + static_cast<unsigned>(rng.below(8));
+        for (unsigned i = 0; i < numFrames; ++i) {
+            Frame f;
+            f.type = static_cast<FrameType>(
+                rng.below(static_cast<std::uint64_t>(FrameType::Error)
+                          + 1));
+            f.requestId = rng.next();
+            f.seq = rng.below(1 << 20);
+            const std::size_t len =
+                static_cast<std::size_t>(rng.below(2000));
+            f.payload.reserve(len);
+            for (std::size_t b = 0; b < len; ++b)
+                f.payload += static_cast<char>(rng.below(256));
+            encodeFrame(wire, f.type, f.requestId, f.seq, f.payload);
+            sent.push_back(std::move(f));
+        }
+
+        // ...fed to the decoder in random-size chunks must come out
+        // intact regardless of where the stream got split.
+        FrameDecoder decoder;
+        std::vector<Frame> got;
+        std::size_t off = 0;
+        while (off < wire.size()) {
+            const std::size_t chunk = std::min<std::size_t>(
+                1 + rng.below(97), wire.size() - off);
+            decoder.feed(wire.data() + off, chunk);
+            off += chunk;
+            Frame f;
+            while (decoder.next(f))
+                got.push_back(f);
+        }
+        ASSERT_EQ(got.size(), sent.size()) << "iteration " << iter;
+        for (std::size_t i = 0; i < sent.size(); ++i) {
+            EXPECT_EQ(got[i].type, sent[i].type);
+            EXPECT_EQ(got[i].requestId, sent[i].requestId);
+            EXPECT_EQ(got[i].seq, sent[i].seq);
+            EXPECT_EQ(got[i].payload, sent[i].payload);
+        }
+        EXPECT_EQ(decoder.buffered(), 0u);
+    }
+}
+
+TEST(Framing, RejectsUnknownTypesAndOversizedFrames)
+{
+    // Unknown frame type.
+    std::string wire;
+    trace::appendVarint(wire, 3); // frameLen
+    trace::appendVarint(wire, 99); // no such type
+    trace::appendVarint(wire, 0);
+    trace::appendVarint(wire, 0);
+    FrameDecoder decoder;
+    decoder.feed(wire.data(), wire.size());
+    Frame f;
+    EXPECT_THROW(decoder.next(f), std::runtime_error);
+
+    // A length prefix past the cap must fail before any allocation of
+    // that size.
+    std::string big;
+    trace::appendVarint(big, kMaxFrameBytes + 1);
+    FrameDecoder decoder2;
+    decoder2.feed(big.data(), big.size());
+    EXPECT_THROW(decoder2.next(f), std::runtime_error);
+}
+
+// --------------------------------------------------------------------
+// Marshalling
+// --------------------------------------------------------------------
+
+TEST(Marshal, HelloAndFinRoundTrip)
+{
+    HelloMsg hello;
+    hello.protocolVersion = kProtocolVersion;
+    hello.traceVersion = trace::kTraceVersion;
+    hello.numUnits = 4;
+    hello.clientCoresPerUnit = 15;
+    hello.streamName = "queue_run.trc";
+    const HelloMsg h2 = decodeHello(encodeHello(hello));
+    EXPECT_EQ(h2.protocolVersion, hello.protocolVersion);
+    EXPECT_EQ(h2.traceVersion, hello.traceVersion);
+    EXPECT_EQ(h2.numUnits, hello.numUnits);
+    EXPECT_EQ(h2.clientCoresPerUnit, hello.clientCoresPerUnit);
+    EXPECT_EQ(h2.streamName, hello.streamName);
+
+    FinMsg fin;
+    fin.totalRecords = 12345;
+    fin.totalPrimitives = 77;
+    const FinMsg f2 = decodeFin(encodeFin(fin));
+    EXPECT_EQ(f2.totalRecords, fin.totalRecords);
+    EXPECT_EQ(f2.totalPrimitives, fin.totalPrimitives);
+
+    EXPECT_THROW(decodeHello(encodeHello(hello) + "x"),
+                 std::runtime_error);
+    EXPECT_THROW(decodeFin(std::string("\x01", 1)),
+                 std::runtime_error);
+}
+
+TEST(Marshal, BatchesReassembleTheExactTrace)
+{
+    trace::ScenarioSpec spec;
+    spec.family = trace::ScenarioFamily::Replication;
+    spec.numUnits = 2;
+    spec.clientCoresPerUnit = 3;
+    spec.opsPerCore = 8;
+    const trace::Trace t = trace::ScenarioGenerator(spec).generate();
+    ASSERT_GT(t.records.size(), 10u);
+
+    // Stream it in small batches; the decoder must reassemble records
+    // AND primitive table exactly, across any batch boundary.
+    BatchEncoder encoder;
+    BatchDecoder decoder;
+    trace::Trace got;
+    got.numUnits = t.numUnits;
+    got.clientCoresPerUnit = t.clientCoresPerUnit;
+    const std::size_t batch = 7;
+    for (std::size_t off = 0; off < t.records.size(); off += batch) {
+        const std::size_t n =
+            std::min(batch, t.records.size() - off);
+        decoder.decode(
+            encoder.encode(t.primitives, t.records.data() + off, n),
+            got);
+    }
+    EXPECT_EQ(got, t);
+}
+
+TEST(Marshal, TableUpsertsAmendEntries)
+{
+    // Capture amends table entries after first send (barrier headcount
+    // learned late); the decoder applies the re-sent entry in place —
+    // last writer wins.
+    std::vector<trace::TracePrimitive> table(1);
+    table[0].kind = trace::PrimKind::Barrier;
+    table[0].param = 0; // not yet known
+
+    trace::TraceRecord rec;
+    rec.kind = sync::OpKind::BarrierWaitAcrossUnits;
+    rec.issued = 10;
+    rec.completed = 20;
+
+    BatchEncoder encoder;
+    BatchDecoder decoder;
+    trace::Trace got;
+    got.numUnits = 1;
+    got.clientCoresPerUnit = 2;
+    decoder.decode(encoder.encode(table, &rec, 1), got);
+    EXPECT_EQ(got.primitives[0].param, 0u);
+
+    table[0].param = 8; // headcount learned
+    rec.issued = 30;
+    rec.completed = 40;
+    decoder.decode(encoder.encode(table, &rec, 1), got);
+    EXPECT_EQ(got.primitives.size(), 1u);
+    EXPECT_EQ(got.primitives[0].param, 8u);
+    EXPECT_EQ(got.records.size(), 2u);
+    EXPECT_EQ(got.records[1].issued, 30u);
+}
+
+// --------------------------------------------------------------------
+// Session state machine over a local socket pair
+// --------------------------------------------------------------------
+
+/** Runs a small lock workload with the given trace settings. */
+SystemConfig
+lockRunConfig()
+{
+    SystemConfig cfg = SystemConfig::make(Scheme::SynCron, 2, 4);
+    return cfg;
+}
+
+void
+runLockWorkload(NdpSystem &sys, unsigned opsPerCore = 16)
+{
+    workloads::PrimitiveWorkload w(sys, workloads::Primitive::Lock, 50,
+                                   opsPerCore);
+    sys.run();
+}
+
+TEST(Session, LoopbackCaptureIsByteIdenticalToLocalCapture)
+{
+    auto pair = Transport::socketPair();
+    Transport serverEnd = std::move(pair.first);
+    const int clientFd = pair.second.release();
+
+    SessionResult result;
+    std::thread collector(
+        [&] { result = serveSession(serverEnd, 10000); });
+
+    const std::string localPath = "test_tracenet_local.trc";
+    SystemConfig cfg = lockRunConfig();
+    cfg.tracePath = localPath;
+    cfg.traceStream = "fd:" + std::to_string(clientFd);
+    {
+        NdpSystem sys(cfg);
+        runLockWorkload(sys);
+        ASSERT_NE(sys.streamSink(), nullptr);
+        EXPECT_FALSE(sys.streamSink()->streamingFailed())
+            << sys.streamSink()->error();
+        // traceCapture() routes to the streaming sink's capture.
+        EXPECT_EQ(sys.traceCapture(),
+                  &sys.streamSink()->capture());
+    }
+    collector.join();
+
+    ASSERT_EQ(result.outcome, SessionOutcome::Completed)
+        << result.error;
+    EXPECT_EQ(result.streamName, "test_tracenet_local.trc");
+    EXPECT_GT(result.frames, 0u);
+
+    // The collector writes with the stock TraceWriter: its file must
+    // be byte-identical to the local --trace-out capture.
+    const std::string collectedPath = "test_tracenet_collected.trc";
+    trace::writeTraceFile(result.trace, collectedPath);
+    EXPECT_EQ(fileBytes(collectedPath), fileBytes(localPath));
+
+    // And it replays: the image is a complete, valid trace.
+    EXPECT_EQ(trace::readTraceFile(collectedPath), result.trace);
+    std::remove(localPath.c_str());
+    std::remove(collectedPath.c_str());
+}
+
+TEST(Session, UnreachableCollectorDegradesToLocalCapture)
+{
+    // Port 1 refuses immediately; with the fast test policy the sink
+    // must mark the stream failed and the system still writes the
+    // complete local file.
+    const std::string localPath = "test_tracenet_fallback.trc";
+    SystemConfig cfg = lockRunConfig();
+    cfg.tracePath = localPath;
+    cfg.traceStream = "127.0.0.1:1";
+    trace::Trace captured;
+    {
+        NdpSystem sys(cfg);
+        runLockWorkload(sys);
+        ASSERT_NE(sys.streamSink(), nullptr);
+        EXPECT_TRUE(sys.streamSink()->streamingFailed());
+        EXPECT_FALSE(sys.streamSink()->error().empty());
+        captured = sys.streamSink()->capture().trace();
+    }
+    EXPECT_FALSE(captured.records.empty());
+    EXPECT_EQ(trace::readTraceFile(localPath), captured);
+    std::remove(localPath.c_str());
+}
+
+TEST(Session, MidStreamDisconnectFallsBackWithCompleteLocalTrace)
+{
+    auto pair = Transport::socketPair();
+    Transport serverEnd = std::move(pair.first);
+    const int clientFd = pair.second.release();
+
+    // A server that accepts the session, acks the first FRAME, then
+    // vanishes mid-stream.
+    std::thread server([&] {
+        FrameDecoder decoder;
+        std::string err;
+        std::uint64_t acked = 0;
+        for (;;) {
+            char buf[4096];
+            const long got = serverEnd.recvSome(buf, sizeof(buf), 10000);
+            if (got <= 0)
+                return;
+            decoder.feed(buf, static_cast<std::size_t>(got));
+            Frame f;
+            while (decoder.next(f)) {
+                std::string wire;
+                encodeFrame(wire,
+                            f.type == FrameType::Hello
+                                ? FrameType::Accept
+                                : FrameType::Ack,
+                            f.requestId, f.seq, std::string_view());
+                serverEnd.sendAll(wire.data(), wire.size());
+                if (++acked == 2) {
+                    serverEnd.close(); // gone mid-stream
+                    return;
+                }
+            }
+        }
+    });
+
+    const std::string localPath = "test_tracenet_disconnect.trc";
+    SystemConfig cfg = lockRunConfig();
+    cfg.tracePath = localPath;
+    cfg.traceStream = "fd:" + std::to_string(clientFd);
+    trace::Trace captured;
+    {
+        NdpSystem sys(cfg);
+        // Enough records for several 64-record flushes, so the
+        // disconnect lands mid-stream, not at FIN.
+        runLockWorkload(sys, 64);
+        ASSERT_NE(sys.streamSink(), nullptr);
+        EXPECT_TRUE(sys.streamSink()->streamingFailed());
+        captured = sys.streamSink()->capture().trace();
+    }
+    server.join();
+
+    // Degradation: the local capture is complete and valid.
+    EXPECT_FALSE(captured.records.empty());
+    EXPECT_EQ(trace::readTraceFile(localPath), captured);
+    std::remove(localPath.c_str());
+}
+
+TEST(Session, CancelMidCaptureLeavesValidTruncatedImage)
+{
+    trace::ScenarioSpec spec;
+    spec.numUnits = 2;
+    spec.clientCoresPerUnit = 3;
+    spec.opsPerCore = 16;
+    const trace::Trace t = trace::ScenarioGenerator(spec).generate();
+    ASSERT_GT(t.records.size(), 20u);
+
+    auto pair = Transport::socketPair();
+    Transport serverEnd = std::move(pair.first);
+    const int clientFd = pair.second.release();
+
+    SessionResult result;
+    std::thread collector(
+        [&] { result = serveSession(serverEnd, 10000); });
+
+    RetryPolicy policy;
+    CaptureClient client("fd:" + std::to_string(clientFd), policy,
+                         0xc0ffee);
+    HelloMsg hello;
+    hello.protocolVersion = kProtocolVersion;
+    hello.traceVersion = trace::kTraceVersion;
+    hello.numUnits = t.numUnits;
+    hello.clientCoresPerUnit = t.clientCoresPerUnit;
+    hello.streamName = "cancelled.trc";
+    ASSERT_TRUE(client.begin(hello)) << client.error();
+
+    // Stream half the trace, then abort.
+    BatchEncoder encoder;
+    const std::size_t half = t.records.size() / 2;
+    ASSERT_TRUE(client.sendBatch(
+        encoder.encode(t.primitives, t.records.data(), half)));
+    client.cancel();
+    EXPECT_EQ(client.state(), ClientState::Cancelled);
+    collector.join();
+
+    ASSERT_EQ(result.outcome, SessionOutcome::Cancelled);
+    EXPECT_EQ(result.trace.records.size(), half);
+
+    // The truncated image is a valid trace: it writes and reads back.
+    const std::string path = "test_tracenet_cancelled.trc";
+    trace::writeTraceFile(result.trace, path);
+    const trace::Trace back = trace::readTraceFile(path);
+    EXPECT_EQ(back, result.trace);
+    std::remove(path.c_str());
+}
+
+TEST(Session, RequestIdMismatchIsRejected)
+{
+    auto pair = Transport::socketPair();
+    Transport serverEnd = std::move(pair.first);
+    Transport clientEnd = std::move(pair.second);
+
+    SessionResult result;
+    std::thread collector(
+        [&] { result = serveSession(serverEnd, 10000); });
+
+    // Handshake under request id 7...
+    HelloMsg hello;
+    hello.protocolVersion = kProtocolVersion;
+    hello.traceVersion = trace::kTraceVersion;
+    hello.numUnits = 1;
+    hello.clientCoresPerUnit = 2;
+    std::string wire;
+    encodeFrame(wire, FrameType::Hello, 7, 1, encodeHello(hello));
+    ASSERT_TRUE(clientEnd.sendAll(wire.data(), wire.size()));
+
+    FrameDecoder decoder;
+    Frame reply;
+    while (!decoder.next(reply)) {
+        char buf[4096];
+        const long got = clientEnd.recvSome(buf, sizeof(buf), 10000);
+        ASSERT_GT(got, 0);
+        decoder.feed(buf, static_cast<std::size_t>(got));
+    }
+    ASSERT_EQ(reply.type, FrameType::Accept);
+
+    // ...then a FRAME under request id 8: the collector must reject
+    // the session with an ERROR frame naming the id.
+    BatchEncoder encoder;
+    std::vector<trace::TracePrimitive> table(1);
+    trace::TraceRecord rec;
+    rec.kind = sync::OpKind::LockAcquire;
+    wire.clear();
+    encodeFrame(wire, FrameType::Frame, 8, 2,
+                encoder.encode(table, &rec, 1));
+    ASSERT_TRUE(clientEnd.sendAll(wire.data(), wire.size()));
+
+    while (!decoder.next(reply)) {
+        char buf[4096];
+        const long got = clientEnd.recvSome(buf, sizeof(buf), 10000);
+        ASSERT_GT(got, 0);
+        decoder.feed(buf, static_cast<std::size_t>(got));
+    }
+    EXPECT_EQ(reply.type, FrameType::Error);
+    EXPECT_NE(reply.payload.find("request id"), std::string::npos);
+    clientEnd.close();
+    collector.join();
+    EXPECT_EQ(result.outcome, SessionOutcome::Failed);
+    EXPECT_NE(result.error.find("request id"), std::string::npos);
+    EXPECT_EQ(result.frames, 0u);
+}
+
+TEST(Session, VersionMismatchIsRefusedAtHello)
+{
+    auto pair = Transport::socketPair();
+    Transport serverEnd = std::move(pair.first);
+    const int clientFd = pair.second.release();
+
+    SessionResult result;
+    std::thread collector(
+        [&] { result = serveSession(serverEnd, 10000); });
+
+    RetryPolicy policy;
+    CaptureClient client("fd:" + std::to_string(clientFd), policy, 1);
+    HelloMsg hello;
+    hello.protocolVersion = kProtocolVersion + 1; // from the future
+    hello.traceVersion = trace::kTraceVersion;
+    hello.numUnits = 1;
+    hello.clientCoresPerUnit = 1;
+    EXPECT_FALSE(client.begin(hello));
+    EXPECT_EQ(client.state(), ClientState::Failed);
+    EXPECT_NE(client.error().find("version"), std::string::npos)
+        << client.error();
+    collector.join();
+    EXPECT_EQ(result.outcome, SessionOutcome::Failed);
+}
+
+// --------------------------------------------------------------------
+// Collector harness
+// --------------------------------------------------------------------
+
+TEST(Collector, SanitizesStreamNames)
+{
+    EXPECT_EQ(sanitizeStreamName("queue_run.trc"), "queue_run.trc");
+    EXPECT_EQ(sanitizeStreamName(""), "collected.trc");
+    // Path separators neutralized, leading dots stripped: the peer
+    // cannot choose where on the collector's filesystem this lands.
+    EXPECT_EQ(sanitizeStreamName("../../etc/passwd"),
+              "_.._etc_passwd.trc");
+    EXPECT_EQ(sanitizeStreamName("a b$c"), "a_b_c.trc");
+    EXPECT_EQ(sanitizeStreamName("noext"), "noext.trc");
+}
+
+TEST(Collector, StoresCompletedSessionOverTcpLoopback)
+{
+    // Full TCP path: ephemeral listener, collectOne on the accepted
+    // connection, a system streaming to 127.0.0.1:<port>.
+    Listener listener = Listener::listen("127.0.0.1:0");
+    ASSERT_TRUE(listener.valid());
+    const std::uint16_t port = listener.boundPort();
+    ASSERT_NE(port, 0);
+
+    // A dedicated out-dir: the stream name is the local capture's base
+    // name, so storing in "." would land on the very same file.
+    const std::string outDir = "test_tracenet_tcp_out";
+    std::filesystem::create_directory(outDir);
+    CollectResult collected;
+    std::thread collector([&] {
+        Transport conn = listener.accept(10000);
+        ASSERT_TRUE(conn.valid());
+        collected = collectOne(conn, outDir, 10000);
+    });
+
+    const std::string localPath = "test_tracenet_tcp_local.trc";
+    SystemConfig cfg = lockRunConfig();
+    cfg.tracePath = localPath;
+    cfg.traceStream = "127.0.0.1:" + std::to_string(port);
+    {
+        NdpSystem sys(cfg);
+        runLockWorkload(sys);
+        ASSERT_NE(sys.streamSink(), nullptr);
+        EXPECT_FALSE(sys.streamSink()->streamingFailed())
+            << sys.streamSink()->error();
+    }
+    collector.join();
+
+    ASSERT_EQ(collected.session.outcome, SessionOutcome::Completed)
+        << collected.session.error;
+    ASSERT_EQ(collected.path, outDir + "/test_tracenet_tcp_local.trc");
+    EXPECT_EQ(fileBytes(collected.path), fileBytes(localPath));
+    std::remove(localPath.c_str());
+    std::filesystem::remove_all(outDir);
+}
+
+} // namespace
+} // namespace syncron::tracenet

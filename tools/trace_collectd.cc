@@ -1,0 +1,111 @@
+/**
+ * @file
+ * trace_collectd: the trace-service collector daemon.
+ *
+ * Listens for capture sessions (src/tracenet/) and stores every
+ * received trace as a SYNCTRC file — written with the stock
+ * TraceWriter, so a collected trace is byte-identical to what a local
+ * --trace-out capture of the same run would have produced.
+ *
+ *   trace_collectd --listen=127.0.0.1:0 --out-dir=traces \
+ *                  --port-file=port.txt --once
+ *
+ * --listen accepts port 0 (ephemeral); --port-file publishes the bound
+ * port so scripts can discover it. --once serves exactly one session
+ * and exits with its outcome (0 completed, 2 cancelled, 3 failed) —
+ * the shape CI's loopback smoke drives. Without --once the daemon
+ * serves sessions until killed.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/log.hh"
+#include "tracenet/collector.hh"
+#include "tracenet/transport.hh"
+
+using namespace syncron;
+
+namespace {
+
+constexpr const char *kUsage =
+    "usage: trace_collectd [options]\n"
+    "  --listen=<host:port>  endpoint to listen on (default\n"
+    "                        127.0.0.1:7461; port 0 = ephemeral)\n"
+    "  --out-dir=<dir>       directory for received traces (default .)\n"
+    "  --port-file=<path>    write the bound port there (for port 0)\n"
+    "  --once                serve one session, then exit with its\n"
+    "                        outcome (0 ok, 2 cancelled, 3 failed)\n"
+    "  --help                this text\n";
+
+/** Value of "--opt=value"-style @p arg, or nullptr if no match. */
+const char *
+optValue(const char *arg, const char *prefix)
+{
+    const std::size_t n = std::string(prefix).size();
+    if (std::string(arg).rfind(prefix, 0) != 0)
+        return nullptr;
+    return arg + n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string listen = "127.0.0.1:7461";
+    std::string outDir = ".";
+    std::string portFile;
+    bool once = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *val = nullptr;
+        if ((val = optValue(arg, "--listen="))) {
+            listen = val;
+        } else if ((val = optValue(arg, "--out-dir="))) {
+            outDir = val;
+        } else if ((val = optValue(arg, "--port-file="))) {
+            portFile = val;
+        } else if (std::string(arg) == "--once") {
+            once = true;
+        } else if (std::string(arg) == "--help") {
+            std::cout << kUsage;
+            return 0;
+        } else {
+            std::cerr << "unknown argument '" << arg << "'\n" << kUsage;
+            return 1;
+        }
+    }
+
+    tracenet::Listener listener = tracenet::Listener::listen(listen);
+    std::cout << "trace_collectd listening on port "
+              << listener.boundPort() << ", storing traces in "
+              << outDir << "\n";
+    if (!portFile.empty()) {
+        std::ofstream pf(portFile, std::ios::trunc);
+        pf << listener.boundPort() << "\n";
+        if (!pf)
+            SYNCRON_FATAL("cannot write port file " << portFile);
+    }
+
+    for (;;) {
+        tracenet::Transport conn = listener.accept(-1);
+        if (!conn.valid())
+            continue;
+        const tracenet::CollectResult res =
+            tracenet::collectOne(conn, outDir, 10000);
+        if (once) {
+            switch (res.session.outcome) {
+              case tracenet::SessionOutcome::Completed:
+                return 0;
+              case tracenet::SessionOutcome::Cancelled:
+                return 2;
+              case tracenet::SessionOutcome::Failed:
+                return 3;
+            }
+            return 3;
+        }
+    }
+}
